@@ -1,0 +1,158 @@
+// E10 — the full distributed alternative block (sections 3.2.1 + 4.4
+// combined): remote fork by checkpoint shipment, majority-consensus
+// synchronization, best-effort elimination. Measures end-to-end block
+// latency against the local shared-memory execution, across checkpoint
+// sizes, link speeds, loss rates, and failure scenarios.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dist/distributed.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::dist;
+
+struct Run {
+  bool committed = false;
+  double decided_ms = 0;
+  double packets = 0;
+};
+
+Run run_block(std::vector<RemoteAlt> alts, DistConfig cfg, double drop,
+              double bytes_per_usec, int seeds = 15) {
+  Summary ms;
+  Summary pk;
+  int committed = 0;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds); ++seed) {
+    net::Network::Config nc;
+    nc.node_count = static_cast<std::size_t>(cfg.arbiters) + 1 + alts.size();
+    nc.base_latency = 2 * kMsec;
+    nc.jitter = kMsec;
+    nc.drop_rate = drop;
+    nc.bytes_per_usec = bytes_per_usec;
+    nc.seed = seed;
+    net::Network network(nc);
+    DistributedBlock block(network, cfg, alts);
+    block.start();
+    network.run(10ll * 60 * kSec);
+    if (block.result().committed) {
+      ++committed;
+      ms.add(static_cast<double>(block.result().decided_at) / kMsec);
+      pk.add(static_cast<double>(block.result().packets));
+    }
+  }
+  Run r;
+  r.committed = committed > 0;
+  r.decided_ms = ms.empty() ? -1 : ms.mean();
+  r.packets = pk.empty() ? 0 : pk.mean();
+  return r;
+}
+
+std::string ms_str(double v) {
+  if (v < 0) return "--";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f ms", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: distributed alternative block end to end\n");
+  std::printf("(3 alternates 500/100/300 ms unless noted; 3 arbiters; 10 Mbit/s\n"
+              "links, 2 ms latency — the paper's workstation LAN)\n\n");
+
+  const std::vector<RemoteAlt> kAlts{RemoteAlt{500 * kMsec, true},
+                                     RemoteAlt{100 * kMsec, true},
+                                     RemoteAlt{300 * kMsec, true}};
+
+  std::printf("Block latency vs checkpoint size (the rfork image of E4):\n\n");
+  Table t1({"checkpoint", "block latency", "packets"});
+  for (std::size_t kb : {8, 70, 256, 1024}) {
+    DistConfig cfg;
+    cfg.checkpoint_bytes = kb * 1024;
+    const auto r = run_block(kAlts, cfg, 0.0, 1.25);
+    t1.add_row({std::to_string(kb) + " KB", ms_str(r.decided_ms),
+                Table::num(r.packets, 0)});
+  }
+  t1.print();
+  std::printf("\n(70 KB: spawn ~59 ms + best alternative 100 ms + 2 vote RTTs\n"
+              "+ result delivery; the checkpoint dominates past ~256 KB, as\n"
+              "in the paper's rfork measurements.)\n");
+
+  std::printf("\nBlock latency vs link bandwidth (70 KB checkpoint):\n\n");
+  Table t2({"bandwidth", "block latency"});
+  for (double mbit : {2.0, 10.0, 100.0}) {
+    DistConfig cfg;
+    const auto r = run_block(kAlts, cfg, 0.0, mbit * 0.125);
+    char b[32];
+    std::snprintf(b, sizeof b, "%.0f Mbit/s", mbit);
+    t2.add_row({b, ms_str(r.decided_ms)});
+  }
+  t2.print();
+
+  std::printf("\nMessage loss (winner results + votes retransmitted):\n\n");
+  Table t3({"drop rate", "block latency", "committed"});
+  for (double d : {0.0, 0.1, 0.3}) {
+    DistConfig cfg;
+    cfg.timeout = 60 * kSec;
+    const auto r = run_block(kAlts, cfg, d, 1.25);
+    char dc[16];
+    std::snprintf(dc, sizeof dc, "%.0f %%", d * 100);
+    t3.add_row({dc, ms_str(r.decided_ms), r.committed ? "yes" : "no"});
+  }
+  t3.print();
+
+  std::printf("\nFailure scenarios (70 KB, no loss):\n\n");
+  Table t4({"scenario", "outcome", "latency"});
+  {
+    // Fast alternative's guard fails.
+    DistConfig cfg;
+    auto r = run_block({RemoteAlt{100 * kMsec, false}, RemoteAlt{300 * kMsec, true}},
+                       cfg, 0.0, 1.25);
+    t4.add_row({"fast guard fails", "commit via backup", ms_str(r.decided_ms)});
+  }
+  {
+    // Everything fails: the FAIL candidate claims the semaphore early.
+    DistConfig cfg;
+    cfg.timeout = 60 * kSec;
+    net::Network::Config nc;
+    nc.node_count = 6;
+    nc.base_latency = 2 * kMsec;
+    nc.seed = 1;
+    net::Network network(nc);
+    DistributedBlock block(network, cfg,
+                           {RemoteAlt{100 * kMsec, false}, RemoteAlt{150 * kMsec, false}});
+    block.start();
+    network.run();
+    t4.add_row({"all guards fail", block.result().failed ? "definitive FAIL" : "?",
+                ms_str(static_cast<double>(block.result().decided_at) / kMsec)});
+  }
+  {
+    // Stragglers only: the coordinator's timeout wins the election.
+    DistConfig cfg;
+    cfg.timeout = 800 * kMsec;
+    net::Network::Config nc;
+    nc.node_count = 6;
+    nc.base_latency = 2 * kMsec;
+    nc.seed = 1;
+    net::Network network(nc);
+    DistributedBlock block(network, cfg,
+                           {RemoteAlt{60 * kSec, true}, RemoteAlt{90 * kSec, true}});
+    block.start();
+    network.run(10 * kSec);
+    t4.add_row({"timeout (FAIL wins vote)",
+                block.result().failed ? "definitive FAIL" : "?",
+                ms_str(static_cast<double>(block.result().decided_at) / kMsec)});
+  }
+  t4.print();
+  std::printf(
+      "\nReading: the distributed block pays checkpoint shipment plus two vote\n"
+      "round trips over the best alternative's time; at-most-once holds under\n"
+      "loss and crashes because the semaphore, not the kill messages, is the\n"
+      "safety mechanism, and the TIMEOUT is itself a candidate (the paper's\n"
+      "failure alternative), making block failure an at-most-once decision too.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E11 — racing database query plans (the paper's abstract: "for problems
+// where the required execution time is unpredictable, such as database
+// queries, this method can show substantial execution time performance
+// increases").
+//
+// A stream of queries with data-dependent plan costs is answered four ways:
+//   oracle    — a perfect optimizer (lower bound; not realizable),
+//   scheme A  — an optimizer picking by observed per-plan statistics,
+//   scheme B  — a random viable plan,
+//   scheme C  — race all plans, keep the fastest (this paper).
+// All executed on the kernel simulator (HP 9000/350 costs, 3 CPUs).
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/executor.hpp"
+#include "core/query_workload.hpp"
+#include "core/schemes.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::core;
+
+sim::Kernel::Config cfg() {
+  sim::Kernel::Config c;
+  c.machine = sim::MachineModel::shared_memory_mp(3);
+  c.address_space_pages = 32;
+  return c;
+}
+
+struct StreamResult {
+  double mean_ms = 0;
+  double vs_oracle = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("E11: racing database query plans (index / scan / hash)\n\n");
+  const SimTime unit = 2;  // 2 us per row visit: ~1989 disk-cached rates
+  const int kQueries = 60;
+
+  QueryMixParams mix;
+  Rng rng(2026);
+  std::vector<QuerySpec> stream;
+  for (int i = 0; i < kQueries; ++i) stream.push_back(draw_query(mix, rng));
+
+  Summary oracle_ms;
+  Summary race_ms;
+  Summary random_ms;
+  Summary stats_ms;
+  StatisticalPicker picker(kPlanCount);
+  Rng pick_rng(7);
+
+  for (const QuerySpec& q : stream) {
+    const BlockSpec block = query_block(q, unit);
+    oracle_ms.add(static_cast<double>(oracle_cost(q, unit)) / kMsec);
+
+    // Scheme C: race.
+    const auto conc = run_concurrent(block, cfg());
+    race_ms.add(static_cast<double>(conc.elapsed) / kMsec);
+
+    // Scheme B: a random plan; non-viable picks cost their run then fail —
+    // charge the failed attempt plus a scan fallback.
+    {
+      const auto pick = static_cast<Plan>(pick_rng.below(kPlanCount));
+      const PlanCost pc = plan_cost(pick, q, unit);
+      SimTime t = pc.cost;
+      if (!pc.viable) t += plan_cost(Plan::kScan, q, unit).cost;
+      random_ms.add(static_cast<double>(t) / kMsec);
+    }
+
+    // Scheme A: statistical optimizer (learns mean per plan, retries on a
+    // non-viable choice with the scan).
+    {
+      const std::size_t choice = picker.pick();
+      const PlanCost pc = plan_cost(static_cast<Plan>(choice), q, unit);
+      SimTime t = pc.cost;
+      if (!pc.viable) t += plan_cost(Plan::kScan, q, unit).cost;
+      picker.record(choice, t);
+      stats_ms.add(static_cast<double>(t) / kMsec);
+    }
+  }
+
+  Table t({"strategy", "mean latency", "vs oracle"});
+  auto row = [&](const char* name, const Summary& s) {
+    t.add_row({name, Table::num(s.mean()) + " ms",
+               Table::num(s.mean() / oracle_ms.mean(), 2) + "x"});
+  };
+  row("oracle (perfect optimizer)", oracle_ms);
+  row("scheme C: race all plans", race_ms);
+  row("scheme A: statistics", stats_ms);
+  row("scheme B: random plan", random_ms);
+  t.print();
+
+  std::printf("\nLatency vs selectivity (equality predicate, index present,\n"
+              "100k rows — where the plan crossovers live):\n\n");
+  Table t2({"selectivity", "index", "scan", "hash", "race (sim)"});
+  for (double sel : {0.0001, 0.001, 0.01, 0.1, 0.5}) {
+    QuerySpec q;
+    q.rows = 100'000;
+    q.selectivity = sel;
+    q.predicate = PredKind::kEquality;
+    q.index_available = true;
+    const auto conc = run_concurrent(query_block(q, unit), cfg());
+    char sc[16];
+    std::snprintf(sc, sizeof sc, "%.4f", sel);
+    t2.add_row({sc,
+                format_time(plan_cost(Plan::kIndex, q, unit).cost),
+                format_time(plan_cost(Plan::kScan, q, unit).cost),
+                format_time(plan_cost(Plan::kHash, q, unit).cost),
+                format_time(conc.elapsed)});
+  }
+  t2.print();
+  std::printf(
+      "\nReading: the race tracks the oracle to within the spawn overhead\n"
+      "(~30 ms here) with NO knowledge of selectivity or indexes, while the\n"
+      "statistical optimizer converges to the per-plan average and the\n"
+      "random planner pays the mean — the paper's argument, quantified.\n");
+  return 0;
+}

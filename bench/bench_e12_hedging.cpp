@@ -1,0 +1,129 @@
+// E12 — hedged execution against tail latency (the paper's section 4.2
+// case 3 taken to its modern conclusion: when tau varies with the execution
+// environment, race staggered replicas of the same method).
+//
+// Service times are drawn from heavy-tailed distributions on the kernel
+// simulator; hedging is modeled as an alternative block whose replicas start
+// `stagger` apart. Reported: mean / p95 / p99 latency without hedging, with
+// one hedge, and with two hedges, plus the extra-work cost.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/executor.hpp"
+#include "core/workload.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::core;
+
+/// One request: replicas of the same service draw independent latencies.
+struct HedgeRun {
+  Summary latency;
+  double extra_work_fraction = 0;  // wasted / useful
+};
+
+HedgeRun run_hedged(TimeDist dist, SimTime lo, SimTime hi, int copies,
+                    SimTime stagger, std::uint64_t seed, int requests = 400) {
+  Rng rng(seed);
+  WorkloadParams draw;
+  draw.dist = dist;
+  draw.lo = lo;
+  draw.hi = hi;
+  HedgeRun out;
+  double duplicated = 0;
+  double useful = 0;
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(copies);
+  cfg.machine.fork_base = 500;      // a hedged RPC reissues, not rforks:
+  cfg.machine.per_page_map = 0;     // spawning is cheap relative to service
+  cfg.address_space_pages = 4;
+  for (int q = 0; q < requests; ++q) {
+    std::vector<SimTime> svc;
+    BlockSpec b;
+    for (int k = 0; k < copies; ++k) {
+      svc.push_back(draw_time(draw, rng));
+      AltSpec a;
+      // Copy k starts stagger*k later; the kernel models the delay as
+      // compute (it occupies the replica's slot, not real work).
+      a.compute = svc.back() + stagger * k;
+      a.pages_read = 1;
+      a.pages_written = 1;
+      b.alts.push_back(a);
+    }
+    const auto r = run_concurrent(b, cfg);
+    out.latency.add(static_cast<double>(r.elapsed) / kMsec);
+    // Duplicated *service* work: each loser actually serves from its start
+    // (stagger*k) until the winner finishes — sleep time does not count.
+    SimTime finish = svc[0];
+    for (int k = 1; k < copies; ++k) {
+      finish = std::min<SimTime>(finish, stagger * k + svc[static_cast<std::size_t>(k)]);
+    }
+    for (int k = 0; k < copies; ++k) {
+      const SimTime start = stagger * k;
+      const SimTime served =
+          std::max<SimTime>(0, std::min<SimTime>(finish, start + svc[static_cast<std::size_t>(k)]) - start);
+      if (start + svc[static_cast<std::size_t>(k)] == finish && served == svc[static_cast<std::size_t>(k)]) {
+        useful += static_cast<double>(served);
+      } else {
+        duplicated += static_cast<double>(served);
+      }
+    }
+  }
+  out.extra_work_fraction = useful > 0 ? duplicated / useful : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: hedged execution vs tail latency\n\n");
+  std::printf("Service time ~ Pareto(20 ms, alpha 1.5) — a heavy tail; hedges\n"
+              "start 40 ms apart. 400 requests per row.\n\n");
+
+  Table t({"copies", "mean", "p95", "p99", "extra work"});
+  for (int copies : {1, 2, 3}) {
+    const auto r = run_hedged(TimeDist::kPareto, 20 * kMsec, 1500, copies,
+                              40 * kMsec, 99);
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%.0f %%", r.extra_work_fraction * 100);
+    t.add_row({std::to_string(copies),
+               Table::num(r.latency.mean()) + " ms",
+               Table::num(r.latency.percentile(95)) + " ms",
+               Table::num(r.latency.percentile(99)) + " ms",
+               copies == 1 ? "0 %" : pct});
+  }
+  t.print();
+
+  std::printf("\nStagger sweep (2 copies): early hedges cut the tail harder\n"
+              "but duplicate more work:\n\n");
+  Table t2({"stagger", "p99", "extra work"});
+  for (SimTime st : {5 * kMsec, 20 * kMsec, 40 * kMsec, 100 * kMsec}) {
+    const auto r =
+        run_hedged(TimeDist::kPareto, 20 * kMsec, 1500, 2, st, 7);
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%.0f %%", r.extra_work_fraction * 100);
+    t2.add_row({format_time(st), Table::num(r.latency.percentile(99)) + " ms", pct});
+  }
+  t2.print();
+
+  std::printf("\nLight-tailed control (uniform 20..60 ms): hedging buys little\n"
+              "when there is no tail to cut:\n\n");
+  Table t3({"copies", "mean", "p99"});
+  for (int copies : {1, 2}) {
+    const auto r = run_hedged(TimeDist::kUniform, 20 * kMsec, 60 * kMsec,
+                              copies, 40 * kMsec, 13);
+    t3.add_row({std::to_string(copies), Table::num(r.latency.mean()) + " ms",
+                Table::num(r.latency.percentile(99)) + " ms"});
+  }
+  t3.print();
+  std::printf(
+      "\nReading: on heavy tails one staggered replica collapses the p99 for\n"
+      "modest duplicated service work — the paper's racing construct pointed\n"
+      "at the execution environment's own variance. Early hedges trade more\n"
+      "duplicated work for (slightly) better tails; on light tails the same\n"
+      "machinery buys nothing, matching the dispersion rule of section 4.2.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E4 — remote fork cost (section 4.4, third measurement; Smith & Ioannidis).
+//
+// Paper: rfork() of a 70 KB process takes slightly less than a second;
+// network delays push the observed average to ~1.3 s. The dominant cost is
+// checkpointing the process in its entirety and moving it through the
+// network file system.
+//
+// Part 1: the workstation-LAN machine model's rfork cost across image sizes
+// (the paper's 70 KB row should land just under one second).
+// Part 2: a real checkpoint/restore cycle on this host across image sizes,
+// with the 1989 network delay added as a constant.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "posix/checkpoint.hpp"
+#include "sim/kernel.hpp"
+
+int main() {
+  using namespace altx;
+  using sim::MachineModel;
+
+  std::printf("E4: remote fork via checkpoint/restart (paper section 4.4)\n\n");
+  std::printf("Paper-reported: rfork of a 70 KB process ~1 s; observed ~1.3 s\n"
+              "with network delays.\n\n");
+
+  const MachineModel lan = MachineModel::workstation_lan(2);
+  Table model({"image", "model rfork cost"});
+  for (std::size_t kb : {8, 32, 70, 128, 256, 512}) {
+    model.add_row({std::to_string(kb) + " KB",
+                   format_time(lan.rfork_cost(kb * 1024))});
+  }
+  model.print();
+  std::printf("\n(70 KB row: just under one second, as the paper reports; the\n"
+              "observed 1.3 s average corresponds to added queueing/jitter.)\n\n");
+
+  std::printf("Checkpoint vs on-demand state transfer (Theimer 1985, the\n"
+              "'more sophisticated migration scheme' the paper cites): a 256 KB\n"
+              "remote alternative touching a varying working set:\n\n");
+  {
+    Table od({"pages touched (of 64)", "checkpoint rfork", "on-demand rfork"});
+    auto elapsed = [&](sim::RemoteSpawn strategy, int touched) {
+      sim::Kernel::Config cfg;
+      cfg.machine = lan;
+      cfg.address_space_pages = 64;
+      cfg.remote_spawn = strategy;
+      sim::Kernel k(cfg);
+      auto local = sim::ProgramBuilder().abort().build();
+      sim::ProgramBuilder remote;
+      remote.compute(10 * kMsec);
+      for (int i = 0; i < touched; ++i) remote.read(static_cast<sim::VPage>(i));
+      k.spawn_root(sim::ProgramBuilder().alt({local, remote.build()}).build());
+      return k.run();
+    };
+    for (int touched : {4, 16, 32, 64}) {
+      od.add_row({std::to_string(touched),
+                  format_time(elapsed(sim::RemoteSpawn::kCheckpoint, touched)),
+                  format_time(elapsed(sim::RemoteSpawn::kOnDemand, touched))});
+    }
+    od.print();
+    std::printf("\n(On-demand wins for small working sets; the bulk checkpoint\n"
+                "amortises the per-page round trips once most pages are used.\n"
+                "'Most programs exhibit locality of reference' — section 4.4 —\n"
+                "which favours on-demand.)\n\n");
+  }
+
+  std::printf("Measured on this host (checkpoint -> file -> fork -> restore):\n\n");
+  Table host({"image", "checkpoint", "restore", "total(+1989 net 400ms)"});
+  for (std::size_t kb : {8, 70, 256, 1024, 4096}) {
+    const auto r = posix::rfork_simulated(kb * 1024, /*network_ms=*/400.0, "/tmp");
+    char c1[32], c2[32], c3[32];
+    std::snprintf(c1, sizeof c1, "%.2f ms", r.checkpoint_ms);
+    std::snprintf(c2, sizeof c2, "%.2f ms", r.restore_ms);
+    std::snprintf(c3, sizeof c3, "%.2f ms", r.total_ms);
+    host.add_row({std::to_string(kb) + " KB", c1, c2, c3});
+  }
+  host.print();
+  std::printf(
+      "\nReading: checkpoint size drives the cost in both eras; on modern disks\n"
+      "the constant network term dominates instead of the serialisation, but\n"
+      "the linear-in-image-size shape is unchanged.\n");
+  return 0;
+}

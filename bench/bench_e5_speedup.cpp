@@ -1,0 +1,159 @@
+// E5 — parallel speedup shapes (sections 4.2-4.3, figure 2's execution
+// model): PI as a function of the number of alternatives, of dispersion, and
+// of computation scale (the overhead crossover), measured end to end on the
+// kernel simulator against the analytic model. Includes the synchronous- vs
+// asynchronous-elimination ablation the paper calls out in section 3.2.1.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/executor.hpp"
+#include "core/model.hpp"
+#include "core/workload.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::core;
+
+sim::Kernel::Config cfg_with(int cpus, sim::Elimination elim) {
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(cpus);
+  cfg.address_space_pages = 80;  // the paper's 320 KB at 4K pages
+  cfg.elimination = elim;
+  return cfg;
+}
+
+/// Mean measured PI over `trials` random blocks.
+double measured_pi(const WorkloadParams& p, const sim::Kernel::Config& cfg,
+                   std::uint64_t seed, int trials = 25) {
+  Rng rng(seed);
+  Summary pis;
+  for (int t = 0; t < trials; ++t) {
+    const BlockSpec b = generate_block(p, rng);
+    const auto r = run_concurrent(b, cfg);
+    if (r.failed) continue;
+    pis.add(mean_time(b.taus()) / static_cast<double>(r.elapsed));
+  }
+  return pis.empty() ? 0.0 : pis.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: speedup shapes of the concurrent alternative block\n\n");
+
+  // --- PI vs number of alternatives (ample CPUs) -------------------------
+  std::printf("PI vs N (uniform taus 50..500 ms, N CPUs, HP 9000/350 costs):\n\n");
+  Table by_n({"N", "PI measured", "PI model"});
+  for (std::size_t n : {2, 3, 4, 6, 8}) {
+    WorkloadParams p;
+    p.n_alternatives = n;
+    p.dist = TimeDist::kUniform;
+    p.lo = 50 * kMsec;
+    p.hi = 500 * kMsec;
+    auto cfg = cfg_with(static_cast<int>(n), sim::Elimination::kAsynchronous);
+    // Analytic expectation for U(lo,hi): mean = (lo+hi)/2, E[min of N].
+    const double mean = (static_cast<double>(p.lo) + static_cast<double>(p.hi)) / 2;
+    const double emin = static_cast<double>(p.lo) +
+                        (static_cast<double>(p.hi - p.lo)) / (static_cast<double>(n) + 1);
+    OverheadInputs in;
+    in.n_alternatives = n;
+    in.address_space_pages = 80;
+    in.pages_written_by_winner = 5;
+    const double oh = static_cast<double>(estimate_overhead(cfg.machine, in).total());
+    by_n.add_row({std::to_string(n),
+                  Table::num(measured_pi(p, cfg, 100 + n)),
+                  Table::num(mean / (emin + oh))});
+  }
+  by_n.print();
+
+  // --- PI vs dispersion ----------------------------------------------------
+  std::printf("\nPI vs dispersion (N = 4, mean ~200 ms, growing spread):\n\n");
+  Table by_disp({"tau range (ms)", "PI measured"});
+  for (auto [lo, hi] : std::vector<std::pair<SimTime, SimTime>>{
+           {190, 210}, {150, 250}, {100, 300}, {20, 380}, {5, 395}}) {
+    WorkloadParams p;
+    p.n_alternatives = 4;
+    p.lo = lo * kMsec;
+    p.hi = hi * kMsec;
+    by_disp.add_row(
+        {std::to_string(lo) + " .. " + std::to_string(hi),
+         Table::num(measured_pi(p, cfg_with(4, sim::Elimination::kAsynchronous), 7))});
+  }
+  by_disp.print();
+
+  // --- the crossover: scaling the computation ------------------------------
+  std::printf("\nOverhead crossover (N = 3, bimodal taus t and 4t; PI < 1 when\n"
+              "the computation is small relative to spawn overhead ~14 ms):\n\n");
+  Table cross({"t", "PI measured"});
+  for (SimTime t : {2 * kMsec, 5 * kMsec, 10 * kMsec, 20 * kMsec, 50 * kMsec,
+                    200 * kMsec, kSec}) {
+    WorkloadParams p;
+    p.n_alternatives = 3;
+    p.dist = TimeDist::kBimodal;
+    p.lo = t;
+    p.hi = 4 * t;
+    cross.add_row({format_time(t),
+                   Table::num(measured_pi(p, cfg_with(3, sim::Elimination::kAsynchronous), 11))});
+  }
+  cross.print();
+
+  // --- virtual concurrency: fewer CPUs than alternatives -------------------
+  std::printf("\nVirtual concurrency (N = 4 alternatives, varying CPUs):\n\n");
+  Table by_cpu({"CPUs", "PI measured"});
+  for (int cpus : {1, 2, 4}) {
+    WorkloadParams p;
+    p.n_alternatives = 4;
+    p.lo = 50 * kMsec;
+    p.hi = 500 * kMsec;
+    by_cpu.add_row({std::to_string(cpus),
+                    Table::num(measured_pi(p, cfg_with(cpus, sim::Elimination::kAsynchronous), 23))});
+  }
+  by_cpu.print();
+
+  // --- interference: a loaded machine ---------------------------------------
+  std::printf("\nExecution-environment interference (section 4.2: tau varies\n"
+              "with the multiprocessing workload). N = 3 block (100/200/400 ms)\n"
+              "on 4 CPUs, sharing with M background compute-bound processes:\n\n");
+  Table load({"background procs", "block elapsed"});
+  {
+    BlockSpec b;
+    b.alts = {AltSpec{.compute = 100 * kMsec}, AltSpec{.compute = 200 * kMsec},
+              AltSpec{.compute = 400 * kMsec}};
+    for (int m : {0, 2, 4, 8}) {
+      const auto r = run_concurrent_loaded(
+          b, cfg_with(4, sim::Elimination::kAsynchronous), m, 5 * kSec);
+      load.add_row({std::to_string(m), format_time(r.elapsed)});
+    }
+  }
+  load.print();
+
+  // --- ablation: synchronous vs asynchronous sibling elimination -----------
+  std::printf("\nAblation: sibling elimination policy, sweeping the per-kill cost\n"
+              "(a local scheduler poke is cheap; a remote termination is a\n"
+              "network round trip). N = 8 on 4 CPUs, taus 50..500 ms:\n\n");
+  Table elim({"kill cost", "PI sync", "PI async"});
+  for (SimTime kc : {300 * kUsec, 5 * kMsec, 20 * kMsec, 80 * kMsec}) {
+    WorkloadParams p;
+    p.n_alternatives = 8;
+    p.lo = 50 * kMsec;
+    p.hi = 500 * kMsec;
+    auto cs = cfg_with(4, sim::Elimination::kSynchronous);
+    cs.machine.kill_cost = kc;
+    auto ca = cfg_with(4, sim::Elimination::kAsynchronous);
+    ca.machine.kill_cost = kc;
+    elim.add_row({format_time(kc), Table::num(measured_pi(p, cs, 31)),
+                  Table::num(measured_pi(p, ca, 31))});
+  }
+  elim.print();
+  std::printf(
+      "\nReading: PI grows with N and with dispersion, collapses below 1 for\n"
+      "small computations (the paper's rows (3)/(4)), and survives CPU\n"
+      "sharing at reduced magnitude. The elimination policies coincide when\n"
+      "kills are cheap; once terminating a sibling costs a network round\n"
+      "trip, asynchronous elimination wins — as the paper suspected — by\n"
+      "keeping the kills off the winner's critical path.\n");
+  return 0;
+}

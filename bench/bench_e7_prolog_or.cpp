@@ -1,0 +1,146 @@
+// E7 — OR-parallelism in Prolog (section 5.2).
+//
+// Queries whose top choice point has several clauses with data-dependent,
+// unpredictable costs — the paper's ideal environment ("the computation is
+// data-driven, and thus the execution time and control flow can vary greatly
+// with the input").
+//
+// Part 1: kernel-simulator comparison of sequential backtracking vs the
+// concurrent alternative block across workloads and LIPS rates (granularity
+// ablation: the same choice point is or isn't worth spawning depending on
+// the work per inference).
+// Part 2: real-process OR-parallel execution of the same queries.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "prolog/or_parallel.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::prolog;
+
+/// A database whose solve/1 has three strategies of very different cost; the
+/// cheap one is NOT first, so sequential backtracking pays for the expensive
+/// branch (left-to-right order) while OR-parallel rides the cheap one.
+Database strategies_db(int slow1, int quick, int slow2) {
+  Database db;
+  std::string text = R"(
+    solve(X) :- deep()" + std::to_string(slow1) + R"(), X = slow1.
+    solve(X) :- deep()" + std::to_string(quick) + R"(), X = quick.
+    solve(X) :- deep()" + std::to_string(slow2) + R"(), X = slow2.
+    deep(0).
+    deep(N) :- N > 0, M is N - 1, deep(M), leaf.
+    leaf.
+  )";
+  db.consult(text);
+  return db;
+}
+
+/// Graph reachability with one short route hidden among long detours.
+Database graph_db() {
+  Database db;
+  std::string text;
+  // route 1: a long chain a -> c1 -> c2 -> ... -> c40 -> z
+  text += "path(X, Z) :- chain(X, Z).\n";
+  // route 2: an even longer doomed search (fails at the end)
+  text += "path(X, Z) :- doomed(X, Z).\n";
+  // route 3: the direct edge
+  text += "path(X, Z) :- edge(X, Z).\n";
+  text += "edge(a, z).\n";
+  text += "chain(a, Z) :- hop0(Z).\n";
+  for (int i = 0; i < 40; ++i) {
+    text += "hop" + std::to_string(i) + "(Z) :- hop" + std::to_string(i + 1) +
+            "(Z).\n";
+  }
+  text += "hop40(z).\n";
+  text += "doomed(X, Z) :- spin(120), fail.\n";
+  text += "spin(0).\nspin(N) :- N > 0, M is N - 1, spin(M).\n";
+  db.consult(text);
+  return db;
+}
+
+sim::Kernel::Config sim_cfg(int cpus) {
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(cpus);
+  cfg.address_space_pages = 64;
+  return cfg;
+}
+
+void print_sim(const char* label, const Database& db, const Query& q,
+               double usec_per_inference) {
+  const auto r = simulate_or_parallel(db, q, usec_per_inference, sim_cfg(3));
+  std::string branches;
+  for (const auto& b : r.branches) {
+    if (!branches.empty()) branches += "/";
+    branches += std::to_string(b.steps);
+    branches += b.found ? "+" : "-";
+  }
+  std::printf("  %-24s branches(steps) %-22s seq %-12s par %-12s speedup %.2f\n",
+              label, branches.c_str(), format_time(r.sequential_time).c_str(),
+              format_time(r.parallel_time).c_str(), r.speedup);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: OR-parallel Prolog vs sequential backtracking (section 5.2)\n\n");
+
+  std::printf("Kernel simulator, 3 CPUs, 1 ms per logical inference (slow 1989\n"
+              "interpreter on a workstation):\n\n");
+  {
+    Database db = strategies_db(60, 10, 80);
+    const auto q = parse_query(db.symbols, "solve(X)");
+    print_sim("strategies 60/10/80", db, q, 1000.0);
+  }
+  {
+    Database db = strategies_db(20, 15, 25);
+    const auto q = parse_query(db.symbols, "solve(X)");
+    print_sim("strategies 20/15/25", db, q, 1000.0);
+  }
+  {
+    Database db = graph_db();
+    const auto q = parse_query(db.symbols, "path(a, Z)");
+    print_sim("graph path a->z", db, q, 1000.0);
+  }
+
+  std::printf("\nGranularity ablation (strategies 60/10/80, varying work per\n"
+              "inference — the paper: \"how aggressively available parallelism\n"
+              "is exploited is a function of the overhead\"):\n\n");
+  Table gran({"usec/inference", "seq", "par", "speedup"});
+  for (double upi : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    Database db = strategies_db(60, 10, 80);
+    const auto q = parse_query(db.symbols, "solve(X)");
+    const auto r = simulate_or_parallel(db, q, upi, sim_cfg(3));
+    char u[32];
+    std::snprintf(u, sizeof u, "%.0f", upi);
+    gran.add_row({u, format_time(r.sequential_time), format_time(r.parallel_time),
+                  Table::num(r.speedup)});
+  }
+  gran.print();
+
+  std::printf("\nReal processes on this host (same queries, wall clock):\n\n");
+  {
+    Database db = strategies_db(2000, 200, 2500);
+    const auto q = parse_query(db.symbols, "solve(X)");
+    // Sequential baseline.
+    const auto t0 = std::chrono::steady_clock::now();
+    Solver solver(db);
+    const auto seq_sol = solver.solve_first(q);
+    const double seq_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const auto par = solve_or_parallel(db, q);
+    std::printf("  strategies 2000/200/2500: seq %.1f ms (X=%s), or-parallel %.1f ms "
+                "(X=%s, branch %d)\n",
+                seq_ms, seq_sol ? seq_sol->at("X").c_str() : "?", par.elapsed_ms,
+                par.found ? par.solution.at("X").c_str() : "?", par.winner_branch);
+  }
+  std::printf(
+      "\nReading: speedup tracks the dispersion of branch costs and collapses\n"
+      "when the work per choice point shrinks below the spawn overhead —\n"
+      "the proper granularity threshold the paper prescribes. (On this\n"
+      "single-CPU host the real-process run shows correctness, not speedup:\n"
+      "concurrency is virtual, as in section 4.2.)\n");
+  return 0;
+}

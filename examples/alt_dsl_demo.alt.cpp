@@ -1,0 +1,39 @@
+// The paper's figure-1 construct, written in the altc surface syntax and
+// translated to C++ at build time (see examples/CMakeLists.txt). The built
+// binary is `alt_dsl_demo`.
+//
+// Three methods estimate pi; the sloppy one fails its own sanity check
+// (ENSURE), so the race is decided between the other two.
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+
+int main() {
+ALTBEGIN(pi : double, TIMEOUT 5000)
+ALTERNATIVE
+      // Machin-like arctan formula (fast, exact enough).
+      ::usleep(20'000);
+      double v = 16.0 * std::atan(1.0 / 5.0) - 4.0 * std::atan(1.0 / 239.0);
+      ALTRETURN(v);
+ALTERNATIVE
+      // Leibniz series (slow convergence).
+      double acc = 0.0;
+      for (long k = 0; k < 20'000'000; ++k) {
+        acc += (k % 2 == 0 ? 1.0 : -1.0) / (2.0 * k + 1.0);
+      }
+      ALTRETURN(4.0 * acc);
+ALTERNATIVE
+      // A sloppy estimate whose guard rejects it.
+      double guess = 3.0;
+      if (std::abs(guess - 3.14159) > 0.01) ALTABORT();
+      ALTRETURN(guess);
+FAIL
+      std::printf("no method produced pi\n");
+ALTEND
+  if (pi_found) {
+    std::printf("pi = %.10f (fastest successful method)\n", pi);
+    return std::abs(pi - 3.14159265358979) < 1e-6 ? 0 : 1;
+  }
+  return 1;
+}

@@ -1,0 +1,63 @@
+// The distributed alternative block, narrated: a coordinator remote-forks
+// three alternatives onto worker nodes by shipping 70 KB checkpoints over a
+// 10 Mbit/s LAN; they race through the majority-consensus semaphore; a
+// worker node crashes mid-run; the block still commits.
+#include <cstdio>
+
+#include "dist/distributed.hpp"
+
+int main() {
+  using namespace altx;
+  using namespace altx::dist;
+
+  DistConfig cfg;
+  cfg.arbiters = 3;
+  cfg.checkpoint_bytes = 70 * 1024;
+  cfg.timeout = 30 * kSec;
+
+  std::vector<RemoteAlt> alts{
+      RemoteAlt{150 * kMsec, true},   // fast — but its node will crash
+      RemoteAlt{400 * kMsec, true},   // the eventual winner
+      RemoteAlt{250 * kMsec, false},  // quick but fails its acceptance test
+  };
+
+  net::Network::Config nc;
+  nc.node_count = static_cast<std::size_t>(cfg.arbiters) + 1 + alts.size();
+  nc.base_latency = 2 * kMsec;
+  nc.jitter = kMsec;
+  nc.bytes_per_usec = 1.25;  // 10 Mbit/s
+  nc.seed = 42;
+  net::Network network(nc);
+
+  DistributedBlock block(network, cfg, alts);
+  std::printf("topology: %d arbiters, coordinator at node %u, workers at "
+              "nodes %u..%u\n",
+              cfg.arbiters, block.coordinator_node(), block.worker_node(0),
+              block.worker_node(alts.size() - 1));
+  block.start();
+
+  // Fate intervenes: the fastest alternative's node dies before it finishes.
+  network.after(block.coordinator_node(), 100 * kMsec, [&] {
+    std::printf("%8s  node %u (fastest alternative) crashes\n",
+                format_time(network.now()).c_str(), block.worker_node(0));
+    network.crash(block.worker_node(0));
+  });
+
+  network.run();
+
+  const auto& r = block.result();
+  std::printf("\noutcome  : %s\n",
+              r.committed ? "COMMITTED" : r.failed ? "FAILED" : "undecided");
+  if (r.committed) {
+    std::printf("winner   : alternative %d (the reliable backup)\n", r.winner);
+  }
+  std::printf("decided  : %s after the block started\n",
+              format_time(r.decided_at).c_str());
+  std::printf("aborts   : %d (the failed acceptance test)\n", r.aborts);
+  std::printf("traffic  : %llu packets (checkpoints + votes + result + kills)\n",
+              static_cast<unsigned long long>(r.packets));
+  std::printf("\nThe crash cost nothing but time: the semaphore never granted\n"
+              "the dead node's alternative, so safety needed no recovery at\n"
+              "all — the surviving alternative simply won the vote.\n");
+  return r.committed ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// A small Prolog front end over the engine, with selectable execution mode:
+//
+//   prolog_repl [--or-parallel | --and-parallel] [file.pl ...]
+//
+// Consults the given files, then reads queries from stdin (one per line;
+// blank line or EOF quits). `;` semantics are approximated by printing up to
+// ten solutions per query in sequential mode; the parallel modes return the
+// single nondeterministically selected solution, exactly as the paper's
+// construct would.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "prolog/or_parallel.hpp"
+#include "prolog/solver.hpp"
+
+namespace {
+
+enum class Mode { kSequential, kOrParallel, kAndParallel };
+
+void run_query(altx::prolog::Database& db, const std::string& text, Mode mode) {
+  using namespace altx::prolog;
+  Query q;
+  try {
+    q = parse_query(db.symbols, text);
+  } catch (const ParseError& e) {
+    std::printf("  %s\n", e.what());
+    return;
+  }
+  try {
+    switch (mode) {
+      case Mode::kSequential: {
+        Solver s(db);
+        const auto sols = s.solve_all(q, 10);
+        if (sols.empty()) {
+          std::printf("  false.\n");
+          return;
+        }
+        for (const auto& sol : sols) {
+          if (sol.empty()) {
+            std::printf("  true.\n");
+            continue;
+          }
+          std::string line = "  ";
+          for (const auto& [k, v] : sol) line += k + " = " + v + "  ";
+          std::printf("%s\n", line.c_str());
+        }
+        std::printf("  (%llu inferences)\n",
+                    static_cast<unsigned long long>(s.steps()));
+        return;
+      }
+      case Mode::kOrParallel: {
+        const auto r = solve_or_parallel(db, q);
+        if (!r.found) {
+          std::printf("  false.\n");
+          return;
+        }
+        std::string line = "  ";
+        for (const auto& [k, v] : r.solution) line += k + " = " + v + "  ";
+        std::printf("%s(via clause %d, %.1f ms)\n", line.c_str(),
+                    r.winner_branch, r.elapsed_ms);
+        return;
+      }
+      case Mode::kAndParallel: {
+        const auto r = solve_and_parallel(db, q);
+        if (!r.found) {
+          std::printf("  false.\n");
+          return;
+        }
+        std::string line = "  ";
+        for (const auto& [k, v] : r.solution) line += k + " = " + v + "  ";
+        std::printf("%s(%zu independent groups, %.1f ms)\n", line.c_str(),
+                    r.groups, r.elapsed_ms);
+        return;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::printf("  error: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  altx::prolog::Database db;
+  Mode mode = Mode::kSequential;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--or-parallel") {
+      mode = Mode::kOrParallel;
+    } else if (arg == "--and-parallel") {
+      mode = Mode::kAndParallel;
+    } else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      try {
+        db.consult(buf.str());
+        std::printf("%% consulted %s (%zu clauses total)\n", arg.c_str(),
+                    db.clause_count());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", arg.c_str(), e.what());
+        return 1;
+      }
+    }
+  }
+
+  const char* mode_name = mode == Mode::kSequential ? "sequential"
+                          : mode == Mode::kOrParallel ? "or-parallel"
+                                                      : "and-parallel";
+  std::printf("%% altx mini-prolog (%s mode). ?- queries, blank line quits.\n",
+              mode_name);
+  std::string line;
+  while (std::printf("?- "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    run_query(db, line, mode);
+  }
+  return 0;
+}

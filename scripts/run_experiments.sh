@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every paper artefact (E1-E11 + microbenchmarks) into results/.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+OUT=results
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" > "$OUT/$name.txt" 2>&1
+done
+echo "wrote $(ls "$OUT" | wc -l) reports to $OUT/"

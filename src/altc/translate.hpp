@@ -1,0 +1,41 @@
+// altc: the language preprocessor of section 3.2.
+//
+// The paper assumes "a language preprocessor applied to a program with
+// mutually exclusive alternatives would generate [the alt_spawn switch]".
+// altc is that preprocessor for C++: it translates the ALTBEGIN construct of
+// figure 1 into a call to altx::posix::race<T>().
+//
+// Input syntax (line-oriented keywords, bodies are plain C++):
+//
+//   ALTBEGIN(result : int, TIMEOUT 500)
+//   ALTERNATIVE
+//     ... C++ ...; ALTRETURN(expr);       // ENSURE succeeded WITH this value
+//   ALTERNATIVE
+//     if (bad) ALTABORT();                // guard failed
+//     ALTRETURN(other);
+//   FAIL
+//     ... C++ run when no alternative succeeds ...
+//   ALTEND
+//
+// After ALTEND the surrounding code can use `result` (value-initialised on
+// failure) and `result_found` (bool). The TIMEOUT clause and the FAIL arm
+// are optional. Blocks do not nest textually (nest by calling a function
+// that contains another block — each block is a separate race).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace altx::altc {
+
+class TranslateError : public UsageError {
+ public:
+  using UsageError::UsageError;
+};
+
+/// Translates a whole source file; text outside ALT blocks passes through
+/// unchanged. Throws TranslateError (with a line number) on malformed input.
+std::string translate(const std::string& source);
+
+}  // namespace altx::altc

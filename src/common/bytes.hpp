@@ -1,0 +1,118 @@
+// Flat byte-buffer serialisation.
+//
+// The POSIX backend moves alternative results and dirty pages between real
+// processes through pipes and shared memory, and the checkpoint/restart code
+// writes process images to files; both need a simple, explicit wire format.
+// Everything is little-endian fixed-width — the two ends are always the same
+// machine (or the same simulator), so no cross-architecture concerns.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace altx {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void blob(const void* data, std::size_t n) {
+    u64(n);
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  void str(const std::string& s) { blob(s.data(), s.size()); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Reads primitive values back out; throws UsageError on truncation so a
+/// corrupt pipe message is reported rather than silently misparsed.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const Bytes& b) : ByteReader(b.data(), b.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  Bytes blob() {
+    const std::uint64_t n = u64();
+    need(n);
+    Bytes b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  std::string str() {
+    const Bytes b = blob();
+    return std::string(b.begin(), b.end());
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    ALTX_REQUIRE(pos_ + n <= size_, "ByteReader: truncated buffer");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace altx

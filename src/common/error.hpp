@@ -1,0 +1,61 @@
+// Error handling primitives shared by every altx module.
+//
+// Policy (see DESIGN.md): programming errors (broken invariants, misuse of an
+// API) throw std::logic_error subclasses; environmental failures (a syscall
+// failing, a peer vanishing) throw std::runtime_error subclasses. Simulator
+// internals additionally use ALTX_ASSERT for invariants that indicate a bug
+// in the simulator itself.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace altx {
+
+/// Thrown when a caller violates an API precondition.
+class UsageError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a simulator invariant is violated (a bug, not user error).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an OS primitive fails in the POSIX backend.
+class SystemError : public std::runtime_error {
+ public:
+  SystemError(const std::string& what, int err)
+      : std::runtime_error(what + ": " + std::strerror(err)), errno_(err) {}
+  [[nodiscard]] int code() const noexcept { return errno_; }
+
+ private:
+  int errno_;
+};
+
+/// Throws SystemError capturing the current errno.
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw SystemError(what, errno);
+}
+
+}  // namespace altx
+
+#define ALTX_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw ::altx::InvariantError(std::string("invariant failed at ") +    \
+                                   __FILE__ + ":" + std::to_string(__LINE__) + \
+                                   ": " + (msg));                           \
+    }                                                                       \
+  } while (0)
+
+#define ALTX_REQUIRE(cond, msg)                      \
+  do {                                               \
+    if (!(cond)) {                                   \
+      throw ::altx::UsageError(msg);                 \
+    }                                                \
+  } while (0)

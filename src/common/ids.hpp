@@ -1,0 +1,20 @@
+// Identifier types shared across the simulator, message layer and consensus.
+#pragma once
+
+#include <cstdint>
+
+namespace altx {
+
+/// Unique process identifier within a simulated system (never reused within a
+/// run, so predicates can refer to long-dead processes unambiguously).
+using Pid = std::uint32_t;
+constexpr Pid kNoPid = 0;
+
+/// Node in the (simulated) distributed system.
+using NodeId = std::uint32_t;
+
+/// Named IPC endpoint a process binds; senders address ports, not pids, so a
+/// service survives the pid changing hands (e.g. world splits).
+using Port = std::uint32_t;
+
+}  // namespace altx

@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the simulator that needs randomness draws from an explicit
+// Rng instance seeded by the experiment, never from global state, so every
+// simulation run and property test is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace altx {
+
+/// xoshiro256** with a splitmix64 seeder. Small, fast, and good enough for
+/// workload generation (we are not doing cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    ALTX_REQUIRE(bound > 0, "Rng::below: bound must be positive");
+    // Lemire's multiply-shift rejection method for unbiased bounded draws.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    ALTX_REQUIRE(lo <= hi, "Rng::range: lo must be <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    ALTX_REQUIRE(mean > 0, "Rng::exponential: mean must be positive");
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (one draw per call; we do not cache the
+  /// pair because reproducibility across call sites matters more than speed).
+  double normal(double mean, double stddev) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) {
+    ALTX_REQUIRE(xm > 0 && alpha > 0, "Rng::pareto: xm and alpha must be > 0");
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (e.g. one per simulated process).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace altx

@@ -1,0 +1,33 @@
+// Simulated time.
+//
+// The kernel simulator measures everything in integer microseconds, which is
+// fine-grained enough for the paper's millisecond-scale costs while keeping
+// event ordering exact (no floating-point clock drift).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace altx {
+
+/// Microseconds of simulated wall-clock time.
+using SimTime = std::int64_t;
+
+constexpr SimTime kUsec = 1;
+constexpr SimTime kMsec = 1000 * kUsec;
+constexpr SimTime kSec = 1000 * kMsec;
+
+/// Renders a duration with an appropriate unit for bench output.
+inline std::string format_time(SimTime t) {
+  char buf[64];
+  if (t >= kSec) {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(t) / kSec);
+  } else if (t >= kMsec) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(t) / kMsec);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld us", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace altx

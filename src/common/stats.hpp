@@ -1,0 +1,80 @@
+// Small statistics helpers used by the performance-model benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace altx {
+
+/// Accumulates a sample set and answers the summary questions the paper's
+/// analysis asks: mean, min (tau of C_best), variance (the paper's measure of
+/// dispersion in section 4.2), and percentiles.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    ALTX_REQUIRE(!samples_.empty(), "Summary::mean: no samples");
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    ALTX_REQUIRE(!samples_.empty(), "Summary::min: no samples");
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    ALTX_REQUIRE(!samples_.empty(), "Summary::max: no samples");
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Population variance (the dispersion measure of section 4.2).
+  [[nodiscard]] double variance() const {
+    ALTX_REQUIRE(!samples_.empty(), "Summary::variance: no samples");
+    const double m = mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    ALTX_REQUIRE(!samples_.empty(), "Summary::percentile: no samples");
+    ALTX_REQUIRE(p >= 0 && p <= 100, "Summary::percentile: p out of range");
+    sort();
+    const auto n = static_cast<double>(samples_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank > 0) --rank;
+    return sorted_samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double median() const { return percentile(50); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace altx

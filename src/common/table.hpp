@@ -1,0 +1,63 @@
+// Fixed-width text tables for bench output.
+//
+// Every bench binary prints the rows of the paper table/figure it reproduces;
+// this formatter keeps that output aligned and diffable.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace altx {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+
+  static std::string num(std::int64_t v) { return std::to_string(v); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) rule += "+";
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+      if (c + 1 < widths.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace altx

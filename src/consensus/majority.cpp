@@ -1,0 +1,149 @@
+#include "consensus/majority.hpp"
+
+namespace altx::consensus {
+
+MajoritySync::MajoritySync(net::Network& network, Config cfg)
+    : net_(network), cfg_(cfg) {
+  ALTX_REQUIRE(cfg_.arbiters >= 1, "MajoritySync: need at least one arbiter");
+  ALTX_REQUIRE(static_cast<std::size_t>(cfg_.arbiters) <= net_.node_count(),
+               "MajoritySync: more arbiters than network nodes");
+  ALTX_REQUIRE(cfg_.max_rounds >= 1, "MajoritySync: need at least one round");
+  arbiters_.resize(static_cast<std::size_t>(cfg_.arbiters));
+}
+
+void MajoritySync::add_candidate(CandidateId id, NodeId home, SimTime start_at) {
+  ALTX_REQUIRE(home >= static_cast<NodeId>(cfg_.arbiters),
+               "MajoritySync: candidate may not share a node with an arbiter");
+  ALTX_REQUIRE(home < net_.node_count(), "MajoritySync: home node out of range");
+  ALTX_REQUIRE(!candidates_.contains(id), "MajoritySync: duplicate candidate");
+  Candidate c;
+  c.id = id;
+  c.home = home;
+  c.start_at = start_at;
+  c.granted.resize(static_cast<std::size_t>(cfg_.arbiters), false);
+  c.rejected.resize(static_cast<std::size_t>(cfg_.arbiters), false);
+  candidates_.emplace(id, std::move(c));
+  outcomes_.emplace(id, SyncOutcome{});
+}
+
+void MajoritySync::start() {
+  for (NodeId a = 0; a < static_cast<NodeId>(cfg_.arbiters); ++a) {
+    net_.on_receive(a, kConsensusChannel,
+                    [this, a](const net::Packet& p) { on_arbiter_packet(a, p); });
+  }
+  for (auto& [id, c] : candidates_) {
+    Candidate* cp = &c;
+    net_.on_receive(c.home, kConsensusChannel, [this, cp](const net::Packet& p) {
+      on_candidate_packet(*cp, p);
+    });
+    if (c.start_at >= 0) {
+      net_.after(c.home, c.start_at, [this, cp] { begin_round(*cp); });
+    }
+  }
+}
+
+void MajoritySync::launch(CandidateId id) {
+  auto it = candidates_.find(id);
+  ALTX_REQUIRE(it != candidates_.end(), "MajoritySync::launch: unknown candidate");
+  begin_round(it->second);
+}
+
+void MajoritySync::begin_round(Candidate& c) {
+  if (c.done) return;
+  if (c.round >= cfg_.max_rounds) {
+    // Could not assemble a majority: the synchronization is "too late" for
+    // this candidate; it must terminate itself.
+    c.done = true;
+    SyncOutcome& o = outcomes_[c.id];
+    o.decided = true;
+    o.won = false;
+    o.decided_at = net_.now();
+    if (on_decided) on_decided(c.id, o);
+    return;
+  }
+  ++c.round;
+  outcomes_[c.id].rounds = c.round;
+  // (Re)request every vote not yet answered. Retransmission is idempotent:
+  // arbiters answer a repeated request with their recorded vote.
+  for (NodeId a = 0; a < static_cast<NodeId>(cfg_.arbiters); ++a) {
+    if (!c.granted[a] && !c.rejected[a]) {
+      net_.send(c.home, a, kConsensusChannel, encode(kVoteRequest, c.id));
+    }
+  }
+  Candidate* cp = &c;
+  net_.after(c.home, cfg_.retry_interval, [this, cp] { begin_round(*cp); });
+}
+
+void MajoritySync::on_arbiter_packet(NodeId arbiter, const net::Packet& p) {
+  const auto [type, id] = decode(p.data);
+  if (type != kVoteRequest) return;
+  Arbiter& a = arbiters_[arbiter];
+  // First request wins the vote; the answer is stable thereafter, which is
+  // what makes two intersecting majorities impossible.
+  if (a.voted_for == kNoCandidate) a.voted_for = id;
+  const MsgType verdict = a.voted_for == id ? kGrant : kReject;
+  net_.send(arbiter, p.src, kConsensusChannel, encode(verdict, id));
+}
+
+void MajoritySync::on_candidate_packet(Candidate& c, const net::Packet& p) {
+  if (c.done) return;
+  const auto [type, id] = decode(p.data);
+  if (id != c.id) return;
+  const NodeId arbiter = p.src;
+  if (arbiter >= static_cast<NodeId>(cfg_.arbiters)) return;
+  if (type == kGrant) {
+    c.granted[arbiter] = true;
+  } else if (type == kReject) {
+    c.rejected[arbiter] = true;
+  } else {
+    return;
+  }
+  check_verdict(c);
+}
+
+void MajoritySync::check_verdict(Candidate& c) {
+  int grants = 0;
+  int rejections = 0;
+  for (std::size_t a = 0; a < c.granted.size(); ++a) {
+    if (c.granted[a]) ++grants;
+    if (c.rejected[a]) ++rejections;
+  }
+  SyncOutcome& o = outcomes_[c.id];
+  o.grants = grants;
+  o.rejections = rejections;
+  if (grants >= majority()) {
+    ALTX_ASSERT(!winner_.has_value() || *winner_ == c.id,
+                "two candidates assembled a majority");
+    winner_ = c.id;
+    c.done = true;
+    o.decided = true;
+    o.won = true;
+    o.decided_at = net_.now();
+    if (on_decided) on_decided(c.id, o);
+  } else if (rejections >= majority() ||
+             rejections > cfg_.arbiters - majority()) {
+    // A majority can no longer be assembled: too late.
+    c.done = true;
+    o.decided = true;
+    o.won = false;
+    o.decided_at = net_.now();
+    if (on_decided) on_decided(c.id, o);
+  }
+}
+
+Bytes MajoritySync::encode(MsgType t, CandidateId id) {
+  Bytes b;
+  ByteWriter w(b);
+  w.u8(t);
+  w.u32(id);
+  return b;
+}
+
+std::pair<MajoritySync::MsgType, CandidateId> MajoritySync::decode(const Bytes& b) {
+  ByteReader r(b);
+  const auto t = static_cast<MsgType>(r.u8());
+  const CandidateId id = r.u32();
+  return {t, id};
+}
+
+}  // namespace altx::consensus

@@ -1,0 +1,132 @@
+// Majority-consensus synchronization (paper section 3.2.1).
+//
+// The paper's synchronization action must be performable AT MOST ONCE even
+// under communication failures. On a single node this is the "too late" rule
+// (first committer wins, later attempts are refused); to remove the single
+// point of failure the paper sets synchronization up "as a majority consensus
+// [Thomas 1979] decision across several nodes".
+//
+// We implement that decision as a one-shot election over 2f+1 arbiter nodes:
+// each arbiter grants its single vote to the first candidate whose request
+// arrives; a candidate that assembles a majority of grants has committed.
+// Because two majorities always intersect in at least one arbiter — which
+// votes only once — at most one candidate can ever win, regardless of message
+// loss, reordering, or up to f arbiter crashes. Candidates that cannot reach
+// a majority (including after retries) are "too late" and terminate.
+//
+// This is the engineering trade-off the paper names: extra rounds of
+// communication buy robustness of the synchronization.
+//
+// Liveness caveat: static one-shot voting guarantees AT MOST one winner, not
+// at LEAST one — concurrent candidates can split the live votes so that no
+// majority forms (e.g. 2-1 across three live arbiters). The enclosing
+// alt_wait TIMEOUT (section 3.2) is the designed escape for that case; the
+// alternative block then takes its FAIL arm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "net/network.hpp"
+
+namespace altx::consensus {
+
+using CandidateId = std::uint32_t;
+constexpr CandidateId kNoCandidate = static_cast<CandidateId>(-1);
+
+/// Network channel reserved for the consensus protocol, so arbiters and
+/// candidates can share nodes with other protocols (e.g. dist workers).
+constexpr net::Channel kConsensusChannel = 1;
+
+/// Outcome of one candidate's attempt to synchronize.
+struct SyncOutcome {
+  bool won = false;
+  bool decided = false;       // reached a definite win/lose verdict
+  SimTime decided_at = 0;     // when the candidate learned its verdict
+  int grants = 0;             // votes collected
+  int rejections = 0;
+  int rounds = 0;             // request rounds used (retransmissions)
+};
+
+/// A fault-tolerant 0-1 semaphore: candidates race to acquire it through
+/// majority voting over a net::Network whose first `arbiters` nodes act as
+/// voters and whose remaining nodes host the candidates.
+class MajoritySync {
+ public:
+  struct Config {
+    int arbiters = 3;               // 2f+1 voters
+    SimTime retry_interval = 50 * kMsec;  // retransmission of vote requests
+    int max_rounds = 5;             // give up (too late) after this many
+  };
+
+  /// Invoked (at most once per candidate) when a candidate reaches a
+  /// definite verdict. Used by the distributed execution layer.
+  std::function<void(CandidateId, const SyncOutcome&)> on_decided;
+
+  MajoritySync(net::Network& network, Config cfg);
+
+  /// Registers a candidate hosted at network node `home` (must be >= the
+  /// arbiter count). Call before start(). A negative start_at registers a
+  /// *manual* candidate: it only begins voting when launch(id) is called
+  /// (e.g. when its alternative's computation completes).
+  void add_candidate(CandidateId id, NodeId home, SimTime start_at);
+
+  /// Begins a manual candidate's voting rounds now.
+  void launch(CandidateId id);
+
+  /// Runs the underlying network to quiescence and returns per-candidate
+  /// outcomes.
+  [[nodiscard]] const std::map<CandidateId, SyncOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+  /// The winning candidate, if any candidate assembled a majority.
+  [[nodiscard]] std::optional<CandidateId> winner() const { return winner_; }
+
+  /// Installs all message handlers and start timers; the caller then drives
+  /// network.run().
+  void start();
+
+ private:
+  enum MsgType : std::uint8_t { kVoteRequest = 1, kGrant = 2, kReject = 3 };
+
+  struct Candidate {
+    CandidateId id = 0;
+    NodeId home = 0;
+    SimTime start_at = 0;
+    int round = 0;
+    bool done = false;
+    std::vector<bool> granted;   // per arbiter
+    std::vector<bool> rejected;  // per arbiter
+  };
+
+  struct Arbiter {
+    CandidateId voted_for = kNoCandidate;
+  };
+
+  [[nodiscard]] int majority() const { return cfg_.arbiters / 2 + 1; }
+
+  void begin_round(Candidate& c);
+  void on_arbiter_packet(NodeId arbiter, const net::Packet& p);
+  void on_candidate_packet(Candidate& c, const net::Packet& p);
+  void check_verdict(Candidate& c);
+
+  static Bytes encode(MsgType t, CandidateId id);
+  static std::pair<MsgType, CandidateId> decode(const Bytes& b);
+
+  net::Network& net_;
+  Config cfg_;
+  std::vector<Arbiter> arbiters_;
+  std::map<CandidateId, Candidate> candidates_;
+  std::map<CandidateId, SyncOutcome> outcomes_;
+  std::optional<CandidateId> winner_;
+};
+
+}  // namespace altx::consensus

@@ -1,0 +1,156 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+
+namespace altx::core {
+
+namespace {
+
+/// Appends the alternative's compute/reference pattern to a builder: the
+/// computation is split into chunks, with the read and write sets spread
+/// across them so COW faults interleave with computation (locality of
+/// reference, section 4.4).
+void emit_body(sim::ProgramBuilder& b, const AltSpec& spec) {
+  const int chunks = std::max(1, spec.chunks);
+  const SimTime slice = std::max<SimTime>(1, spec.compute / chunks);
+  for (int c = 0; c < chunks; ++c) {
+    b.compute(slice);
+    for (std::size_t r = 0; r < spec.pages_read; ++r) {
+      if (r % static_cast<std::size_t>(chunks) == static_cast<std::size_t>(c)) {
+        b.read(static_cast<sim::VPage>(1 + r));
+      }
+    }
+    for (std::size_t w = 0; w < spec.pages_written; ++w) {
+      if (w % static_cast<std::size_t>(chunks) == static_cast<std::size_t>(c)) {
+        b.write(static_cast<sim::VPage>(1 + spec.pages_read + w), 0,
+                static_cast<std::uint64_t>(w + 1));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+sim::ProgramRef build_alternative(const AltSpec& spec, std::uint64_t tag) {
+  sim::ProgramBuilder b("alt-" + std::to_string(tag));
+  emit_body(b, spec);
+  b.write(kResultPage, 0, tag);
+  // The acceptance condition is evaluated in the child, after the body
+  // (recovery-block style self-check).
+  const bool ok = spec.guard_ok;
+  b.guard([ok](const sim::AddressSpace&) { return ok; });
+  return b.build();
+}
+
+sim::Kernel::Config fit_config(const BlockSpec& block, sim::Kernel::Config cfg) {
+  std::size_t needed = 1;
+  for (const auto& a : block.alts) {
+    needed = std::max(needed, 1 + a.pages_read + a.pages_written);
+  }
+  cfg.address_space_pages = std::max(cfg.address_space_pages, needed);
+  return cfg;
+}
+
+ConcurrentResult run_concurrent(const BlockSpec& block, sim::Kernel::Config cfg) {
+  cfg = fit_config(block, cfg);
+  sim::Kernel kernel(cfg);
+
+  std::vector<sim::ProgramRef> alts;
+  alts.reserve(block.alts.size());
+  for (std::size_t i = 0; i < block.alts.size(); ++i) {
+    alts.push_back(build_alternative(block.alts[i], i + 1));
+  }
+  auto on_fail =
+      sim::ProgramBuilder("fail-arm").write(kResultPage, 0, kFailTag).build();
+  auto parent = sim::ProgramBuilder("block")
+                    .alt(std::move(alts), block.timeout, on_fail)
+                    .build();
+
+  const Pid pid = kernel.spawn_root(parent);
+  ConcurrentResult r;
+  r.elapsed = kernel.run();
+  r.stats = kernel.stats();
+  const std::uint64_t tag = kernel.process(pid)->as_.peek(kResultPage, 0);
+  r.failed = tag == kFailTag || tag == 0;
+  r.winner = r.failed ? 0 : tag;
+  return r;
+}
+
+ConcurrentResult run_concurrent_loaded(const BlockSpec& block,
+                                       sim::Kernel::Config cfg,
+                                       int background_procs,
+                                       SimTime background_compute) {
+  ALTX_REQUIRE(background_procs >= 0, "run_concurrent_loaded: bad count");
+  cfg = fit_config(block, cfg);
+  sim::Kernel kernel(cfg);
+
+  for (int i = 0; i < background_procs; ++i) {
+    kernel.spawn_root(
+        sim::ProgramBuilder("background").compute(background_compute).build());
+  }
+
+  std::vector<sim::ProgramRef> alts;
+  alts.reserve(block.alts.size());
+  for (std::size_t i = 0; i < block.alts.size(); ++i) {
+    alts.push_back(build_alternative(block.alts[i], i + 1));
+  }
+  auto on_fail =
+      sim::ProgramBuilder("fail-arm").write(kResultPage, 0, kFailTag).build();
+  auto parent = sim::ProgramBuilder("block")
+                    .alt(std::move(alts), block.timeout, on_fail)
+                    .build();
+  const Pid pid = kernel.spawn_root(parent);
+  kernel.run();
+
+  ConcurrentResult r;
+  r.elapsed = kernel.process(pid)->finished_at_;  // the block, not the load
+  r.stats = kernel.stats();
+  const std::uint64_t tag = kernel.process(pid)->as_.peek(kResultPage, 0);
+  r.failed = tag == kFailTag || tag == 0;
+  r.winner = r.failed ? 0 : tag;
+  return r;
+}
+
+SequentialResult run_single(const AltSpec& spec, sim::Kernel::Config cfg) {
+  BlockSpec one;
+  one.alts.push_back(spec);
+  cfg = fit_config(one, cfg);
+  sim::Kernel kernel(cfg);
+  // Run the body inline — no alt_spawn, no copies, no synchronization.
+  const Pid pid = kernel.spawn_root(build_alternative(spec, 1));
+  SequentialResult r;
+  r.elapsed = kernel.run();
+  r.failed = kernel.exit_kind(pid) != sim::ExitKind::kCompleted;
+  return r;
+}
+
+SequentialResult run_random_pick(const BlockSpec& block, sim::Kernel::Config cfg,
+                                 Rng& rng) {
+  ALTX_REQUIRE(!block.alts.empty(), "run_random_pick: empty block");
+  const std::size_t pick = rng.below(block.alts.size());
+  SequentialResult r = run_single(block.alts[pick], cfg);
+  r.chosen = pick;
+  return r;
+}
+
+SequentialResult run_ordered(const BlockSpec& block, sim::Kernel::Config cfg) {
+  ALTX_REQUIRE(!block.alts.empty(), "run_ordered: empty block");
+  SequentialResult total;
+  for (std::size_t i = 0; i < block.alts.size(); ++i) {
+    SequentialResult r = run_single(block.alts[i], cfg);
+    total.elapsed += r.elapsed;
+    if (!r.failed) {
+      total.chosen = i;
+      total.failed = false;
+      return total;
+    }
+    // Failed acceptance test: roll back the state image — restore every page
+    // the alternative wrote before trying the next one.
+    total.elapsed += cfg.machine.page_copy *
+                     static_cast<SimTime>(block.alts[i].pages_written);
+  }
+  total.failed = true;
+  return total;
+}
+
+}  // namespace altx::core

@@ -1,0 +1,77 @@
+// Executing alternative blocks on the kernel simulator.
+//
+// Bridges BlockSpec workloads to sim::Kernel programs and runs the three
+// execution disciplines the paper compares:
+//   - Scheme C: concurrent fastest-first execution (the paper's design),
+//   - Scheme B: nondeterministic sequential selection (the semantic baseline),
+//   - ordered sequential with rollback (the recovery-block baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx::core {
+
+/// Page-layout convention for generated programs: page 0 carries the result
+/// tag (winning alternative index + 1), pages [1, 1+R) are the read set,
+/// pages [1+R, 1+R+W) the write set.
+constexpr sim::VPage kResultPage = 0;
+constexpr std::uint64_t kFailTag = ~0ULL;
+
+/// Builds the sim program for one alternative. `tag` is the value it writes
+/// to the result page (by convention its index + 1).
+[[nodiscard]] sim::ProgramRef build_alternative(const AltSpec& spec,
+                                                std::uint64_t tag);
+
+struct ConcurrentResult {
+  SimTime elapsed = 0;        // wall-clock of the whole block
+  bool failed = false;        // no alternative was selected
+  std::uint64_t winner = 0;   // tag of the selected alternative (0 if failed)
+  sim::KernelStats stats;
+};
+
+/// Scheme C: spawn every alternative, absorb the fastest successful one.
+[[nodiscard]] ConcurrentResult run_concurrent(const BlockSpec& block,
+                                              sim::Kernel::Config cfg);
+
+struct SequentialResult {
+  SimTime elapsed = 0;
+  bool failed = false;
+  std::size_t chosen = 0;  // index of the alternative that produced the result
+};
+
+/// Runs one alternative alone (no spawning) and reports its time and whether
+/// its guard held.
+[[nodiscard]] SequentialResult run_single(const AltSpec& spec,
+                                          sim::Kernel::Config cfg);
+
+/// Scheme B: pick one alternative uniformly at random and run it; if its
+/// guard fails, the construct fails (the paper's footnote 4: failures
+/// frustrate random selection).
+[[nodiscard]] SequentialResult run_random_pick(const BlockSpec& block,
+                                               sim::Kernel::Config cfg, Rng& rng);
+
+/// The sequential recovery-block discipline: try alternatives in order;
+/// on a failed acceptance test, roll the state back (costed as restoring the
+/// written pages) and try the next.
+[[nodiscard]] SequentialResult run_ordered(const BlockSpec& block,
+                                           sim::Kernel::Config cfg);
+
+/// Adjusts a kernel config so the generated programs fit: ensures the address
+/// space covers the block's read/write sets.
+[[nodiscard]] sim::Kernel::Config fit_config(const BlockSpec& block,
+                                             sim::Kernel::Config cfg);
+
+/// Scheme C under interference: the block races while `background_procs`
+/// unrelated compute-bound processes share the machine (section 4.2: tau
+/// "may vary due to the execution environment, e.g. ... multiprocessing
+/// workload"). Returns the block's own elapsed time.
+[[nodiscard]] ConcurrentResult run_concurrent_loaded(const BlockSpec& block,
+                                                     sim::Kernel::Config cfg,
+                                                     int background_procs,
+                                                     SimTime background_compute);
+
+}  // namespace altx::core

@@ -1,0 +1,134 @@
+// The analytic performance model of sections 4.2-4.3.
+//
+// A computation C applied to input x costs tau(C, x). Executing N alternative
+// computations concurrently and selecting the fastest costs
+//
+//     tau(C_best, x) + tau(overhead)
+//
+// and must be compared against the nondeterministic sequential execution,
+// whose expected cost is the arithmetic mean of the alternatives' times
+// (Scheme B). The performance improvement is
+//
+//     PI = tau(C_mean, x) / (tau(C_best, x) + tau(overhead))
+//
+// with overhead decomposed into setup (creating execution environments),
+// runtime (COW copying plus CPU sharing with losing siblings), and selection
+// (sibling elimination and commit).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sim_time.hpp"
+#include "sim/machine.hpp"
+
+namespace altx::core {
+
+/// tau(C_mean): the expected cost of picking one alternative at random.
+[[nodiscard]] inline double mean_time(std::span<const SimTime> taus) {
+  ALTX_REQUIRE(!taus.empty(), "mean_time: no alternatives");
+  double s = 0;
+  for (SimTime t : taus) s += static_cast<double>(t);
+  return s / static_cast<double>(taus.size());
+}
+
+/// tau(C_best).
+[[nodiscard]] inline SimTime best_time(std::span<const SimTime> taus) {
+  ALTX_REQUIRE(!taus.empty(), "best_time: no alternatives");
+  return *std::min_element(taus.begin(), taus.end());
+}
+
+/// The paper's dispersion measure for "enough difference between the
+/// execution times": the population variance of tau.
+[[nodiscard]] inline double dispersion(std::span<const SimTime> taus) {
+  const double m = mean_time(taus);
+  double s = 0;
+  for (SimTime t : taus) {
+    const double d = static_cast<double>(t) - m;
+    s += d * d;
+  }
+  return s / static_cast<double>(taus.size());
+}
+
+/// PI as defined in section 4.2. overhead in the same unit as the taus.
+[[nodiscard]] inline double performance_improvement(std::span<const SimTime> taus,
+                                                    double overhead) {
+  const double denom = static_cast<double>(best_time(taus)) + overhead;
+  ALTX_REQUIRE(denom > 0, "performance_improvement: non-positive denominator");
+  return mean_time(taus) / denom;
+}
+
+/// The three overhead components of section 4.3.
+struct OverheadModel {
+  SimTime setup = 0;      // process table entries, page map tables
+  SimTime runtime = 0;    // COW copying + cycles stolen by siblings
+  SimTime selection = 0;  // killing the losers, committing the winner
+
+  [[nodiscard]] SimTime total() const { return setup + runtime + selection; }
+};
+
+/// Workload description the overhead estimator needs.
+struct OverheadInputs {
+  std::size_t n_alternatives = 2;
+  std::size_t address_space_pages = 80;   // pages mapped at spawn
+  std::size_t pages_written_by_winner = 4;
+  std::size_t pages_written_per_loser = 4;
+  SimTime winner_tau = 0;                 // tau(C_best)
+  double sibling_cpu_share = 0.0;         // fraction of the winner's runtime
+                                          // during which it shared a CPU
+  bool synchronous_elimination = false;
+};
+
+/// First-order overhead estimate from the machine model; used to sanity-check
+/// simulator output and to draw the crossover curves of E5.
+[[nodiscard]] inline OverheadModel estimate_overhead(const sim::MachineModel& m,
+                                                     const OverheadInputs& in) {
+  ALTX_REQUIRE(in.n_alternatives >= 1, "estimate_overhead: need alternatives");
+  OverheadModel o;
+  // Setup: the parent forks each alternative in turn before blocking.
+  for (std::size_t i = 0; i < in.n_alternatives; ++i) {
+    o.setup += m.fork_cost(in.address_space_pages);
+  }
+  // Runtime: the winner's COW faults, plus cycles lost to siblings when there
+  // are fewer CPUs than alternatives.
+  o.runtime += m.page_copy * static_cast<SimTime>(in.pages_written_by_winner);
+  o.runtime += static_cast<SimTime>(in.sibling_cpu_share *
+                                    static_cast<double>(in.winner_tau));
+  // Selection: commit plus (for synchronous elimination) the kills issued
+  // before the parent resumes. Asynchronous elimination moves the kill cost
+  // off the critical path, which is why the paper expects it to be faster.
+  o.selection += m.commit_cost;
+  if (in.synchronous_elimination) {
+    o.selection += m.kill_cost * static_cast<SimTime>(in.n_alternatives - 1);
+  }
+  return o;
+}
+
+/// Expected CPU-share overlap when n processes compete for c CPUs: the
+/// fraction of the winner's life spent sharing (0 when c >= n).
+[[nodiscard]] inline double expected_cpu_share(std::size_t n_alternatives,
+                                               int cpus) {
+  ALTX_REQUIRE(cpus >= 1, "expected_cpu_share: need a cpu");
+  if (static_cast<std::size_t>(cpus) >= n_alternatives) return 0.0;
+  // With round-robin, each of n runnable processes gets c/n of a CPU; the
+  // winner's elapsed time stretches by n/c, i.e. the overhead fraction
+  // relative to its solo runtime is n/c - 1.
+  return static_cast<double>(n_alternatives) / static_cast<double>(cpus) - 1.0;
+}
+
+/// The wasted work of section 4.1 item 3: cycles burnt by alternatives that
+/// are discarded, assuming every loser runs until the winner commits.
+[[nodiscard]] inline double wasted_work_estimate(std::span<const SimTime> taus) {
+  const SimTime best = best_time(taus);
+  double wasted = 0;
+  for (SimTime t : taus) {
+    if (t != best) wasted += static_cast<double>(std::min(t, best));
+  }
+  return wasted;
+}
+
+}  // namespace altx::core

@@ -1,0 +1,144 @@
+// Database-query workloads (the paper's motivating application: "for
+// problems where the required execution time is unpredictable, such as
+// database queries, this method can show substantial execution time
+// performance increases").
+//
+// A query against a table can be answered by several plans whose costs
+// depend on data characteristics (selectivity, index availability,
+// predicate shape) that an optimizer estimates imperfectly. Racing the
+// plans — Scheme C — needs no estimates at all.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+
+namespace altx::core {
+
+enum class PredKind {
+  kEquality,  // point lookup: hash and index both shine
+  kRange,     // index usable, hash is not
+  kComplex,   // arbitrary predicate: only the scan applies
+};
+
+/// One query's ground truth, unknown to the planner a priori.
+struct QuerySpec {
+  std::uint64_t rows = 100'000;
+  double selectivity = 0.01;  // fraction of rows matching
+  PredKind predicate = PredKind::kEquality;
+  bool index_available = true;
+
+  [[nodiscard]] std::uint64_t matches() const {
+    return static_cast<std::uint64_t>(static_cast<double>(rows) * selectivity);
+  }
+};
+
+enum class Plan { kIndex = 0, kScan = 1, kHash = 2 };
+constexpr std::size_t kPlanCount = 3;
+
+[[nodiscard]] inline std::string plan_name(Plan p) {
+  switch (p) {
+    case Plan::kIndex: return "index";
+    case Plan::kScan: return "scan";
+    case Plan::kHash: return "hash";
+  }
+  return "?";
+}
+
+struct PlanCost {
+  SimTime cost = 0;    // execution time at `unit` per row-visit
+  bool viable = true;  // the plan's guard: can it answer this query at all?
+};
+
+/// Cost model (row-visits * unit):
+///   index: log2(rows) descent + one visit per match; needs an index and a
+///          selective predicate (equality or range);
+///   scan:  every row;
+///   hash:  constant probe + matches; equality only.
+[[nodiscard]] inline PlanCost plan_cost(Plan plan, const QuerySpec& q,
+                                        SimTime unit) {
+  PlanCost out;
+  auto visits_to_time = [unit](double visits) {
+    return std::max<SimTime>(1, static_cast<SimTime>(visits * static_cast<double>(unit)));
+  };
+  switch (plan) {
+    case Plan::kIndex: {
+      out.viable = q.index_available && q.predicate != PredKind::kComplex;
+      double visits = 1;
+      for (std::uint64_t r = q.rows; r > 1; r /= 2) ++visits;  // log2
+      visits += static_cast<double>(q.matches());
+      out.cost = visits_to_time(visits);
+      return out;
+    }
+    case Plan::kScan:
+      out.viable = true;
+      out.cost = visits_to_time(static_cast<double>(q.rows));
+      return out;
+    case Plan::kHash:
+      out.viable = q.predicate == PredKind::kEquality;
+      out.cost = visits_to_time(4.0 + static_cast<double>(q.matches()));
+      return out;
+  }
+  return out;
+}
+
+struct QueryMixParams {
+  std::uint64_t min_rows = 20'000;
+  std::uint64_t max_rows = 200'000;
+  double equality_prob = 0.4;
+  double range_prob = 0.4;   // remainder is complex
+  double index_prob = 0.7;   // index exists on the predicate column
+  double low_selectivity = 0.0001;
+  double high_selectivity = 0.3;
+};
+
+/// Draws one query from the mix (log-uniform selectivity).
+[[nodiscard]] inline QuerySpec draw_query(const QueryMixParams& p, Rng& rng) {
+  QuerySpec q;
+  q.rows = static_cast<std::uint64_t>(
+      rng.range(static_cast<std::int64_t>(p.min_rows),
+                static_cast<std::int64_t>(p.max_rows)));
+  const double r = rng.uniform();
+  q.predicate = r < p.equality_prob ? PredKind::kEquality
+                : r < p.equality_prob + p.range_prob ? PredKind::kRange
+                                                     : PredKind::kComplex;
+  q.index_available = rng.chance(p.index_prob);
+  const double lo = std::log(p.low_selectivity);
+  const double hi = std::log(p.high_selectivity);
+  q.selectivity = std::exp(lo + (hi - lo) * rng.uniform());
+  return q;
+}
+
+/// The query as an alternative block: one alternative per plan; a plan that
+/// cannot answer the query fails its guard. Plans read most of their pages
+/// and write a handful (the result buffer).
+[[nodiscard]] inline BlockSpec query_block(const QuerySpec& q, SimTime unit) {
+  BlockSpec b;
+  for (std::size_t i = 0; i < kPlanCount; ++i) {
+    const PlanCost pc = plan_cost(static_cast<Plan>(i), q, unit);
+    AltSpec a;
+    a.compute = pc.cost;
+    a.guard_ok = pc.viable;
+    a.pages_read = 16;
+    a.pages_written = 2;
+    b.alts.push_back(a);
+  }
+  return b;
+}
+
+/// The best viable plan's cost — the perfect-optimizer oracle.
+[[nodiscard]] inline SimTime oracle_cost(const QuerySpec& q, SimTime unit) {
+  SimTime best = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < kPlanCount; ++i) {
+    const PlanCost pc = plan_cost(static_cast<Plan>(i), q, unit);
+    if (!pc.viable) continue;
+    if (!any || pc.cost < best) best = pc.cost;
+    any = true;
+  }
+  ALTX_ASSERT(any, "oracle_cost: no viable plan (scan is always viable)");
+  return best;
+}
+
+}  // namespace altx::core

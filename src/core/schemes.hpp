@@ -1,0 +1,121 @@
+// The alternative-selection schemes of section 4.2.
+//
+// When tau(Ci, x) is predictable, a synthetic computation C_{N+1} can select
+// the right alternative by partitioning the input domain (case 2) or by a
+// precomputed lookup table (case 2, infeasible-partition variant). When it is
+// not predictable, the paper's schemes apply: A — pick by statistics; B —
+// pick at random; C — run all concurrently, keep the fastest (the paper's
+// design, implemented by run_concurrent / the posix backend).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace altx::core {
+
+/// Scheme A: select the alternative with the best observed mean runtime.
+/// "Statistical data can be applied, e.g. quicksort is almost always
+/// O(n log n); thus we'll rarely go wrong to use it."
+class StatisticalPicker {
+ public:
+  explicit StatisticalPicker(std::size_t n_alternatives)
+      : sums_(n_alternatives, 0.0), counts_(n_alternatives, 0) {
+    ALTX_REQUIRE(n_alternatives >= 1, "StatisticalPicker: need alternatives");
+  }
+
+  void record(std::size_t alternative, SimTime tau) {
+    ALTX_REQUIRE(alternative < sums_.size(), "StatisticalPicker: bad index");
+    sums_[alternative] += static_cast<double>(tau);
+    counts_[alternative] += 1;
+  }
+
+  /// Untried alternatives are preferred (optimistic initialisation), then the
+  /// lowest observed mean wins.
+  [[nodiscard]] std::size_t pick() const {
+    std::size_t best = 0;
+    double best_mean = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < sums_.size(); ++i) {
+      if (counts_[i] == 0) return i;
+      const double mean = sums_[i] / static_cast<double>(counts_[i]);
+      if (mean < best_mean) {
+        best_mean = mean;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t alternatives() const { return sums_.size(); }
+
+ private:
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Scheme B: uniformly random selection. Repeated on the same input this
+/// performs at the arithmetic mean of the alternatives (section 4.2), which
+/// is exactly what concurrent execution is compared against.
+[[nodiscard]] inline std::size_t random_pick(std::size_t n, Rng& rng) {
+  ALTX_REQUIRE(n >= 1, "random_pick: need alternatives");
+  return rng.below(n);
+}
+
+/// Case 2: the input domain can be partitioned by performance. The synthetic
+/// routine evaluates predicates in order and dispatches to the first match —
+/// the paper's  "if (size > 10) Q(list) else I(list)"  sort example.
+template <typename Input>
+class PartitionSelector {
+ public:
+  using Predicate = std::function<bool(const Input&)>;
+
+  /// Alternatives are consulted in registration order; `fallback` is used
+  /// when no predicate matches.
+  PartitionSelector(std::size_t fallback) : fallback_(fallback) {}
+
+  void add_rule(Predicate pred, std::size_t alternative) {
+    rules_.emplace_back(std::move(pred), alternative);
+  }
+
+  [[nodiscard]] std::size_t select(const Input& x) const {
+    for (const auto& [pred, alt] : rules_) {
+      if (pred(x)) return alt;
+    }
+    return fallback_;
+  }
+
+ private:
+  std::vector<std::pair<Predicate, std::size_t>> rules_;
+  std::size_t fallback_;
+};
+
+/// Case 2, lookup variant: "if all interesting x are known in advance, we can
+/// associate one of the Ci with each x in a precomputed table"; cost is one
+/// probe plus the chosen alternative.
+class LookupTableSelector {
+ public:
+  explicit LookupTableSelector(std::size_t fallback) : fallback_(fallback) {}
+
+  void learn(std::uint64_t input_key, std::size_t alternative) {
+    table_[input_key] = alternative;
+  }
+
+  [[nodiscard]] std::size_t select(std::uint64_t input_key) const {
+    auto it = table_.find(input_key);
+    return it == table_.end() ? fallback_ : it->second;
+  }
+
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::size_t> table_;
+  std::size_t fallback_;
+};
+
+}  // namespace altx::core

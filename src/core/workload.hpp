@@ -1,0 +1,113 @@
+// Workload generation for alternative blocks.
+//
+// The paper motivates fastest-first execution with computations whose
+// runtimes are unpredictable (database queries, heuristic search). These
+// generators produce alternative blocks with controlled runtime
+// distributions, working sets and failure probabilities, so every experiment
+// can dial exactly the dispersion/overhead regime it studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace altx::core {
+
+/// One alternative method: how long it computes, what it touches, whether its
+/// guard (acceptance condition) ultimately holds.
+struct AltSpec {
+  SimTime compute = 0;
+  std::size_t pages_read = 0;     // distinct pages read (shared, no copy)
+  std::size_t pages_written = 0;  // distinct pages written (COW copies)
+  bool guard_ok = true;
+  int chunks = 4;  // memory references are spread across this many phases
+};
+
+/// A whole alternative block.
+struct BlockSpec {
+  std::vector<AltSpec> alts;
+  SimTime timeout = 0;  // alt_wait timeout; 0 = wait forever
+
+  [[nodiscard]] std::vector<SimTime> taus() const {
+    std::vector<SimTime> t;
+    t.reserve(alts.size());
+    for (const auto& a : alts) t.push_back(a.compute);
+    return t;
+  }
+};
+
+/// Runtime distributions used across the experiments.
+enum class TimeDist {
+  kUniform,      // [lo, hi]
+  kExponential,  // mean = lo (hi unused)
+  kNormal,       // mean = lo, stddev = hi (clamped at 1us)
+  kPareto,       // scale = lo, shape = hi/1000 (heavy tail)
+  kBimodal,      // lo with p=.5, hi with p=.5 — maximal dispersion
+};
+
+struct WorkloadParams {
+  std::size_t n_alternatives = 3;
+  TimeDist dist = TimeDist::kUniform;
+  SimTime lo = 10 * kMsec;
+  SimTime hi = 100 * kMsec;
+  std::size_t pages_read = 8;
+  std::size_t pages_written = 4;
+  double guard_fail_prob = 0.0;
+  SimTime timeout = 0;
+};
+
+[[nodiscard]] inline SimTime draw_time(const WorkloadParams& p, Rng& rng) {
+  double t = 0;
+  switch (p.dist) {
+    case TimeDist::kUniform:
+      t = static_cast<double>(rng.range(p.lo, p.hi));
+      break;
+    case TimeDist::kExponential:
+      t = rng.exponential(static_cast<double>(p.lo));
+      break;
+    case TimeDist::kNormal:
+      t = rng.normal(static_cast<double>(p.lo), static_cast<double>(p.hi));
+      break;
+    case TimeDist::kPareto:
+      t = rng.pareto(static_cast<double>(p.lo),
+                     static_cast<double>(p.hi) / 1000.0);
+      break;
+    case TimeDist::kBimodal:
+      t = static_cast<double>(rng.chance(0.5) ? p.lo : p.hi);
+      break;
+  }
+  return std::max<SimTime>(1, static_cast<SimTime>(t));
+}
+
+/// Draws one alternative block.
+[[nodiscard]] inline BlockSpec generate_block(const WorkloadParams& p, Rng& rng) {
+  ALTX_REQUIRE(p.n_alternatives >= 1, "generate_block: need alternatives");
+  BlockSpec b;
+  b.timeout = p.timeout;
+  for (std::size_t i = 0; i < p.n_alternatives; ++i) {
+    AltSpec a;
+    a.compute = draw_time(p, rng);
+    a.pages_read = p.pages_read;
+    a.pages_written = p.pages_written;
+    a.guard_ok = !rng.chance(p.guard_fail_prob);
+    b.alts.push_back(a);
+  }
+  return b;
+}
+
+[[nodiscard]] inline std::string dist_name(TimeDist d) {
+  switch (d) {
+    case TimeDist::kUniform: return "uniform";
+    case TimeDist::kExponential: return "exponential";
+    case TimeDist::kNormal: return "normal";
+    case TimeDist::kPareto: return "pareto";
+    case TimeDist::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+}  // namespace altx::core

@@ -1,0 +1,196 @@
+#include "dist/distributed.hpp"
+
+namespace altx::dist {
+
+namespace {
+
+Bytes encode(std::uint8_t type, std::uint32_t alt, std::size_t pad_to = 0) {
+  Bytes b;
+  ByteWriter w(b);
+  w.u8(type);
+  w.u32(alt);
+  if (b.size() < pad_to) b.resize(pad_to);  // model the checkpoint's bulk
+  return b;
+}
+
+std::pair<std::uint8_t, std::uint32_t> decode(const Bytes& b) {
+  ByteReader r(b.data(), std::min<std::size_t>(b.size(), 5));
+  const std::uint8_t t = r.u8();
+  const std::uint32_t alt = r.u32();
+  return {t, alt};
+}
+
+consensus::MajoritySync::Config sync_config(const DistConfig& cfg) {
+  consensus::MajoritySync::Config mc;
+  mc.arbiters = cfg.arbiters;
+  return mc;
+}
+
+}  // namespace
+
+DistributedBlock::DistributedBlock(net::Network& network, DistConfig cfg,
+                                   std::vector<RemoteAlt> alts)
+    : net_(network), cfg_(cfg), alts_(std::move(alts)),
+      sync_(network, sync_config(cfg)) {
+  ALTX_REQUIRE(!alts_.empty(), "DistributedBlock: need alternatives");
+  ALTX_REQUIRE(net_.node_count() >=
+                   static_cast<std::size_t>(cfg_.arbiters) + 1 + alts_.size(),
+               "DistributedBlock: network too small for the topology");
+  workers_.resize(alts_.size());
+}
+
+void DistributedBlock::start() {
+  // Consensus candidates: one per alternative (manual launch on completion)
+  // plus the coordinator's failure alternative.
+  for (std::size_t i = 0; i < alts_.size(); ++i) {
+    sync_.add_candidate(static_cast<consensus::CandidateId>(i), worker_node(i),
+                        /*start_at=*/-1);
+  }
+  sync_.add_candidate(kFailCandidate, coordinator_node(), /*start_at=*/-1);
+  sync_.on_decided = [this](consensus::CandidateId id,
+                            const consensus::SyncOutcome& o) {
+    on_candidate_decided(id, o);
+  };
+  sync_.start();
+
+  net_.on_receive(coordinator_node(), kDistChannel,
+                  [this](const net::Packet& p) { on_coordinator_packet(p); });
+  for (std::size_t i = 0; i < alts_.size(); ++i) {
+    net_.on_receive(worker_node(i), kDistChannel,
+                    [this, i](const net::Packet& p) { on_worker_packet(i, p); });
+  }
+
+  // rfork each alternative: ship the checkpoint (its bulk is the payload, so
+  // the network's bandwidth model charges the transfer).
+  for (std::size_t i = 0; i < alts_.size(); ++i) {
+    net_.send(coordinator_node(), worker_node(i), kDistChannel,
+              encode(kSpawn, static_cast<std::uint32_t>(i), cfg_.checkpoint_bytes));
+  }
+  net_.after(coordinator_node(), cfg_.timeout, [this] { coordinator_timeout(); });
+}
+
+void DistributedBlock::on_worker_packet(std::size_t alt, const net::Packet& p) {
+  const auto [type, idx] = decode(p.data);
+  WorkerState& ws = workers_[alt];
+  switch (type) {
+    case kSpawn: {
+      if (ws.killed) return;
+      // Restore the checkpoint and run the alternative's body; the guard is
+      // evaluated in the child (section 3.2).
+      const RemoteAlt& a = alts_[alt];
+      net_.after(worker_node(alt), std::max<SimTime>(1, a.compute),
+                 [this, alt] { worker_finished(alt); });
+      return;
+    }
+    case kKill:
+      ws.killed = true;
+      return;
+    case kAck:
+      ws.acked = true;
+      return;
+    default:
+      (void)idx;
+      return;
+  }
+}
+
+void DistributedBlock::worker_finished(std::size_t alt) {
+  WorkerState& ws = workers_[alt];
+  if (ws.killed) return;
+  if (!alts_[alt].guard_ok) {
+    // Abort without synchronizing.
+    net_.send(worker_node(alt), coordinator_node(), kDistChannel,
+              encode(kAbort, static_cast<std::uint32_t>(alt)));
+    return;
+  }
+  // Attempt the synchronization through the majority-consensus semaphore.
+  sync_.launch(static_cast<consensus::CandidateId>(alt));
+}
+
+void DistributedBlock::on_candidate_decided(consensus::CandidateId id,
+                                            const consensus::SyncOutcome& o) {
+  if (id == kFailCandidate) {
+    if (o.won) {
+      // The failure alternative took the semaphore: no alternative can ever
+      // commit — the block has failed definitively.
+      if (!done_) {
+        done_ = true;
+        result_.failed = true;
+        result_.decided_at = net_.now();
+        result_.packets = net_.packets_sent();
+      }
+    }
+    // FAIL told "too late": some alternative holds the semaphore; its result
+    // will reach the coordinator through retransmission. Keep waiting.
+    return;
+  }
+  const auto alt = static_cast<std::size_t>(id);
+  WorkerState& ws = workers_[alt];
+  if (o.won) {
+    ws.won = true;
+    resend_result(alt);
+  } else {
+    // Too late for the synchronization: terminate self (section 3.2.1).
+    ++result_.too_lates;
+    ws.killed = true;
+  }
+}
+
+void DistributedBlock::resend_result(std::size_t alt) {
+  WorkerState& ws = workers_[alt];
+  if (ws.acked || !ws.won) return;
+  net_.send(worker_node(alt), coordinator_node(), kDistChannel,
+            encode(kResult, static_cast<std::uint32_t>(alt)));
+  net_.after(worker_node(alt), cfg_.result_retry, [this, alt] { resend_result(alt); });
+}
+
+void DistributedBlock::on_coordinator_packet(const net::Packet& p) {
+  const auto [type, alt] = decode(p.data);
+  switch (type) {
+    case kResult:
+      // Ack so the winner stops retransmitting, then absorb.
+      net_.send(coordinator_node(), worker_node(alt), kDistChannel,
+                encode(kAck, alt));
+      commit(static_cast<int>(alt));
+      return;
+    case kAbort:
+      ++result_.aborts;
+      ++aborts_seen_;
+      if (!done_ && aborts_seen_ == static_cast<int>(alts_.size())) {
+        // Every alternative reported a failed guard: claim the semaphore for
+        // the failure alternative right away rather than waiting out the
+        // timeout.
+        sync_.launch(kFailCandidate);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void DistributedBlock::commit(int winner) {
+  if (done_) return;
+  done_ = true;
+  result_.committed = true;
+  result_.winner = winner;
+  result_.decided_at = net_.now();
+  result_.packets = net_.packets_sent();
+  // Eliminate the siblings, best effort (asynchronous elimination; a lost
+  // kill cannot violate at-most-once — the semaphore already refused them).
+  for (std::size_t i = 0; i < alts_.size(); ++i) {
+    if (static_cast<int>(i) != winner) {
+      net_.send(coordinator_node(), worker_node(i), kDistChannel,
+                encode(kKill, static_cast<std::uint32_t>(i)));
+    }
+  }
+}
+
+void DistributedBlock::coordinator_timeout() {
+  if (done_) return;
+  // Presume failure (section 3.2): enter the failure alternative into the
+  // election. If some alternative already holds the semaphore, FAIL loses
+  // and we keep waiting for the (retransmitted) result instead.
+  sync_.launch(kFailCandidate);
+}
+
+}  // namespace altx::dist

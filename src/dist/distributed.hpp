@@ -1,0 +1,117 @@
+// Distributed execution of an alternative block (sections 3.2, 4.4, 5.1.2).
+//
+// The paper's target deployment: the parent (coordinator) remote-forks each
+// alternative to a workstation by shipping a checkpoint of the process in
+// its entirety (E4's dominant cost); alternates compute remotely and race to
+// synchronize through the fault-tolerant majority-consensus 0-1 semaphore;
+// the coordinator absorbs the winner's result and eliminates the rest with
+// best-effort kill messages (losing a kill is harmless — the sticky votes
+// already guarantee at-most-once).
+//
+// The TIMEOUT is implemented exactly as the paper frames the failure case:
+// the coordinator enters the *failure alternative* as one more candidate in
+// the same election. If FAIL wins the vote, no alternative can ever commit
+// and the block has failed definitively; if FAIL is told "too late", some
+// alternative won and its (possibly lost) result message will arrive through
+// retransmission.
+//
+// Topology on the net::Network: nodes [0, A) are arbiters, node A is the
+// coordinator, nodes [A+1, A+1+W) host one worker each.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "consensus/majority.hpp"
+#include "net/network.hpp"
+
+namespace altx::dist {
+
+/// Network channel for the execution control plane (spawn/abort/result/kill);
+/// the consensus protocol runs on its own channel over the same links.
+constexpr net::Channel kDistChannel = 2;
+
+/// One remote alternative: how long it computes on its worker and whether
+/// its guard (acceptance test, evaluated in the child) holds.
+struct RemoteAlt {
+  SimTime compute = 0;
+  bool guard_ok = true;
+};
+
+struct DistConfig {
+  int arbiters = 3;
+  std::size_t checkpoint_bytes = 70 * 1024;  // the rfork image (section 4.4)
+  SimTime timeout = 10 * kSec;               // coordinator's alt_wait TIMEOUT
+  SimTime result_retry = 100 * kMsec;        // winner retransmits its result
+};
+
+struct DistResult {
+  bool committed = false;      // an alternative's result reached the parent
+  bool failed = false;         // the FAIL candidate won: definitive failure
+  int winner = -1;             // alternative index, when committed
+  SimTime decided_at = 0;      // when the coordinator learned the outcome
+  int aborts = 0;              // guard failures reported
+  int too_lates = 0;           // alternates refused by the semaphore
+  std::uint64_t packets = 0;   // total network traffic
+};
+
+/// Runs one distributed alternative block over the given network. The
+/// network must have at least arbiters + 1 + alts.size() nodes. The caller
+/// may crash nodes / cut links before or during the run (via timers).
+class DistributedBlock {
+ public:
+  DistributedBlock(net::Network& network, DistConfig cfg,
+                   std::vector<RemoteAlt> alts);
+
+  /// Installs handlers and kicks off the spawns; the caller drives
+  /// network.run() and then reads result().
+  void start();
+
+  [[nodiscard]] const DistResult& result() const { return result_; }
+
+  [[nodiscard]] NodeId coordinator_node() const {
+    return static_cast<NodeId>(cfg_.arbiters);
+  }
+  [[nodiscard]] NodeId worker_node(std::size_t alt) const {
+    return static_cast<NodeId>(cfg_.arbiters + 1 + alt);
+  }
+
+ private:
+  enum MsgType : std::uint8_t {
+    kSpawn = 1,   // coordinator -> worker, padded to checkpoint_bytes
+    kAbort = 2,   // worker -> coordinator: guard failed
+    kResult = 3,  // worker -> coordinator: committed result
+    kKill = 4,    // coordinator -> worker: eliminate
+    kAck = 5,     // coordinator -> worker: result received, stop resending
+  };
+
+  static constexpr consensus::CandidateId kFailCandidate = 0xFFFFFFF0;
+
+  void on_coordinator_packet(const net::Packet& p);
+  void on_worker_packet(std::size_t alt, const net::Packet& p);
+  void on_candidate_decided(consensus::CandidateId id,
+                            const consensus::SyncOutcome& o);
+  void worker_finished(std::size_t alt);
+  void resend_result(std::size_t alt);
+  void coordinator_timeout();
+  void commit(int winner);
+
+  net::Network& net_;
+  DistConfig cfg_;
+  std::vector<RemoteAlt> alts_;
+  consensus::MajoritySync sync_;
+  DistResult result_;
+
+  struct WorkerState {
+    bool killed = false;
+    bool won = false;
+    bool acked = false;
+  };
+  std::vector<WorkerState> workers_;
+  int aborts_seen_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace altx::dist

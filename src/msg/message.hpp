@@ -1,0 +1,96 @@
+// Predicated interprocess messages (paper section 3.4.1).
+//
+// A message has exactly the paper's three-part structure:
+//   1. a sending predicate — the assumptions the sender runs under,
+//   2. the data comprising the message contents,
+//   3. control information (sender id, destination, sequence number).
+//
+// A sender is *speculative* when its predicate is unsatisfied — it may yet be
+// eliminated. For such senders the proposition the receiver ultimately splits
+// worlds on is "the sender completes successfully": because a process whose
+// assumptions prove false never completes, "sender completes" implies the
+// sender's whole assumption set, and its negation covers every other outcome
+// (this is why the paper's footnote 3 negates only complete(S), never the
+// individual predicates).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "msg/predicate.hpp"
+
+namespace altx {
+
+struct Message {
+  Predicate sending_predicate;  // the sender's assumptions at send time
+  Bytes data;
+  Pid sender = kNoPid;
+  Port destination = 0;
+  std::uint64_t seq = 0;  // per-sender sequence number (FIFO checking)
+  bool sender_speculative = false;
+
+  void serialize(ByteWriter& w) const {
+    sending_predicate.serialize(w);
+    w.blob(data.data(), data.size());
+    w.u32(sender);
+    w.u32(destination);
+    w.u64(seq);
+    w.u8(sender_speculative ? 1 : 0);
+  }
+
+  static Message deserialize(ByteReader& r) {
+    Message m;
+    m.sending_predicate = Predicate::deserialize(r);
+    m.data = r.blob();
+    m.sender = r.u32();
+    m.destination = r.u32();
+    m.seq = r.u64();
+    m.sender_speculative = r.u8() != 0;
+    return m;
+  }
+};
+
+/// The receiver-side decision of section 3.4.2.
+enum class Reception {
+  kAccept,  // sender's assumptions already implied by the receiver's
+  kIgnore,  // sender's assumptions contradict the receiver's
+  kSplit,   // receiver must fork into a world that accepts and one that doesn't
+};
+
+/// The full assumption set receipt of `m` implies: the sending predicate,
+/// plus "sender completes" when the sender is speculative.
+inline Predicate implied_assumptions(const Message& m) {
+  Predicate s = m.sending_predicate;
+  if (m.sender_speculative) s.require_complete(m.sender);
+  return s;
+}
+
+/// Classifies a message against the receiving process's predicate.
+inline Reception classify_reception(const Predicate& receiver, const Message& m) {
+  const Predicate s = implied_assumptions(m);
+  if (receiver.conflicts(s)) return Reception::kIgnore;
+  if (receiver.subsumes(s)) return Reception::kAccept;
+  return Reception::kSplit;
+}
+
+/// Predicate for the world that accepts the message: previous assumptions in
+/// conjunction with complete(sender) — implying all the sender's predicates
+/// (paper footnote 2).
+inline Predicate accepting_world(const Predicate& receiver, const Message& m) {
+  Predicate p = receiver;
+  p.merge(implied_assumptions(m));
+  return p;
+}
+
+/// Predicate for the world that rejects the message: previous assumptions
+/// plus the negation of complete(sender) only — NOT the negation of each of
+/// the sender's predicates, which could assert that two mutually exclusive
+/// processes must both complete (paper footnote 3).
+inline Predicate rejecting_world(const Predicate& receiver, const Message& m) {
+  Predicate p = receiver;
+  if (m.sender_speculative) p.require_fail(m.sender);
+  return p;
+}
+
+}  // namespace altx

@@ -1,0 +1,179 @@
+// Predicates (paper section 3.3).
+//
+// A predicate is the set of assumptions a speculative process runs under,
+// represented exactly as the paper describes: two lists of process
+// identifiers — processes that must COMPLETE successfully and processes that
+// must NOT complete. A child alternative inherits its parent's predicate and
+// additionally assumes "I complete, each of my siblings does not".
+//
+// The representation is deliberately simpler than data-object predicate locks
+// (Eswaran et al.): predicates are updated when *processes* change status,
+// which happens far less often than memory references.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace altx {
+
+/// Resolution status of a speculative process, from the point of view of the
+/// predicate machinery.
+enum class Resolution {
+  kPending,    // still speculative
+  kCompleted,  // won its synchronization; its effects are real
+  kFailed,     // aborted, eliminated, or "too late"
+};
+
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// The child-spawn rule: parent's assumptions, plus self completes, plus
+  /// every sibling does not.
+  static Predicate for_child(const Predicate& parent, Pid self,
+                             const std::vector<Pid>& siblings) {
+    Predicate p = parent;
+    p.require_complete(self);
+    for (Pid s : siblings) {
+      if (s != self) p.require_fail(s);
+    }
+    return p;
+  }
+
+  void require_complete(Pid pid) { insert(must_complete_, pid); }
+  void require_fail(Pid pid) { insert(must_fail_, pid); }
+
+  [[nodiscard]] bool requires_complete(Pid pid) const {
+    return contains(must_complete_, pid);
+  }
+  [[nodiscard]] bool requires_fail(Pid pid) const {
+    return contains(must_fail_, pid);
+  }
+
+  /// True when the process runs under no unresolved assumption; only then may
+  /// it touch sources (paper: "restricted from causing observable
+  /// side-effects").
+  [[nodiscard]] bool satisfied() const noexcept {
+    return must_complete_.empty() && must_fail_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return must_complete_.size() + must_fail_.size();
+  }
+
+  /// True if every assumption in `other` is already one of ours (S implied by
+  /// R, the "immediately accept" case of section 3.4.2).
+  [[nodiscard]] bool subsumes(const Predicate& other) const {
+    return includes(must_complete_, other.must_complete_) &&
+           includes(must_fail_, other.must_fail_);
+  }
+
+  /// True if some assumption of `other` contradicts one of ours
+  /// (p in S and !p in R — the "ignore the message" case).
+  [[nodiscard]] bool conflicts(const Predicate& other) const {
+    return intersects(must_complete_, other.must_fail_) ||
+           intersects(must_fail_, other.must_complete_);
+  }
+
+  /// Conjoins the other predicate's assumptions into this one. Callers must
+  /// check conflicts() first; merging contradictory predicates is a logic
+  /// error (it would describe an impossible world).
+  void merge(const Predicate& other) {
+    ALTX_REQUIRE(!conflicts(other), "Predicate::merge: contradictory predicates");
+    for (Pid p : other.must_complete_) require_complete(p);
+    for (Pid p : other.must_fail_) require_fail(p);
+  }
+
+  /// Applies the resolution of `pid`. Returns kPending if this predicate is
+  /// unaffected or the assumption was satisfied (and removed); returns
+  /// kFailed if the resolution contradicts an assumption, meaning the process
+  /// holding this predicate must be eliminated.
+  [[nodiscard]] Resolution resolve(Pid pid, Resolution outcome) {
+    ALTX_REQUIRE(outcome != Resolution::kPending,
+                 "Predicate::resolve: outcome must be terminal");
+    if (outcome == Resolution::kCompleted) {
+      if (contains(must_fail_, pid)) return Resolution::kFailed;
+      erase(must_complete_, pid);
+    } else {
+      if (contains(must_complete_, pid)) return Resolution::kFailed;
+      erase(must_fail_, pid);
+    }
+    return Resolution::kPending;
+  }
+
+  [[nodiscard]] const std::vector<Pid>& must_complete() const { return must_complete_; }
+  [[nodiscard]] const std::vector<Pid>& must_fail() const { return must_fail_; }
+
+  [[nodiscard]] bool operator==(const Predicate& other) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "{+[";
+    for (std::size_t i = 0; i < must_complete_.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(must_complete_[i]);
+    }
+    s += "] -[";
+    for (std::size_t i = 0; i < must_fail_.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(must_fail_[i]);
+    }
+    return s + "]}";
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.u64(must_complete_.size());
+    for (Pid p : must_complete_) w.u32(p);
+    w.u64(must_fail_.size());
+    for (Pid p : must_fail_) w.u32(p);
+  }
+
+  static Predicate deserialize(ByteReader& r) {
+    Predicate p;
+    const std::uint64_t nc = r.u64();
+    for (std::uint64_t i = 0; i < nc; ++i) p.require_complete(r.u32());
+    const std::uint64_t nf = r.u64();
+    for (std::uint64_t i = 0; i < nf; ++i) p.require_fail(r.u32());
+    return p;
+  }
+
+ private:
+  static void insert(std::vector<Pid>& v, Pid pid) {
+    auto it = std::lower_bound(v.begin(), v.end(), pid);
+    if (it == v.end() || *it != pid) v.insert(it, pid);
+  }
+  static void erase(std::vector<Pid>& v, Pid pid) {
+    auto it = std::lower_bound(v.begin(), v.end(), pid);
+    if (it != v.end() && *it == pid) v.erase(it);
+  }
+  static bool contains(const std::vector<Pid>& v, Pid pid) {
+    return std::binary_search(v.begin(), v.end(), pid);
+  }
+  static bool includes(const std::vector<Pid>& big, const std::vector<Pid>& small) {
+    return std::includes(big.begin(), big.end(), small.begin(), small.end());
+  }
+  static bool intersects(const std::vector<Pid>& a, const std::vector<Pid>& b) {
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+      if (*ia < *ib) {
+        ++ia;
+      } else if (*ib < *ia) {
+        ++ib;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Both kept sorted and duplicate-free.
+  std::vector<Pid> must_complete_;
+  std::vector<Pid> must_fail_;
+};
+
+}  // namespace altx

@@ -1,0 +1,214 @@
+// A small deterministic message network.
+//
+// Used by the consensus layer (and experiment E8) to model the distributed
+// synchronization environment of section 3.2.1: point-to-point datagrams with
+// latency, jitter, loss, partitions and node crashes. Deliberately separate
+// from the kernel simulator — synchronization protocols are studied here at
+// message granularity, then their end-to-end cost is fed into MachineModel's
+// commit parameters.
+//
+// Determinism: one event queue ordered by (time, sequence); jitter and drops
+// come from an explicit seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace altx::net {
+
+/// Channel tags demultiplex unrelated protocols sharing one network (e.g.
+/// the consensus voters and the distributed-execution control plane).
+using Channel = std::uint8_t;
+constexpr Channel kDefaultChannel = 0;
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Channel channel = kDefaultChannel;
+  Bytes data;
+};
+
+class Network {
+ public:
+  struct Config {
+    std::size_t node_count = 0;
+    SimTime base_latency = 2 * kMsec;  // one-way
+    SimTime jitter = 0;                // uniform extra in [0, jitter]
+    double drop_rate = 0.0;            // probability a packet is lost
+    double bytes_per_usec = 0.0;       // transfer rate; 0 = size costs nothing
+    std::uint64_t seed = 1;
+  };
+
+  /// Called when a packet arrives at a node.
+  using Handler = std::function<void(const Packet&)>;
+  /// A scheduled callback (protocol timers).
+  using Timer = std::function<void()>;
+
+  explicit Network(Config cfg) : cfg_(cfg), rng_(cfg.seed) {
+    ALTX_REQUIRE(cfg.node_count > 0, "Network: need at least one node");
+    ALTX_REQUIRE(cfg.drop_rate >= 0.0 && cfg.drop_rate < 1.0,
+                 "Network: drop_rate must be in [0,1)");
+    handlers_.resize(cfg.node_count);
+    crashed_.resize(cfg.node_count, false);
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return cfg_.node_count; }
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  void on_receive(NodeId node, Handler h) { on_receive(node, kDefaultChannel, std::move(h)); }
+
+  void on_receive(NodeId node, Channel channel, Handler h) {
+    check_node(node);
+    handlers_[node][channel] = std::move(h);
+  }
+
+  /// Sends a datagram. May be dropped (config), or silently discarded if
+  /// either endpoint is crashed or the link is partitioned.
+  void send(NodeId src, NodeId dst, Bytes data) {
+    send(src, dst, kDefaultChannel, std::move(data));
+  }
+
+  void send(NodeId src, NodeId dst, Channel channel, Bytes data) {
+    check_node(src);
+    check_node(dst);
+    ++stats_sent_;
+    if (crashed_[src] || crashed_[dst] || partitioned(src, dst)) {
+      ++stats_lost_;
+      return;
+    }
+    if (cfg_.drop_rate > 0.0 && rng_.chance(cfg_.drop_rate)) {
+      ++stats_lost_;
+      return;
+    }
+    SimTime latency = cfg_.base_latency;
+    if (cfg_.jitter > 0) {
+      latency += static_cast<SimTime>(
+          rng_.below(static_cast<std::uint64_t>(cfg_.jitter) + 1));
+    }
+    if (cfg_.bytes_per_usec > 0) {
+      latency += static_cast<SimTime>(static_cast<double>(data.size()) /
+                                      cfg_.bytes_per_usec);
+    }
+    Event ev;
+    ev.time = now_ + latency;
+    ev.seq = next_seq_++;
+    ev.packet = Packet{src, dst, channel, std::move(data)};
+    ev.is_timer = false;
+    events_.push(std::move(ev));
+  }
+
+  /// Schedules a protocol timer at `node` after `delay`. Crashed nodes'
+  /// timers do not fire.
+  void after(NodeId node, SimTime delay, Timer t) {
+    check_node(node);
+    ALTX_REQUIRE(delay >= 0, "Network::after: negative delay");
+    Event ev;
+    ev.time = now_ + delay;
+    ev.seq = next_seq_++;
+    ev.timer = std::move(t);
+    ev.timer_node = node;
+    ev.is_timer = true;
+    events_.push(std::move(ev));
+  }
+
+  void crash(NodeId node) {
+    check_node(node);
+    crashed_[node] = true;
+  }
+
+  void restart(NodeId node) {
+    check_node(node);
+    crashed_[node] = false;
+  }
+
+  [[nodiscard]] bool is_crashed(NodeId node) const { return crashed_[node]; }
+
+  /// Cuts the (bidirectional) link between two nodes.
+  void partition(NodeId a, NodeId b) {
+    check_node(a);
+    check_node(b);
+    cuts_.insert(link(a, b));
+  }
+
+  void heal(NodeId a, NodeId b) { cuts_.erase(link(a, b)); }
+
+  /// Runs the event loop until quiescence or `until`.
+  SimTime run(SimTime until = std::numeric_limits<SimTime>::max()) {
+    while (!events_.empty()) {
+      if (events_.top().time > until) {
+        now_ = until;
+        return now_;
+      }
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.time;
+      if (ev.is_timer) {
+        if (!crashed_[ev.timer_node] && ev.timer) ev.timer();
+      } else {
+        const NodeId dst = ev.packet.dst;
+        if (!crashed_[dst]) {
+          auto it = handlers_[dst].find(ev.packet.channel);
+          if (it != handlers_[dst].end() && it->second) it->second(ev.packet);
+        }
+      }
+    }
+    return now_;
+  }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return stats_sent_; }
+  [[nodiscard]] std::uint64_t packets_lost() const { return stats_lost_; }
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Packet packet;
+    Timer timer;
+    NodeId timer_node = 0;
+    bool is_timer = false;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void check_node(NodeId node) const {
+    ALTX_REQUIRE(node < cfg_.node_count, "Network: node out of range");
+  }
+
+  [[nodiscard]] std::pair<NodeId, NodeId> link(NodeId a, NodeId b) const {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const {
+    return cuts_.contains(link(a, b));
+  }
+
+  Config cfg_;
+  Rng rng_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<std::map<Channel, Handler>> handlers_;
+  std::vector<bool> crashed_;
+  std::set<std::pair<NodeId, NodeId>> cuts_;
+  std::uint64_t stats_sent_ = 0;
+  std::uint64_t stats_lost_ = 0;
+};
+
+}  // namespace altx::net

@@ -1,0 +1,179 @@
+#include "posix/alt_group.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace altx::posix {
+
+namespace {
+
+constexpr int kExitAbort = 42;    // guard failed, no synchronization
+constexpr int kExitTooLate = 43;  // lost the race for the commit token
+
+}  // namespace
+
+AltGroup::AltGroup(AltGroupOptions options) : opts_(options) {}
+
+AltGroup::~AltGroup() {
+  if (my_index_ != 0) return;  // children never own the group
+  try {
+    kill_survivors();
+    reap_all();
+  } catch (...) {
+    // Destructors must not throw; losing a reap here only leaks a zombie
+    // until process exit.
+  }
+}
+
+int AltGroup::alt_spawn(int n) {
+  ALTX_REQUIRE(!spawned_, "AltGroup: alt_spawn called twice");
+  ALTX_REQUIRE(n >= 1, "AltGroup: need at least one alternative");
+  spawned_ = true;
+
+  token_ = Pipe::create(/*nonblocking_read=*/true);
+  result_ = Pipe::create();
+  // Deposit the single commit token: the 0-1 semaphore of section 3.2.1.
+  const std::uint8_t token = 1;
+  write_all(token_.write_end.get(), &token, 1);
+
+  children_.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Spawn failure: kill what we already have and report.
+      kill_survivors();
+      reap_all();
+      throw_errno("fork");
+    }
+    if (pid == 0) {
+      // Child: a COW copy of everything the parent had.
+      my_index_ = i;
+      children_.clear();
+      if (opts_.heap != nullptr) opts_.heap->begin_tracking();
+      return i;
+    }
+    children_.push_back(pid);
+  }
+  reaped_.assign(children_.size(), false);
+  return 0;
+}
+
+void AltGroup::child_commit(const Bytes& result) {
+  ALTX_REQUIRE(my_index_ != 0, "child_commit called in the parent");
+  // Try to take the token. First reader commits; everyone else is too late.
+  std::uint8_t token = 0;
+  const ssize_t got = ::read(token_.read_end.get(), &token, 1);
+  if (got != 1) _exit(kExitTooLate);
+
+  Bytes frame;
+  ByteWriter w(frame);
+  w.u32(static_cast<std::uint32_t>(my_index_));
+  w.blob(result.data(), result.size());
+  if (opts_.heap != nullptr) {
+    w.u8(1);
+    const Bytes patch = opts_.heap->serialize_dirty();
+    w.blob(patch.data(), patch.size());
+  } else {
+    w.u8(0);
+  }
+  write_frame(result_.write_end.get(), frame);
+  _exit(0);
+}
+
+void AltGroup::child_abort() {
+  ALTX_REQUIRE(my_index_ != 0, "child_abort called in the parent");
+  _exit(kExitAbort);
+}
+
+std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
+  ALTX_REQUIRE(my_index_ == 0, "alt_wait: only the parent waits");
+  ALTX_REQUIRE(spawned_, "alt_wait before alt_spawn");
+  if (decided_) return verdict_;
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t exited = 0;
+  std::vector<bool> done(children_.size(), false);
+
+  auto try_read_result = [&]() -> bool {
+    if (!wait_readable(result_.read_end.get(), 0)) return false;
+    const auto frame = read_frame(result_.read_end.get());
+    if (!frame.has_value()) return false;
+    ByteReader r(*frame);
+    AltWinner win;
+    win.index = static_cast<int>(r.u32());
+    win.result = r.blob();
+    if (r.u8() == 1) {
+      const Bytes patch = r.blob();
+      if (opts_.heap != nullptr) {
+        win.pages_absorbed = opts_.heap->apply_patch(patch);
+      }
+    }
+    verdict_ = std::move(win);
+    return true;
+  };
+
+  while (true) {
+    if (try_read_result()) break;
+
+    // Reap opportunistically to detect the all-aborted case.
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (done[i]) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(children_[i], &status, WNOHANG);
+      if (r == children_[i]) {
+        done[i] = true;
+        reaped_[i] = true;
+        ++exited;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == kExitAbort) ++aborted_;
+      }
+    }
+    if (exited == children_.size()) {
+      // Everyone is gone; a commit may still sit in the pipe (the winner
+      // exits after writing).
+      try_read_result();
+      break;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      // TIMEOUT: presume no alternative will succeed (section 3.2). A commit
+      // that raced in before the kill is still honoured — it won.
+      kill_survivors();
+      try_read_result();
+      break;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int slice = static_cast<int>(std::min<long long>(20, remaining.count() + 1));
+    wait_readable(result_.read_end.get(), std::max(1, slice));
+  }
+
+  decided_ = true;
+  kill_survivors();
+  if (opts_.elimination == Eliminate::kSynchronous) reap_all();
+  return verdict_;
+}
+
+void AltGroup::finish() { reap_all(); }
+
+void AltGroup::kill_survivors() {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!reaped_[i]) ::kill(children_[i], SIGKILL);
+  }
+}
+
+void AltGroup::reap_all() {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (reaped_[i]) continue;
+    int status = 0;
+    if (::waitpid(children_[i], &status, 0) == children_[i]) {
+      reaped_[i] = true;
+      if (WIFEXITED(status) && WEXITSTATUS(status) == kExitAbort) ++aborted_;
+    }
+  }
+}
+
+}  // namespace altx::posix

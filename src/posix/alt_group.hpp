@@ -1,0 +1,100 @@
+// alt_spawn / alt_wait over real POSIX processes (paper section 3.2).
+//
+// The paper's two primitives, implemented with the same UNIX machinery the
+// authors measured:
+//
+//   alt_spawn(n)  — forks n alternates; returns 0 in the parent and 1..n in
+//                   the children (the switch() idiom of section 3.2). Every
+//                   child gets a COW view of the parent's whole address
+//                   space, courtesy of fork().
+//
+//   alt_wait(t)   — in the parent: waits (bounded by the TIMEOUT) for the
+//                   first child to synchronize, absorbs its result (and, when
+//                   an AltHeap is attached, its dirty pages), then eliminates
+//                   the siblings. In a child: attempts the synchronization.
+//
+// At-most-once synchronization is a 0-1 semaphore built from a pipe: the
+// parent deposits a single token byte; the first child to read it commits;
+// later children find the pipe empty and are "too late" (section 3.2.1) —
+// they terminate themselves.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "posix/alt_heap.hpp"
+#include "posix/fd.hpp"
+
+namespace altx::posix {
+
+/// When losing siblings are terminated, relative to alt_wait returning.
+enum class Eliminate {
+  kSynchronous,   // killed and reaped before alt_wait returns
+  kAsynchronous,  // killed immediately, reaped later (finish()/destructor)
+};
+
+struct AltGroupOptions {
+  Eliminate elimination = Eliminate::kSynchronous;
+  AltHeap* heap = nullptr;  // optional shared-state arena to absorb
+};
+
+struct AltWinner {
+  int index = 0;       // 1-based alternative number (alt_spawn's return)
+  Bytes result;        // bytes the winner passed to child_commit
+  std::size_t pages_absorbed = 0;
+};
+
+class AltGroup {
+ public:
+  explicit AltGroup(AltGroupOptions options = {});
+  ~AltGroup();
+
+  AltGroup(const AltGroup&) = delete;
+  AltGroup& operator=(const AltGroup&) = delete;
+
+  /// Forks n alternates. Returns 0 in the parent, 1..n in each child.
+  /// In children, the process must finish via child_commit or child_abort.
+  int alt_spawn(int n);
+
+  /// Child side: attempt the synchronization with a result payload. If this
+  /// child is first, its payload (and dirty heap pages) reach the parent;
+  /// otherwise it is too late. Never returns.
+  [[noreturn]] void child_commit(const Bytes& result);
+
+  /// Child side: the guard failed; abort without synchronizing. Never
+  /// returns.
+  [[noreturn]] void child_abort();
+
+  /// Parent side: waits for a winner. Returns std::nullopt when every child
+  /// aborted or the timeout expired (the FAIL arm). Idempotent: a second call
+  /// returns the same verdict.
+  std::optional<AltWinner> alt_wait(std::chrono::milliseconds timeout);
+
+  /// Reaps any remaining children (no-op when elimination was synchronous).
+  void finish();
+
+  /// Number of children that aborted (available after alt_wait).
+  [[nodiscard]] int aborted_children() const { return aborted_; }
+
+ private:
+  void kill_survivors();
+  void reap_all();
+
+  AltGroupOptions opts_;
+  std::vector<pid_t> children_;
+  std::vector<bool> reaped_;
+  Pipe token_;   // 0-1 semaphore: one byte, first reader commits
+  Pipe result_;  // winner -> parent: index + payload + heap patch
+  int my_index_ = 0;  // 0 in parent
+  bool spawned_ = false;
+  bool decided_ = false;
+  std::optional<AltWinner> verdict_;
+  int aborted_ = 0;
+};
+
+}  // namespace altx::posix

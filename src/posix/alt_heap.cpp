@@ -1,0 +1,145 @@
+#include "posix/alt_heap.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace altx::posix {
+
+namespace {
+
+// Registry of live trackables so the (process-wide) SIGSEGV handler can
+// route a fault to the region that owns the address. Small and scanned
+// linearly; no locking needed — faults are handled on the faulting thread
+// and the backend is single-threaded by design (concurrency comes from
+// processes).
+std::vector<CowTrackable*> g_heaps;
+struct sigaction g_prev_segv;
+bool g_handler_installed = false;
+
+}  // namespace
+
+void heap_segv_handler(int signo, void* info_v, void* ctx) {
+  auto* info = static_cast<siginfo_t*>(info_v);
+  void* addr = info->si_addr;
+  for (CowTrackable* h : g_heaps) {
+    if (h->handle_fault(addr)) return;
+  }
+  // Not ours: restore the previous disposition and re-raise so genuine
+  // crashes still crash.
+  ::sigaction(SIGSEGV, &g_prev_segv, nullptr);
+  ::raise(signo);
+  (void)ctx;
+}
+
+extern "C" void altx_segv_trampoline(int signo, siginfo_t* info, void* ctx) {
+  heap_segv_handler(signo, info, ctx);
+}
+
+namespace {
+
+void install_handler() {
+  if (g_handler_installed) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_flags = SA_SIGINFO;
+  sa.sa_sigaction = &altx_segv_trampoline;
+  sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGSEGV, &sa, &g_prev_segv) != 0) throw_errno("sigaction");
+  g_handler_installed = true;
+}
+
+}  // namespace
+
+namespace detail {
+void install_handler_for_trackables() { install_handler(); }
+}  // namespace detail
+
+static void install_handler_public() { detail::install_handler_for_trackables(); }
+
+void register_trackable(CowTrackable* t) {
+  install_handler_public();
+  g_heaps.push_back(t);
+}
+
+void unregister_trackable(CowTrackable* t) { std::erase(g_heaps, t); }
+
+AltHeap::AltHeap(std::size_t pages) {
+  ALTX_REQUIRE(pages >= 1, "AltHeap: need at least one page");
+  page_size_ = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  pages_ = pages;
+  bytes_ = pages * page_size_;
+  base_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base_ == MAP_FAILED) throw_errno("mmap");
+  register_trackable(this);
+}
+
+AltHeap::~AltHeap() {
+  unregister_trackable(this);
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+void AltHeap::begin_tracking() {
+  install_handler();
+  dirty_.clear();
+  if (::mprotect(base_, bytes_, PROT_READ) != 0) throw_errno("mprotect(READ)");
+  tracking_ = true;
+}
+
+void AltHeap::end_tracking() {
+  if (::mprotect(base_, bytes_, PROT_READ | PROT_WRITE) != 0) {
+    throw_errno("mprotect(RW)");
+  }
+  tracking_ = false;
+}
+
+bool AltHeap::handle_fault(void* addr) {
+  if (!tracking_) return false;
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto b = reinterpret_cast<std::uintptr_t>(base_);
+  if (a < b || a >= b + bytes_) return false;
+  const std::size_t page = (a - b) / page_size_;
+  // Async-signal-safety: mprotect is a plain syscall; the dirty_ vector push
+  // is safe because the fault happens synchronously on this (only) thread.
+  if (::mprotect(static_cast<std::uint8_t*>(base_) + page * page_size_,
+                 page_size_, PROT_READ | PROT_WRITE) != 0) {
+    return false;  // fall through to crash — cannot continue
+  }
+  dirty_.push_back(static_cast<std::uint32_t>(page));
+  return true;
+}
+
+Bytes AltHeap::serialize_dirty() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u64(page_size_);
+  w.u64(dirty_.size());
+  for (std::uint32_t page : dirty_) {
+    w.u32(page);
+    w.blob(static_cast<const std::uint8_t*>(base_) + page * page_size_,
+           page_size_);
+  }
+  return out;
+}
+
+std::size_t AltHeap::apply_patch(const Bytes& patch) {
+  ByteReader r(patch);
+  const std::uint64_t psz = r.u64();
+  ALTX_REQUIRE(psz == page_size_, "AltHeap::apply_patch: page size mismatch");
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t page = r.u32();
+    ALTX_REQUIRE(page < pages_, "AltHeap::apply_patch: page out of range");
+    const Bytes content = r.blob();
+    ALTX_REQUIRE(content.size() == page_size_,
+                 "AltHeap::apply_patch: bad page payload");
+    std::memcpy(static_cast<std::uint8_t*>(base_) + page * page_size_,
+                content.data(), page_size_);
+  }
+  return n;
+}
+
+}  // namespace altx::posix

@@ -1,0 +1,114 @@
+// await_all: the conjunction companion to race().
+//
+// The paper's section 5.2 names two kinds of rule-level parallelism:
+// OR-parallelism (mutually exclusive alternatives — race()) and
+// AND-parallelism ("if goals A and B must be satisfied, we can pursue the
+// satisfaction of A and B in parallel"). await_all runs every task in its
+// own forked process and succeeds only when ALL of them produce a value;
+// one failure (nullopt, exception, crash, or timeout) fails the whole
+// conjunction and the surviving children are eliminated.
+//
+// Unlike race() there is no speculation to hide: every task's result is
+// needed, so no commit token is involved — just isolation and collection.
+#pragma once
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "posix/race.hpp"
+
+namespace altx::posix {
+
+struct AwaitOptions {
+  std::chrono::milliseconds timeout{30'000};
+};
+
+/// Runs every task concurrently; returns all results (in task order) or
+/// nullopt if any task failed or the deadline passed.
+template <RaceSerializable T>
+std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tasks,
+                                        const AwaitOptions& options = {}) {
+  ALTX_REQUIRE(!tasks.empty(), "await_all: need at least one task");
+  const std::size_t n = tasks.size();
+
+  // One pipe per child: framed results cannot interleave.
+  std::vector<Pipe> pipes;
+  pipes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pipes.push_back(Pipe::create());
+
+  std::vector<pid_t> children(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (std::size_t k = 0; k < i; ++k) ::kill(children[k], SIGKILL);
+      for (std::size_t k = 0; k < i; ++k) ::waitpid(children[k], nullptr, 0);
+      throw_errno("fork(await_all)");
+    }
+    if (pid == 0) {
+      // Drop every inherited pipe end except our own write end, so a failed
+      // sibling's pipe reaches EOF as soon as its owner exits.
+      for (std::size_t k = 0; k < n; ++k) {
+        pipes[k].read_end.reset();
+        if (k != i) pipes[k].write_end.reset();
+      }
+      try {
+        const std::optional<T> out = tasks[i]();
+        if (out.has_value()) {
+          write_frame(pipes[i].write_end.get(), race_encode<T>(*out));
+          _exit(0);
+        }
+      } catch (...) {
+      }
+      _exit(41);  // failed: no frame written
+    }
+    children[i] = pid;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + options.timeout;
+  std::vector<T> results(n);
+  std::vector<bool> got(n, false);
+  bool failed = false;
+
+  auto cleanup = [&](bool kill_all) {
+    if (kill_all) {
+      for (pid_t pid : children) ::kill(pid, SIGKILL);
+    }
+    for (pid_t pid : children) ::waitpid(pid, nullptr, 0);
+  };
+
+  // Collect in order; each wait is bounded by the global deadline. A child
+  // that exits without a frame yields EOF, which read_frame reports as
+  // nullopt -> failure.
+  for (std::size_t i = 0; i < n && !failed; ++i) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      failed = true;
+      break;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    // Close our copy of the write end so EOF is observable.
+    pipes[i].write_end.reset();
+    if (!wait_readable(pipes[i].read_end.get(),
+                       static_cast<int>(remaining.count()) + 1)) {
+      failed = true;
+      break;
+    }
+    const auto frame = read_frame(pipes[i].read_end.get());
+    if (!frame.has_value()) {
+      failed = true;
+      break;
+    }
+    results[i] = race_decode<T>(*frame);
+    got[i] = true;
+  }
+
+  cleanup(failed);
+  if (failed) return std::nullopt;
+  return results;
+}
+
+}  // namespace altx::posix

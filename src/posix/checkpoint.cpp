@@ -1,0 +1,104 @@
+#include "posix/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "posix/fd.hpp"
+
+namespace altx::posix {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x414c545843505431ULL;  // "ALTXCPT1"
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace
+
+void checkpoint_save(const std::string& path, const Bytes& image) {
+  Fd fd(::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600));
+  if (!fd.valid()) throw_errno("open(checkpoint)");
+  std::uint64_t header[2] = {kMagic, image.size()};
+  write_all(fd.get(), header, sizeof header);
+  if (!image.empty()) write_all(fd.get(), image.data(), image.size());
+  // The paper's checkpoint is durable (an executable file on the NFS);
+  // include the sync in the measured cost.
+  if (::fsync(fd.get()) != 0) throw_errno("fsync(checkpoint)");
+}
+
+Bytes checkpoint_load(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) throw_errno("open(checkpoint)");
+  std::uint64_t header[2] = {0, 0};
+  if (!read_exact(fd.get(), header, sizeof header)) {
+    throw SystemError("checkpoint_load: empty file", EIO);
+  }
+  ALTX_REQUIRE(header[0] == kMagic, "checkpoint_load: bad magic");
+  Bytes image(header[1]);
+  if (!image.empty() && !read_exact(fd.get(), image.data(), image.size())) {
+    throw SystemError("checkpoint_load: truncated image", EIO);
+  }
+  return image;
+}
+
+RforkResult rfork_simulated(std::size_t image_bytes, double simulated_network_ms,
+                            const std::string& dir) {
+  RforkResult r;
+  r.image_bytes = image_bytes;
+  const std::string path =
+      dir + "/altx_rfork_" + std::to_string(::getpid()) + ".ckpt";
+
+  // Build a state image with non-trivial content so compression-by-zero
+  // can't flatter the numbers.
+  Bytes image(image_bytes);
+  Rng rng(image_bytes + 1);
+  for (std::size_t i = 0; i < image.size(); i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    std::memcpy(image.data() + i, &v, std::min<std::size_t>(8, image.size() - i));
+  }
+
+  const auto t_total = std::chrono::steady_clock::now();
+  checkpoint_save(path, image);
+  r.checkpoint_ms = ms_since(t_total);
+
+  Pipe ack = Pipe::create();
+  const pid_t pid = ::fork();
+  if (pid < 0) throw_errno("fork(rfork)");
+  if (pid == 0) {
+    // The "remote" node: restore the image and acknowledge with a timing.
+    const auto t_restore = std::chrono::steady_clock::now();
+    double restore_ms = 0;
+    try {
+      const Bytes restored = checkpoint_load(path);
+      restore_ms = ms_since(t_restore);
+      if (restored.size() != image_bytes) restore_ms = -1;
+    } catch (...) {
+      restore_ms = -1;
+    }
+    write_all(ack.write_end.get(), &restore_ms, sizeof restore_ms);
+    _exit(0);
+  }
+  double restore_ms = -1;
+  if (!read_exact(ack.read_end.get(), &restore_ms, sizeof restore_ms)) {
+    restore_ms = -1;
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ::unlink(path.c_str());
+  ALTX_REQUIRE(restore_ms >= 0, "rfork_simulated: restore failed");
+  r.restore_ms = restore_ms;
+  r.total_ms = ms_since(t_total) + simulated_network_ms;
+  return r;
+}
+
+}  // namespace altx::posix

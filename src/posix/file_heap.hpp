@@ -1,0 +1,90 @@
+// FileHeap: speculative transactions on a durable file.
+//
+// The paper's single-level store buries files under the page abstraction
+// ("files are named sets of pages"), so the same copy-on-write machinery
+// that isolates alternatives over memory also isolates them over files.
+// FileHeap maps a file MAP_PRIVATE: every process (and every forked
+// alternative) reads the file's pages directly, writes go to private copies,
+// and nothing touches the disk until the parent — after absorbing the
+// winner — explicitly commits, making the block a transaction on the file
+// (all of the winner's updates or none).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "posix/alt_heap.hpp"
+#include "posix/fd.hpp"
+
+namespace altx::posix {
+
+class FileHeap : public CowTrackable {
+ public:
+  /// Opens (creating and zero-extending if needed) `path` and maps `pages`
+  /// system pages of it copy-on-write.
+  FileHeap(const std::string& path, std::size_t pages);
+  ~FileHeap();
+
+  FileHeap(const FileHeap&) = delete;
+  FileHeap& operator=(const FileHeap&) = delete;
+
+  [[nodiscard]] void* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
+  [[nodiscard]] std::size_t pages() const noexcept { return pages_; }
+
+  template <typename T>
+  [[nodiscard]] T* at(std::size_t byte_offset) const {
+    ALTX_REQUIRE(byte_offset + sizeof(T) <= bytes_, "FileHeap::at: out of range");
+    return reinterpret_cast<T*>(static_cast<std::uint8_t*>(base_) + byte_offset);
+  }
+
+  /// Child side: start recording dirty pages (same mprotect/SIGSEGV
+  /// descriptor table as AltHeap).
+  void begin_tracking();
+  void end_tracking();
+  [[nodiscard]] Bytes serialize_dirty() const;
+
+  /// Parent side: applies a winner's dirty pages to the in-memory view and
+  /// records them for the next commit().
+  std::size_t apply_patch(const Bytes& patch);
+
+  /// Writes every page modified since the last commit (whether patched in
+  /// from a winner or written directly by the caller) back to the file and
+  /// fsyncs — the transaction's commit point. Returns pages written.
+  std::size_t commit();
+
+  /// Discards in-memory modifications: remaps the file, restoring the
+  /// on-disk state (the transaction's abort).
+  void rollback();
+
+  /// Marks a page modified directly by the caller (apply_patch marks its
+  /// pages automatically) so commit() persists it.
+  void mark_dirty(std::uint32_t page);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& dirty_pages() const {
+    return dirty_;
+  }
+
+  bool handle_fault(void* addr) override;
+
+ private:
+  void map();
+  void unmap();
+  void note_pending(std::uint32_t page);
+
+  std::string path_;
+  Fd fd_;
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t page_size_ = 0;
+  std::size_t pages_ = 0;
+  bool tracking_ = false;
+  std::vector<std::uint32_t> dirty_;    // child-side descriptor table
+  std::vector<std::uint32_t> pending_;  // parent-side pages awaiting commit
+};
+
+}  // namespace altx::posix

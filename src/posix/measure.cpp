@@ -1,0 +1,114 @@
+#include "posix/measure.hpp"
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace altx::posix {
+
+namespace {
+
+struct Arena {
+  void* base = nullptr;
+  std::size_t bytes = 0;
+
+  Arena(std::size_t n, int flags) : bytes(n) {
+    base = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
+                  flags | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) throw_errno("mmap");
+  }
+  ~Arena() {
+    if (base != nullptr) ::munmap(base, bytes);
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+};
+
+void touch_every_page(void* base, std::size_t bytes, std::size_t page) {
+  auto* p = static_cast<volatile std::uint8_t*>(base);
+  for (std::size_t off = 0; off < bytes; off += page) p[off] = 1;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace
+
+ForkMeasurement measure_fork(std::size_t arena_bytes, int iterations) {
+  ALTX_REQUIRE(iterations >= 1, "measure_fork: need iterations");
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  Arena arena(arena_bytes, MAP_PRIVATE);
+  touch_every_page(arena.base, arena.bytes, page);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw_errno("fork");
+    if (pid == 0) _exit(0);  // no memory updates
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  ForkMeasurement m;
+  m.arena_bytes = arena_bytes;
+  m.iterations = iterations;
+  m.mean_ms = ms_since(t0) / iterations;
+  return m;
+}
+
+CopyMeasurement measure_page_copy(std::size_t arena_bytes,
+                                  double fraction_written, int iterations) {
+  ALTX_REQUIRE(iterations >= 1, "measure_page_copy: need iterations");
+  ALTX_REQUIRE(fraction_written >= 0.0 && fraction_written <= 1.0,
+               "measure_page_copy: fraction out of range");
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t pages = arena_bytes / page;
+  const auto to_write = static_cast<std::size_t>(
+      static_cast<double>(pages) * fraction_written);
+
+  // COW arena shared with children by fork; a tiny MAP_SHARED slot carries
+  // the child's timing back.
+  Arena arena(arena_bytes, MAP_PRIVATE);
+  touch_every_page(arena.base, arena.bytes, page);
+  Arena slot(page, MAP_SHARED);
+  auto* child_ms = static_cast<double*>(slot.base);
+
+  double total_ms = 0;
+  for (int i = 0; i < iterations; ++i) {
+    *child_ms = -1;
+    const pid_t pid = ::fork();
+    if (pid < 0) throw_errno("fork");
+    if (pid == 0) {
+      auto* p = static_cast<volatile std::uint8_t*>(arena.base);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t k = 0; k < to_write; ++k) {
+        p[k * page] = 2;  // first write to the page: COW fault + copy
+      }
+      *child_ms = ms_since(t0);
+      _exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    ALTX_REQUIRE(*child_ms >= 0, "measure_page_copy: child failed");
+    total_ms += *child_ms;
+  }
+
+  CopyMeasurement m;
+  m.arena_bytes = arena_bytes;
+  m.fraction_written = fraction_written;
+  m.pages_copied = to_write;
+  m.child_write_ms = total_ms / iterations;
+  m.pages_per_second = m.child_write_ms > 0
+                           ? static_cast<double>(to_write) * 1000.0 / m.child_write_ms
+                           : 0.0;
+  return m;
+}
+
+}  // namespace altx::posix

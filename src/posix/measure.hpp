@@ -1,0 +1,41 @@
+// Measured COW overheads on the host machine (section 4.4 reproduction).
+//
+// The paper reports, for the AT&T 3B2/310 and HP 9000/350:
+//   - fork() of a 320 KB address space with no memory updates,
+//   - the page-copy service rate under copy-on-write,
+//   - the fraction of pages written as the governing independent variable.
+// These helpers reproduce the same measurements on the present machine with
+// the same primitives (fork, COW, page touching), so E2/E3 can print the
+// paper's numbers next to freshly measured ones.
+#pragma once
+
+#include <cstddef>
+
+namespace altx::posix {
+
+struct ForkMeasurement {
+  std::size_t arena_bytes = 0;
+  int iterations = 0;
+  double mean_ms = 0;  // mean cost of fork()+immediate child exit+wait
+};
+
+/// Times fork() of a process whose writable arena is `arena_bytes` (touched
+/// beforehand so every page is backed); the child exits immediately — no
+/// memory updates, exactly the paper's baseline case.
+ForkMeasurement measure_fork(std::size_t arena_bytes, int iterations);
+
+struct CopyMeasurement {
+  std::size_t arena_bytes = 0;
+  double fraction_written = 0;
+  std::size_t pages_copied = 0;
+  double child_write_ms = 0;   // time the child spent writing (COW faults)
+  double pages_per_second = 0;
+};
+
+/// Forks a child that writes one byte to `fraction_written` of the arena's
+/// pages, timing the writes (every one triggers a COW page copy). The timing
+/// travels back through shared memory.
+CopyMeasurement measure_page_copy(std::size_t arena_bytes,
+                                  double fraction_written, int iterations);
+
+}  // namespace altx::posix

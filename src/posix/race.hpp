@@ -1,0 +1,126 @@
+// race<T>: the user-facing fastest-first construct over real processes.
+//
+// The programmer-visible equivalent of the paper's ALTBEGIN block:
+//
+//   auto r = altx::posix::race<int>({
+//       [] { return method1(); },   // each returns std::optional<T>:
+//       [] { return method2(); },   //   a value    = ENSURE guard held
+//       [] { return method3(); },   //   nullopt    = guard failed
+//   });
+//   if (!r) ...                     //   FAIL — no method succeeded
+//
+// Every alternative runs in its own forked process (full COW isolation: heap,
+// globals, everything); the first to produce a value wins, its result is
+// returned in the parent and its siblings are eliminated. Side effects of the
+// losers never escape their processes. An exception inside an alternative
+// counts as a failed guard.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "posix/alt_group.hpp"
+
+namespace altx::posix {
+
+/// Serialisation across the commit pipe: trivially copyable types, plus
+/// std::string and Bytes.
+template <typename T>
+concept RaceSerializable =
+    std::is_trivially_copyable_v<T> || std::is_same_v<T, std::string> ||
+    std::is_same_v<T, Bytes>;
+
+template <RaceSerializable T>
+Bytes race_encode(const T& value) {
+  if constexpr (std::is_same_v<T, Bytes>) {
+    return value;
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return Bytes(value.begin(), value.end());
+  } else {
+    Bytes b(sizeof(T));
+    std::memcpy(b.data(), &value, sizeof(T));
+    return b;
+  }
+}
+
+template <RaceSerializable T>
+T race_decode(const Bytes& b) {
+  if constexpr (std::is_same_v<T, Bytes>) {
+    return b;
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return std::string(b.begin(), b.end());
+  } else {
+    ALTX_REQUIRE(b.size() == sizeof(T), "race_decode: size mismatch");
+    T value;
+    std::memcpy(&value, b.data(), sizeof(T));
+    return value;
+  }
+}
+
+struct RaceOptions {
+  std::chrono::milliseconds timeout{10'000};
+  Eliminate elimination = Eliminate::kSynchronous;
+  AltHeap* heap = nullptr;  // shared-state arena absorbed from the winner
+
+  /// Replication for reliability (paper section 6: "transparent replication
+  /// can easily be combined with the use of parallel execution of several
+  /// alternatives"): each alternative is spawned this many times; any replica
+  /// may win for its alternative, so a crashing replica does not lose the
+  /// alternative.
+  int replicas = 1;
+};
+
+template <typename T>
+struct RaceResult {
+  T value{};
+  int winner = 0;  // 1-based index of the selected alternative
+  std::size_t pages_absorbed = 0;
+};
+
+/// An alternative is any callable returning std::optional<T>; nullopt (or an
+/// escaped exception) means its guard failed.
+template <RaceSerializable T>
+using AlternativeFn = std::function<std::optional<T>()>;
+
+/// Concurrently executes mutually exclusive alternatives, fastest first.
+/// Returns nullopt when all alternatives fail or the timeout expires.
+template <RaceSerializable T>
+std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
+                                  const RaceOptions& options = {}) {
+  ALTX_REQUIRE(!alts.empty(), "race: need at least one alternative");
+  ALTX_REQUIRE(options.replicas >= 1, "race: need at least one replica");
+  AltGroupOptions go;
+  go.elimination = options.elimination;
+  go.heap = options.heap;
+  AltGroup group(go);
+  const int n = static_cast<int>(alts.size());
+  const int who = group.alt_spawn(n * options.replicas);
+  if (who > 0) {
+    // Child: replicas of alternative a get indices a, a+n, a+2n, ... The
+    // child runs the method, then synchronizes (or aborts); it must never
+    // return into the caller's world.
+    const std::size_t alt_index = static_cast<std::size_t>((who - 1) % n);
+    try {
+      const std::optional<T> out = alts[alt_index]();
+      if (out.has_value()) group.child_commit(race_encode<T>(*out));
+      group.child_abort();
+    } catch (...) {
+      group.child_abort();
+    }
+  }
+  auto win = group.alt_wait(options.timeout);
+  if (!win.has_value()) return std::nullopt;
+  RaceResult<T> r;
+  r.value = race_decode<T>(win->result);
+  r.winner = (win->index - 1) % n + 1;
+  r.pages_absorbed = win->pages_absorbed;
+  return r;
+}
+
+}  // namespace altx::posix

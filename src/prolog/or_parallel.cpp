@@ -1,0 +1,301 @@
+#include "prolog/or_parallel.hpp"
+
+#include <chrono>
+
+#include "posix/await_all.hpp"
+#include "posix/race.hpp"
+
+namespace altx::prolog {
+
+namespace {
+
+/// Number of clauses matching the query's first goal — the width of the top
+/// choice point.
+std::size_t top_choice_width(const Database& db, const Query& query) {
+  ALTX_REQUIRE(!query.goals.empty(), "or_parallel: empty query");
+  const TermPtr& g = query.goals.front();
+  ALTX_REQUIRE(g->kind == Term::Kind::kAtom || g->kind == Term::Kind::kStruct,
+               "or_parallel: first goal must be callable");
+  const auto* clauses =
+      db.clauses(PredKey{g->functor, static_cast<std::uint32_t>(g->args.size())});
+  return clauses == nullptr ? 0 : clauses->size();
+}
+
+std::string encode_solution(const Solution& s) {
+  std::string out;
+  for (const auto& [k, v] : s) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+Solution decode_solution(const std::string& text) {
+  Solution s;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string line = text.substr(start, nl - start);
+    const std::size_t eq = line.find('=');
+    if (eq != std::string::npos) s[line.substr(0, eq)] = line.substr(eq + 1);
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+OrParallelResult solve_or_parallel(const Database& db, const Query& query,
+                                   std::chrono::milliseconds timeout) {
+  OrParallelResult result;
+  const std::size_t width = top_choice_width(db, query);
+  const auto t0 = std::chrono::steady_clock::now();
+  if (width == 0) return result;
+
+  // One alternative per clause of the top choice point. Each runs the
+  // sequential engine restricted to its clause; finding a solution is the
+  // guard, the encoded bindings are the result.
+  std::vector<posix::AlternativeFn<std::string>> alts;
+  for (std::size_t ci = 0; ci < width; ++ci) {
+    alts.push_back([&db, &query, ci]() -> std::optional<std::string> {
+      Solver::Options o;
+      o.first_call_clause = static_cast<int>(ci);
+      Solver solver(db, o);
+      const auto sol = solver.solve_first(query);
+      if (!sol.has_value()) return std::nullopt;
+      // Prefix the clause index so the parent learns the branch.
+      return std::to_string(ci) + ";" + encode_solution(*sol);
+    });
+  }
+
+  posix::RaceOptions opts;
+  opts.timeout = timeout;
+  const auto r = posix::race<std::string>(alts, opts);
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  if (!r.has_value()) return result;
+  const std::string& text = r->value;
+  const std::size_t semi = text.find(';');
+  ALTX_ASSERT(semi != std::string::npos, "or_parallel: malformed result");
+  result.found = true;
+  result.winner_branch = std::stoi(text.substr(0, semi));
+  result.solution = decode_solution(text.substr(semi + 1));
+  return result;
+}
+
+namespace {
+
+void collect_vars(const TermPtr& t, std::vector<std::uint32_t>& out) {
+  switch (t->kind) {
+    case Term::Kind::kVar:
+      out.push_back(t->var);
+      return;
+    case Term::Kind::kAtom:
+    case Term::Kind::kInt:
+      return;
+    case Term::Kind::kStruct:
+      for (const auto& a : t->args) collect_vars(a, out);
+      return;
+  }
+}
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> independent_groups(const Query& query) {
+  const std::size_t n = query.goals.size();
+  UnionFind uf(n);
+  // Goals sharing any variable slot belong to the same group.
+  std::map<std::uint32_t, std::size_t> first_user;  // var -> first goal using it
+  for (std::size_t g = 0; g < n; ++g) {
+    std::vector<std::uint32_t> vars;
+    collect_vars(query.goals[g], vars);
+    for (std::uint32_t v : vars) {
+      auto [it, fresh] = first_user.emplace(v, g);
+      if (!fresh) uf.unite(g, it->second);
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t g = 0; g < n; ++g) by_root[uf.find(g)].push_back(g);
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, goals] : by_root) out.push_back(std::move(goals));
+  return out;
+}
+
+AndParallelResult solve_and_parallel(const Database& db, const Query& query,
+                                     std::chrono::milliseconds timeout) {
+  AndParallelResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto groups = independent_groups(query);
+  result.groups = groups.size();
+  ALTX_REQUIRE(!groups.empty(), "solve_and_parallel: empty query");
+
+  // Build one sub-query per group: the group's goals plus the named
+  // variables that appear in them.
+  std::vector<Query> subqueries;
+  for (const auto& group : groups) {
+    Query sub;
+    sub.nvars = query.nvars;  // slots are shared; groups touch disjoint ones
+    std::vector<std::uint32_t> vars;
+    for (std::size_t g : group) {
+      sub.goals.push_back(query.goals[g]);
+      collect_vars(query.goals[g], vars);
+    }
+    for (const auto& [name, slot] : query.var_names) {
+      if (std::find(vars.begin(), vars.end(), slot) != vars.end()) {
+        sub.var_names.emplace(name, slot);
+      }
+    }
+    subqueries.push_back(std::move(sub));
+  }
+
+  // One forked solver per group; all must succeed.
+  std::vector<posix::AlternativeFn<std::string>> tasks;
+  for (const auto& sub : subqueries) {
+    tasks.push_back([&db, &sub]() -> std::optional<std::string> {
+      Solver solver(db);
+      const auto sol = solver.solve_first(sub);
+      if (!sol.has_value()) return std::nullopt;
+      return encode_solution(*sol);
+    });
+  }
+  posix::AwaitOptions opts;
+  opts.timeout = timeout;
+  const auto all = posix::await_all<std::string>(tasks, opts);
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  if (!all.has_value()) return result;
+  result.found = true;
+  for (const std::string& text : *all) {
+    const Solution part = decode_solution(text);
+    result.solution.insert(part.begin(), part.end());
+  }
+  return result;
+}
+
+OrAllResult solve_or_parallel_all(const Database& db, const Query& query,
+                                  std::size_t per_branch_limit,
+                                  std::chrono::milliseconds timeout) {
+  OrAllResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t width = top_choice_width(db, query);
+  if (width == 0) {
+    result.complete = true;
+    return result;
+  }
+  // Each branch enumerates ALL its solutions; unlike the fastest-first race,
+  // every branch's output is needed, so this is an AND over branches of a
+  // findall per branch.
+  std::vector<posix::AlternativeFn<std::string>> tasks;
+  for (std::size_t ci = 0; ci < width; ++ci) {
+    tasks.push_back([&db, &query, ci, per_branch_limit]() -> std::optional<std::string> {
+      Solver::Options o;
+      o.first_call_clause = static_cast<int>(ci);
+      Solver solver(db, o);
+      std::string out;
+      for (const Solution& s : solver.solve_all(query, per_branch_limit)) {
+        out += encode_solution(s);
+        out += ";";
+      }
+      return out;  // empty string = zero solutions, still a success
+    });
+  }
+  posix::AwaitOptions opts;
+  opts.timeout = timeout;
+  const auto all = posix::await_all<std::string>(tasks, opts);
+  result.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  if (!all.has_value()) return result;
+  result.complete = true;
+  for (const std::string& branch : *all) {
+    std::size_t start = 0;
+    while (start < branch.size()) {
+      const std::size_t semi = branch.find(';', start);
+      if (semi == std::string::npos) break;
+      result.solutions.push_back(decode_solution(branch.substr(start, semi - start)));
+      start = semi + 1;
+    }
+  }
+  return result;
+}
+
+std::vector<BranchProfile> profile_branches(const Database& db, const Query& query,
+                                            std::uint64_t max_steps) {
+  const std::size_t width = top_choice_width(db, query);
+  std::vector<BranchProfile> out;
+  for (std::size_t ci = 0; ci < width; ++ci) {
+    Solver::Options o;
+    o.first_call_clause = static_cast<int>(ci);
+    o.max_steps = max_steps;
+    Solver solver(db, o);
+    BranchProfile p;
+    p.clause_index = ci;
+    p.found = solver.solve_first(query).has_value();
+    p.steps = solver.steps();
+    out.push_back(p);
+  }
+  return out;
+}
+
+OrSimResult simulate_or_parallel(const Database& db, const Query& query,
+                                 double usec_per_inference,
+                                 sim::Kernel::Config cfg) {
+  ALTX_REQUIRE(usec_per_inference > 0, "simulate_or_parallel: bad LIPS rate");
+  OrSimResult r;
+  r.branches = profile_branches(db, query);
+  if (r.branches.empty()) return r;
+
+  // Sequential backtracking: clause order; a failing branch is explored
+  // exhaustively before the next clause is tried.
+  std::uint64_t seq_steps = 0;
+  for (const auto& b : r.branches) {
+    seq_steps += b.steps;
+    if (b.found) {
+      r.found = true;
+      break;
+    }
+  }
+  r.sequential_time =
+      static_cast<SimTime>(static_cast<double>(seq_steps) * usec_per_inference);
+
+  // Concurrent: one alternative per branch. Unification is read-mostly
+  // (section 7: "an overwhelming preponderance of read references"), with
+  // writes concentrated on the (stack) pages — a handful of written pages.
+  core::BlockSpec block;
+  for (const auto& b : r.branches) {
+    core::AltSpec a;
+    a.compute = std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(b.steps) * usec_per_inference));
+    a.pages_read = 12;
+    a.pages_written = 3;
+    a.guard_ok = b.found;
+    block.alts.push_back(a);
+  }
+  const auto conc = core::run_concurrent(block, cfg);
+  r.parallel_time = conc.elapsed;
+  if (r.parallel_time > 0) {
+    r.speedup = static_cast<double>(r.sequential_time) /
+                static_cast<double>(r.parallel_time);
+  }
+  return r;
+}
+
+}  // namespace altx::prolog

@@ -1,0 +1,112 @@
+// OR-parallelism in Prolog (paper section 5.2).
+//
+// At a choice point with several candidate clauses, the alternatives are
+// mutually exclusive in exactly the paper's sense: we need one solution, so
+// each clause becomes an alternative of an alt block. "What our method does
+// is copy, and since we choose only one alternative, no merging is
+// necessary" — process-level COW gives each branch its own binding
+// environment for free.
+//
+// Two executors are provided:
+//
+//   solve_or_parallel  — real processes: the top-level choice point's clauses
+//                        are raced via the posix backend; the first branch to
+//                        find a solution commits it, the siblings die.
+//
+//   simulate_or_parallel — the performance experiment: each branch's
+//                        sequential inference count is measured, converted to
+//                        compute time at a configurable LIPS rate, and the
+//                        whole choice point is replayed on the kernel
+//                        simulator as a concurrent alternative block (with
+//                        spawn/copy/commit overheads) against the sequential
+//                        backtracking baseline.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "prolog/solver.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx::prolog {
+
+struct OrParallelResult {
+  bool found = false;
+  Solution solution;
+  int winner_branch = -1;  // clause index of the successful branch
+  double elapsed_ms = 0;
+};
+
+/// Races the clauses of the query's first goal across real processes.
+/// `timeout` bounds the whole block (the alt_wait TIMEOUT).
+OrParallelResult solve_or_parallel(
+    const Database& db, const Query& query,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(30'000));
+
+/// Per-branch sequential measurement used by the simulation.
+struct BranchProfile {
+  std::size_t clause_index = 0;
+  std::uint64_t steps = 0;  // inferences until first solution or exhaustion
+  bool found = false;
+};
+
+/// Runs each branch of the query's top choice point to its first solution
+/// (or exhaustion) with the sequential engine, counting inferences.
+std::vector<BranchProfile> profile_branches(const Database& db, const Query& query,
+                                            std::uint64_t max_steps = 50'000'000);
+
+/// All-solutions OR-parallelism: every branch of the top choice point is
+/// explored to exhaustion in its own process (a distributed findall); the
+/// union of the branches' solutions, in clause order, equals the sequential
+/// engine's solution sequence.
+struct OrAllResult {
+  bool complete = false;            // every branch finished within the timeout
+  std::vector<Solution> solutions;  // clause order, then within-branch order
+  double elapsed_ms = 0;
+};
+
+OrAllResult solve_or_parallel_all(
+    const Database& db, const Query& query, std::size_t per_branch_limit = 1000,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(30'000));
+
+/// AND-parallelism (section 5.2: "if we have a situation where goals A and
+/// B must be satisfied, we can pursue the satisfaction of A and B in
+/// parallel"). Restricted to *independent* conjunctions: goals are grouped
+/// by shared variables; groups share nothing, so their solutions merge
+/// without the pointer-chasing machinery the paper wants to avoid.
+struct AndParallelResult {
+  bool found = false;
+  Solution solution;               // union of the groups' bindings
+  std::size_t groups = 0;          // independence groups solved in parallel
+  double elapsed_ms = 0;
+};
+
+/// Partitions the query's goals into groups connected by shared variables.
+std::vector<std::vector<std::size_t>> independent_groups(const Query& query);
+
+/// Solves each independence group in its own forked process (all must
+/// succeed); a single-group query degenerates to the sequential engine.
+AndParallelResult solve_and_parallel(
+    const Database& db, const Query& query,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(30'000));
+
+struct OrSimResult {
+  SimTime sequential_time = 0;  // backtracking baseline on the simulator
+  SimTime parallel_time = 0;    // concurrent alt-block execution
+  double speedup = 0;
+  std::vector<BranchProfile> branches;
+  bool found = false;
+};
+
+/// The E7 experiment kernel: converts inference counts to compute time at
+/// `usec_per_inference` and compares sequential backtracking (branches tried
+/// in clause order, failed branches paid in full) against the concurrent
+/// alternative block on the given machine.
+OrSimResult simulate_or_parallel(const Database& db, const Query& query,
+                                 double usec_per_inference,
+                                 sim::Kernel::Config cfg);
+
+}  // namespace altx::prolog

@@ -1,0 +1,327 @@
+#include "prolog/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace altx::prolog {
+
+namespace {
+
+enum class Tok {
+  kAtom,    // lowercase word, quoted atom, or symbolic operator word
+  kVar,     // Uppercase / _ word
+  kInt,
+  kPunct,   // ( ) [ ] , | . :- and operator symbols
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t value = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("parse error at offset " + std::to_string(current_.pos) +
+                     ": " + what + " (got '" + current_.text + "')");
+  }
+
+ private:
+  void advance() {
+    skip_ws();
+    current_.pos = i_;
+    if (i_ >= text_.size()) {
+      current_ = Token{Tok::kEnd, "<eof>", 0, i_};
+      return;
+    }
+    const char c = text_[i_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i_;
+      while (j < text_.size() && std::isdigit(static_cast<unsigned char>(text_[j]))) ++j;
+      current_ = Token{Tok::kInt, text_.substr(i_, j - i_),
+                       std::stoll(text_.substr(i_, j - i_)), i_};
+      i_ = j;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i_;
+      while (j < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[j])) || text_[j] == '_')) {
+        ++j;
+      }
+      const std::string word = text_.substr(i_, j - i_);
+      const bool is_var = std::isupper(static_cast<unsigned char>(c)) || c == '_';
+      current_ = Token{is_var ? Tok::kVar : Tok::kAtom, word, 0, i_};
+      i_ = j;
+      return;
+    }
+    if (c == '\'') {
+      std::size_t j = i_ + 1;
+      std::string content;
+      while (j < text_.size() && text_[j] != '\'') content += text_[j++];
+      if (j >= text_.size()) {
+        current_ = Token{Tok::kEnd, "<unterminated atom>", 0, i_};
+        fail("unterminated quoted atom");
+      }
+      current_ = Token{Tok::kAtom, content, 0, i_};
+      i_ = j + 1;
+      return;
+    }
+    // Punctuation / symbolic operators, longest match first.
+    static const char* kSymbols[] = {"=\\=", "=:=", ":-", "\\+", "=<", ">=",
+                                     "//", "(", ")", "[", "]", ",", "|", ".",
+                                     "!", "=", "<", ">", "+", "-", "*"};
+    for (const char* s : kSymbols) {
+      const std::size_t len = std::char_traits<char>::length(s);
+      if (text_.compare(i_, len, s) == 0) {
+        current_ = Token{Tok::kPunct, s, 0, i_};
+        i_ += len;
+        return;
+      }
+    }
+    current_ = Token{Tok::kEnd, std::string(1, c), 0, i_};
+    fail("unexpected character");
+  }
+
+  void skip_ws() {
+    while (i_ < text_.size()) {
+      const char c = text_[i_];
+      if (c == '%') {
+        while (i_ < text_.size() && text_[i_] != '\n') ++i_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  Token current_;
+};
+
+struct OpInfo {
+  int prec = 0;
+};
+
+std::optional<OpInfo> infix_op(const Token& t) {
+  const std::string& s = t.text;
+  if (t.kind == Tok::kPunct) {
+    if (s == "=" || s == "<" || s == ">" || s == "=<" || s == ">=" ||
+        s == "=:=" || s == "=\\=") {
+      return OpInfo{700};
+    }
+    if (s == "+" || s == "-") return OpInfo{500};
+    if (s == "*" || s == "//") return OpInfo{400};
+  }
+  if (t.kind == Tok::kAtom) {
+    if (s == "is") return OpInfo{700};
+    if (s == "mod") return OpInfo{400};
+  }
+  return std::nullopt;
+}
+
+class TermParser {
+ public:
+  TermParser(SymbolTable& sym, Lexer& lex) : sym_(sym), lex_(lex) {}
+
+  /// Variable-name scope for the current clause/query.
+  std::map<std::string, std::uint32_t> vars;
+  std::uint32_t next_var = 0;
+
+  TermPtr parse(int max_prec) {
+    TermPtr t = parse_primary();
+    while (true) {
+      const auto op = infix_op(lex_.peek());
+      if (!op.has_value() || op->prec > max_prec) break;
+      const Token tok = lex_.take();
+      // Left associativity: the right operand binds tighter than the
+      // operator itself, so  a - b - c  reduces as  (a - b) - c.
+      TermPtr rhs = parse(op->prec - 1);
+      t = mk_struct(sym_.intern(tok.text), {t, rhs});
+    }
+    return t;
+  }
+
+ private:
+  TermPtr parse_primary() {
+    const Token t = lex_.peek();
+    if (t.kind == Tok::kInt) {
+      lex_.take();
+      return mk_int(t.value);
+    }
+    if (t.kind == Tok::kPunct && t.text == "-") {
+      // Unary minus for numbers: -3.
+      lex_.take();
+      const Token n = lex_.peek();
+      if (n.kind == Tok::kInt) {
+        lex_.take();
+        return mk_int(-n.value);
+      }
+      return mk_struct(sym_.intern("-"), {mk_int(0), parse(400)});
+    }
+    if (t.kind == Tok::kVar) {
+      lex_.take();
+      if (t.text == "_") return mk_var(next_var++);  // each _ is fresh
+      auto it = vars.find(t.text);
+      if (it != vars.end()) return mk_var(it->second);
+      const std::uint32_t slot = next_var++;
+      vars.emplace(t.text, slot);
+      return mk_var(slot);
+    }
+    if (t.kind == Tok::kAtom) {
+      lex_.take();
+      const Symbol f = sym_.intern(t.text);
+      if (lex_.peek().kind == Tok::kPunct && lex_.peek().text == "(" &&
+          lex_.peek().pos == t.pos + t.text.size()) {
+        lex_.take();  // '('
+        std::vector<TermPtr> args;
+        args.push_back(parse(999));
+        while (lex_.peek().kind == Tok::kPunct && lex_.peek().text == ",") {
+          lex_.take();
+          args.push_back(parse(999));
+        }
+        expect(")");
+        return mk_struct(f, std::move(args));
+      }
+      return mk_atom(f);
+    }
+    if (t.kind == Tok::kPunct && t.text == "(") {
+      lex_.take();
+      TermPtr inner = parse(1200);
+      expect(")");
+      return inner;
+    }
+    if (t.kind == Tok::kPunct && t.text == "[") {
+      lex_.take();
+      return parse_list();
+    }
+    if (t.kind == Tok::kPunct && t.text == "!") {
+      lex_.take();
+      return mk_atom(sym_.intern("!"));
+    }
+    if (t.kind == Tok::kPunct && t.text == "\\+") {
+      // Negation as failure: \+ Goal (prefix, priority 900).
+      lex_.take();
+      return mk_struct(sym_.intern("\\+"), {parse(900)});
+    }
+    lex_.fail("expected a term");
+  }
+
+  TermPtr parse_list() {
+    const Symbol nil = sym_.intern("[]");
+    const Symbol cons = sym_.intern(".");
+    if (lex_.peek().kind == Tok::kPunct && lex_.peek().text == "]") {
+      lex_.take();
+      return mk_atom(nil);
+    }
+    std::vector<TermPtr> items;
+    items.push_back(parse(999));
+    while (lex_.peek().kind == Tok::kPunct && lex_.peek().text == ",") {
+      lex_.take();
+      items.push_back(parse(999));
+    }
+    TermPtr tail = mk_atom(nil);
+    if (lex_.peek().kind == Tok::kPunct && lex_.peek().text == "|") {
+      lex_.take();
+      tail = parse(999);
+    }
+    expect("]");
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      tail = mk_struct(cons, {*it, tail});
+    }
+    return tail;
+  }
+
+  void expect(const std::string& punct) {
+    if (lex_.peek().kind != Tok::kPunct || lex_.peek().text != punct) {
+      lex_.fail("expected '" + punct + "'");
+    }
+    lex_.take();
+  }
+
+  SymbolTable& sym_;
+  Lexer& lex_;
+};
+
+std::vector<TermPtr> split_conjunction(SymbolTable& sym, const TermPtr& t) {
+  // ',' never appears as a functor from our parser (it is a separator), but
+  // handle it for programmatically built goals.
+  if (t->kind == Term::Kind::kStruct && t->args.size() == 2 &&
+      sym.name(t->functor) == ",") {
+    auto lhs = split_conjunction(sym, t->args[0]);
+    auto rhs = split_conjunction(sym, t->args[1]);
+    lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+    return lhs;
+  }
+  return {t};
+}
+
+}  // namespace
+
+std::vector<Clause> parse_program(SymbolTable& symbols, const std::string& text) {
+  Lexer lex(text);
+  std::vector<Clause> out;
+  while (lex.peek().kind != Tok::kEnd) {
+    TermParser tp(symbols, lex);
+    Clause c;
+    c.head = tp.parse(999);
+    ALTX_REQUIRE(c.head->kind == Term::Kind::kAtom ||
+                     c.head->kind == Term::Kind::kStruct,
+                 "parse_program: clause head must be an atom or structure");
+    if (lex.peek().kind == Tok::kPunct && lex.peek().text == ":-") {
+      lex.take();
+      c.body.push_back(tp.parse(999));
+      while (lex.peek().kind == Tok::kPunct && lex.peek().text == ",") {
+        lex.take();
+        c.body.push_back(tp.parse(999));
+      }
+    }
+    if (lex.peek().kind != Tok::kPunct || lex.peek().text != ".") {
+      lex.fail("expected '.' at end of clause");
+    }
+    lex.take();
+    c.nvars = tp.next_var;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Query parse_query(SymbolTable& symbols, const std::string& text) {
+  Lexer lex(text);
+  TermParser tp(symbols, lex);
+  Query q;
+  q.goals.push_back(tp.parse(999));
+  while (lex.peek().kind == Tok::kPunct && lex.peek().text == ",") {
+    lex.take();
+    q.goals.push_back(tp.parse(999));
+  }
+  if (lex.peek().kind == Tok::kPunct && lex.peek().text == ".") lex.take();
+  if (lex.peek().kind != Tok::kEnd) lex.fail("trailing input after query");
+  q.nvars = tp.next_var;
+  q.var_names = tp.vars;
+  // Expand any programmatic conjunctions.
+  std::vector<TermPtr> goals;
+  for (const auto& g : q.goals) {
+    auto split = split_conjunction(symbols, g);
+    goals.insert(goals.end(), split.begin(), split.end());
+  }
+  q.goals = std::move(goals);
+  return q;
+}
+
+}  // namespace altx::prolog

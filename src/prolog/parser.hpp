@@ -1,0 +1,46 @@
+// Reader for the mini-Prolog engine.
+//
+// Supported syntax: facts and rules (head :- g1, g2, ... .), atoms,
+// variables, integers, compound terms, [a,b|T] lists, % comments, and the
+// classical operator set —
+//   700 xfx:  =  is  <  >  =<  >=  =:=  =\=
+//   500 yfx:  +  -
+//   400 yfx:  *  //  mod
+// plus the cut (!). Enough Prolog for the paper's OR-parallel experiments
+// (search programs, n-queens, graph reachability) without a full ISO reader.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prolog/term.hpp"
+
+namespace altx::prolog {
+
+/// Thrown on malformed input, with position info in the message.
+class ParseError : public UsageError {
+ public:
+  using UsageError::UsageError;
+};
+
+struct Clause {
+  TermPtr head;
+  std::vector<TermPtr> body;
+  std::uint32_t nvars = 0;  // variable slots used by head+body
+};
+
+struct Query {
+  std::vector<TermPtr> goals;
+  std::uint32_t nvars = 0;
+  std::map<std::string, std::uint32_t> var_names;  // named query variables
+};
+
+/// Parses a whole program (clauses separated by '.').
+std::vector<Clause> parse_program(SymbolTable& symbols, const std::string& text);
+
+/// Parses a query: a conjunction of goals, optional trailing '.'.
+Query parse_query(SymbolTable& symbols, const std::string& text);
+
+}  // namespace altx::prolog

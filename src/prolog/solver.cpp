@@ -1,0 +1,339 @@
+#include "prolog/solver.hpp"
+
+#include <optional>
+
+namespace altx::prolog {
+
+std::size_t Solver::solve(const Query& query,
+                          const std::function<bool(const Solution&)>& on_solution) {
+  query_ = &query;
+  on_solution_ = on_solution;
+  found_ = 0;
+  steps_ = 0;
+  exhausted_ = false;
+  first_call_done_ = opts_.first_call_clause < 0;
+  cut_owner_ = nullptr;
+  bindings_ = Bindings{};
+  bindings_.reserve_slots(query.nvars);
+  empty_handlers_.clear();
+  empty_handlers_.push_back([this]() {
+    ++found_;
+    Solution sol;
+    for (const auto& [name, slot] : query_->var_names) {
+      sol[name] = to_string(db_.symbols, resolve(bindings_, mk_var(slot)));
+    }
+    return on_solution_(sol) ? Res::kFail : Res::kStop;  // kFail = ask for more
+  });
+
+  GoalList goals;
+  for (auto it = query.goals.rbegin(); it != query.goals.rend(); ++it) {
+    auto node = std::make_shared<GoalNode>();
+    node->term = *it;
+    node->barrier = nullptr;  // query-level cut cuts the whole query
+    node->next = goals;
+    goals = node;
+  }
+  (void)solve_goals(goals);
+  return found_;
+}
+
+std::vector<Solution> Solver::solve_all(const Query& query, std::size_t limit) {
+  std::vector<Solution> out;
+  solve(query, [&](const Solution& s) {
+    out.push_back(s);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+std::optional<Solution> Solver::solve_first(const Query& query) {
+  std::optional<Solution> out;
+  solve(query, [&](const Solution& s) {
+    out = s;
+    return false;
+  });
+  return out;
+}
+
+Solver::Res Solver::solve_goals(const GoalList& goals) {
+  if (exhausted_) return Res::kStop;
+  if (goals == nullptr) {
+    // All goals satisfied: the innermost proof context decides what happens
+    // (report a query solution, record a findall witness, note a \\+ proof).
+    ALTX_ASSERT(!empty_handlers_.empty(), "solver: no proof handler");
+    return empty_handlers_.back()();
+  }
+
+  const TermPtr goal = bindings_.deref(goals->term);
+  const GoalList rest = goals->next;
+
+  if (goal->kind == Term::Kind::kVar) return Res::kFail;  // uninstantiated call
+  if (goal->kind == Term::Kind::kInt) return Res::kFail;
+
+  const std::string& f = name_of(goal->functor);
+  const std::size_t n = goal->args.size();
+
+  // --- control builtins ---
+  if (f == "true" && n == 0) return solve_goals(rest);
+  if (f == "fail" && n == 0) return Res::kFail;
+  if (f == "!" && n == 0) {
+    const Res r = solve_goals(rest);
+    if (r == Res::kFail) {
+      // Prune every choice point back to the call owning this barrier.
+      cut_owner_ = goals->barrier.get();
+      return Res::kCut;
+    }
+    return r;
+  }
+  if (f == "," && n == 2) {
+    auto second = std::make_shared<GoalNode>();
+    second->term = goal->args[1];
+    second->barrier = goals->barrier;
+    second->next = rest;
+    auto first = std::make_shared<GoalNode>();
+    first->term = goal->args[0];
+    first->barrier = goals->barrier;
+    first->next = second;
+    return solve_goals(first);
+  }
+
+  // --- metacall, negation as failure, findall ---
+  if (f == "call" && n == 1) {
+    // call/1 is transparent to bindings but opaque to cut.
+    const TermPtr inner = bindings_.deref(goal->args[0]);
+    if (inner->kind == Term::Kind::kVar || inner->kind == Term::Kind::kInt) {
+      return Res::kFail;
+    }
+    auto barrier = std::make_shared<bool>(false);
+    auto node = std::make_shared<GoalNode>();
+    node->term = inner;
+    node->barrier = barrier;
+    node->next = rest;
+    const Res r = solve_goals(node);
+    if (r == Res::kCut && cut_owner_ == barrier.get()) return Res::kFail;
+    return r;
+  }
+  if (f == "\\+" && n == 1) {
+    // Negation as failure: succeeds iff the goal has no proof; binds nothing.
+    bool proved = false;
+    const std::size_t mark = bindings_.mark();
+    const Res sub = sub_solve(goal->args[0], [&proved]() {
+      proved = true;
+      return Res::kStop;  // one proof is enough
+    });
+    bindings_.undo(mark);
+    if (exhausted_) return Res::kStop;
+    (void)sub;
+    return proved ? Res::kFail : solve_goals(rest);
+  }
+  if (f == "findall" && n == 3) {
+    // findall(Template, Goal, List): collect a copy of Template for every
+    // proof of Goal, then unify List with the collected list.
+    std::vector<TermPtr> witnesses;
+    const TermPtr tmpl = goal->args[0];
+    const std::size_t mark = bindings_.mark();
+    (void)sub_solve(goal->args[1], [&]() {
+      witnesses.push_back(resolve(bindings_, tmpl));
+      return Res::kFail;  // keep enumerating proofs
+    });
+    bindings_.undo(mark);
+    if (exhausted_) return Res::kStop;
+    const Symbol nil = const_cast<Database&>(db_).symbols.intern("[]");
+    const Symbol cons = const_cast<Database&>(db_).symbols.intern(".");
+    TermPtr list = mk_atom(nil);
+    for (auto it = witnesses.rbegin(); it != witnesses.rend(); ++it) {
+      list = mk_struct(cons, {*it, list});
+    }
+    const std::size_t m2 = bindings_.mark();
+    if (unify(bindings_, goal->args[2], list, opts_.occurs_check)) {
+      const Res r = solve_goals(rest);
+      if (r != Res::kFail) return r;
+    }
+    bindings_.undo(m2);
+    return Res::kFail;
+  }
+
+  // --- type tests ---
+  if (n == 1 && (f == "var" || f == "nonvar" || f == "atom" || f == "integer")) {
+    const TermPtr d = bindings_.deref(goal->args[0]);
+    bool ok = false;
+    if (f == "var") ok = d->kind == Term::Kind::kVar;
+    else if (f == "nonvar") ok = d->kind != Term::Kind::kVar;
+    else if (f == "atom") ok = d->kind == Term::Kind::kAtom;
+    else ok = d->kind == Term::Kind::kInt;
+    return ok ? solve_goals(rest) : Res::kFail;
+  }
+  if (f == "between" && n == 3) {
+    // between(Lo, Hi, X): enumerate or test.
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!eval_arith(goal->args[0], lo) || !eval_arith(goal->args[1], hi)) {
+      return Res::kFail;
+    }
+    const TermPtr x = bindings_.deref(goal->args[2]);
+    if (x->kind == Term::Kind::kInt) {
+      return (x->value >= lo && x->value <= hi) ? solve_goals(rest) : Res::kFail;
+    }
+    if (x->kind != Term::Kind::kVar) return Res::kFail;
+    for (std::int64_t v = lo; v <= hi; ++v) {
+      if (++steps_ > opts_.max_steps) {
+        exhausted_ = true;
+        return Res::kStop;
+      }
+      const std::size_t mark = bindings_.mark();
+      bindings_.bind(x->var, mk_int(v));
+      const Res r = solve_goals(rest);
+      if (r != Res::kFail) return r;
+      bindings_.undo(mark);
+    }
+    return Res::kFail;
+  }
+
+  // --- unification and arithmetic builtins ---
+  if (f == "=" && n == 2) {
+    const std::size_t mark = bindings_.mark();
+    if (unify(bindings_, goal->args[0], goal->args[1], opts_.occurs_check)) {
+      const Res r = solve_goals(rest);
+      if (r != Res::kFail) return r;
+    }
+    bindings_.undo(mark);
+    return Res::kFail;
+  }
+  if (f == "is" && n == 2) {
+    std::int64_t v = 0;
+    if (!eval_arith(goal->args[1], v)) return Res::kFail;
+    const std::size_t mark = bindings_.mark();
+    if (unify(bindings_, goal->args[0], mk_int(v), opts_.occurs_check)) {
+      const Res r = solve_goals(rest);
+      if (r != Res::kFail) return r;
+    }
+    bindings_.undo(mark);
+    return Res::kFail;
+  }
+  if (n == 2 && (f == "<" || f == ">" || f == "=<" || f == ">=" ||
+                 f == "=:=" || f == "=\\=")) {
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    if (!eval_arith(goal->args[0], a) || !eval_arith(goal->args[1], b)) {
+      return Res::kFail;
+    }
+    bool ok = false;
+    if (f == "<") ok = a < b;
+    else if (f == ">") ok = a > b;
+    else if (f == "=<") ok = a <= b;
+    else if (f == ">=") ok = a >= b;
+    else if (f == "=:=") ok = a == b;
+    else ok = a != b;
+    return ok ? solve_goals(rest) : Res::kFail;
+  }
+
+  return solve_user_call(goal, rest);
+}
+
+Solver::Res Solver::solve_user_call(const TermPtr& goal, const GoalList& rest) {
+  const PredKey key{goal->functor, static_cast<std::uint32_t>(goal->args.size())};
+  const std::vector<Clause>* clauses = db_.clauses(key);
+  if (clauses == nullptr || clauses->empty()) return Res::kFail;
+
+  // OR-parallel branch restriction: the first user call may be pinned to one
+  // clause (each parallel world explores one alternative of the top choice
+  // point).
+  int only = -1;
+  if (!first_call_done_) {
+    first_call_done_ = true;
+    only = opts_.first_call_clause;
+    if (only >= static_cast<int>(clauses->size())) return Res::kFail;
+  }
+
+  auto barrier = std::make_shared<bool>(false);
+  for (std::size_t ci = 0; ci < clauses->size(); ++ci) {
+    if (only >= 0 && ci != static_cast<std::size_t>(only)) continue;
+    if (*barrier) break;
+    if (++steps_ > opts_.max_steps) {
+      exhausted_ = true;
+      return Res::kStop;
+    }
+    const Clause& clause = (*clauses)[ci];
+    const std::size_t mark = bindings_.mark();
+    const std::uint32_t offset = bindings_.fresh(clause.nvars);
+    const TermPtr head = rename(clause.head, offset);
+    if (unify(bindings_, goal, head, opts_.occurs_check)) {
+      // Prepend the (renamed) body to the continuation; body goals cut to
+      // this call's barrier.
+      GoalList cont = rest;
+      for (auto it = clause.body.rbegin(); it != clause.body.rend(); ++it) {
+        auto node = std::make_shared<GoalNode>();
+        node->term = rename(*it, offset);
+        node->barrier = barrier;
+        node->next = cont;
+        cont = node;
+      }
+      const Res r = solve_goals(cont);
+      if (r == Res::kStop) return Res::kStop;
+      if (r == Res::kCut) {
+        bindings_.undo(mark);
+        if (cut_owner_ == barrier.get()) return Res::kFail;  // cut lands here
+        return Res::kCut;  // cutting an outer call: keep unwinding
+      }
+    }
+    bindings_.undo(mark);
+  }
+  return Res::kFail;
+}
+
+Solver::Res Solver::sub_solve(const TermPtr& goal,
+                              const std::function<Res()>& on_proof) {
+  auto barrier = std::make_shared<bool>(false);
+  auto node = std::make_shared<GoalNode>();
+  node->term = goal;
+  node->barrier = barrier;
+  node->next = nullptr;
+  empty_handlers_.push_back(on_proof);
+  Res r = solve_goals(node);
+  empty_handlers_.pop_back();
+  if (r == Res::kCut && cut_owner_ == barrier.get()) r = Res::kFail;
+  return r;
+}
+
+bool Solver::eval_arith(const TermPtr& t, std::int64_t& out) {
+  const TermPtr d = bindings_.deref(t);
+  switch (d->kind) {
+    case Term::Kind::kInt:
+      out = d->value;
+      return true;
+    case Term::Kind::kVar:
+    case Term::Kind::kAtom:
+      return false;
+    case Term::Kind::kStruct: {
+      const std::string& f = name_of(d->functor);
+      if (d->args.size() == 2) {
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+        if (!eval_arith(d->args[0], a) || !eval_arith(d->args[1], b)) return false;
+        if (f == "+") { out = a + b; return true; }
+        if (f == "-") { out = a - b; return true; }
+        if (f == "*") { out = a * b; return true; }
+        if (f == "//") {
+          if (b == 0) return false;
+          out = a / b;
+          return true;
+        }
+        if (f == "mod") {
+          if (b == 0) return false;
+          out = ((a % b) + b) % b;
+          return true;
+        }
+      }
+      if (d->args.size() == 1) {
+        std::int64_t a = 0;
+        if (!eval_arith(d->args[0], a)) return false;
+        if (f == "-") { out = -a; return true; }
+        if (f == "abs") { out = a < 0 ? -a : a; return true; }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace altx::prolog

@@ -1,0 +1,132 @@
+// SLD resolution with backtracking for the mini-Prolog engine.
+//
+// Depth-first, left-to-right search over a clause database, with
+// trail-based backtracking, the cut, and the arithmetic builtins the
+// experiments need. The solver counts logical inferences (clause-head
+// unification attempts), which is the cost currency the OR-parallel
+// simulation converts into simulated compute time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prolog/parser.hpp"
+#include "prolog/term.hpp"
+
+namespace altx::prolog {
+
+/// Clause storage indexed by functor/arity.
+class Database {
+ public:
+  SymbolTable symbols;
+
+  /// Parses and adds a program text.
+  void consult(const std::string& program_text) {
+    for (auto& c : parse_program(symbols, program_text)) {
+      add_clause(std::move(c));
+    }
+  }
+
+  void add_clause(Clause c) {
+    const PredKey key = key_of(c.head);
+    index_[key].push_back(std::move(c));
+    ++count_;
+  }
+
+  [[nodiscard]] const std::vector<Clause>* clauses(const PredKey& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t clause_count() const { return count_; }
+
+  [[nodiscard]] PredKey key_of(const TermPtr& head) const {
+    ALTX_REQUIRE(head->kind == Term::Kind::kAtom ||
+                     head->kind == Term::Kind::kStruct,
+                 "Database: head must be atom or structure");
+    return PredKey{head->functor, static_cast<std::uint32_t>(head->args.size())};
+  }
+
+ private:
+  std::unordered_map<PredKey, std::vector<Clause>, PredKeyHash> index_;
+  std::size_t count_ = 0;
+};
+
+/// One solution: the query's named variables fully resolved.
+using Solution = std::map<std::string, std::string>;
+
+class Solver {
+ public:
+  struct Options {
+    std::uint64_t max_steps = 50'000'000;  // inference budget
+    bool occurs_check = false;
+    /// OR-parallel branch restriction: when >= 0, the FIRST user-predicate
+    /// goal resolved may only use the clause with this index. -1 = all.
+    int first_call_clause = -1;
+  };
+
+  explicit Solver(const Database& db) : db_(db) {}
+  Solver(const Database& db, const Options& options)
+      : db_(db), opts_(options) {}
+
+  /// Solves the query, invoking on_solution for each solution found (in
+  /// standard depth-first order); the callback returns true to continue
+  /// searching. Returns the number of solutions delivered.
+  std::size_t solve(const Query& query,
+                    const std::function<bool(const Solution&)>& on_solution);
+
+  /// Convenience: collect up to `limit` solutions.
+  std::vector<Solution> solve_all(const Query& query, std::size_t limit = SIZE_MAX);
+
+  /// Convenience: first solution or nothing.
+  [[nodiscard]] std::optional<Solution> solve_first(const Query& query);
+
+  /// Logical inferences performed by the last solve().
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+  /// True if the last solve() hit the step budget.
+  [[nodiscard]] bool budget_exhausted() const { return exhausted_; }
+
+ private:
+  enum class Res { kStop, kFail, kCut };
+
+  struct GoalNode {
+    TermPtr term;
+    std::shared_ptr<bool> barrier;  // cut barrier of the owning call
+    std::shared_ptr<GoalNode> next;
+  };
+  using GoalList = std::shared_ptr<GoalNode>;
+
+  Res solve_goals(const GoalList& goals);
+  Res solve_user_call(const TermPtr& goal, const GoalList& rest);
+  bool eval_arith(const TermPtr& t, std::int64_t& out);
+  /// Runs a sub-proof of `goal` (fresh cut barrier, empty continuation),
+  /// invoking `on_proof` at each proof found; on_proof returns kFail to ask
+  /// for more proofs or kStop to end the sub-search.
+  Res sub_solve(const TermPtr& goal, const std::function<Res()>& on_proof);
+
+  const Database& db_;
+  Options opts_;
+  Bindings bindings_;
+  const Query* query_ = nullptr;
+  std::function<bool(const Solution&)> on_solution_;
+  std::vector<std::function<Res()>> empty_handlers_;
+  std::size_t found_ = 0;
+  std::uint64_t steps_ = 0;
+  bool exhausted_ = false;
+  bool first_call_done_ = false;
+  const bool* cut_owner_ = nullptr;  // identity of the barrier being cut to
+
+  // Interned builtin symbols (resolved lazily against db_.symbols' names).
+  [[nodiscard]] const std::string& name_of(Symbol s) const {
+    return db_.symbols.name(s);
+  }
+};
+
+}  // namespace altx::prolog

@@ -1,0 +1,133 @@
+#include "prolog/term.hpp"
+
+namespace altx::prolog {
+
+namespace {
+
+bool occurs(const Bindings& b, std::uint32_t var, const TermPtr& t) {
+  const TermPtr d = b.deref(t);
+  switch (d->kind) {
+    case Term::Kind::kVar:
+      return d->var == var;
+    case Term::Kind::kAtom:
+    case Term::Kind::kInt:
+      return false;
+    case Term::Kind::kStruct:
+      for (const auto& a : d->args) {
+        if (occurs(b, var, a)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool unify(Bindings& b, const TermPtr& lhs, const TermPtr& rhs,
+           bool occurs_check) {
+  const TermPtr x = b.deref(lhs);
+  const TermPtr y = b.deref(rhs);
+  if (x->kind == Term::Kind::kVar && y->kind == Term::Kind::kVar &&
+      x->var == y->var) {
+    return true;
+  }
+  if (x->kind == Term::Kind::kVar) {
+    if (occurs_check && occurs(b, x->var, y)) return false;
+    b.bind(x->var, y);
+    return true;
+  }
+  if (y->kind == Term::Kind::kVar) {
+    if (occurs_check && occurs(b, y->var, x)) return false;
+    b.bind(y->var, x);
+    return true;
+  }
+  if (x->kind != y->kind) return false;
+  switch (x->kind) {
+    case Term::Kind::kAtom:
+      return x->functor == y->functor;
+    case Term::Kind::kInt:
+      return x->value == y->value;
+    case Term::Kind::kStruct: {
+      if (x->functor != y->functor || x->args.size() != y->args.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < x->args.size(); ++i) {
+        if (!unify(b, x->args[i], y->args[i], occurs_check)) return false;
+      }
+      return true;
+    }
+    case Term::Kind::kVar:
+      break;  // handled above
+  }
+  return false;
+}
+
+TermPtr resolve(const Bindings& b, const TermPtr& t) {
+  const TermPtr d = b.deref(t);
+  if (d->kind != Term::Kind::kStruct) return d;
+  std::vector<TermPtr> args;
+  args.reserve(d->args.size());
+  for (const auto& a : d->args) args.push_back(resolve(b, a));
+  return mk_struct(d->functor, std::move(args));
+}
+
+namespace {
+
+void render(const SymbolTable& sym, const TermPtr& t, std::string& out);
+
+/// Renders the contents of a list cell '.'(H, T).
+void render_list(const SymbolTable& sym, const TermPtr& cell, std::string& out) {
+  render(sym, cell->args[0], out);
+  const TermPtr tail = cell->args[1];
+  if (tail->kind == Term::Kind::kAtom && sym.name(tail->functor) == "[]") {
+    return;
+  }
+  if (tail->kind == Term::Kind::kStruct && tail->args.size() == 2 &&
+      sym.name(tail->functor) == ".") {
+    out += ",";
+    render_list(sym, tail, out);
+    return;
+  }
+  out += "|";
+  render(sym, tail, out);
+}
+
+void render(const SymbolTable& sym, const TermPtr& t, std::string& out) {
+  switch (t->kind) {
+    case Term::Kind::kVar:
+      out += "_G" + std::to_string(t->var);
+      return;
+    case Term::Kind::kAtom:
+      out += sym.name(t->functor);
+      return;
+    case Term::Kind::kInt:
+      out += std::to_string(t->value);
+      return;
+    case Term::Kind::kStruct: {
+      if (t->args.size() == 2 && sym.name(t->functor) == ".") {
+        out += "[";
+        render_list(sym, t, out);
+        out += "]";
+        return;
+      }
+      out += sym.name(t->functor);
+      out += "(";
+      for (std::size_t i = 0; i < t->args.size(); ++i) {
+        if (i > 0) out += ",";
+        render(sym, t->args[i], out);
+      }
+      out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const SymbolTable& symbols, const TermPtr& t) {
+  std::string out;
+  render(symbols, t, out);
+  return out;
+}
+
+}  // namespace altx::prolog

@@ -1,0 +1,189 @@
+// Term representation for the mini-Prolog engine (paper section 5.2).
+//
+// Terms are immutable and shared; variables are integer slots resolved
+// through a Bindings store with a trail, so backtracking (and OR-parallel
+// world isolation) is cheap. Clause variables are renamed to fresh slots at
+// each activation by structural copy — simple and safe at the scale of the
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace altx::prolog {
+
+using Symbol = std::uint32_t;
+
+/// Interns functor/atom names.
+class SymbolTable {
+ public:
+  Symbol intern(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const Symbol id = static_cast<Symbol>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  [[nodiscard]] const std::string& name(Symbol s) const {
+    ALTX_REQUIRE(s < names_.size(), "SymbolTable: unknown symbol");
+    return names_[s];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+struct Term {
+  enum class Kind { kVar, kAtom, kInt, kStruct };
+
+  Kind kind = Kind::kAtom;
+  std::uint32_t var = 0;        // kVar: variable slot
+  Symbol functor = 0;           // kAtom / kStruct
+  std::int64_t value = 0;       // kInt
+  std::vector<TermPtr> args;    // kStruct
+
+  [[nodiscard]] std::size_t arity() const { return args.size(); }
+};
+
+inline TermPtr mk_var(std::uint32_t slot) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kVar;
+  t->var = slot;
+  return t;
+}
+
+inline TermPtr mk_atom(Symbol s) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kAtom;
+  t->functor = s;
+  return t;
+}
+
+inline TermPtr mk_int(std::int64_t v) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kInt;
+  t->value = v;
+  return t;
+}
+
+inline TermPtr mk_struct(Symbol functor, std::vector<TermPtr> args) {
+  ALTX_REQUIRE(!args.empty(), "mk_struct: use mk_atom for arity 0");
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kStruct;
+  t->functor = functor;
+  t->args = std::move(args);
+  return t;
+}
+
+/// Functor/arity pair used for clause indexing.
+struct PredKey {
+  Symbol functor = 0;
+  std::uint32_t arity = 0;
+  bool operator==(const PredKey&) const = default;
+};
+
+struct PredKeyHash {
+  std::size_t operator()(const PredKey& k) const noexcept {
+    return (static_cast<std::size_t>(k.functor) << 8) ^ k.arity;
+  }
+};
+
+/// Renames every variable in `t` by adding `offset` to its slot.
+inline TermPtr rename(const TermPtr& t, std::uint32_t offset) {
+  if (offset == 0) return t;
+  switch (t->kind) {
+    case Term::Kind::kVar:
+      return mk_var(t->var + offset);
+    case Term::Kind::kAtom:
+    case Term::Kind::kInt:
+      return t;
+    case Term::Kind::kStruct: {
+      std::vector<TermPtr> args;
+      args.reserve(t->args.size());
+      for (const auto& a : t->args) args.push_back(rename(a, offset));
+      return mk_struct(t->functor, std::move(args));
+    }
+  }
+  ALTX_ASSERT(false, "rename: bad term kind");
+}
+
+/// Variable bindings with a trail for backtracking.
+class Bindings {
+ public:
+  /// Ensures slots [0, n) exist.
+  void reserve_slots(std::uint32_t n) {
+    if (slots_.size() < n) slots_.resize(n);
+  }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Allocates `n` fresh slots, returning the base index.
+  std::uint32_t fresh(std::uint32_t n) {
+    const auto base = static_cast<std::uint32_t>(slots_.size());
+    slots_.resize(slots_.size() + n);
+    return base;
+  }
+
+  [[nodiscard]] bool bound(std::uint32_t var) const {
+    return var < slots_.size() && slots_[var] != nullptr;
+  }
+
+  void bind(std::uint32_t var, TermPtr value) {
+    ALTX_ASSERT(var < slots_.size(), "Bindings::bind: slot out of range");
+    ALTX_ASSERT(slots_[var] == nullptr, "Bindings::bind: already bound");
+    slots_[var] = std::move(value);
+    trail_.push_back(var);
+  }
+
+  /// Follows variable chains to the representative term.
+  [[nodiscard]] TermPtr deref(TermPtr t) const {
+    while (t->kind == Term::Kind::kVar && bound(t->var)) {
+      t = slots_[t->var];
+    }
+    return t;
+  }
+
+  /// Checkpoint for backtracking.
+  [[nodiscard]] std::size_t mark() const { return trail_.size(); }
+
+  /// Undoes all bindings made since `mark`.
+  void undo(std::size_t mark) {
+    while (trail_.size() > mark) {
+      slots_[trail_.back()] = nullptr;
+      trail_.pop_back();
+    }
+  }
+
+ private:
+  std::vector<TermPtr> slots_;
+  std::vector<std::uint32_t> trail_;
+};
+
+/// Structural unification with trail-based undo on failure.
+/// occurs_check guards against cyclic bindings (off by default, as in most
+/// Prolog systems).
+bool unify(Bindings& b, const TermPtr& lhs, const TermPtr& rhs,
+           bool occurs_check = false);
+
+/// Fully applies bindings to a term (for reporting solutions).
+TermPtr resolve(const Bindings& b, const TermPtr& t);
+
+/// Renders a term; list cells are printed in [a,b|T] notation.
+std::string to_string(const SymbolTable& symbols, const TermPtr& t);
+
+}  // namespace altx::prolog

@@ -1,0 +1,152 @@
+// Recovery blocks (paper section 5.1; Horning et al. 1974).
+//
+// A recovery block is a set of alternative implementations of one
+// specification plus a boolean acceptance test. Sequentially, the state is
+// checkpointed, the primary alternate runs, and the acceptance test either
+// releases the results or rolls the state back and tries the next alternate.
+//
+// This module provides the sequential discipline and its concurrent
+// transformation per the paper: all alternates race in forked processes,
+// the acceptance test runs inside each child (self-checking computation,
+// section 5.1.1), and the first alternate to pass the test is selected —
+// "fastest-first through failures". Losers' state changes are never
+// observable, which is exactly what the COW process isolation provides.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "posix/race.hpp"
+
+namespace altx::rb {
+
+/// Statistics from one execution of a block.
+struct RbReport {
+  bool succeeded = false;
+  std::size_t alternate = 0;     // which alternate produced the result (0-based)
+  std::size_t attempts = 0;      // sequential: bodies executed; concurrent: 1
+  double elapsed_ms = 0;
+};
+
+/// A recovery block over a trivially copyable state record. The state is the
+/// external variables the alternates update; copyability gives checkpoint
+/// and rollback for the sequential discipline and result transfer for the
+/// concurrent one.
+template <typename State>
+  requires std::is_trivially_copyable_v<State>
+class RecoveryBlock {
+ public:
+  using Alternate = std::function<void(State&)>;
+  using AcceptanceTest = std::function<bool(const State&)>;
+
+  /// Alternates are ordered by estimated reliability, primary first
+  /// (section 5.1: "typically ordered on the basis of observed or estimated
+  /// characteristics such as reliability and execution speed").
+  void add_alternate(Alternate a) { alternates_.push_back(std::move(a)); }
+
+  void set_acceptance(AcceptanceTest t) { accept_ = std::move(t); }
+
+  [[nodiscard]] std::size_t size() const { return alternates_.size(); }
+
+  /// The classical sequential discipline: checkpoint, try, test, roll back.
+  RbReport run_sequential(State& state) const {
+    check_ready();
+    RbReport rep;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < alternates_.size(); ++i) {
+      const State checkpoint = state;  // establish the recovery point
+      ++rep.attempts;
+      bool ok = false;
+      try {
+        alternates_[i](state);
+        ok = accept_(state);
+      } catch (...) {
+        ok = false;
+      }
+      if (ok) {
+        rep.succeeded = true;
+        rep.alternate = i;
+        break;
+      }
+      state = checkpoint;  // roll back and try the next alternate
+    }
+    rep.elapsed_ms = ms_since(t0);
+    return rep;
+  }
+
+  /// The paper's transformation: run every alternate concurrently in its own
+  /// process; each self-checks with the acceptance test; fastest passing
+  /// alternate is absorbed. On total failure the state is unchanged.
+  RbReport run_concurrent(State& state,
+                          std::chrono::milliseconds timeout =
+                              std::chrono::milliseconds(10'000)) const {
+    check_ready();
+    struct Outcome {
+      State state;
+      std::uint32_t alternate;
+    };
+    std::vector<posix::AlternativeFn<Outcome>> alts;
+    for (std::size_t i = 0; i < alternates_.size(); ++i) {
+      const Alternate& body = alternates_[i];
+      const AcceptanceTest& accept = accept_;
+      const State& initial = state;
+      alts.push_back([&body, &accept, &initial, i]() -> std::optional<Outcome> {
+        State local = initial;  // the fork gave us a COW copy anyway
+        body(local);
+        if (!accept(local)) return std::nullopt;
+        return Outcome{local, static_cast<std::uint32_t>(i)};
+      });
+    }
+    posix::RaceOptions opts;
+    opts.timeout = timeout;
+    RbReport rep;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = posix::race<Outcome>(alts, opts);
+    rep.elapsed_ms = ms_since(t0);
+    rep.attempts = 1;
+    if (r.has_value()) {
+      rep.succeeded = true;
+      rep.alternate = r->value.alternate;
+      state = r->value.state;  // absorb the winner's state changes
+    }
+    return rep;
+  }
+
+ private:
+  void check_ready() const {
+    ALTX_REQUIRE(!alternates_.empty(), "RecoveryBlock: no alternates");
+    ALTX_REQUIRE(static_cast<bool>(accept_), "RecoveryBlock: no acceptance test");
+  }
+
+  static double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  std::vector<Alternate> alternates_;
+  AcceptanceTest accept_;
+};
+
+/// Fault injection: wraps an alternate so it produces a wrong result (which
+/// the acceptance test must catch) with probability `fault_prob`, drawn
+/// deterministically from `seed` and an invocation counter kept in the state
+/// itself — the wrapped body stays a pure function of its inputs, so the
+/// concurrent and sequential disciplines see identical fault patterns.
+template <typename State>
+typename RecoveryBlock<State>::Alternate with_faults(
+    typename RecoveryBlock<State>::Alternate body,
+    std::function<void(State&)> corrupt, double fault_prob, std::uint64_t seed) {
+  return [body = std::move(body), corrupt = std::move(corrupt), fault_prob,
+          seed](State& s) {
+    body(s);
+    Rng rng(seed);
+    if (rng.chance(fault_prob)) corrupt(s);
+  };
+}
+
+}  // namespace altx::rb

@@ -1,0 +1,1036 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+namespace altx::sim {
+
+const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kSpawn: return "spawn";
+    case TraceEvent::Kind::kCommit: return "commit";
+    case TraceEvent::Kind::kAbort: return "abort";
+    case TraceEvent::Kind::kEliminate: return "eliminate";
+    case TraceEvent::Kind::kTooLate: return "too-late";
+    case TraceEvent::Kind::kBlockFail: return "block-fail";
+    case TraceEvent::Kind::kTimeout: return "timeout";
+    case TraceEvent::Kind::kWorldSplit: return "world-split";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+    case TraceEvent::Kind::kSourceWrite: return "source-write";
+    case TraceEvent::Kind::kComplete: return "complete";
+    case TraceEvent::Kind::kNodeCrash: return "node-crash";
+  }
+  return "?";
+}
+
+namespace {
+
+/// First 8 bytes of a payload as a value, zero if shorter.
+std::uint64_t payload_value(const Bytes& data) {
+  if (data.size() < 8) return 0;
+  ByteReader r(data.data(), 8);
+  return r.u64();
+}
+
+}  // namespace
+
+Kernel::Kernel(Config cfg) : cfg_(std::move(cfg)), frames_(cfg_.words_per_page) {
+  cfg_.machine.validate();
+  ALTX_REQUIRE(cfg_.address_space_pages >= 1, "Kernel: need at least one page");
+  nodes_.resize(static_cast<std::size_t>(cfg_.machine.nodes));
+  for (auto& n : nodes_) n.cpus.resize(static_cast<std::size_t>(cfg_.machine.cpus_per_node));
+}
+
+Pid Kernel::spawn_root(ProgramRef prog, NodeId node) {
+  ALTX_REQUIRE(prog != nullptr, "spawn_root: null program");
+  ALTX_REQUIRE(node < nodes_.size(), "spawn_root: node out of range");
+  const Pid pid = fresh_pid();
+  AddressSpace as(frames_, cfg_.address_space_pages);
+  auto p = std::make_unique<SimProcess>(pid, node, std::move(as), std::move(prog));
+  p->spawned_at_ = now_;
+  SimProcess& ref = *p;
+  procs_.emplace(pid, std::move(p));
+  emit(TraceEvent::Kind::kSpawn, pid);
+  make_ready(ref);
+  return pid;
+}
+
+SimTime Kernel::run(SimTime until) {
+  while (!events_.empty()) {
+    if (events_.top().time > until) {
+      now_ = until;
+      break;
+    }
+    Event ev = events_.top();
+    events_.pop();
+    ALTX_ASSERT(ev.time >= now_, "event time went backwards");
+    now_ = ev.time;
+    dispatch(ev);
+  }
+  stats_.finished_at = now_;
+  return now_;
+}
+
+const SimProcess* Kernel::process(Pid pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+ExitKind Kernel::exit_kind(Pid pid) const {
+  const SimProcess* p = process(pid);
+  return p ? p->exit_ : ExitKind::kStillAlive;
+}
+
+Resolution Kernel::resolution(Pid pid) const {
+  auto it = resolutions_.find(pid);
+  return it == resolutions_.end() ? Resolution::kPending : it->second;
+}
+
+std::vector<Pid> Kernel::all_pids() const {
+  std::vector<Pid> out;
+  out.reserve(procs_.size());
+  for (const auto& [pid, p] : procs_) out.push_back(pid);
+  return out;
+}
+
+std::vector<Pid> Kernel::blocked_pids() const {
+  std::vector<Pid> out;
+  for (const auto& [pid, p] : procs_) {
+    if (p->state_ == ProcState::kBlocked) out.push_back(pid);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Event machinery
+// --------------------------------------------------------------------------
+
+void Kernel::push_event(Event ev) {
+  ev.seq = next_seq_++;
+  events_.push(std::move(ev));
+}
+
+void Kernel::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kSliceEnd: on_slice_end(ev); break;
+    case EventKind::kDeliver: on_deliver(ev); break;
+    case EventKind::kAltTimeout: on_alt_timeout(ev); break;
+    case EventKind::kRecvTimeout: on_recv_timeout(ev); break;
+    case EventKind::kAsyncKill: on_async_kill(ev); break;
+    case EventKind::kNodeCrash: on_node_crash(ev); break;
+  }
+}
+
+void Kernel::on_slice_end(const Event& ev) {
+  Cpu& cpu = nodes_[ev.node].cpus[static_cast<std::size_t>(ev.cpu)];
+  SimProcess& p = proc(ev.pid);
+  if (cpu.current != ev.pid || p.state_ != ProcState::kRunning) return;  // stale
+  cpu.current = kNoPid;
+  cpu.last = ev.pid;
+  p.cpu_time_ += ev.work;
+  stats_.cpu_busy += ev.work;
+  p.step_remaining_ -= ev.work;
+  if (p.step_remaining_ > 0) {
+    make_ready(p);  // preempted mid-step; rejoin the back of the queue
+  } else {
+    step_completed(p);
+  }
+  kick(ev.node);
+}
+
+void Kernel::on_deliver(const Event& ev) {
+  const Port port = ev.msg.destination;
+  auto it = port_bindings_.find(port);
+  if (it == port_bindings_.end() || it->second.empty()) {
+    port_backlog_[port].push_back(ev.msg);
+    return;
+  }
+  // Fan out to every world currently bound; worlds created after this instant
+  // inherited the inbox of the world they split from.
+  const std::vector<Pid> binders = it->second;
+  for (Pid dst : binders) {
+    auto pit = procs_.find(dst);
+    if (pit == procs_.end() || !is_live(*pit->second)) continue;
+    deliver_now(*pit->second, ev.msg);
+  }
+}
+
+void Kernel::on_alt_timeout(const Event& ev) {
+  SimProcess& p = proc(ev.pid);
+  if (!is_live(p) || p.block_ != BlockReason::kAltWait || !p.alt_ ||
+      ev.generation != p.generation_ || p.alt_->decided) {
+    return;  // stale: the block was decided before the deadline
+  }
+  stats_.alt_timeouts++;
+  emit(TraceEvent::Kind::kTimeout, p.pid_);
+  p.alt_->decided = true;
+  // Give up on every still-running alternative: resolve them failed; the
+  // cascade eliminates them (per the configured elimination policy).
+  std::vector<Pid> worlds;
+  for (const auto& alt : p.alt_->alternatives) {
+    worlds.insert(worlds.end(), alt.worlds.begin(), alt.worlds.end());
+  }
+  for (Pid w : worlds) publish_resolution(w, Resolution::kFailed);
+  fail_alt_block(p);
+}
+
+void Kernel::on_recv_timeout(const Event& ev) {
+  SimProcess& p = proc(ev.pid);
+  if (!is_live(p) || p.block_ != BlockReason::kRecv ||
+      ev.generation != p.generation_) {
+    return;
+  }
+  ALTX_ASSERT(std::holds_alternative<RecvOp>(p.current_op()),
+              "recv timeout on a non-recv op");
+  const auto& op = std::get<RecvOp>(p.current_op());
+  if (p.as_.write(op.page, op.word, op.timeout_value)) stats_.cow_copies++;
+  p.advance();
+  p.step_remaining_ = -1;
+  make_ready(p);
+}
+
+void Kernel::on_async_kill(const Event& ev) {
+  auto it = procs_.find(ev.pid);
+  if (it == procs_.end()) return;
+  SimProcess& p = *it->second;
+  if (is_live(p) && p.doomed_) finalize_kill(p, ExitKind::kEliminated);
+}
+
+// --------------------------------------------------------------------------
+// Scheduling
+// --------------------------------------------------------------------------
+
+void Kernel::make_ready(SimProcess& p) {
+  ALTX_ASSERT(is_live(p), "make_ready on a finished process");
+  p.state_ = ProcState::kReady;
+  p.block_ = BlockReason::kNone;
+  ++p.generation_;
+  if (!p.in_ready_) {
+    nodes_[p.node_].ready.push_back(p.pid_);
+    p.in_ready_ = true;
+  }
+  kick(p.node_);
+}
+
+void Kernel::kick(NodeId node) {
+  Node& n = nodes_[node];
+  if (n.crashed) return;
+  for (std::size_t c = 0; c < n.cpus.size(); ++c) {
+    if (n.cpus[c].current == kNoPid) {
+      if (n.ready.empty()) return;
+      start_slice(node, static_cast<int>(c));
+    }
+  }
+}
+
+void Kernel::start_slice(NodeId node, int cpu) {
+  Node& n = nodes_[node];
+  Cpu& c = n.cpus[static_cast<std::size_t>(cpu)];
+  ALTX_ASSERT(c.current == kNoPid, "start_slice on a busy cpu");
+  while (!n.ready.empty()) {
+    const Pid pid = n.ready.front();
+    n.ready.pop_front();
+    SimProcess& p = proc(pid);
+    p.in_ready_ = false;
+    if (p.state_ != ProcState::kReady) continue;  // died while queued
+    p.state_ = ProcState::kRunning;
+    c.current = pid;
+    if (p.step_remaining_ < 0) p.step_remaining_ = op_cost(p);
+    const SimTime work = std::min(cfg_.machine.quantum, p.step_remaining_);
+    SimTime extra = 0;
+    if (c.last != pid) {
+      extra = cfg_.machine.ctx_switch;
+      stats_.ctx_switches++;
+      stats_.overhead_work += extra;
+    }
+    Event ev;
+    ev.time = now_ + extra + work;
+    ev.kind = EventKind::kSliceEnd;
+    ev.pid = pid;
+    ev.node = node;
+    ev.cpu = cpu;
+    ev.work = work;
+    push_event(std::move(ev));
+    return;
+  }
+}
+
+void Kernel::release_cpu(SimProcess& p) {
+  Node& n = nodes_[p.node_];
+  for (auto& c : n.cpus) {
+    if (c.current == p.pid_) {
+      c.current = kNoPid;
+      c.last = p.pid_;
+      kick(p.node_);
+      return;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Op execution
+// --------------------------------------------------------------------------
+
+SimTime Kernel::op_cost(SimProcess& p) {
+  SimTime penalty = 0;
+  if (p.pending_penalty_ > 0) {
+    penalty = p.pending_penalty_;
+    stats_.overhead_work += penalty;
+    p.pending_penalty_ = 0;
+  }
+  if (p.syncing_) {
+    stats_.overhead_work += cfg_.machine.commit_cost;
+    return penalty + cfg_.machine.commit_cost;
+  }
+  if (p.at_end()) {
+    if (p.is_alt_child()) {
+      // Reaching the end of an alternate's program is the alt_wait(0) call:
+      // run the synchronization step next.
+      p.syncing_ = true;
+      stats_.overhead_work += cfg_.machine.commit_cost;
+      return penalty + cfg_.machine.commit_cost;
+    }
+    return penalty + 1;
+  }
+  const MachineModel& m = cfg_.machine;
+  const Op& op = p.current_op();
+  SimTime cost = 1;
+  if (const auto* c = std::get_if<ComputeOp>(&op)) {
+    cost = std::max<SimTime>(1, c->duration);
+  } else if (const auto* t = std::get_if<TouchOp>(&op)) {
+    cost = cfg_.mem_ref_cost;
+    if (p.remote_pages_.contains(t->page)) cost += m.transfer_cost(m.page_size);
+    if (t->write && frames_.shared(p.as_.frame_of(t->page))) cost += m.page_copy;
+  } else if (std::get_if<GuardOp>(&op)) {
+    cost = cfg_.guard_cost;
+  } else if (const auto* a = std::get_if<AltBlockOp>(&op)) {
+    cost = static_cast<SimTime>(a->pre_guards.size()) * cfg_.guard_cost;
+    for (std::size_t i = 0; i < a->alternates.size(); ++i) {
+      // A false pre-guard saves the whole fork (evaluated again, identically,
+      // when the op's effects are applied).
+      if (i < a->pre_guards.size() && a->pre_guards[i] &&
+          !a->pre_guards[i](p.as_)) {
+        continue;
+      }
+      const NodeId child_node =
+          static_cast<NodeId>((p.node_ + i) % nodes_.size());
+      if (child_node != p.node_) {
+        if (cfg_.remote_spawn == RemoteSpawn::kOnDemand) {
+          cost += m.rfork_base + m.transfer_cost(m.page_size);  // stub only
+        } else {
+          cost += m.rfork_cost(p.as_.pages() * m.page_size);
+        }
+      } else if (cfg_.eager_copy) {
+        cost += m.fork_base +
+                m.page_copy * static_cast<SimTime>(p.as_.pages());
+      } else {
+        cost += m.fork_cost(p.as_.pages());
+      }
+    }
+    cost = std::max<SimTime>(1, cost);
+    stats_.overhead_work += cost;
+  } else if (std::get_if<BindOp>(&op)) {
+    cost = cfg_.bind_cost;
+  } else if (std::get_if<SendOp>(&op)) {
+    cost = cfg_.send_cost;
+  } else if (std::get_if<RecvOp>(&op)) {
+    cost = cfg_.recv_cost;
+  } else if (std::get_if<SourceWriteOp>(&op) || std::get_if<SourceReadOp>(&op)) {
+    cost = cfg_.source_io_cost;
+  }
+  return penalty + cost;
+}
+
+void Kernel::step_completed(SimProcess& p) {
+  p.step_remaining_ = -1;
+  if (p.syncing_) {
+    attempt_sync(p);
+    return;
+  }
+  apply_effect(p);
+}
+
+void Kernel::apply_effect(SimProcess& p) {
+  if (p.at_end()) {
+    finish_program(p);
+    return;
+  }
+  const Op& op = p.current_op();
+  if (const auto* c = std::get_if<ComputeOp>(&op)) {
+    (void)c;
+    p.advance();
+    make_ready(p);
+  } else if (const auto* t = std::get_if<TouchOp>(&op)) {
+    p.remote_pages_.erase(t->page);
+    if (t->write) {
+      if (p.as_.write(t->page, t->word, t->value)) stats_.cow_copies++;
+    } else {
+      (void)p.as_.read(t->page, t->word);
+    }
+    p.advance();
+    make_ready(p);
+  } else if (const auto* g = std::get_if<GuardOp>(&op)) {
+    const bool ok = !g->ok || g->ok(p.as_);
+    if (ok) {
+      p.advance();
+      make_ready(p);
+    } else {
+      // The guard was not satisfied: abort without synchronizing.
+      Pid parent = p.alt_parent_;
+      const std::size_t idx = p.alt_index_;
+      finalize_kill(p, ExitKind::kAborted);
+      publish_resolution(p.pid_, Resolution::kFailed);
+      if (parent != kNoPid) remove_world(proc(parent), idx, p.pid_);
+    }
+  } else if (const auto* a = std::get_if<AltBlockOp>(&op)) {
+    do_alt_block(p, *a);
+  } else if (const auto* b = std::get_if<BindOp>(&op)) {
+    bind_port(p, b->port);
+    p.advance();
+    make_ready(p);
+  } else if (const auto* s = std::get_if<SendOp>(&op)) {
+    do_send(p, *s);
+    p.advance();
+    make_ready(p);
+  } else if (const auto* r = std::get_if<RecvOp>(&op)) {
+    do_recv(p, *r);
+  } else if (const auto* sw = std::get_if<SourceWriteOp>(&op)) {
+    do_source_write(p, *sw);
+  } else if (const auto* sr = std::get_if<SourceReadOp>(&op)) {
+    do_source_read(p, *sr);
+  } else if (std::get_if<AbortOp>(&op)) {
+    Pid parent = p.alt_parent_;
+    const std::size_t idx = p.alt_index_;
+    finalize_kill(p, ExitKind::kAborted);
+    publish_resolution(p.pid_, Resolution::kFailed);
+    if (parent != kNoPid) remove_world(proc(parent), idx, p.pid_);
+  } else {
+    ALTX_ASSERT(false, "unhandled op");
+  }
+}
+
+void Kernel::do_alt_block(SimProcess& parent, const AltBlockOp& op) {
+  stats_.alt_blocks++;
+  if (op.alternates.empty()) {
+    stats_.alt_failures++;
+    parent.advance();
+    if (op.on_fail) {
+      parent.frames_.push_back(ProgFrame{op.on_fail, 0});
+      make_ready(parent);
+    } else {
+      const Pid gp = parent.alt_parent_;
+      const std::size_t idx = parent.alt_index_;
+      finalize_kill(parent, ExitKind::kAborted);
+      publish_resolution(parent.pid_, Resolution::kFailed);
+      if (gp != kNoPid) remove_world(proc(gp), idx, parent.pid_);
+    }
+    return;
+  }
+
+  // Pre-spawn guards: an alternative whose guard is already false in the
+  // parent is never forked at all.
+  std::vector<bool> spawnable(op.alternates.size(), true);
+  std::size_t viable = 0;
+  for (std::size_t i = 0; i < op.alternates.size(); ++i) {
+    if (i < op.pre_guards.size() && op.pre_guards[i] &&
+        !op.pre_guards[i](parent.as_)) {
+      spawnable[i] = false;
+    } else {
+      ++viable;
+    }
+  }
+  if (viable == 0) {
+    stats_.alt_failures++;
+    emit(TraceEvent::Kind::kBlockFail, parent.pid_);
+    parent.advance();
+    if (op.on_fail) {
+      parent.frames_.push_back(ProgFrame{op.on_fail, 0});
+      make_ready(parent);
+    } else {
+      const Pid gp = parent.alt_parent_;
+      const std::size_t idx = parent.alt_index_;
+      finalize_kill(parent, ExitKind::kAborted);
+      publish_resolution(parent.pid_, Resolution::kFailed);
+      if (gp != kNoPid) remove_world(proc(gp), idx, parent.pid_);
+    }
+    return;
+  }
+
+  // Allocate all sibling pids up front so each child's predicate can name
+  // every sibling.
+  std::vector<Pid> kids;
+  kids.reserve(op.alternates.size());
+  for (std::size_t i = 0; i < op.alternates.size(); ++i) {
+    kids.push_back(spawnable[i] ? fresh_pid() : kNoPid);
+  }
+
+  AltContext ctx;
+  ctx.alternatives.resize(op.alternates.size());
+  ctx.on_fail = op.on_fail;
+  ctx.deadline = op.timeout > 0 ? now_ + op.timeout : 0;
+
+  std::vector<Pid> siblings;
+  for (Pid kid : kids) {
+    if (kid != kNoPid) siblings.push_back(kid);
+  }
+  for (std::size_t i = 0; i < op.alternates.size(); ++i) {
+    if (!spawnable[i]) continue;
+    const NodeId child_node =
+        static_cast<NodeId>((parent.node_ + i) % nodes_.size());
+    auto child = std::make_unique<SimProcess>(
+        kids[i], child_node,
+        cfg_.eager_copy ? AddressSpace::deep_copy(parent.as_)
+                        : AddressSpace::cow_clone(parent.as_),
+        op.alternates[i]);
+    child->pred_ = Predicate::for_child(parent.pred_, kids[i], siblings);
+    child->alt_parent_ = parent.pid_;
+    child->alt_index_ = i;
+    child->spawned_at_ = now_;
+    stats_.forks++;
+    if (child_node != parent.node_) {
+      stats_.remote_forks++;
+      if (cfg_.remote_spawn == RemoteSpawn::kOnDemand) {
+        for (VPage pg = 0; pg < child->as_.pages(); ++pg) {
+          child->remote_pages_.insert(pg);
+        }
+      }
+    }
+    ctx.alternatives[i].worlds.push_back(kids[i]);
+    SimProcess& ref = *child;
+    const bool dead_node = nodes_[child_node].crashed;
+    procs_.emplace(kids[i], std::move(child));
+    emit(TraceEvent::Kind::kSpawn, kids[i], parent.pid_);
+    if (dead_node) {
+      // rfork to a crashed node fails: the alternative aborts immediately.
+      // Deferred below so the context is fully built first.
+    } else {
+      make_ready(ref);
+    }
+  }
+
+  parent.alt_ = std::move(ctx);
+  parent.state_ = ProcState::kBlocked;
+  parent.block_ = BlockReason::kAltWait;
+  ++parent.generation_;
+  for (Pid kid : kids) {
+    if (kid == kNoPid) continue;
+    SimProcess& child = proc(kid);
+    if (nodes_[child.node_].crashed && is_live(child)) {
+      finalize_kill(child, ExitKind::kAborted);
+      publish_resolution(kid, Resolution::kFailed);
+      remove_world(parent, child.alt_index_, kid);
+      if (!parent.alt_.has_value()) break;  // block already failed
+    }
+  }
+  if (op.timeout > 0) {
+    Event ev;
+    ev.time = now_ + op.timeout;
+    ev.kind = EventKind::kAltTimeout;
+    ev.pid = parent.pid_;
+    ev.generation = parent.generation_;
+    push_event(std::move(ev));
+  }
+}
+
+void Kernel::do_send(SimProcess& p, const SendOp& op) {
+  stats_.messages_sent++;
+  if (p.doomed_) return;  // a dead world causes no observable effects
+  Message m;
+  m.sending_predicate = p.pred_;
+  m.data = op.data;
+  m.sender = p.pid_;
+  m.destination = op.port;
+  m.seq = p.send_seq_++;
+  m.sender_speculative = !p.pred_.satisfied() || p.is_alt_child();
+  // Transit latency is charged on the wire, not to the sender's CPU. All
+  // receivers see the same latency, so per-pair FIFO is preserved.
+  const SimTime latency = cfg_.ipc_local_latency;
+  Event ev;
+  ev.time = now_ + latency;
+  ev.kind = EventKind::kDeliver;
+  ev.msg = std::move(m);
+  push_event(std::move(ev));
+}
+
+void Kernel::deliver_now(SimProcess& dst, Message m) {
+  if (dst.doomed_) return;
+  if (!canonicalize(m)) {
+    stats_.messages_dead++;
+    return;
+  }
+  emit(TraceEvent::Kind::kDeliver, dst.pid_, m.sender);
+  dst.inbox_.push_back(std::move(m));
+  stats_.messages_delivered++;
+  if (dst.state_ == ProcState::kBlocked && dst.block_ == BlockReason::kRecv) {
+    dst.step_remaining_ = -1;  // re-execute the recv op against the new inbox
+    make_ready(dst);
+  }
+}
+
+void Kernel::do_recv(SimProcess& p, const RecvOp& op) {
+  while (!p.inbox_.empty()) {
+    Message m = std::move(p.inbox_.front());
+    p.inbox_.pop_front();
+    if (!canonicalize(m)) {
+      stats_.messages_dead++;
+      continue;
+    }
+    if (p.doomed_) {
+      // Doomed worlds consume messages without observable effect and without
+      // splitting; their memory dies with them.
+      (void)p.as_.write(op.page, op.word, payload_value(m.data));
+      p.advance();
+      make_ready(p);
+      return;
+    }
+    switch (classify_reception(p.pred_, m)) {
+      case Reception::kAccept: {
+        if (p.as_.write(op.page, op.word, payload_value(m.data))) stats_.cow_copies++;
+        p.advance();
+        make_ready(p);
+        return;
+      }
+      case Reception::kIgnore:
+        stats_.messages_ignored++;
+        continue;
+      case Reception::kSplit: {
+        // Fork the receiver: this process becomes the world that accepts the
+        // message; the clone is the world that rejects it.
+        SimProcess& reject = split_world(p, m);
+        emit(TraceEvent::Kind::kWorldSplit, p.pid_, reject.pid_);
+        p.pred_ = accepting_world(p.pred_, m);
+        p.pending_penalty_ += cfg_.machine.fork_cost(p.as_.pages());
+        stats_.world_splits++;
+        stats_.forks++;
+        // Reprocess the message under the new predicate; it now classifies
+        // as an accept.
+        p.inbox_.push_front(std::move(m));
+        make_ready(p);
+        return;
+      }
+    }
+  }
+  // Nothing consumable: block until a delivery (or the timeout).
+  p.state_ = ProcState::kBlocked;
+  p.block_ = BlockReason::kRecv;
+  ++p.generation_;
+  if (op.timeout > 0) {
+    Event ev;
+    ev.time = now_ + op.timeout;
+    ev.kind = EventKind::kRecvTimeout;
+    ev.pid = p.pid_;
+    ev.generation = p.generation_;
+    push_event(std::move(ev));
+  }
+}
+
+SimProcess& Kernel::split_world(SimProcess& accepting, const Message& m) {
+  const Pid wpid = fresh_pid();
+  auto w = std::make_unique<SimProcess>(wpid, accepting.node_,
+                                        AddressSpace::cow_clone(accepting.as_),
+                                        accepting.frames_.front().prog);
+  w->frames_ = accepting.frames_;  // same program position (at the RecvOp)
+  w->pred_ = rejecting_world(accepting.pred_, m);
+  w->alt_parent_ = accepting.alt_parent_;
+  w->alt_index_ = accepting.alt_index_;
+  w->inbox_ = accepting.inbox_;  // the split message itself is not included
+  w->send_seq_ = accepting.send_seq_;
+  w->spawned_at_ = now_;
+  w->step_remaining_ = -1;
+  SimProcess& ref = *w;
+  procs_.emplace(wpid, std::move(w));
+  for (Port port : accepting.bound_ports_) bind_port(ref, port);
+  if (ref.is_alt_child()) {
+    SimProcess& parent = proc(ref.alt_parent_);
+    ALTX_ASSERT(parent.alt_.has_value(), "split of an alt child without context");
+    parent.alt_->alternatives[ref.alt_index_].worlds.push_back(wpid);
+  }
+  make_ready(ref);
+  return ref;
+}
+
+void Kernel::do_source_write(SimProcess& p, const SourceWriteOp& op) {
+  if (p.doomed_) {
+    p.advance();
+    make_ready(p);
+    return;
+  }
+  if (!p.pred_.satisfied()) {
+    // Restricted from causing observable side effects while speculative:
+    // gate until the predicates resolve (or the world dies).
+    p.state_ = ProcState::kBlocked;
+    p.block_ = BlockReason::kSourceGate;
+    ++p.generation_;
+    return;
+  }
+  SourceDevice& dev = sources_[op.device];
+  dev.writes_.push_back(SourceDevice::WriteRecord{now_, p.pid_, op.data});
+  stats_.source_writes++;
+  emit(TraceEvent::Kind::kSourceWrite, p.pid_);
+  p.advance();
+  make_ready(p);
+}
+
+void Kernel::do_source_read(SimProcess& p, const SourceReadOp& op) {
+  SourceDevice& dev = sources_[op.device];
+  std::uint64_t value = 0;
+  auto it = dev.read_buffer_.find(op.key);
+  if (it != dev.read_buffer_.end()) {
+    value = it->second;
+    stats_.buffered_source_reads++;
+  } else {
+    // First consumption: read the device once and buffer the result so the
+    // read is idempotent for every (speculative) sibling.
+    value = dev.read_fn(op.key);
+    dev.read_buffer_.emplace(op.key, value);
+    dev.consumed_reads_++;
+    stats_.source_reads++;
+  }
+  if (p.as_.write(op.page, op.word, value)) stats_.cow_copies++;
+  p.advance();
+  make_ready(p);
+}
+
+void Kernel::finish_program(SimProcess& p) {
+  ALTX_ASSERT(!p.is_alt_child(), "alt children synchronize, not finish");
+  if (p.doomed_) {
+    finalize_kill(p, ExitKind::kEliminated);
+    return;
+  }
+  if (!p.pred_.satisfied()) {
+    // Ran to the end but still speculative (e.g. accepted a message from an
+    // undecided alternative): hold the commit until the world resolves.
+    p.state_ = ProcState::kBlocked;
+    p.block_ = BlockReason::kCommitGate;
+    ++p.generation_;
+    return;
+  }
+  complete_process(p);
+}
+
+void Kernel::complete_process(SimProcess& p) {
+  p.state_ = ProcState::kDone;
+  p.exit_ = ExitKind::kCompleted;
+  p.finished_at_ = now_;
+  emit(TraceEvent::Kind::kComplete, p.pid_);
+  ++p.generation_;
+  unbind_all(p);
+  account_finished(p);
+  publish_resolution(p.pid_, Resolution::kCompleted);
+}
+
+// --------------------------------------------------------------------------
+// Alternative synchronization
+// --------------------------------------------------------------------------
+
+void Kernel::attempt_sync(SimProcess& child) {
+  child.syncing_ = false;
+  auto pit = procs_.find(child.alt_parent_);
+  SimProcess* parent = pit == procs_.end() ? nullptr : pit->second.get();
+  const bool open = parent != nullptr && is_live(*parent) &&
+                    parent->alt_.has_value() && !parent->alt_->decided &&
+                    !child.doomed_;
+  if (!open) {
+    // "Too late" for the synchronization: terminate self (section 3.2.1).
+    finalize_kill(child, ExitKind::kTooLate);
+    publish_resolution(child.pid_, Resolution::kFailed);
+    if (parent != nullptr && parent->alt_.has_value()) {
+      remove_world(*parent, child.alt_index_, child.pid_);
+    }
+    return;
+  }
+
+  // Fastest first: this child wins. The parent absorbs its state changes by
+  // atomically replacing its page pointer with the child's.
+  parent->alt_->decided = true;
+  stats_.commits++;
+  emit(TraceEvent::Kind::kCommit, child.pid_, parent->pid_);
+  std::size_t losers = 0;
+  for (const auto& alt : parent->alt_->alternatives) {
+    for (Pid w : alt.worlds) {
+      if (w != child.pid_) ++losers;
+    }
+  }
+  parent->as_.absorb(std::move(child.as_));
+  child.state_ = ProcState::kDone;
+  child.exit_ = ExitKind::kCompleted;
+  child.finished_at_ = now_;
+  ++child.generation_;
+  unbind_all(child);
+  account_finished(child);
+
+  if (cfg_.elimination == Elimination::kSynchronous && losers > 0) {
+    // The parent issues the terminations before resuming.
+    parent->pending_penalty_ += cfg_.machine.kill_cost * static_cast<SimTime>(losers);
+  }
+
+  // Resolving the winner as completed makes every sibling world's "winner
+  // fails" assumption false, so the cascade performs sibling elimination.
+  publish_resolution(child.pid_, Resolution::kCompleted);
+
+  parent->alt_.reset();
+  parent->advance();
+  make_ready(*parent);
+}
+
+void Kernel::remove_world(SimProcess& parent, std::size_t alt_index, Pid world) {
+  if (!parent.alt_.has_value()) return;
+  if (alt_index >= parent.alt_->alternatives.size()) return;
+  auto& worlds = parent.alt_->alternatives[alt_index].worlds;
+  auto it = std::find(worlds.begin(), worlds.end(), world);
+  if (it == worlds.end()) return;  // stale: a child of an earlier, decided block
+  worlds.erase(it);
+  if (parent.alt_->decided) return;
+  for (const auto& alt : parent.alt_->alternatives) {
+    if (!alt.worlds.empty()) return;
+  }
+  // Every world of every alternative has failed: the block fails.
+  parent.alt_->decided = true;
+  fail_alt_block(parent);
+}
+
+void Kernel::fail_alt_block(SimProcess& parent) {
+  stats_.alt_failures++;
+  emit(TraceEvent::Kind::kBlockFail, parent.pid_);
+  const ProgramRef on_fail = parent.alt_ ? parent.alt_->on_fail : nullptr;
+  parent.alt_.reset();
+  parent.advance();
+  if (on_fail) {
+    parent.frames_.push_back(ProgFrame{on_fail, 0});
+    parent.step_remaining_ = -1;
+    make_ready(parent);
+    return;
+  }
+  // No FAIL arm: the failure propagates — the parent itself aborts.
+  const Pid gp = parent.alt_parent_;
+  const std::size_t idx = parent.alt_index_;
+  finalize_kill(parent, ExitKind::kAborted);
+  publish_resolution(parent.pid_, Resolution::kFailed);
+  if (gp != kNoPid) remove_world(proc(gp), idx, parent.pid_);
+}
+
+// --------------------------------------------------------------------------
+// Resolution and elimination
+// --------------------------------------------------------------------------
+
+void Kernel::publish_resolution(Pid pid, Resolution outcome) {
+  if (resolutions_.contains(pid)) return;  // first resolution wins
+  resolutions_.emplace(pid, outcome);
+  resolution_queue_.emplace_back(pid, outcome);
+  if (!draining_) drain_resolutions();
+}
+
+void Kernel::drain_resolutions() {
+  draining_ = true;
+  while (!resolution_queue_.empty()) {
+    const auto [pid, outcome] = resolution_queue_.front();
+    resolution_queue_.erase(resolution_queue_.begin());
+    // A process resolved as failed while still alive (e.g. by an alt_wait
+    // timeout) is itself a dead world.
+    if (outcome == Resolution::kFailed) {
+      auto it = procs_.find(pid);
+      if (it != procs_.end() && is_live(*it->second) && !it->second->doomed_) {
+        eliminate_world(*it->second);
+      }
+    }
+    // Snapshot the pid set: eliminations mutate procs_' values (never the
+    // map itself), but new worlds can be created only by running processes,
+    // not by resolution, so the snapshot is complete.
+    std::vector<SimProcess*> live;
+    for (auto& [qpid, q] : procs_) {
+      if (is_live(*q) && !q->doomed_ && qpid != pid) live.push_back(q.get());
+    }
+    for (SimProcess* q : live) {
+      if (!is_live(*q) || q->doomed_) continue;  // eliminated earlier this drain
+      const Resolution verdict = q->pred_.resolve(pid, outcome);
+      if (verdict == Resolution::kFailed) {
+        eliminate_world(*q);
+      } else {
+        recheck_gated(*q);
+      }
+    }
+  }
+  draining_ = false;
+}
+
+void Kernel::recheck_gated(SimProcess& p) {
+  if (p.state_ != ProcState::kBlocked || !p.pred_.satisfied()) return;
+  if (p.block_ == BlockReason::kSourceGate) {
+    p.step_remaining_ = -1;
+    make_ready(p);
+  } else if (p.block_ == BlockReason::kCommitGate) {
+    complete_process(p);
+  }
+}
+
+void Kernel::eliminate_world(SimProcess& q) {
+  if (!is_live(q) || q.doomed_) return;
+  publish_resolution(q.pid_, Resolution::kFailed);
+  // A dying world takes its own speculative children with it.
+  if (q.alt_.has_value()) {
+    std::vector<Pid> worlds;
+    for (const auto& alt : q.alt_->alternatives) {
+      worlds.insert(worlds.end(), alt.worlds.begin(), alt.worlds.end());
+    }
+    q.alt_->decided = true;  // nobody can commit into a dead parent
+    for (Pid w : worlds) publish_resolution(w, Resolution::kFailed);
+  }
+  const Pid parent = q.alt_parent_;
+  const std::size_t idx = q.alt_index_;
+  if (cfg_.elimination == Elimination::kSynchronous ||
+      q.state_ == ProcState::kBlocked) {
+    finalize_kill(q, ExitKind::kEliminated);
+  } else {
+    // Asynchronous elimination: logically dead immediately (no observable
+    // effects are possible) but the corpse keeps consuming cycles until the
+    // termination instruction reaches it — the throughput cost of 4.1.
+    q.doomed_ = true;
+    stats_.overhead_work += cfg_.machine.kill_cost;
+    Event ev;
+    ev.time = now_ + cfg_.machine.kill_cost;
+    ev.kind = EventKind::kAsyncKill;
+    ev.pid = q.pid_;
+    push_event(std::move(ev));
+  }
+  if (parent != kNoPid) {
+    auto pit = procs_.find(parent);
+    if (pit != procs_.end() && pit->second->alt_.has_value()) {
+      remove_world(*pit->second, idx, q.pid_);
+    }
+  }
+}
+
+void Kernel::finalize_kill(SimProcess& p, ExitKind kind) {
+  if (!is_live(p)) return;
+  switch (kind) {
+    case ExitKind::kAborted:
+      stats_.aborts++;
+      emit(TraceEvent::Kind::kAbort, p.pid_);
+      break;
+    case ExitKind::kEliminated:
+      stats_.eliminations++;
+      emit(TraceEvent::Kind::kEliminate, p.pid_);
+      break;
+    case ExitKind::kTooLate:
+      stats_.too_lates++;
+      emit(TraceEvent::Kind::kTooLate, p.pid_);
+      break;
+    default:
+      break;
+  }
+  if (p.state_ == ProcState::kRunning) release_cpu(p);
+  p.state_ = ProcState::kDead;
+  p.exit_ = kind;
+  p.finished_at_ = now_;
+  p.doomed_ = false;
+  ++p.generation_;
+  unbind_all(p);
+  p.inbox_.clear();
+  account_finished(p);
+}
+
+void Kernel::account_finished(SimProcess& p) {
+  if (p.exit_ == ExitKind::kCompleted) {
+    stats_.useful_work += p.cpu_time_;
+  } else {
+    stats_.wasted_work += p.cpu_time_;
+  }
+}
+
+bool Kernel::canonicalize(Message& m) {
+  if (m.sender_speculative) {
+    auto it = resolutions_.find(m.sender);
+    if (it != resolutions_.end()) {
+      if (it->second == Resolution::kFailed) return false;
+      m.sender_speculative = false;
+    }
+  }
+  Predicate stripped;
+  for (Pid pid : m.sending_predicate.must_complete()) {
+    auto it = resolutions_.find(pid);
+    if (it == resolutions_.end()) {
+      stripped.require_complete(pid);
+    } else if (it->second == Resolution::kFailed) {
+      return false;  // the sending world is dead; the message never happened
+    }
+  }
+  for (Pid pid : m.sending_predicate.must_fail()) {
+    auto it = resolutions_.find(pid);
+    if (it == resolutions_.end()) {
+      stripped.require_fail(pid);
+    } else if (it->second == Resolution::kCompleted) {
+      return false;
+    }
+  }
+  m.sending_predicate = std::move(stripped);
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Ports
+// --------------------------------------------------------------------------
+
+void Kernel::bind_port(SimProcess& p, Port port) {
+  auto& binders = port_bindings_[port];
+  if (std::find(binders.begin(), binders.end(), p.pid_) == binders.end()) {
+    binders.push_back(p.pid_);
+  }
+  if (std::find(p.bound_ports_.begin(), p.bound_ports_.end(), port) ==
+      p.bound_ports_.end()) {
+    p.bound_ports_.push_back(port);
+  }
+  auto bit = port_backlog_.find(port);
+  if (bit != port_backlog_.end() && !bit->second.empty()) {
+    std::vector<Message> backlog = std::move(bit->second);
+    port_backlog_.erase(bit);
+    for (Message& m : backlog) deliver_now(p, std::move(m));
+  }
+}
+
+void Kernel::unbind_all(SimProcess& p) {
+  for (Port port : p.bound_ports_) {
+    auto it = port_bindings_.find(port);
+    if (it == port_bindings_.end()) continue;
+    auto& binders = it->second;
+    binders.erase(std::remove(binders.begin(), binders.end(), p.pid_), binders.end());
+    if (binders.empty()) port_bindings_.erase(it);
+  }
+  p.bound_ports_.clear();
+}
+
+void Kernel::crash_node_at(NodeId node, SimTime when) {
+  ALTX_REQUIRE(node < nodes_.size(), "crash_node_at: node out of range");
+  ALTX_REQUIRE(when >= now_, "crash_node_at: time in the past");
+  Event ev;
+  ev.time = when;
+  ev.kind = EventKind::kNodeCrash;
+  ev.node = node;
+  push_event(std::move(ev));
+}
+
+void Kernel::on_node_crash(const Event& ev) {
+  Node& n = nodes_[ev.node];
+  if (n.crashed) return;
+  n.crashed = true;
+  emit(TraceEvent::Kind::kNodeCrash, kNoPid, kNoPid);
+  for (auto& cpu : n.cpus) cpu.current = kNoPid;
+  n.ready.clear();
+  // Every world on the node dies: resolve as failed (cascading to dependent
+  // worlds and child subtrees) and terminate physically right now.
+  std::vector<SimProcess*> victims;
+  for (auto& [pid, p] : procs_) {
+    if (p->node_ == ev.node && is_live(*p)) victims.push_back(p.get());
+  }
+  for (SimProcess* p : victims) {
+    if (!is_live(*p)) continue;
+    eliminate_world(*p);                          // logical death + cascade
+    if (is_live(*p)) finalize_kill(*p, ExitKind::kEliminated);  // no corpses
+  }
+}
+
+SimProcess& Kernel::proc(Pid pid) {
+  auto it = procs_.find(pid);
+  ALTX_ASSERT(it != procs_.end(), "unknown pid " + std::to_string(pid));
+  return *it->second;
+}
+
+}  // namespace altx::sim

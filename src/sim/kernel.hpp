@@ -1,0 +1,315 @@
+// The kernel simulator.
+//
+// A deterministic discrete-event simulation of the operating system the
+// paper's design runs on: multi-node, multi-CPU round-robin scheduling over
+// COW paged address spaces, the alt_spawn/alt_wait primitives with
+// fastest-first synchronization and sibling elimination (synchronous or
+// asynchronous), predicated IPC with world splitting, source/sink device
+// discipline, and the cost model of sections 4.1-4.4.
+//
+// Determinism: all events are ordered by (time, insertion sequence); the only
+// randomness lives in workload generators, which take explicit seeds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "msg/message.hpp"
+#include "msg/predicate.hpp"
+#include "sim/machine.hpp"
+#include "sim/page.hpp"
+#include "sim/process.hpp"
+#include "sim/program.hpp"
+
+namespace altx::sim {
+
+/// When losing siblings are physically terminated (paper section 3.2.1).
+enum class Elimination {
+  kSynchronous,   // losers are gone before the parent resumes
+  kAsynchronous,  // the parent resumes at once; losers die a little later
+};
+
+/// A structured trace record, emitted through Kernel::Config::trace for
+/// debugging, visualisation, and the timeline tests/examples.
+struct TraceEvent {
+  enum class Kind {
+    kSpawn,       // pid created (root or alternative)
+    kCommit,      // pid won its synchronization
+    kAbort,       // guard failure / explicit abort
+    kEliminate,   // killed as a losing/dead world
+    kTooLate,     // refused by the commit rule
+    kBlockFail,   // an alt block took its FAIL arm
+    kTimeout,     // alt_wait timeout fired
+    kWorldSplit,  // receiver forked into two worlds
+    kDeliver,     // message accepted into an inbox
+    kSourceWrite, // observable device write
+    kComplete,    // top-level process finished
+    kNodeCrash,   // whole-node failure
+  };
+  SimTime time = 0;
+  Kind kind = Kind::kSpawn;
+  Pid pid = kNoPid;
+  Pid other = kNoPid;  // parent at spawn, clone at split, sender at deliver
+};
+
+[[nodiscard]] const char* to_string(TraceEvent::Kind k);
+
+/// How a remote child's state reaches its node (section 4.4).
+enum class RemoteSpawn {
+  kCheckpoint,  // ship the process in its entirety up front (Smith/Ioannidis)
+  kOnDemand,    // ship a stub; pages fault over on first touch (Theimer 1985)
+};
+
+/// A source device: operations on it are not idempotent, so speculative
+/// processes may not write it, and reads are made idempotent by buffering
+/// (paper sections 3.1 and 6).
+class SourceDevice {
+ public:
+  /// What a fresh read of `key` returns; defaults to the key itself.
+  std::function<std::uint64_t(std::uint64_t)> read_fn =
+      [](std::uint64_t key) { return key; };
+
+  struct WriteRecord {
+    SimTime time;
+    Pid writer;
+    Bytes data;
+  };
+
+  [[nodiscard]] const std::vector<WriteRecord>& writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t consumed_reads() const { return consumed_reads_; }
+
+ private:
+  friend class Kernel;
+  std::vector<WriteRecord> writes_;
+  std::unordered_map<std::uint64_t, std::uint64_t> read_buffer_;
+  std::uint64_t consumed_reads_ = 0;
+};
+
+struct KernelStats {
+  SimTime finished_at = 0;
+
+  // CPU accounting. overhead ⊂ busy: overhead counts the cycles spent on
+  // spawning, synchronization, elimination and context switches.
+  SimTime cpu_busy = 0;
+  SimTime useful_work = 0;   // cpu time of processes that completed
+  SimTime wasted_work = 0;   // cpu time of eliminated / aborted / too-late ones
+  SimTime overhead_work = 0;
+
+  std::uint64_t forks = 0;
+  std::uint64_t remote_forks = 0;
+  std::uint64_t cow_copies = 0;
+  std::uint64_t alt_blocks = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t alt_failures = 0;
+  std::uint64_t alt_timeouts = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t eliminations = 0;
+  std::uint64_t too_lates = 0;
+  std::uint64_t world_splits = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_ignored = 0;
+  std::uint64_t messages_dead = 0;  // dropped because the sending world died
+  std::uint64_t source_writes = 0;
+  std::uint64_t source_reads = 0;
+  std::uint64_t buffered_source_reads = 0;
+  std::uint64_t ctx_switches = 0;
+};
+
+class Kernel {
+ public:
+  struct Config {
+    MachineModel machine;
+    std::size_t address_space_pages = 80;  // 320 KB at 4 KB pages
+    std::size_t words_per_page = 8;        // semantic content per page
+    Elimination elimination = Elimination::kAsynchronous;
+
+    /// Copy the whole address space at spawn instead of sharing it COW
+    /// (section 5.1.2: recovery blocks may "copy all of the state rather
+    /// than copying as necessary, in order that the state not become
+    /// inaccessible and so cause a failure"). Spawn then costs a full page
+    /// copy per page, but children take no write faults.
+    bool eager_copy = false;
+
+    /// State-transfer strategy for children placed on remote nodes.
+    RemoteSpawn remote_spawn = RemoteSpawn::kCheckpoint;
+
+    /// Optional trace sink; called synchronously for every TraceEvent.
+    std::function<void(const TraceEvent&)> trace;
+
+    // Small fixed op costs (microseconds).
+    SimTime mem_ref_cost = 1;
+    SimTime guard_cost = 10;
+    SimTime send_cost = 50;
+    SimTime recv_cost = 50;
+    SimTime ipc_local_latency = 100;
+    SimTime source_io_cost = 500;
+    SimTime bind_cost = 10;
+  };
+
+  explicit Kernel(Config cfg);
+
+  /// Spawns a non-speculative top-level process. `node` < machine.nodes.
+  Pid spawn_root(ProgramRef prog, NodeId node = 0);
+
+  /// Runs the event loop until quiescence or `until` (simulated time).
+  /// Returns the simulated time at which the run stopped.
+  SimTime run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Post-mortem inspection (processes are kept after death).
+  [[nodiscard]] const SimProcess* process(Pid pid) const;
+  [[nodiscard]] ExitKind exit_kind(Pid pid) const;
+  [[nodiscard]] Resolution resolution(Pid pid) const;
+  [[nodiscard]] std::vector<Pid> all_pids() const;
+
+  SourceDevice& source(std::uint32_t device) { return sources_[device]; }
+
+  /// True if any process is still blocked (deadlock diagnosis).
+  [[nodiscard]] std::vector<Pid> blocked_pids() const;
+
+  /// Schedules a whole-node failure: at `when`, every process on `node`
+  /// dies (its worlds resolve as failed, cascading) and the node stops
+  /// scheduling work.
+  void crash_node_at(NodeId node, SimTime when);
+
+  [[nodiscard]] bool node_crashed(NodeId node) const {
+    return nodes_[node].crashed;
+  }
+
+ private:
+  enum class EventKind {
+    kSliceEnd,
+    kDeliver,
+    kAltTimeout,
+    kRecvTimeout,
+    kAsyncKill,
+    kNodeCrash,
+  };
+
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kSliceEnd;
+    Pid pid = kNoPid;
+    std::uint64_t generation = 0;
+    NodeId node = 0;
+    int cpu = -1;
+    SimTime work = 0;  // productive portion of a slice
+    Message msg;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Cpu {
+    Pid current = kNoPid;
+    Pid last = kNoPid;  // for context-switch accounting
+  };
+
+  struct Node {
+    std::vector<Cpu> cpus;
+    std::deque<Pid> ready;
+    bool crashed = false;
+  };
+
+  // --- event machinery ---
+  void push_event(Event ev);
+  void dispatch(const Event& ev);
+  void on_slice_end(const Event& ev);
+  void on_deliver(const Event& ev);
+  void on_alt_timeout(const Event& ev);
+  void on_recv_timeout(const Event& ev);
+  void on_async_kill(const Event& ev);
+  void on_node_crash(const Event& ev);
+
+  // --- scheduling ---
+  void make_ready(SimProcess& p);
+  void kick(NodeId node);
+  void start_slice(NodeId node, int cpu);
+  void release_cpu(SimProcess& p);
+
+  // --- op execution ---
+  SimTime op_cost(SimProcess& p);
+  /// Applies the side effects of the completed step; leaves the process in
+  /// its next state (ready / blocked / dead / done).
+  void apply_effect(SimProcess& p);
+  void step_completed(SimProcess& p);
+  void do_alt_block(SimProcess& parent, const AltBlockOp& op);
+  void do_send(SimProcess& p, const SendOp& op);
+  void do_recv(SimProcess& p, const RecvOp& op);
+  void do_source_write(SimProcess& p, const SourceWriteOp& op);
+  void do_source_read(SimProcess& p, const SourceReadOp& op);
+  void finish_program(SimProcess& p);
+
+  // --- alternative machinery ---
+  void attempt_sync(SimProcess& child);
+  void fail_alt_block(SimProcess& parent);
+  void wake_parent(SimProcess& parent);
+  void remove_world(SimProcess& parent, std::size_t alt_index, Pid world);
+
+  // --- predicates, resolution, elimination ---
+  void publish_resolution(Pid pid, Resolution outcome);
+  void drain_resolutions();
+  void eliminate_world(SimProcess& p);
+  void finalize_kill(SimProcess& p, ExitKind kind);
+  void complete_process(SimProcess& p);
+  /// Strips resolved pids from a message's implied assumptions; returns false
+  /// if the message comes from a dead world and must be discarded.
+  bool canonicalize(Message& m);
+  void recheck_gated(SimProcess& p);
+
+  // --- IPC ---
+  void deliver_now(SimProcess& dst, Message m);
+  SimProcess& split_world(SimProcess& accepting, const Message& m);
+  void bind_port(SimProcess& p, Port port);
+  void unbind_all(SimProcess& p);
+
+  SimProcess& proc(Pid pid);
+  Pid fresh_pid() { return next_pid_++; }
+  void emit(TraceEvent::Kind kind, Pid pid, Pid other = kNoPid) {
+    if (cfg_.trace) cfg_.trace(TraceEvent{now_, kind, pid, other});
+  }
+  void account_finished(SimProcess& p);
+  [[nodiscard]] bool is_live(const SimProcess& p) const {
+    return p.state_ == ProcState::kReady || p.state_ == ProcState::kRunning ||
+           p.state_ == ProcState::kBlocked;
+  }
+
+  Config cfg_;
+  FrameStore frames_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Pid next_pid_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<Node> nodes_;
+  std::map<Pid, std::unique_ptr<SimProcess>> procs_;  // ordered for determinism
+  std::unordered_map<Pid, Resolution> resolutions_;
+  std::vector<std::pair<Pid, Resolution>> resolution_queue_;
+  bool draining_ = false;
+  std::map<Port, std::vector<Pid>> port_bindings_;
+  std::map<Port, std::vector<Message>> port_backlog_;
+  std::map<std::uint32_t, SourceDevice> sources_;
+  KernelStats stats_;
+};
+
+}  // namespace altx::sim

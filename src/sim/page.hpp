@@ -1,0 +1,258 @@
+// Copy-on-write paged memory (paper sections 3.1 and 3.3).
+//
+// All sink state is fixed-size pages under a single-level store. An
+// AddressSpace maps virtual page numbers to reference-counted frames in a
+// shared FrameStore; cloning an address space shares every frame (page-map
+// inheritance), and the first write to a shared frame copies it. Each
+// address space tracks its dirty pages — the paper's per-process descriptor
+// table, which is exactly the set of pages whose contents are predicated on
+// the process completing.
+//
+// Frames carry real content (a small vector of 64-bit words) so semantic
+// tests can verify that a parent absorbs exactly its winning child's updates;
+// the *cost* of a page is modelled separately by MachineModel::page_size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace altx::sim {
+
+using VPage = std::uint32_t;
+using FrameId = std::uint32_t;
+constexpr FrameId kNoFrame = static_cast<FrameId>(-1);
+
+/// Backing store of page frames with reference counts. One per Kernel.
+class FrameStore {
+ public:
+  explicit FrameStore(std::size_t words_per_page = 8)
+      : words_per_page_(words_per_page) {
+    ALTX_REQUIRE(words_per_page >= 1, "FrameStore: need at least one word");
+  }
+
+  [[nodiscard]] std::size_t words_per_page() const { return words_per_page_; }
+
+  FrameId allocate() {
+    FrameId id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      frames_[id].refs = 1;
+      std::fill(frames_[id].words.begin(), frames_[id].words.end(), 0);
+    } else {
+      id = static_cast<FrameId>(frames_.size());
+      frames_.push_back(Frame{1, std::vector<std::uint64_t>(words_per_page_, 0)});
+    }
+    ++live_frames_;
+    return id;
+  }
+
+  void ref(FrameId id) { ++frame(id).refs; }
+
+  void unref(FrameId id) {
+    Frame& f = frame(id);
+    ALTX_ASSERT(f.refs > 0, "FrameStore::unref: refcount underflow");
+    if (--f.refs == 0) {
+      free_.push_back(id);
+      --live_frames_;
+    }
+  }
+
+  [[nodiscard]] int refcount(FrameId id) const { return frame(id).refs; }
+  [[nodiscard]] bool shared(FrameId id) const { return frame(id).refs > 1; }
+
+  /// Copies `src` into a fresh frame (the COW fault path). The caller keeps
+  /// its reference on src; copy_frame takes none.
+  FrameId copy_frame(FrameId src) {
+    const FrameId dst = allocate();
+    frames_[dst].words = frames_[src].words;
+    return dst;
+  }
+
+  [[nodiscard]] std::uint64_t read(FrameId id, std::size_t word) const {
+    const Frame& f = frame(id);
+    ALTX_REQUIRE(word < f.words.size(), "FrameStore::read: word out of range");
+    return f.words[word];
+  }
+
+  void write(FrameId id, std::size_t word, std::uint64_t value) {
+    Frame& f = frame(id);
+    ALTX_REQUIRE(word < f.words.size(), "FrameStore::write: word out of range");
+    ALTX_ASSERT(f.refs == 1, "FrameStore::write: writing a shared frame");
+    f.words[word] = value;
+  }
+
+  [[nodiscard]] std::size_t live_frames() const { return live_frames_; }
+
+ private:
+  struct Frame {
+    int refs = 0;
+    std::vector<std::uint64_t> words;
+  };
+
+  Frame& frame(FrameId id) {
+    ALTX_ASSERT(id < frames_.size(), "FrameStore: bad frame id");
+    return frames_[id];
+  }
+  [[nodiscard]] const Frame& frame(FrameId id) const {
+    ALTX_ASSERT(id < frames_.size(), "FrameStore: bad frame id");
+    return frames_[id];
+  }
+
+  std::size_t words_per_page_;
+  std::vector<Frame> frames_;
+  std::vector<FrameId> free_;
+  std::size_t live_frames_ = 0;
+};
+
+/// Statistics a single address space accumulates; the kernel charges the
+/// simulated-time costs, this records the counts.
+struct PagingStats {
+  std::uint64_t cow_copies = 0;   // frames copied on write faults
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// One process's view of memory: vpage -> frame, copy-on-write.
+class AddressSpace {
+ public:
+  AddressSpace(FrameStore& store, std::size_t pages) : store_(&store) {
+    map_.reserve(pages);
+    for (std::size_t i = 0; i < pages; ++i) map_.push_back(store_->allocate());
+  }
+
+  /// Page-map inheritance: share every frame with `parent`.
+  static AddressSpace cow_clone(const AddressSpace& parent) {
+    AddressSpace as(*parent.store_);
+    as.map_ = parent.map_;
+    for (FrameId f : as.map_) as.store_->ref(f);
+    return as;
+  }
+
+  /// Eager full copy: every frame duplicated up front (the recovery-block
+  /// variant of section 5.1.2). Writes then never fault.
+  static AddressSpace deep_copy(const AddressSpace& parent) {
+    AddressSpace as(*parent.store_);
+    as.map_.reserve(parent.map_.size());
+    for (FrameId f : parent.map_) as.map_.push_back(parent.store_->copy_frame(f));
+    return as;
+  }
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  AddressSpace(AddressSpace&& other) noexcept
+      : store_(other.store_), map_(std::move(other.map_)),
+        dirty_(std::move(other.dirty_)), stats_(other.stats_) {
+    other.map_.clear();
+    other.dirty_.clear();
+  }
+
+  AddressSpace& operator=(AddressSpace&& other) noexcept {
+    if (this != &other) {
+      release();
+      store_ = other.store_;
+      map_ = std::move(other.map_);
+      dirty_ = std::move(other.dirty_);
+      stats_ = other.stats_;
+      other.map_.clear();
+      other.dirty_.clear();
+    }
+    return *this;
+  }
+
+  ~AddressSpace() { release(); }
+
+  [[nodiscard]] std::size_t pages() const { return map_.size(); }
+  [[nodiscard]] std::size_t words_per_page() const { return store_->words_per_page(); }
+
+  [[nodiscard]] std::uint64_t read(VPage page, std::size_t word) {
+    check_page(page);
+    ++stats_.reads;
+    return store_->read(map_[page], word);
+  }
+
+  [[nodiscard]] std::uint64_t peek(VPage page, std::size_t word) const {
+    check_page(page);
+    return store_->read(map_[page], word);
+  }
+
+  /// Writes a word; returns true when the write faulted (copied a shared
+  /// frame) so the kernel can charge MachineModel::page_copy.
+  bool write(VPage page, std::size_t word, std::uint64_t value) {
+    check_page(page);
+    ++stats_.writes;
+    bool faulted = false;
+    if (store_->shared(map_[page])) {
+      const FrameId copy = store_->copy_frame(map_[page]);
+      store_->unref(map_[page]);
+      map_[page] = copy;
+      ++stats_.cow_copies;
+      faulted = true;
+    }
+    store_->write(map_[page], word, value);
+    dirty_.insert(page);
+    return faulted;
+  }
+
+  /// The per-process descriptor table of updated pages (section 3.3:
+  /// "updated and newly-written pages are predicated by virtue of their
+  /// residence in a per-process descriptor table").
+  [[nodiscard]] const std::unordered_set<VPage>& dirty_pages() const { return dirty_; }
+
+  /// Atomically adopt `winner`'s page map (the alt_wait absorption: "the
+  /// parent process absorbs the state changes made by its child by atomically
+  /// replacing its page pointer with that of the child").
+  void absorb(AddressSpace&& winner) {
+    ALTX_REQUIRE(winner.store_ == store_, "AddressSpace::absorb: different stores");
+    for (FrameId f : map_) store_->unref(f);
+    map_ = std::move(winner.map_);
+    // Everything the winner dirtied joins the parent's own dirty set (those
+    // pages remain predicated on the *parent's* enclosing assumptions).
+    dirty_.insert(winner.dirty_.begin(), winner.dirty_.end());
+    stats_.cow_copies += winner.stats_.cow_copies;
+    winner.map_.clear();
+    winner.dirty_.clear();
+  }
+
+  [[nodiscard]] const PagingStats& stats() const { return stats_; }
+
+  /// Number of frames not shared with anyone (private to this space).
+  [[nodiscard]] std::size_t private_frames() const {
+    std::size_t n = 0;
+    for (FrameId f : map_) {
+      if (!store_->shared(f)) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] FrameId frame_of(VPage page) const {
+    check_page(page);
+    return map_[page];
+  }
+
+ private:
+  explicit AddressSpace(FrameStore& store) : store_(&store) {}
+
+  void release() {
+    for (FrameId f : map_) store_->unref(f);
+    map_.clear();
+    dirty_.clear();
+  }
+
+  void check_page(VPage page) const {
+    ALTX_REQUIRE(page < map_.size(), "AddressSpace: page out of range");
+  }
+
+  FrameStore* store_;
+  std::vector<FrameId> map_;
+  std::unordered_set<VPage> dirty_;
+  PagingStats stats_;
+};
+
+}  // namespace altx::sim

@@ -1,0 +1,140 @@
+// Simulated processes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "msg/message.hpp"
+#include "msg/predicate.hpp"
+#include "sim/page.hpp"
+#include "sim/program.hpp"
+
+namespace altx::sim {
+
+enum class ProcState {
+  kReady,     // runnable, waiting for a CPU
+  kRunning,   // currently holding a CPU
+  kBlocked,   // waiting (alt_wait, recv, source gate)
+  kDone,      // finished (top-level) or absorbed (winning child)
+  kDead,      // aborted or eliminated
+};
+
+enum class BlockReason {
+  kNone,
+  kAltWait,     // parent waiting for a winning child
+  kRecv,        // waiting for a message
+  kSourceGate,  // wants to touch a source but runs under unresolved predicates
+  kCommitGate,  // program finished but predicates still unresolved
+};
+
+/// Why a process ceased to exist, for statistics and tests.
+enum class ExitKind {
+  kStillAlive,
+  kCompleted,   // ran to the end of its program (top level) or won its sync
+  kAborted,     // guard failed / explicit abort / alt-block failure propagated
+  kEliminated,  // killed as a losing sibling or a dead world
+  kTooLate,     // attempted to synchronize after a winner was chosen
+};
+
+/// Bookkeeping the parent keeps while blocked in alt_wait. A single
+/// alternative can be represented by several "worlds" if a speculative
+/// message split one of its processes; the alternative is failed only when
+/// every world of it has failed, and any world committing commits the
+/// alternative.
+struct AltContext {
+  struct Alternative {
+    std::vector<Pid> worlds;  // live pids implementing this alternative
+  };
+  std::vector<Alternative> alternatives;
+  SimTime deadline = 0;  // absolute; 0 = none
+  ProgramRef on_fail;
+  bool decided = false;  // winner chosen or block failed
+};
+
+/// One frame of the program stack (on_fail handlers push frames).
+struct ProgFrame {
+  ProgramRef prog;
+  std::size_t pc = 0;
+};
+
+class SimProcess {
+ public:
+  SimProcess(Pid pid, NodeId node, AddressSpace as, ProgramRef prog)
+      : pid_(pid), node_(node), as_(std::move(as)) {
+    frames_.push_back(ProgFrame{std::move(prog), 0});
+  }
+
+  Pid pid_;
+  NodeId node_;
+  AddressSpace as_;
+  Predicate pred_;
+
+  ProcState state_ = ProcState::kReady;
+  BlockReason block_ = BlockReason::kNone;
+  ExitKind exit_ = ExitKind::kStillAlive;
+
+  // Program execution.
+  std::vector<ProgFrame> frames_;
+  SimTime step_remaining_ = -1;  // <0: current op not yet started
+  SimTime pending_penalty_ = 0;  // extra cost folded into the next step
+  bool syncing_ = false;         // alt child running its synchronization step
+  bool in_ready_ = false;        // already enqueued on a ready queue
+
+  // Alternative-block relationships.
+  Pid alt_parent_ = kNoPid;      // parent blocked in alt_wait on us (if any)
+  std::size_t alt_index_ = 0;    // which alternative of the parent we implement
+  std::optional<AltContext> alt_;  // set while we are blocked in alt_wait
+
+  // Asynchronous elimination: logically dead but still scheduled until the
+  // kill event arrives. A doomed process can cause no observable effects.
+  bool doomed_ = false;
+
+  // IPC.
+  std::deque<Message> inbox_;    // delivered, not yet consumed messages
+  std::uint64_t send_seq_ = 0;
+
+  // Ports this process is bound to (world splits rebind the clone).
+  std::vector<Port> bound_ports_;
+
+  // On-demand remote spawning: pages not yet resident on this node; the
+  // first touch of each pays a network transfer (Theimer-style migration).
+  std::unordered_set<VPage> remote_pages_;
+
+  // Accounting.
+  SimTime cpu_time_ = 0;
+  SimTime spawned_at_ = 0;
+  SimTime finished_at_ = -1;  // when the process completed or died
+  std::uint64_t generation_ = 0;  // bumped on state transitions to invalidate events
+
+  [[nodiscard]] const Op& current_op() const {
+    const ProgFrame& f = frames_.back();
+    return f.prog->ops[f.pc];
+  }
+
+  [[nodiscard]] bool program_finished() const {
+    return frames_.size() == 1 && frames_.back().pc >= frames_.back().prog->ops.size();
+  }
+
+  /// Advances past the current op, popping completed on_fail frames.
+  void advance() {
+    ++frames_.back().pc;
+    while (frames_.size() > 1 &&
+           frames_.back().pc >= frames_.back().prog->ops.size()) {
+      frames_.pop_back();
+    }
+  }
+
+  [[nodiscard]] bool at_end() const {
+    return frames_.back().pc >= frames_.back().prog->ops.size();
+  }
+
+  [[nodiscard]] bool is_alt_child() const { return alt_parent_ != kNoPid; }
+};
+
+}  // namespace altx::sim

@@ -1,0 +1,195 @@
+// Programs for simulated processes.
+//
+// A simulated process executes a straight-line list of operations. The op
+// set is exactly what the paper's machinery needs: compute, page references
+// (which drive COW behaviour), the alternative block (alt_spawn + alt_wait),
+// guards, predicated IPC, and source-device I/O. Workload generators emit
+// unrolled op lists, so no general control flow is needed; the only
+// "branches" are the ones the paper's constructs introduce (which alternative
+// wins, does the block fail).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "sim/page.hpp"
+
+namespace altx::sim {
+
+struct Program;
+using ProgramRef = std::shared_ptr<const Program>;
+
+/// Burn CPU for a fixed duration (the tau of a computation step).
+struct ComputeOp {
+  SimTime duration = 0;
+};
+
+/// Reference memory. A write stores `value` and may trigger a COW fault; a
+/// read only accounts the reference.
+struct TouchOp {
+  VPage page = 0;
+  std::uint32_t word = 0;
+  bool write = false;
+  std::uint64_t value = 0;
+};
+
+/// Evaluate a guard over the process's current memory; if false the process
+/// aborts without synchronizing (the ENSURE of the alternative block; the
+/// paper has the child evaluate it, "thus speeding up spawning and
+/// synchronization").
+struct GuardOp {
+  std::function<bool(const AddressSpace&)> ok;
+};
+
+/// The alternative block: spawn one child per alternate program, then
+/// alt_wait(timeout). First child to finish with its guard satisfied wins and
+/// is absorbed; if all abort or the timeout expires, `on_fail` runs (or, if
+/// null, the process itself aborts — failure propagates to the enclosing
+/// block).
+struct AltBlockOp {
+  std::vector<ProgramRef> alternates;
+  SimTime timeout = 0;  // <= 0 means wait forever
+  ProgramRef on_fail;
+
+  /// Optional pre-spawn guards, one per alternate (empty = none). The paper:
+  /// "the GUARD can be executed before spawning the alternative, in the
+  /// child process, at the synchronization point, or at any combination of
+  /// these places, for redundancy." A false pre-guard skips the fork — the
+  /// cheapest possible elimination.
+  std::vector<std::function<bool(const AddressSpace&)>> pre_guards;
+};
+
+/// Bind a port so other processes can send to this one by name.
+struct BindOp {
+  Port port = 0;
+};
+
+/// Send a predicated message to every live world bound to `port`.
+struct SendOp {
+  Port port = 0;
+  Bytes data;
+};
+
+/// Receive the next accepted message; its first 8 payload bytes are stored at
+/// (page, word) so later guards can branch on it. Blocks until a message is
+/// available; a non-positive timeout waits forever, otherwise the op times
+/// out and stores `timeout_value` instead.
+struct RecvOp {
+  VPage page = 0;
+  std::uint32_t word = 0;
+  SimTime timeout = 0;
+  std::uint64_t timeout_value = 0;
+};
+
+/// Write to a source device (non-idempotent, observable). Blocked while the
+/// process runs under unresolved predicates.
+struct SourceWriteOp {
+  std::uint32_t device = 0;
+  Bytes data;
+};
+
+/// Read key `key` from a source device, storing the (64-bit) result at
+/// (page, word). Reads are made idempotent through kernel buffering, so
+/// speculative processes may perform them.
+struct SourceReadOp {
+  std::uint32_t device = 0;
+  std::uint64_t key = 0;
+  VPage page = 0;
+  std::uint32_t word = 0;
+};
+
+/// Unconditional abort (a method that fails its own self-checks).
+struct AbortOp {};
+
+using Op = std::variant<ComputeOp, TouchOp, GuardOp, AltBlockOp, BindOp,
+                        SendOp, RecvOp, SourceWriteOp, SourceReadOp, AbortOp>;
+
+struct Program {
+  std::vector<Op> ops;
+  std::string label;  // for traces and test diagnostics
+};
+
+/// Fluent builder so workloads read like the pseudo-code in the paper.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string label = "") {
+    prog_ = std::make_shared<Program>();
+    prog_->label = std::move(label);
+  }
+
+  ProgramBuilder& compute(SimTime d) { return add(ComputeOp{d}); }
+
+  ProgramBuilder& read(VPage page, std::uint32_t word = 0) {
+    return add(TouchOp{page, word, false, 0});
+  }
+
+  ProgramBuilder& write(VPage page, std::uint32_t word, std::uint64_t value) {
+    return add(TouchOp{page, word, true, value});
+  }
+
+  ProgramBuilder& guard(std::function<bool(const AddressSpace&)> ok) {
+    return add(GuardOp{std::move(ok)});
+  }
+
+  ProgramBuilder& alt(std::vector<ProgramRef> alternates, SimTime timeout = 0,
+                      ProgramRef on_fail = nullptr) {
+    return add(AltBlockOp{std::move(alternates), timeout, std::move(on_fail), {}});
+  }
+
+  ProgramBuilder& alt_guarded(
+      std::vector<ProgramRef> alternates,
+      std::vector<std::function<bool(const AddressSpace&)>> pre_guards,
+      SimTime timeout = 0, ProgramRef on_fail = nullptr) {
+    return add(AltBlockOp{std::move(alternates), timeout, std::move(on_fail),
+                          std::move(pre_guards)});
+  }
+
+  ProgramBuilder& bind(Port port) { return add(BindOp{port}); }
+
+  ProgramBuilder& send(Port port, Bytes data) {
+    return add(SendOp{port, std::move(data)});
+  }
+
+  ProgramBuilder& send_u64(Port port, std::uint64_t v) {
+    Bytes b;
+    ByteWriter w(b);
+    w.u64(v);
+    return add(SendOp{port, std::move(b)});
+  }
+
+  ProgramBuilder& recv(VPage page, std::uint32_t word, SimTime timeout = 0,
+                       std::uint64_t timeout_value = 0) {
+    return add(RecvOp{page, word, timeout, timeout_value});
+  }
+
+  ProgramBuilder& source_write(std::uint32_t device, Bytes data) {
+    return add(SourceWriteOp{device, std::move(data)});
+  }
+
+  ProgramBuilder& source_read(std::uint32_t device, std::uint64_t key,
+                              VPage page, std::uint32_t word) {
+    return add(SourceReadOp{device, key, page, word});
+  }
+
+  ProgramBuilder& abort() { return add(AbortOp{}); }
+
+  [[nodiscard]] ProgramRef build() { return prog_; }
+
+ private:
+  ProgramBuilder& add(Op op) {
+    prog_->ops.push_back(std::move(op));
+    return *this;
+  }
+
+  std::shared_ptr<Program> prog_;
+};
+
+}  // namespace altx::sim

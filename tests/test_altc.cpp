@@ -1,0 +1,163 @@
+// Unit tests for the altc preprocessor (section 3.2's language construct).
+#include <gtest/gtest.h>
+
+#include "altc/translate.hpp"
+
+namespace altx::altc {
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Altc, PassesThroughPlainCpp) {
+  const std::string src = "int main() {\n  return 0;\n}\n";
+  EXPECT_EQ(translate(src), src);
+}
+
+TEST(Altc, TranslatesASimpleBlock) {
+  const std::string src = R"(int main() {
+ALTBEGIN(x : int)
+ALTERNATIVE
+  ALTRETURN(1);
+ALTERNATIVE
+  ALTRETURN(2);
+ALTEND
+  return x;
+}
+)";
+  const std::string out = translate(src);
+  EXPECT_TRUE(contains(out, "#include \"posix/race.hpp\""));
+  EXPECT_TRUE(contains(out, "::altx::posix::race<int>"));
+  EXPECT_TRUE(contains(out, "int x{};"));
+  EXPECT_TRUE(contains(out, "bool x_found = false;"));
+  EXPECT_TRUE(contains(out, "return std::make_optional<int>(1);"));
+  EXPECT_TRUE(contains(out, "return std::make_optional<int>(2);"));
+  // Two alternative lambdas.
+  std::size_t lambdas = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("[&]() -> std::optional<int>", pos)) != std::string::npos) {
+    ++lambdas;
+    ++pos;
+  }
+  EXPECT_EQ(lambdas, 2u);
+}
+
+TEST(Altc, TimeoutClauseSetsRaceOptions) {
+  const std::string out = translate(R"(
+ALTBEGIN(v : long, TIMEOUT 250)
+ALTERNATIVE
+  ALTRETURN(0);
+ALTEND
+)");
+  EXPECT_TRUE(contains(out, "std::chrono::milliseconds(250)"));
+}
+
+TEST(Altc, TemplatedTypesSurvive) {
+  const std::string out = translate(R"(
+ALTBEGIN(v : std::string)
+ALTERNATIVE
+  ALTRETURN(std::string("hi"));
+ALTEND
+)");
+  EXPECT_TRUE(contains(out, "race<std::string>"));
+  EXPECT_TRUE(contains(out, "std::make_optional<std::string>(std::string(\"hi\"));"));
+}
+
+TEST(Altc, AbortBecomesNullopt) {
+  const std::string out = translate(R"(
+ALTBEGIN(v : int)
+ALTERNATIVE
+  if (true) ALTABORT();
+  ALTRETURN(1);
+ALTEND
+)");
+  EXPECT_TRUE(contains(out, "if (true) return std::nullopt;"));
+}
+
+TEST(Altc, FailArmEmittedInElseBranch) {
+  const std::string out = translate(R"(
+ALTBEGIN(v : int)
+ALTERNATIVE
+  ALTRETURN(1);
+FAIL
+  handle_failure();
+ALTEND
+)");
+  EXPECT_TRUE(contains(out, "} else {"));
+  EXPECT_TRUE(contains(out, "handle_failure();"));
+}
+
+TEST(Altc, FallingOffTheEndIsAFailedGuard) {
+  const std::string out = translate(R"(
+ALTBEGIN(v : int)
+ALTERNATIVE
+  do_something();
+ALTEND
+)");
+  EXPECT_TRUE(contains(out, "return std::nullopt;  // fell off the end"));
+}
+
+TEST(Altc, MultipleBlocksGetDistinctTemporaries) {
+  const std::string out = translate(R"(
+ALTBEGIN(a : int)
+ALTERNATIVE
+  ALTRETURN(1);
+ALTEND
+ALTBEGIN(b : int)
+ALTERNATIVE
+  ALTRETURN(2);
+ALTEND
+)");
+  EXPECT_TRUE(contains(out, "__altx_r_0"));
+  EXPECT_TRUE(contains(out, "__altx_r_1"));
+}
+
+TEST(Altc, ErrorsCarryLineNumbers) {
+  try {
+    (void)translate("line one\nALTEND\n");
+    FAIL() << "expected TranslateError";
+  } catch (const TranslateError& e) {
+    EXPECT_TRUE(contains(e.what(), "line 2"));
+  }
+}
+
+TEST(Altc, RejectsMalformedHeaders) {
+  EXPECT_THROW((void)translate("ALTBEGIN\nALTEND\n"), TranslateError);
+  EXPECT_THROW((void)translate("ALTBEGIN(novar)\nALTEND\n"), TranslateError);
+  EXPECT_THROW((void)translate("ALTBEGIN(x : int, TIMEOUT soon)\nALTEND\n"),
+               TranslateError);
+  EXPECT_THROW((void)translate("ALTBEGIN(x y : int)\nALTEND\n"), TranslateError);
+}
+
+TEST(Altc, RejectsStructuralErrors) {
+  // No ALTEND.
+  EXPECT_THROW((void)translate("ALTBEGIN(x : int)\nALTERNATIVE\n"),
+               TranslateError);
+  // No alternatives.
+  EXPECT_THROW((void)translate("ALTBEGIN(x : int)\nALTEND\n"), TranslateError);
+  // Statements before the first alternative.
+  EXPECT_THROW(
+      (void)translate("ALTBEGIN(x : int)\nstray();\nALTERNATIVE\nALTEND\n"),
+      TranslateError);
+  // Nested blocks.
+  EXPECT_THROW((void)translate("ALTBEGIN(x : int)\nALTERNATIVE\n"
+                               "ALTBEGIN(y : int)\nALTEND\nALTEND\n"),
+               TranslateError);
+  // ALTERNATIVE after FAIL.
+  EXPECT_THROW((void)translate("ALTBEGIN(x : int)\nALTERNATIVE\nALTRETURN(1);\n"
+                               "FAIL\nALTERNATIVE\nALTEND\n"),
+               TranslateError);
+  // Duplicate FAIL.
+  EXPECT_THROW((void)translate("ALTBEGIN(x : int)\nALTERNATIVE\nALTRETURN(1);\n"
+                               "FAIL\nFAIL\nALTEND\n"),
+               TranslateError);
+}
+
+TEST(Altc, KeywordsOutsideABlockAreErrors) {
+  EXPECT_THROW((void)translate("ALTERNATIVE\n"), TranslateError);
+  EXPECT_THROW((void)translate("int a;\nFAIL\n"), TranslateError);
+}
+
+}  // namespace
+}  // namespace altx::altc

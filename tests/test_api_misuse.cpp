@@ -1,0 +1,84 @@
+// API-misuse tests: every public entry point rejects bad arguments with
+// UsageError instead of misbehaving.
+#include <gtest/gtest.h>
+
+#include "altc/translate.hpp"
+#include "consensus/majority.hpp"
+#include "posix/alt_group.hpp"
+#include "posix/await_all.hpp"
+#include "posix/hedged.hpp"
+#include "posix/race.hpp"
+#include "prolog/or_parallel.hpp"
+
+namespace altx {
+namespace {
+
+TEST(ApiMisuse, RaceRejectsEmptyAndBadOptions) {
+  EXPECT_THROW((void)posix::race<int>({}), UsageError);
+  posix::RaceOptions o;
+  o.replicas = 0;
+  EXPECT_THROW((void)posix::race<int>({[] { return std::optional<int>(1); }}, o),
+               UsageError);
+}
+
+TEST(ApiMisuse, AwaitAllRejectsEmpty) {
+  EXPECT_THROW((void)posix::await_all<int>({}), UsageError);
+}
+
+TEST(ApiMisuse, HedgedRejectsZeroCopies) {
+  posix::HedgeOptions o;
+  o.max_copies = 0;
+  EXPECT_THROW((void)posix::hedged<int>([](int) { return std::optional<int>(1); }, o),
+               UsageError);
+}
+
+TEST(ApiMisuse, AltGroupOrderingIsEnforced) {
+  posix::AltGroup g;
+  EXPECT_THROW((void)g.alt_wait(std::chrono::milliseconds(1)), UsageError);
+  const int who = g.alt_spawn(1);
+  if (who > 0) g.child_abort();
+  EXPECT_THROW((void)g.alt_spawn(1), UsageError);  // spawn twice
+  (void)g.alt_wait(std::chrono::seconds(5));
+}
+
+TEST(ApiMisuse, AltGroupRejectsZeroAlternatives) {
+  posix::AltGroup g;
+  EXPECT_THROW((void)g.alt_spawn(0), UsageError);
+}
+
+TEST(ApiMisuse, RaceDecodeSizeMismatch) {
+  EXPECT_THROW((void)posix::race_decode<int>(Bytes{1, 2}), UsageError);
+}
+
+TEST(ApiMisuse, MajoritySyncValidatesTopology) {
+  net::Network::Config nc;
+  nc.node_count = 2;
+  net::Network net(nc);
+  consensus::MajoritySync::Config mc;
+  mc.arbiters = 3;  // more arbiters than nodes
+  EXPECT_THROW(consensus::MajoritySync s(net, mc), UsageError);
+
+  mc.arbiters = 1;
+  consensus::MajoritySync sync(net, mc);
+  EXPECT_THROW(sync.add_candidate(0, 0, 0), UsageError);  // shares arbiter node
+  sync.add_candidate(0, 1, 0);
+  EXPECT_THROW(sync.add_candidate(0, 1, 0), UsageError);  // duplicate id
+  EXPECT_THROW(sync.launch(99), UsageError);              // unknown candidate
+}
+
+TEST(ApiMisuse, OrParallelRejectsUncallableQueries) {
+  prolog::Database db;
+  db.consult("a(1).");
+  prolog::Query q = prolog::parse_query(db.symbols, "X");
+  EXPECT_THROW((void)prolog::solve_or_parallel(db, q), UsageError);
+}
+
+TEST(ApiMisuse, AltcOutputIsValidForValidInput) {
+  // Sanity companion to the misuse checks: a correct block still translates.
+  const std::string out = altc::translate(
+      "ALTBEGIN(v : int)\nALTERNATIVE\n  ALTRETURN(1);\nALTEND\n");
+  EXPECT_NE(out.find("race<int>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altx

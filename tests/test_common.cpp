@@ -1,0 +1,272 @@
+// Unit tests for the common substrate: deterministic RNG, statistics,
+// serialisation buffers, time formatting, table rendering, and error types.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace altx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(43);
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs = differs || (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversIt) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    hits[v]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 700);
+  EXPECT_THROW((void)rng.below(0), UsageError);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.range(5, 5), 5);
+  EXPECT_THROW((void)rng.range(2, 1), UsageError);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 2.5);
+  EXPECT_THROW((void)rng.exponential(0.0), UsageError);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(17);
+  Summary s;
+  for (int i = 0; i < 20'000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveScale) {
+  Rng rng(19);
+  double max_seen = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.pareto(1.0, 1.5);
+    ASSERT_GE(v, 1.0);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, 20.0);  // the tail reaches far
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(23);
+  int yes = 0;
+  for (int i = 0; i < 10'000; ++i) yes += rng.chance(0.2) ? 1 : 0;
+  EXPECT_NEAR(yes / 10'000.0, 0.2, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(w, v);
+}
+
+TEST(Rng, SplitGivesIndependentStreams) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream differs from the parent's continuation.
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+TEST(Stats, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(Stats, PercentileAfterLaterAddRecomputes) {
+  Summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+  s.add(1);
+  s.add(2);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+}
+
+TEST(Stats, EmptySummaryThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), UsageError);
+  EXPECT_THROW((void)s.percentile(50), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+TEST(Bytes, RoundTripAllPrimitives) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(7);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("hello");
+  w.blob("\x01\x02", 2);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.blob(), (Bytes{1, 2}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncationThrowsNotCrashes) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u32(1);
+  ByteReader r(buf);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), UsageError);
+  ByteReader r2(buf.data(), 2);
+  EXPECT_THROW((void)r2.u32(), UsageError);
+}
+
+TEST(Bytes, BlobLengthLyingIsCaught) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u64(1000);  // claims a 1000-byte blob that is not there
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.blob(), UsageError);
+}
+
+TEST(Bytes, EmptyBlobAndString) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.str("");
+  w.blob(nullptr, 0);
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Time formatting
+// ---------------------------------------------------------------------------
+
+TEST(SimTimeFmt, PicksSensibleUnits) {
+  EXPECT_EQ(format_time(7), "7 us");
+  EXPECT_EQ(format_time(1500), "1.500 ms");
+  EXPECT_EQ(format_time(2 * kSec + 250 * kMsec), "2.250 s");
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableFmt, AlignsColumnsAndRules) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find(" name   | value "), std::string::npos);
+  EXPECT_NE(out.find("--------+-------"), std::string::npos);
+  EXPECT_NE(out.find(" longer | 22 "), std::string::npos);
+}
+
+TEST(TableFmt, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+TEST(Errors, SystemErrorCarriesErrno) {
+  const SystemError e("open", ENOENT);
+  EXPECT_EQ(e.code(), ENOENT);
+  EXPECT_NE(std::string(e.what()).find("open"), std::string::npos);
+}
+
+TEST(Errors, RequireAndAssertThrowDistinctTypes) {
+  EXPECT_THROW(ALTX_REQUIRE(false, "nope"), UsageError);
+  try {
+    ALTX_ASSERT(false, "bug");
+    FAIL();
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("bug"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace altx

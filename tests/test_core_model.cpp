@@ -1,0 +1,302 @@
+// Tests for the analytic model (section 4.2): PI values, overhead
+// decomposition, selection schemes, and agreement between the model and the
+// simulator. Includes a parameterized reproduction of the paper's PI table.
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/model.hpp"
+#include "core/schemes.hpp"
+#include "core/workload.hpp"
+
+namespace altx::core {
+namespace {
+
+TEST(Model, MeanBestDispersion) {
+  const std::vector<SimTime> taus{10, 20, 30};
+  EXPECT_DOUBLE_EQ(mean_time(taus), 20.0);
+  EXPECT_EQ(best_time(taus), 10);
+  EXPECT_DOUBLE_EQ(dispersion(taus), 200.0 / 3.0);
+}
+
+// The paper's illustration: N=3, overhead 5, six tau triples and their PI.
+struct PiCase {
+  SimTime t1, t2, t3;
+  double pi;
+};
+
+class PiTable : public ::testing::TestWithParam<PiCase> {};
+
+TEST_P(PiTable, MatchesPaperRow) {
+  const PiCase& c = GetParam();
+  const std::vector<SimTime> taus{c.t1, c.t2, c.t3};
+  EXPECT_NEAR(performance_improvement(taus, 5.0), c.pi, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSection42, PiTable,
+    ::testing::Values(PiCase{10, 20, 30, 1.33},
+                      PiCase{1, 19, 106, 7.0},
+                      PiCase{20, 20, 20, 0.8},
+                      PiCase{1, 2, 3, 0.33},
+                      PiCase{115, 120, 125, 1.0},
+                      PiCase{100, 200, 300, 1.9}));
+
+TEST(Model, HigherDispersionMeansHigherPi) {
+  // Same mean, growing spread: PI must increase (section 4.2's conclusion
+  // that variance encapsulates the opportunity).
+  const std::vector<SimTime> tight{95, 100, 105};
+  const std::vector<SimTime> wide{10, 100, 190};
+  EXPECT_GT(performance_improvement(wide, 5.0),
+            performance_improvement(tight, 5.0));
+}
+
+TEST(Model, OverheadDiminishesWithScale) {
+  // Example (6) of the table: scaling all taus up shrinks the overhead's
+  // effect.
+  const std::vector<SimTime> small{1, 2, 3};
+  const std::vector<SimTime> big{100, 200, 300};
+  EXPECT_GT(performance_improvement(big, 5.0),
+            performance_improvement(small, 5.0));
+}
+
+TEST(Model, OverheadEstimateComponents) {
+  sim::MachineModel m = sim::MachineModel::hp9000_350(4);
+  OverheadInputs in;
+  in.n_alternatives = 3;
+  in.address_space_pages = 80;
+  in.pages_written_by_winner = 10;
+  in.winner_tau = 100 * kMsec;
+  in.sibling_cpu_share = 0.0;
+  in.synchronous_elimination = true;
+  const OverheadModel o = estimate_overhead(m, in);
+  EXPECT_EQ(o.setup, 3 * m.fork_cost(80));
+  EXPECT_EQ(o.runtime, 10 * m.page_copy);
+  EXPECT_EQ(o.selection, m.commit_cost + 2 * m.kill_cost);
+  EXPECT_EQ(o.total(), o.setup + o.runtime + o.selection);
+}
+
+TEST(Model, AsyncEliminationRemovesKillsFromCriticalPath) {
+  sim::MachineModel m = sim::MachineModel::hp9000_350(4);
+  OverheadInputs in;
+  in.n_alternatives = 5;
+  in.synchronous_elimination = false;
+  const OverheadModel async_o = estimate_overhead(m, in);
+  in.synchronous_elimination = true;
+  const OverheadModel sync_o = estimate_overhead(m, in);
+  EXPECT_EQ(sync_o.selection - async_o.selection, 4 * m.kill_cost);
+}
+
+TEST(Model, CpuShareZeroWhenEnoughCpus) {
+  EXPECT_DOUBLE_EQ(expected_cpu_share(3, 4), 0.0);
+  EXPECT_DOUBLE_EQ(expected_cpu_share(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(expected_cpu_share(4, 2), 1.0);  // elapsed doubles
+}
+
+TEST(Model, WastedWorkCountsLosersUpToCommit) {
+  const std::vector<SimTime> taus{10, 50, 100};
+  // Both losers burn ~tau(best) before elimination.
+  EXPECT_DOUBLE_EQ(wasted_work_estimate(taus), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Selection schemes
+// ---------------------------------------------------------------------------
+
+TEST(Schemes, StatisticalPickerPrefersFasterHistory) {
+  StatisticalPicker p(2);
+  p.record(0, 100);
+  p.record(1, 10);
+  p.record(0, 120);
+  p.record(1, 30);
+  EXPECT_EQ(p.pick(), 1u);
+}
+
+TEST(Schemes, StatisticalPickerTriesUnknownFirst) {
+  StatisticalPicker p(3);
+  p.record(0, 1);
+  EXPECT_EQ(p.pick(), 1u);  // 1 untried, preferred over known-good 0
+}
+
+TEST(Schemes, PartitionSelectorDispatchesByPredicate) {
+  // The paper's sort example: Q for size > 10, I otherwise.
+  PartitionSelector<int> sel(/*fallback=*/1);
+  sel.add_rule([](const int& size) { return size > 10; }, 0);
+  EXPECT_EQ(sel.select(100), 0u);
+  EXPECT_EQ(sel.select(5), 1u);
+}
+
+TEST(Schemes, LookupTableSelectsLearnedAlternative) {
+  LookupTableSelector t(/*fallback=*/0);
+  t.learn(42, 2);
+  EXPECT_EQ(t.select(42), 2u);
+  EXPECT_EQ(t.select(7), 0u);
+  EXPECT_EQ(t.entries(), 1u);
+}
+
+TEST(Schemes, RandomPickIsUniformIsh) {
+  Rng rng(99);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 4000; ++i) hits[random_pick(4, rng)]++;
+  for (int h : hits) {
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+class DistSweep : public ::testing::TestWithParam<TimeDist> {};
+
+TEST_P(DistSweep, GeneratedTimesArePositiveAndVaried) {
+  WorkloadParams p;
+  p.dist = GetParam();
+  p.n_alternatives = 64;
+  p.lo = 10 * kMsec;
+  p.hi = 100 * kMsec;
+  Rng rng(7);
+  const BlockSpec b = generate_block(p, rng);
+  ASSERT_EQ(b.alts.size(), 64u);
+  SimTime lo = b.alts[0].compute;
+  SimTime hi = lo;
+  for (const auto& a : b.alts) {
+    EXPECT_GE(a.compute, 1);
+    lo = std::min(lo, a.compute);
+    hi = std::max(hi, a.compute);
+  }
+  EXPECT_LT(lo, hi);  // some dispersion in every distribution
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistSweep,
+                         ::testing::Values(TimeDist::kUniform,
+                                           TimeDist::kExponential,
+                                           TimeDist::kNormal, TimeDist::kPareto,
+                                           TimeDist::kBimodal));
+
+TEST(Workload, GuardFailureProbabilityApplies) {
+  WorkloadParams p;
+  p.n_alternatives = 1000;
+  p.guard_fail_prob = 0.3;
+  Rng rng(11);
+  const BlockSpec b = generate_block(p, rng);
+  int failed = 0;
+  for (const auto& a : b.alts) {
+    if (!a.guard_ok) ++failed;
+  }
+  EXPECT_GT(failed, 220);
+  EXPECT_LT(failed, 380);
+}
+
+// ---------------------------------------------------------------------------
+// Executor: model vs simulator agreement
+// ---------------------------------------------------------------------------
+
+sim::Kernel::Config exec_cfg(int cpus) {
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(cpus);
+  cfg.address_space_pages = 16;  // keep spawn overhead small in these tests
+  return cfg;
+}
+
+TEST(Executor, ConcurrentSelectsFastest) {
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = 100 * kMsec}, AltSpec{.compute = 10 * kMsec},
+            AltSpec{.compute = 50 * kMsec}};
+  const auto r = run_concurrent(b, exec_cfg(4));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 2u);  // tag = index + 1
+  EXPECT_LT(r.elapsed, 40 * kMsec);
+}
+
+TEST(Executor, ConcurrentSkipsGuardFailures) {
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = 5 * kMsec, .guard_ok = false},
+            AltSpec{.compute = 50 * kMsec, .guard_ok = true}};
+  const auto r = run_concurrent(b, exec_cfg(4));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 2u);
+}
+
+TEST(Executor, ConcurrentFailsWhenAllGuardsFail) {
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = 5 * kMsec, .guard_ok = false},
+            AltSpec{.compute = 9 * kMsec, .guard_ok = false}};
+  const auto r = run_concurrent(b, exec_cfg(4));
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(Executor, SimAgreesWithAnalyticModelWithinTolerance) {
+  // With ample CPUs, measured elapsed ~= tau(best) + overhead(model).
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = 200 * kMsec, .pages_written = 4},
+            AltSpec{.compute = 60 * kMsec, .pages_written = 4},
+            AltSpec{.compute = 400 * kMsec, .pages_written = 4}};
+  auto cfg = exec_cfg(4);
+  const auto r = run_concurrent(b, cfg);
+  OverheadInputs in;
+  in.n_alternatives = 3;
+  in.address_space_pages = fit_config(b, cfg).address_space_pages;
+  in.pages_written_by_winner = 4 + 1;  // + result page
+  in.winner_tau = 60 * kMsec;
+  const OverheadModel o = estimate_overhead(cfg.machine, in);
+  const double predicted =
+      static_cast<double>(60 * kMsec) + static_cast<double>(o.total());
+  EXPECT_NEAR(static_cast<double>(r.elapsed), predicted, predicted * 0.15);
+}
+
+TEST(Executor, RandomPickAveragesToMeanOverManyTrials) {
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = 10 * kMsec}, AltSpec{.compute = 30 * kMsec},
+            AltSpec{.compute = 50 * kMsec}};
+  Rng rng(5);
+  double total = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(run_random_pick(b, exec_cfg(1), rng).elapsed);
+  }
+  const double avg = total / trials;
+  EXPECT_NEAR(avg, 30 * kMsec, 6 * kMsec);
+}
+
+TEST(Executor, OrderedTriesUntilAcceptance) {
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = 10 * kMsec, .guard_ok = false},
+            AltSpec{.compute = 20 * kMsec, .guard_ok = false},
+            AltSpec{.compute = 30 * kMsec, .guard_ok = true}};
+  const auto r = run_ordered(b, exec_cfg(1));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.chosen, 2u);
+  EXPECT_GE(r.elapsed, 60 * kMsec);  // paid for all three bodies
+}
+
+TEST(Executor, OrderedFailsWhenEveryAcceptanceFails) {
+  BlockSpec b;
+  b.alts = {AltSpec{.compute = kMsec, .guard_ok = false},
+            AltSpec{.compute = kMsec, .guard_ok = false}};
+  const auto r = run_ordered(b, exec_cfg(1));
+  EXPECT_TRUE(r.failed);
+}
+
+TEST(Executor, ConcurrentBeatsRandomPickOnDispersedWorkloads) {
+  // The headline claim, end to end on the simulator: with high dispersion
+  // and enough CPUs, Scheme C beats Scheme B's expectation.
+  WorkloadParams p;
+  p.n_alternatives = 4;
+  p.dist = TimeDist::kBimodal;
+  p.lo = 20 * kMsec;
+  p.hi = 2000 * kMsec;
+  Rng rng(13);
+  double c_total = 0;
+  double b_total = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const BlockSpec b = generate_block(p, rng);
+    c_total += static_cast<double>(run_concurrent(b, exec_cfg(4)).elapsed);
+    b_total += static_cast<double>(run_random_pick(b, exec_cfg(1), rng).elapsed);
+  }
+  EXPECT_LT(c_total, b_total);
+}
+
+}  // namespace
+}  // namespace altx::core

@@ -1,0 +1,201 @@
+// Tests for the distributed alternative block: remote spawning, consensus
+// commit, at-most-once under loss/crashes/partitions, the FAIL candidate,
+// and best-effort elimination.
+#include <gtest/gtest.h>
+
+#include "dist/distributed.hpp"
+
+namespace altx::dist {
+namespace {
+
+struct World {
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<DistributedBlock> block;
+};
+
+World make(std::vector<RemoteAlt> alts, DistConfig cfg = {},
+           std::uint64_t seed = 1, double drop = 0.0) {
+  World w;
+  net::Network::Config nc;
+  nc.node_count = static_cast<std::size_t>(cfg.arbiters) + 1 + alts.size();
+  nc.base_latency = 2 * kMsec;
+  nc.jitter = kMsec;
+  nc.drop_rate = drop;
+  nc.bytes_per_usec = 1.25;  // ~10 Mbit/s: a 70 KB checkpoint ~ 57 ms
+  nc.seed = seed;
+  w.net = std::make_unique<net::Network>(nc);
+  w.block = std::make_unique<DistributedBlock>(*w.net, cfg, std::move(alts));
+  return w;
+}
+
+TEST(Distributed, FastestAlternativeCommits) {
+  auto w = make({RemoteAlt{500 * kMsec, true}, RemoteAlt{100 * kMsec, true},
+                 RemoteAlt{300 * kMsec, true}});
+  w.block->start();
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_TRUE(r.committed);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 1);
+  EXPECT_EQ(r.too_lates, 0);  // kills arrive before the losers finish
+}
+
+TEST(Distributed, CheckpointTransferDelaysTheStart) {
+  // With a 10 Mbit/s link, a 1 MB checkpoint adds ~800 ms per spawn; the
+  // commit time must reflect it.
+  DistConfig small;
+  small.checkpoint_bytes = 8 * 1024;
+  auto ws = make({RemoteAlt{50 * kMsec, true}}, small, 2);
+  ws.block->start();
+  ws.net->run();
+
+  DistConfig big;
+  big.checkpoint_bytes = 1024 * 1024;
+  auto wb = make({RemoteAlt{50 * kMsec, true}}, big, 2);
+  wb.block->start();
+  wb.net->run();
+
+  ASSERT_TRUE(ws.block->result().committed);
+  ASSERT_TRUE(wb.block->result().committed);
+  EXPECT_GT(wb.block->result().decided_at,
+            ws.block->result().decided_at + 500 * kMsec);
+}
+
+TEST(Distributed, GuardFailuresAreSkipped) {
+  auto w = make({RemoteAlt{50 * kMsec, false}, RemoteAlt{200 * kMsec, true}});
+  w.block->start();
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.winner, 1);
+  EXPECT_EQ(r.aborts, 1);
+}
+
+TEST(Distributed, AllGuardsFailingFailsTheBlockQuickly) {
+  DistConfig cfg;
+  cfg.timeout = 60 * kSec;
+  auto w = make({RemoteAlt{50 * kMsec, false}, RemoteAlt{80 * kMsec, false}}, cfg);
+  w.block->start();
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_FALSE(r.committed);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.aborts, 2);
+  // Failure declared via the abort fast-path, far before the timeout.
+  EXPECT_LT(r.decided_at, 5 * kSec);
+}
+
+TEST(Distributed, TimeoutMakesFailWinTheElection) {
+  DistConfig cfg;
+  cfg.timeout = 500 * kMsec;
+  auto w = make({RemoteAlt{60 * kSec, true}, RemoteAlt{90 * kSec, true}}, cfg);
+  w.block->start();
+  w.net->run(20 * kSec);
+  const auto& r = w.block->result();
+  EXPECT_FALSE(r.committed);
+  EXPECT_TRUE(r.failed);
+  EXPECT_GE(r.decided_at, 500 * kMsec);
+  EXPECT_LT(r.decided_at, 2 * kSec);
+}
+
+TEST(Distributed, StragglerAfterTimeoutIsRefusedBySemaphore) {
+  // The alternative finishes after FAIL already took the semaphore: it must
+  // be told "too late" and never commit.
+  DistConfig cfg;
+  cfg.timeout = 200 * kMsec;
+  auto w = make({RemoteAlt{5 * kSec, true}}, cfg);
+  w.block->start();
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_TRUE(r.failed);
+  EXPECT_FALSE(r.committed);
+  EXPECT_EQ(r.too_lates, 1);
+}
+
+TEST(Distributed, AtMostOnceAcrossSeedsWithHeavyLoss) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    DistConfig cfg;
+    cfg.timeout = 30 * kSec;
+    auto w = make({RemoteAlt{100 * kMsec, true}, RemoteAlt{120 * kMsec, true},
+                   RemoteAlt{140 * kMsec, true}},
+                  cfg, seed, /*drop=*/0.2);
+    w.block->start();
+    w.net->run(120 * kSec);
+    const auto& r = w.block->result();
+    // Never both, never two winners; commitment survives loss via retries.
+    EXPECT_FALSE(r.committed && r.failed) << "seed " << seed;
+    if (r.committed) {
+      EXPECT_GE(r.winner, 0);
+      EXPECT_LE(r.winner, 2);
+    }
+  }
+}
+
+TEST(Distributed, LostResultIsRetransmittedUntilAcked) {
+  // Cut the winner->coordinator link briefly: the result must still arrive
+  // through periodic retransmission after the link heals.
+  DistConfig cfg;
+  cfg.timeout = 30 * kSec;
+  auto w = make({RemoteAlt{100 * kMsec, true}}, cfg, 3);
+  const NodeId worker = w.block->worker_node(0);
+  const NodeId coord = w.block->coordinator_node();
+  w.block->start();
+  w.net->partition(worker, coord);
+  // Heal well after the worker first tries to report. (Votes flow to the
+  // arbiters on separate links, so the worker still wins the semaphore.)
+  w.net->after(coord, 2 * kSec, [&] { w.net->heal(worker, coord); });
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_TRUE(r.committed);
+  EXPECT_GE(r.decided_at, 2 * kSec);
+}
+
+TEST(Distributed, WorkerCrashFallsBackToSibling) {
+  DistConfig cfg;
+  cfg.timeout = 30 * kSec;
+  auto w = make({RemoteAlt{100 * kMsec, true}, RemoteAlt{400 * kMsec, true}}, cfg, 4);
+  w.block->start();
+  w.net->crash(w.block->worker_node(0));  // the faster node dies
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.winner, 1);
+}
+
+TEST(Distributed, AllWorkersCrashedTimesOut) {
+  DistConfig cfg;
+  cfg.timeout = kSec;
+  auto w = make({RemoteAlt{100 * kMsec, true}, RemoteAlt{100 * kMsec, true}}, cfg, 5);
+  w.block->start();
+  w.net->crash(w.block->worker_node(0));
+  w.net->crash(w.block->worker_node(1));
+  w.net->run();
+  EXPECT_TRUE(w.block->result().failed);
+  EXPECT_FALSE(w.block->result().committed);
+}
+
+TEST(Distributed, MinorityArbiterCrashStillCommits) {
+  DistConfig cfg;
+  cfg.arbiters = 5;
+  cfg.timeout = 30 * kSec;
+  auto w = make({RemoteAlt{100 * kMsec, true}}, cfg, 6);
+  w.net->crash(0);
+  w.net->crash(1);
+  w.block->start();
+  w.net->run();
+  EXPECT_TRUE(w.block->result().committed);
+}
+
+TEST(Distributed, SingleArbiterIsTheDegenerateCase) {
+  DistConfig cfg;
+  cfg.arbiters = 1;
+  auto w = make({RemoteAlt{100 * kMsec, true}, RemoteAlt{110 * kMsec, true}}, cfg, 7);
+  w.block->start();
+  w.net->run();
+  const auto& r = w.block->result();
+  EXPECT_TRUE(r.committed);
+  EXPECT_EQ(r.winner, 0);
+}
+
+}  // namespace
+}  // namespace altx::dist

@@ -1,0 +1,170 @@
+// Tests for the later extensions: hedged execution, background-load
+// interference on the simulator, and the newer Prolog builtins
+// (type tests, between/3).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "core/executor.hpp"
+#include "posix/hedged.hpp"
+#include "prolog/solver.hpp"
+
+namespace altx {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// posix::hedged
+// ---------------------------------------------------------------------------
+
+TEST(Hedged, FastPrimaryWinsWithoutHedgeHelp) {
+  posix::HedgeOptions o;
+  o.max_copies = 2;
+  o.stagger = 100ms;
+  auto r = posix::hedged<int>(
+      [](int) { ::usleep(5'000); return std::optional<int>(7); }, o);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 7);
+  EXPECT_FALSE(r->hedge_won);
+}
+
+TEST(Hedged, HedgeRescuesASlowPrimary) {
+  // The primary replica suffers a latency spike; the hedge — targeting a
+  // different replica via its copy index — answers quickly.
+  posix::HedgeOptions o;
+  o.max_copies = 2;
+  o.stagger = 20ms;
+  auto r = posix::hedged<int>(
+      [](int copy) -> std::optional<int> {
+        ::usleep(copy == 0 ? 200'000 : 10'000);
+        return copy;
+      },
+      o);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->hedge_won);
+  EXPECT_EQ(r->value, 1);
+}
+
+TEST(Hedged, SingleCopyIsAPlainCall) {
+  posix::HedgeOptions o;
+  o.max_copies = 1;
+  auto r = posix::hedged<int>([](int) { return std::optional<int>(3); }, o);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 3);
+  EXPECT_EQ(r->copies_launched, 1);
+}
+
+TEST(Hedged, AllCopiesFailingFails) {
+  posix::HedgeOptions o;
+  o.max_copies = 3;
+  o.stagger = 1ms;
+  auto r = posix::hedged<int>([](int) -> std::optional<int> { return std::nullopt; }, o);
+  EXPECT_FALSE(r.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Background load on the simulator
+// ---------------------------------------------------------------------------
+
+TEST(LoadedExecution, InterferenceStretchesTheBlock) {
+  core::BlockSpec b;
+  b.alts = {core::AltSpec{.compute = 100 * kMsec},
+            core::AltSpec{.compute = 200 * kMsec}};
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(2);
+  cfg.address_space_pages = 8;
+  const auto idle = core::run_concurrent_loaded(b, cfg, 0, 0);
+  const auto busy = core::run_concurrent_loaded(b, cfg, 4, 2 * kSec);
+  ASSERT_FALSE(idle.failed);
+  ASSERT_FALSE(busy.failed);
+  EXPECT_EQ(idle.winner, busy.winner);  // outcome invariant under load
+  EXPECT_GT(busy.elapsed, idle.elapsed * 2);  // but far slower
+}
+
+TEST(LoadedExecution, ElapsedIsTheBlocksOwnNotTheLoads) {
+  core::BlockSpec b;
+  b.alts = {core::AltSpec{.compute = 50 * kMsec}};
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(8);  // room for everyone
+  cfg.address_space_pages = 8;
+  const auto r = core::run_concurrent_loaded(b, cfg, 2, 30 * kSec);
+  ASSERT_FALSE(r.failed);
+  // Plenty of CPUs: the block ends in ~tens of ms even though the background
+  // load runs for 30 simulated seconds.
+  EXPECT_LT(r.elapsed, kSec);
+}
+
+// ---------------------------------------------------------------------------
+// Prolog builtins: type tests and between/3
+// ---------------------------------------------------------------------------
+
+namespace pl = prolog;
+
+TEST(PrologTypeTests, VarNonvarAtomInteger) {
+  pl::Database db;
+  db.consult("a(1).");
+  pl::Solver s(db);
+  EXPECT_TRUE(s.solve_first(pl::parse_query(db.symbols, "var(X)")).has_value());
+  EXPECT_FALSE(s.solve_first(pl::parse_query(db.symbols, "X = 1, var(X)")).has_value());
+  EXPECT_TRUE(s.solve_first(pl::parse_query(db.symbols, "X = 1, nonvar(X)")).has_value());
+  EXPECT_TRUE(s.solve_first(pl::parse_query(db.symbols, "atom(foo)")).has_value());
+  EXPECT_FALSE(s.solve_first(pl::parse_query(db.symbols, "atom(1)")).has_value());
+  EXPECT_TRUE(s.solve_first(pl::parse_query(db.symbols, "integer(3)")).has_value());
+  EXPECT_FALSE(s.solve_first(pl::parse_query(db.symbols, "integer(foo)")).has_value());
+}
+
+TEST(PrologBetween, EnumeratesTheRange) {
+  pl::Database db;
+  db.consult("a(1).");
+  pl::Solver s(db);
+  const auto sols = s.solve_all(pl::parse_query(db.symbols, "between(2, 5, X)"));
+  ASSERT_EQ(sols.size(), 4u);
+  EXPECT_EQ(sols.front().at("X"), "2");
+  EXPECT_EQ(sols.back().at("X"), "5");
+}
+
+TEST(PrologBetween, TestsAMemberValue) {
+  pl::Database db;
+  db.consult("a(1).");
+  pl::Solver s(db);
+  EXPECT_TRUE(s.solve_first(pl::parse_query(db.symbols, "between(1, 10, 7)")).has_value());
+  EXPECT_FALSE(s.solve_first(pl::parse_query(db.symbols, "between(1, 10, 0)")).has_value());
+  // Empty range.
+  EXPECT_FALSE(s.solve_first(pl::parse_query(db.symbols, "between(5, 4, X)")).has_value());
+}
+
+TEST(PrologBetween, ComposesWithArithmetic) {
+  pl::Database db;
+  db.consult(R"(
+    square_sum(N, S) :- findall(Q, sq(N, Q), L), suml(L, S).
+    sq(N, Q) :- between(1, N, X), Q is X * X.
+    suml([], 0).
+    suml([H|T], S) :- suml(T, R), S is H + R.
+  )");
+  pl::Solver s(db);
+  const auto sol = s.solve_first(pl::parse_query(db.symbols, "square_sum(5, S)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("S"), "55");  // 1+4+9+16+25
+}
+
+TEST(PrologBetween, QueensViaBetween) {
+  // n-queens written with between/3 instead of a range helper.
+  pl::Database db;
+  db.consult(R"(
+    q4(Qs) :- Qs = [A,B,C,D],
+      between(1,4,A), between(1,4,B), between(1,4,C), between(1,4,D),
+      safe([A,B,C,D]).
+    safe([]).
+    safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+    noattack(_, [], _).
+    noattack(Q, [Q1|Qs], D) :-
+      Q =\= Q1, Q1 - Q =\= D, Q - Q1 =\= D,
+      D1 is D + 1, noattack(Q, Qs, D1).
+  )");
+  pl::Solver s(db);
+  const auto sols = s.solve_all(pl::parse_query(db.symbols, "q4(Qs)"));
+  EXPECT_EQ(sols.size(), 2u);  // 4-queens has exactly 2 solutions
+}
+
+}  // namespace
+}  // namespace altx

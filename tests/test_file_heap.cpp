@@ -1,0 +1,154 @@
+// Tests for FileHeap: speculative transactions on a durable file through
+// MAP_PRIVATE copy-on-write — the single-level-store side of the paper
+// (files are named sets of pages; alternative blocks behave as transactions).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "posix/file_heap.hpp"
+#include "posix/race.hpp"
+
+namespace altx::posix {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/altx_fileheap_" + std::string(tag) + "_" +
+         std::to_string(::getpid());
+}
+
+struct PathGuard {
+  std::string path;
+  explicit PathGuard(std::string p) : path(std::move(p)) {}
+  ~PathGuard() { ::unlink(path.c_str()); }
+};
+
+TEST(FileHeap, CreatesAndZeroExtendsTheFile) {
+  PathGuard g(temp_path("create"));
+  FileHeap h(g.path, 4);
+  EXPECT_EQ(h.pages(), 4u);
+  EXPECT_EQ(h.at<std::uint64_t>(0)[0], 0u);
+}
+
+TEST(FileHeap, WritesAreInvisibleOnDiskUntilCommit) {
+  PathGuard g(temp_path("invisible"));
+  {
+    FileHeap h(g.path, 2);
+    h.at<std::uint64_t>(0)[0] = 42;  // private COW page, not the file
+  }
+  FileHeap reread(g.path, 2);
+  EXPECT_EQ(reread.at<std::uint64_t>(0)[0], 0u);
+}
+
+TEST(FileHeap, CommitPersistsMarkedPages) {
+  PathGuard g(temp_path("commit"));
+  {
+    FileHeap h(g.path, 4);
+    h.at<std::uint64_t>(h.page_size())[0] = 7;
+    h.mark_dirty(1);
+    EXPECT_EQ(h.commit(), 1u);
+  }
+  FileHeap reread(g.path, 4);
+  EXPECT_EQ(reread.at<std::uint64_t>(reread.page_size())[0], 7u);
+}
+
+TEST(FileHeap, RollbackRestoresDiskState) {
+  PathGuard g(temp_path("rollback"));
+  FileHeap h(g.path, 2);
+  h.at<std::uint64_t>(0)[0] = 5;
+  h.mark_dirty(0);
+  h.commit();
+  h.at<std::uint64_t>(0)[0] = 99;  // uncommitted change
+  h.rollback();
+  EXPECT_EQ(h.at<std::uint64_t>(0)[0], 5u);  // back to the committed value
+}
+
+TEST(FileHeap, TrackingRecordsChildWrites) {
+  PathGuard g(temp_path("track"));
+  FileHeap h(g.path, 8);
+  h.begin_tracking();
+  h.at<std::uint64_t>(3 * h.page_size())[0] = 1;
+  h.at<std::uint64_t>(6 * h.page_size())[0] = 2;
+  h.end_tracking();
+  auto d = h.dirty_pages();
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(d, (std::vector<std::uint32_t>{3, 6}));
+}
+
+TEST(FileHeap, PatchRoundTripAcrossInstances) {
+  PathGuard g1(temp_path("patch_a"));
+  PathGuard g2(temp_path("patch_b"));
+  FileHeap a(g1.path, 4);
+  FileHeap b(g2.path, 4);
+  a.begin_tracking();
+  a.at<std::uint64_t>(2 * a.page_size())[0] = 0xfeed;
+  const Bytes patch = a.serialize_dirty();
+  a.end_tracking();
+  EXPECT_EQ(b.apply_patch(patch), 1u);
+  EXPECT_EQ(b.at<std::uint64_t>(2 * b.page_size())[0], 0xfeedu);
+  // apply_patch marks the pages for commit.
+  EXPECT_EQ(b.commit(), 1u);
+}
+
+TEST(FileHeap, SpeculativeFileTransactionEndToEnd) {
+  // The full paper pattern over a durable file: two alternatives race to
+  // update a record; the winner's pages are absorbed and committed; the
+  // loser's update never reaches the disk.
+  PathGuard g(temp_path("txn"));
+  FileHeap heap(g.path, 8);
+  auto* record = heap.at<std::uint64_t>(2 * heap.page_size());
+  record[0] = 100;
+  heap.mark_dirty(2);
+  heap.commit();  // initial state on disk
+
+  AltGroupOptions opts;
+  AltGroup group(opts);
+  const int who = group.alt_spawn(2);
+  if (who > 0) {
+    heap.begin_tracking();
+    if (who == 1) {
+      ::usleep(5'000);
+      record[0] += 11;  // winner's update
+    } else {
+      ::usleep(200'000);
+      record[0] += 999;
+    }
+    group.child_commit(heap.serialize_dirty());
+    group.child_abort();
+  }
+  auto win = group.alt_wait(std::chrono::seconds(5));
+  ASSERT_TRUE(win.has_value());
+  EXPECT_EQ(win->index, 1);
+  EXPECT_EQ(heap.apply_patch(win->result), 1u);
+  EXPECT_EQ(record[0], 111u);
+  EXPECT_GE(heap.commit(), 1u);
+
+  // Fresh mapping reads the committed value.
+  FileHeap reread(g.path, 8);
+  EXPECT_EQ(reread.at<std::uint64_t>(2 * reread.page_size())[0], 111u);
+}
+
+TEST(FileHeap, FailedBlockLeavesFileUntouched) {
+  PathGuard g(temp_path("failed"));
+  FileHeap heap(g.path, 4);
+  heap.at<std::uint64_t>(0)[0] = 1;
+  heap.mark_dirty(0);
+  heap.commit();
+
+  AltGroup group;
+  const int who = group.alt_spawn(2);
+  if (who > 0) {
+    heap.begin_tracking();
+    heap.at<std::uint64_t>(0)[0] = 0xbad;
+    group.child_abort();  // both alternatives fail their guard
+  }
+  auto win = group.alt_wait(std::chrono::seconds(5));
+  EXPECT_FALSE(win.has_value());
+  heap.rollback();  // the FAIL arm restores the pre-block state
+  EXPECT_EQ(heap.at<std::uint64_t>(0)[0], 1u);
+  FileHeap reread(g.path, 4);
+  EXPECT_EQ(reread.at<std::uint64_t>(0)[0], 1u);
+}
+
+}  // namespace
+}  // namespace altx::posix

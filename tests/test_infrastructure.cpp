@@ -1,0 +1,172 @@
+// Tests for infrastructure pieces not covered elsewhere: network channel
+// demultiplexing and bandwidth, pipe framing helpers, and kernel config
+// validation.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "net/network.hpp"
+#include "posix/fd.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Network channels and bandwidth
+// ---------------------------------------------------------------------------
+
+TEST(NetChannels, ChannelsAreIsolated) {
+  net::Network::Config c;
+  c.node_count = 2;
+  c.base_latency = kMsec;
+  net::Network net(c);
+  int on_a = 0;
+  int on_b = 0;
+  net.on_receive(1, 1, [&](const net::Packet&) { ++on_a; });
+  net.on_receive(1, 2, [&](const net::Packet&) { ++on_b; });
+  net.send(0, 1, 1, {1});
+  net.send(0, 1, 2, {2});
+  net.send(0, 1, 2, {3});
+  net.send(0, 1, 9, {4});  // nobody listens on channel 9: dropped silently
+  net.run();
+  EXPECT_EQ(on_a, 1);
+  EXPECT_EQ(on_b, 2);
+}
+
+TEST(NetChannels, DefaultChannelIsZero) {
+  net::Network::Config c;
+  c.node_count = 2;
+  net::Network net(c);
+  int got = 0;
+  net.on_receive(1, [&](const net::Packet& p) {
+    EXPECT_EQ(p.channel, net::kDefaultChannel);
+    ++got;
+  });
+  net.send(0, 1, {7});
+  net.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NetChannels, BandwidthDelaysLargePackets) {
+  net::Network::Config c;
+  c.node_count = 2;
+  c.base_latency = kMsec;
+  c.bytes_per_usec = 1.0;  // 1 byte per microsecond
+  net::Network net(c);
+  SimTime small_at = 0;
+  SimTime big_at = 0;
+  int seen = 0;
+  net.on_receive(1, [&](const net::Packet& p) {
+    (p.data.size() < 100 ? small_at : big_at) = net.now();
+    ++seen;
+  });
+  net.send(0, 1, Bytes(10, 0));
+  net.send(0, 1, Bytes(50'000, 0));
+  net.run();
+  ASSERT_EQ(seen, 2);
+  EXPECT_NEAR(static_cast<double>(small_at), kMsec + 10, 1.0);
+  EXPECT_NEAR(static_cast<double>(big_at), kMsec + 50'000, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// fd helpers
+// ---------------------------------------------------------------------------
+
+TEST(FdHelpers, FrameRoundTrip) {
+  posix::Pipe p = posix::Pipe::create();
+  posix::write_frame(p.write_end.get(), Bytes{1, 2, 3});
+  posix::write_frame(p.write_end.get(), Bytes{});
+  posix::write_frame(p.write_end.get(), Bytes{9});
+  EXPECT_EQ(posix::read_frame(p.read_end.get()), (Bytes{1, 2, 3}));
+  EXPECT_EQ(posix::read_frame(p.read_end.get()), (Bytes{}));
+  EXPECT_EQ(posix::read_frame(p.read_end.get()), (Bytes{9}));
+}
+
+TEST(FdHelpers, EofYieldsNulloptNotThrow) {
+  posix::Pipe p = posix::Pipe::create();
+  p.write_end.reset();
+  EXPECT_FALSE(posix::read_frame(p.read_end.get()).has_value());
+}
+
+TEST(FdHelpers, TruncatedFrameThrows) {
+  posix::Pipe p = posix::Pipe::create();
+  const std::uint64_t lying_len = 100;
+  posix::write_all(p.write_end.get(), &lying_len, sizeof lying_len);
+  posix::write_all(p.write_end.get(), "xx", 2);
+  p.write_end.reset();
+  EXPECT_THROW((void)posix::read_frame(p.read_end.get()), SystemError);
+}
+
+TEST(FdHelpers, WaitReadableTimesOut) {
+  posix::Pipe p = posix::Pipe::create();
+  EXPECT_FALSE(posix::wait_readable(p.read_end.get(), 30));
+  posix::write_all(p.write_end.get(), "x", 1);
+  EXPECT_TRUE(posix::wait_readable(p.read_end.get(), 30));
+}
+
+TEST(FdHelpers, LargeFrameAcrossPipeBuffer) {
+  // > 64 KiB forces multiple write/read chunks; use a thread as the writer
+  // to avoid deadlocking the single test process.
+  posix::Pipe p = posix::Pipe::create();
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i);
+  std::thread writer(
+      [&] { posix::write_frame(p.write_end.get(), big); p.write_end.reset(); });
+  const auto got = posix::read_frame(p.read_end.get());
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(FdHelpers, FdMoveSemantics) {
+  posix::Pipe p = posix::Pipe::create();
+  const int raw = p.read_end.get();
+  posix::Fd moved = std::move(p.read_end);
+  EXPECT_EQ(moved.get(), raw);
+  EXPECT_FALSE(p.read_end.valid());
+  const int released = moved.release();
+  EXPECT_EQ(released, raw);
+  EXPECT_FALSE(moved.valid());
+  ::close(released);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel configuration validation
+// ---------------------------------------------------------------------------
+
+TEST(KernelConfig, RejectsNonsense) {
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::hp9000_350();
+  cfg.address_space_pages = 0;
+  EXPECT_THROW(sim::Kernel k(cfg), UsageError);
+
+  sim::Kernel::Config cfg2;
+  cfg2.machine = sim::MachineModel::hp9000_350();
+  cfg2.machine.quantum = 0;
+  EXPECT_THROW(sim::Kernel k2(cfg2), UsageError);
+
+  sim::Kernel::Config cfg3;
+  cfg3.machine = sim::MachineModel::hp9000_350();
+  cfg3.machine.cpus_per_node = 0;
+  EXPECT_THROW(sim::Kernel k3(cfg3), UsageError);
+}
+
+TEST(KernelConfig, SpawnValidation) {
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::hp9000_350();
+  sim::Kernel k(cfg);
+  EXPECT_THROW((void)k.spawn_root(nullptr), UsageError);
+  EXPECT_THROW((void)k.spawn_root(sim::ProgramBuilder().build(), 5), UsageError);
+}
+
+TEST(KernelConfig, CrashValidation) {
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::hp9000_350();
+  sim::Kernel k(cfg);
+  EXPECT_THROW(k.crash_node_at(9, kSec), UsageError);
+}
+
+}  // namespace
+}  // namespace altx

@@ -1,0 +1,71 @@
+// Unit tests pinning the machine-model calibration to the paper's
+// section 4.4 constants — these are load-bearing for every experiment.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace altx::sim {
+namespace {
+
+TEST(MachineModel, Att3b2ReproducesThePapersForkTime) {
+  const MachineModel m = MachineModel::att3b2();
+  // 320 KB / 2 KB pages = 160 pages -> ~31 ms.
+  const SimTime fork = m.fork_cost(320 * 1024 / m.page_size);
+  EXPECT_NEAR(static_cast<double>(fork), 31 * kMsec, 0.5 * kMsec);
+}
+
+TEST(MachineModel, Hp9000ReproducesThePapersForkTime) {
+  const MachineModel m = MachineModel::hp9000_350();
+  const SimTime fork = m.fork_cost(320 * 1024 / m.page_size);
+  EXPECT_NEAR(static_cast<double>(fork), 12 * kMsec, 0.5 * kMsec);
+}
+
+TEST(MachineModel, PageCopyServiceRatesMatchThePaper) {
+  // 326 2K-pages/s and 1034 4K-pages/s.
+  EXPECT_NEAR(1e6 / static_cast<double>(MachineModel::att3b2().page_copy), 326,
+              2.0);
+  EXPECT_NEAR(1e6 / static_cast<double>(MachineModel::hp9000_350().page_copy),
+              1034, 5.0);
+}
+
+TEST(MachineModel, LanRforkOf70KIsJustUnderASecond) {
+  const MachineModel m = MachineModel::workstation_lan(2);
+  const SimTime r = m.rfork_cost(70 * 1024);
+  EXPECT_GT(r, 700 * kMsec);
+  EXPECT_LT(r, kSec);
+}
+
+TEST(MachineModel, TransferCostIsLatencyPlusSizeOverBandwidth) {
+  MachineModel m = MachineModel::hp9000_350();
+  m.net_latency = 3 * kMsec;
+  m.net_bytes_per_usec = 2.0;
+  EXPECT_EQ(m.transfer_cost(0), 3 * kMsec);
+  EXPECT_EQ(m.transfer_cost(4000), 3 * kMsec + 2000);
+}
+
+TEST(MachineModel, ForkCostLinearInPages) {
+  const MachineModel m = MachineModel::hp9000_350();
+  const SimTime base = m.fork_cost(0);
+  EXPECT_EQ(m.fork_cost(100) - base, 100 * m.per_page_map);
+  EXPECT_EQ(m.fork_cost(200) - base, 200 * m.per_page_map);
+}
+
+TEST(MachineModel, ValidationRejectsBadConfigs) {
+  MachineModel m = MachineModel::hp9000_350();
+  m.page_size = 16;
+  EXPECT_THROW(m.validate(), UsageError);
+  m = MachineModel::hp9000_350();
+  m.net_bytes_per_usec = 0;
+  EXPECT_THROW(m.validate(), UsageError);
+  m = MachineModel::hp9000_350();
+  m.nodes = 0;
+  EXPECT_THROW(m.validate(), UsageError);
+}
+
+TEST(MachineModel, TotalCpus) {
+  EXPECT_EQ(MachineModel::workstation_lan(3, 2).total_cpus(), 6);
+  EXPECT_EQ(MachineModel::shared_memory_mp(8).total_cpus(), 8);
+}
+
+}  // namespace
+}  // namespace altx::sim

@@ -1,0 +1,163 @@
+// Unit tests for the COW paging substrate: frame refcounting, page-map
+// inheritance, write faults, eager deep copies, absorption, and the dirty
+// descriptor table.
+#include <gtest/gtest.h>
+
+#include "sim/page.hpp"
+
+namespace altx::sim {
+namespace {
+
+TEST(FrameStore, AllocateAndRefcount) {
+  FrameStore fs(4);
+  const FrameId a = fs.allocate();
+  EXPECT_EQ(fs.refcount(a), 1);
+  fs.ref(a);
+  EXPECT_EQ(fs.refcount(a), 2);
+  EXPECT_TRUE(fs.shared(a));
+  fs.unref(a);
+  EXPECT_FALSE(fs.shared(a));
+  EXPECT_EQ(fs.live_frames(), 1u);
+  fs.unref(a);
+  EXPECT_EQ(fs.live_frames(), 0u);
+}
+
+TEST(FrameStore, FreedFramesAreReusedZeroed) {
+  FrameStore fs(2);
+  const FrameId a = fs.allocate();
+  fs.write(a, 0, 99);
+  fs.unref(a);
+  const FrameId b = fs.allocate();
+  EXPECT_EQ(b, a);  // reused
+  EXPECT_EQ(fs.read(b, 0), 0u);  // scrubbed
+}
+
+TEST(FrameStore, CopyFrameDuplicatesContent) {
+  FrameStore fs(2);
+  const FrameId a = fs.allocate();
+  fs.write(a, 1, 7);
+  const FrameId b = fs.copy_frame(a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(fs.read(b, 1), 7u);
+  fs.write(b, 1, 8);
+  EXPECT_EQ(fs.read(a, 1), 7u);  // independent
+}
+
+TEST(AddressSpace, FreshSpaceIsZeroFilled) {
+  FrameStore fs(4);
+  AddressSpace as(fs, 8);
+  EXPECT_EQ(as.pages(), 8u);
+  EXPECT_EQ(as.peek(3, 2), 0u);
+  EXPECT_EQ(fs.live_frames(), 8u);
+}
+
+TEST(AddressSpace, CowCloneSharesEveryFrame) {
+  FrameStore fs(4);
+  AddressSpace parent(fs, 4);
+  (void)parent.write(0, 0, 5);
+  AddressSpace child = AddressSpace::cow_clone(parent);
+  EXPECT_EQ(fs.live_frames(), 4u);  // no new frames
+  EXPECT_EQ(child.peek(0, 0), 5u);
+  EXPECT_TRUE(fs.shared(child.frame_of(0)));
+}
+
+TEST(AddressSpace, WriteFaultCopiesExactlyOnePage) {
+  FrameStore fs(4);
+  AddressSpace parent(fs, 4);
+  AddressSpace child = AddressSpace::cow_clone(parent);
+  EXPECT_TRUE(child.write(2, 0, 9));   // faults
+  EXPECT_FALSE(child.write(2, 1, 10)); // now private: no fault
+  EXPECT_EQ(fs.live_frames(), 5u);
+  EXPECT_EQ(parent.peek(2, 0), 0u);
+  EXPECT_EQ(child.peek(2, 0), 9u);
+  EXPECT_EQ(child.stats().cow_copies, 1u);
+}
+
+TEST(AddressSpace, WritesInParentDoNotLeakToChild) {
+  FrameStore fs(4);
+  AddressSpace parent(fs, 2);
+  AddressSpace child = AddressSpace::cow_clone(parent);
+  (void)parent.write(0, 0, 1);
+  EXPECT_EQ(child.peek(0, 0), 0u);
+}
+
+TEST(AddressSpace, DeepCopyTakesNoFaults) {
+  FrameStore fs(4);
+  AddressSpace parent(fs, 3);
+  (void)parent.write(1, 0, 4);
+  AddressSpace child = AddressSpace::deep_copy(parent);
+  EXPECT_EQ(fs.live_frames(), 6u);
+  EXPECT_EQ(child.peek(1, 0), 4u);
+  EXPECT_FALSE(child.write(1, 0, 5));  // private from the start
+}
+
+TEST(AddressSpace, DirtySetIsTheDescriptorTable) {
+  FrameStore fs(4);
+  AddressSpace as(fs, 8);
+  (void)as.write(1, 0, 1);
+  (void)as.write(5, 0, 1);
+  (void)as.write(1, 1, 2);  // same page twice: one entry
+  EXPECT_EQ(as.dirty_pages().size(), 2u);
+  EXPECT_TRUE(as.dirty_pages().contains(1));
+  EXPECT_TRUE(as.dirty_pages().contains(5));
+}
+
+TEST(AddressSpace, AbsorbAdoptsWinnerMapAndMergesDirty) {
+  FrameStore fs(4);
+  AddressSpace parent(fs, 4);
+  (void)parent.write(0, 0, 1);  // parent's own pre-block write
+  AddressSpace child = AddressSpace::cow_clone(parent);
+  (void)child.write(2, 0, 42);
+  parent.absorb(std::move(child));
+  EXPECT_EQ(parent.peek(2, 0), 42u);
+  EXPECT_EQ(parent.peek(0, 0), 1u);
+  EXPECT_TRUE(parent.dirty_pages().contains(0));
+  EXPECT_TRUE(parent.dirty_pages().contains(2));
+  // No leaked frames: 4 live pages + nothing else.
+  EXPECT_EQ(fs.live_frames(), 4u);
+}
+
+TEST(AddressSpace, DestructionReleasesFrames) {
+  FrameStore fs(4);
+  {
+    AddressSpace a(fs, 4);
+    AddressSpace b = AddressSpace::cow_clone(a);
+    (void)b.write(0, 0, 1);
+    EXPECT_EQ(fs.live_frames(), 5u);
+  }
+  EXPECT_EQ(fs.live_frames(), 0u);
+}
+
+TEST(AddressSpace, MoveTransfersOwnership) {
+  FrameStore fs(4);
+  AddressSpace a(fs, 2);
+  (void)a.write(0, 0, 7);
+  AddressSpace b = std::move(a);
+  EXPECT_EQ(b.peek(0, 0), 7u);
+  EXPECT_EQ(fs.live_frames(), 2u);
+}
+
+TEST(AddressSpace, OutOfRangeAccessThrows) {
+  FrameStore fs(4);
+  AddressSpace as(fs, 2);
+  EXPECT_THROW((void)as.peek(2, 0), UsageError);
+  EXPECT_THROW((void)as.write(0, 99, 1), UsageError);
+}
+
+TEST(AddressSpace, SharedChainOfClones) {
+  // Grandchild sharing through two generations; a write at the bottom copies
+  // once and leaves both ancestors intact.
+  FrameStore fs(4);
+  AddressSpace a(fs, 2);
+  (void)a.write(0, 0, 1);
+  AddressSpace b = AddressSpace::cow_clone(a);
+  AddressSpace c = AddressSpace::cow_clone(b);
+  EXPECT_EQ(fs.refcount(c.frame_of(0)), 3);
+  (void)c.write(0, 0, 3);
+  EXPECT_EQ(a.peek(0, 0), 1u);
+  EXPECT_EQ(b.peek(0, 0), 1u);
+  EXPECT_EQ(c.peek(0, 0), 3u);
+}
+
+}  // namespace
+}  // namespace altx::sim

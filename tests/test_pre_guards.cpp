@@ -1,0 +1,123 @@
+// Tests for pre-spawn guard evaluation (section 3.2: the guard may run
+// before spawning, in the child, at synchronization, or any combination).
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+
+namespace altx::sim {
+namespace {
+
+Kernel::Config cfg() {
+  Kernel::Config c;
+  c.machine = MachineModel::shared_memory_mp(4);
+  c.address_space_pages = 8;
+  return c;
+}
+
+using GuardFn = std::function<bool(const AddressSpace&)>;
+
+TEST(PreGuards, FalsePreGuardSkipsTheFork) {
+  Kernel k(cfg());
+  auto a = ProgramBuilder().compute(10 * kMsec).write(0, 0, 1).build();
+  auto b = ProgramBuilder().compute(5 * kMsec).write(0, 0, 2).build();
+  std::vector<GuardFn> pre = {
+      [](const AddressSpace&) { return true; },
+      [](const AddressSpace&) { return false; },  // b is never spawned
+  };
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt_guarded({a, b}, std::move(pre)).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 1u);  // a wins unopposed
+  EXPECT_EQ(k.stats().forks, 1u);                 // only one child existed
+}
+
+TEST(PreGuards, SkippingTheForkSavesSpawnTime) {
+  auto elapsed = [](bool use_pre_guard) {
+    auto c = cfg();
+    c.address_space_pages = 400;  // make forks expensive
+    Kernel k(c);
+    auto fast = ProgramBuilder().compute(10 * kMsec).build();
+    auto doomed = ProgramBuilder().abort().build();
+    std::vector<GuardFn> pre;
+    if (use_pre_guard) {
+      pre = {[](const AddressSpace&) { return true; },
+             [](const AddressSpace&) { return false; },
+             [](const AddressSpace&) { return false; }};
+    }
+    k.spawn_root(ProgramBuilder()
+                     .alt_guarded({fast, doomed, doomed}, std::move(pre))
+                     .build());
+    return k.run();
+  };
+  // Two saved forks of a 400-page space are worth > 80 ms on the HP model.
+  EXPECT_LT(elapsed(true) + 50 * kMsec, elapsed(false));
+}
+
+TEST(PreGuards, AllFalseFailsTheBlockWithoutSpawning) {
+  Kernel k(cfg());
+  auto a = ProgramBuilder().compute(kMsec).build();
+  auto on_fail = ProgramBuilder().write(0, 0, 0xf).build();
+  std::vector<GuardFn> pre = {
+      [](const AddressSpace&) { return false; },
+      [](const AddressSpace&) { return false; },
+  };
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt_guarded({a, a}, std::move(pre), 0, on_fail).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 0xfu);
+  EXPECT_EQ(k.stats().forks, 0u);
+  EXPECT_EQ(k.stats().alt_failures, 1u);
+}
+
+TEST(PreGuards, PreGuardsReadTheParentsState) {
+  Kernel k(cfg());
+  auto a = ProgramBuilder().write(1, 0, 1).build();
+  auto b = ProgramBuilder().write(1, 0, 2).build();
+  // Dispatch on a value the parent wrote before the block.
+  std::vector<GuardFn> pre = {
+      [](const AddressSpace& as) { return as.peek(0, 0) == 7; },
+      [](const AddressSpace& as) { return as.peek(0, 0) != 7; },
+  };
+  const Pid pid = k.spawn_root(ProgramBuilder()
+                                   .write(0, 0, 7)
+                                   .alt_guarded({a, b}, std::move(pre))
+                                   .build());
+  k.run();
+  EXPECT_EQ(k.process(pid)->as_.peek(1, 0), 1u);
+}
+
+TEST(PreGuards, RedundantWithChildGuards) {
+  // Both layers present: the pre-guard admits the alternative, the child
+  // guard still rejects it — redundancy, as the paper allows.
+  Kernel k(cfg());
+  auto lies = ProgramBuilder()
+                  .compute(kMsec)
+                  .guard([](const AddressSpace&) { return false; })
+                  .build();
+  auto honest = ProgramBuilder().compute(10 * kMsec).write(0, 0, 3).build();
+  std::vector<GuardFn> pre = {
+      [](const AddressSpace&) { return true; },  // admits the liar
+      [](const AddressSpace&) { return true; },
+  };
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt_guarded({lies, honest}, std::move(pre)).build());
+  k.run();
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 3u);
+}
+
+TEST(PreGuards, FewerGuardsThanAlternatesIsAllowed) {
+  // Only the first alternative carries a pre-guard; the rest always spawn.
+  Kernel k(cfg());
+  auto a = ProgramBuilder().compute(kMsec).write(0, 0, 1).build();
+  auto b = ProgramBuilder().compute(2 * kMsec).write(0, 0, 2).build();
+  std::vector<GuardFn> pre = {[](const AddressSpace&) { return false; }};
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt_guarded({a, b}, std::move(pre)).build());
+  k.run();
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 2u);
+}
+
+}  // namespace
+}  // namespace altx::sim

@@ -1,0 +1,239 @@
+// Unit tests for the predicate algebra (paper section 3.3) and the message
+// reception rules (section 3.4.2).
+#include <gtest/gtest.h>
+
+#include "msg/message.hpp"
+#include "msg/predicate.hpp"
+
+namespace altx {
+namespace {
+
+TEST(Predicate, EmptyPredicateIsSatisfied) {
+  Predicate p;
+  EXPECT_TRUE(p.satisfied());
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Predicate, ChildAssumesSelfCompletesAndSiblingsFail) {
+  Predicate parent;
+  parent.require_complete(100);
+  const Predicate child = Predicate::for_child(parent, 2, {1, 2, 3});
+  EXPECT_TRUE(child.requires_complete(2));
+  EXPECT_TRUE(child.requires_complete(100));  // inherited
+  EXPECT_TRUE(child.requires_fail(1));
+  EXPECT_TRUE(child.requires_fail(3));
+  EXPECT_FALSE(child.requires_fail(2));
+  EXPECT_FALSE(child.satisfied());
+}
+
+TEST(Predicate, InsertIsIdempotent) {
+  Predicate p;
+  p.require_complete(5);
+  p.require_complete(5);
+  p.require_fail(6);
+  p.require_fail(6);
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Predicate, SubsumesRequiresEveryAssumption) {
+  Predicate r;
+  r.require_complete(1);
+  r.require_complete(2);
+  r.require_fail(3);
+  Predicate s;
+  s.require_complete(1);
+  EXPECT_TRUE(r.subsumes(s));
+  EXPECT_FALSE(s.subsumes(r));
+  s.require_fail(3);
+  EXPECT_TRUE(r.subsumes(s));
+  s.require_complete(9);
+  EXPECT_FALSE(r.subsumes(s));
+}
+
+TEST(Predicate, ConflictsDetectsContradiction) {
+  Predicate r;
+  r.require_complete(1);
+  Predicate s;
+  s.require_fail(1);
+  EXPECT_TRUE(r.conflicts(s));
+  EXPECT_TRUE(s.conflicts(r));
+  Predicate t;
+  t.require_complete(2);
+  EXPECT_FALSE(r.conflicts(t));
+}
+
+TEST(Predicate, MergeUnionsAssumptions) {
+  Predicate r;
+  r.require_complete(1);
+  Predicate s;
+  s.require_complete(2);
+  s.require_fail(3);
+  r.merge(s);
+  EXPECT_TRUE(r.requires_complete(1));
+  EXPECT_TRUE(r.requires_complete(2));
+  EXPECT_TRUE(r.requires_fail(3));
+}
+
+TEST(Predicate, MergeContradictionThrows) {
+  Predicate r;
+  r.require_complete(1);
+  Predicate s;
+  s.require_fail(1);
+  EXPECT_THROW(r.merge(s), UsageError);
+}
+
+TEST(Predicate, ResolveSatisfiesOrKills) {
+  Predicate p;
+  p.require_complete(1);
+  p.require_fail(2);
+  // 1 completed: assumption satisfied and removed.
+  EXPECT_EQ(p.resolve(1, Resolution::kCompleted), Resolution::kPending);
+  EXPECT_FALSE(p.requires_complete(1));
+  // 2 completed: contradicts "2 must fail" — holder must die.
+  EXPECT_EQ(p.resolve(2, Resolution::kCompleted), Resolution::kFailed);
+}
+
+TEST(Predicate, ResolveFailurePaths) {
+  Predicate p;
+  p.require_complete(1);
+  p.require_fail(2);
+  EXPECT_EQ(p.resolve(2, Resolution::kFailed), Resolution::kPending);
+  EXPECT_TRUE(p.satisfied() == false);  // 1 still pending
+  EXPECT_EQ(p.resolve(1, Resolution::kFailed), Resolution::kFailed);
+}
+
+TEST(Predicate, ResolveUnrelatedPidIsNoop) {
+  Predicate p;
+  p.require_complete(1);
+  EXPECT_EQ(p.resolve(42, Resolution::kCompleted), Resolution::kPending);
+  EXPECT_EQ(p.resolve(42, Resolution::kFailed), Resolution::kPending);
+  EXPECT_TRUE(p.requires_complete(1));
+}
+
+TEST(Predicate, SerializationRoundTrip) {
+  Predicate p;
+  p.require_complete(7);
+  p.require_complete(3);
+  p.require_fail(9);
+  Bytes buf;
+  ByteWriter w(buf);
+  p.serialize(w);
+  ByteReader r(buf);
+  const Predicate q = Predicate::deserialize(r);
+  EXPECT_EQ(p, q);
+}
+
+// ---------------------------------------------------------------------------
+// Message reception (section 3.4.2)
+// ---------------------------------------------------------------------------
+
+Message speculative_message(Pid sender, Predicate preds = {}) {
+  Message m;
+  m.sender = sender;
+  m.sender_speculative = true;
+  m.sending_predicate = std::move(preds);
+  return m;
+}
+
+TEST(Reception, NonSpeculativeMessageAlwaysAccepted) {
+  Message m;
+  m.sender = 1;
+  m.sender_speculative = false;
+  Predicate receiver;
+  receiver.require_complete(55);  // receiver itself speculative
+  EXPECT_EQ(classify_reception(receiver, m), Reception::kAccept);
+}
+
+TEST(Reception, SubsumedSpeculativeMessageAccepted) {
+  Predicate receiver;
+  receiver.require_complete(10);
+  const Message m = speculative_message(10);
+  EXPECT_EQ(classify_reception(receiver, m), Reception::kAccept);
+}
+
+TEST(Reception, ConflictingMessageIgnored) {
+  Predicate receiver;
+  receiver.require_fail(10);  // assumes the sender will NOT complete
+  const Message m = speculative_message(10);
+  EXPECT_EQ(classify_reception(receiver, m), Reception::kIgnore);
+}
+
+TEST(Reception, NewAssumptionSplitsWorlds) {
+  Predicate receiver;
+  const Message m = speculative_message(10);
+  EXPECT_EQ(classify_reception(receiver, m), Reception::kSplit);
+
+  const Predicate yes = accepting_world(receiver, m);
+  EXPECT_TRUE(yes.requires_complete(10));
+
+  const Predicate no = rejecting_world(receiver, m);
+  EXPECT_TRUE(no.requires_fail(10));
+  EXPECT_FALSE(no.requires_complete(10));
+}
+
+TEST(Reception, AcceptingWorldImpliesAllSenderPredicates) {
+  // Footnote 2: complete(S) implies all of S's predicates.
+  Predicate sender_preds;
+  sender_preds.require_complete(3);
+  sender_preds.require_fail(4);
+  const Message m = speculative_message(10, sender_preds);
+  const Predicate yes = accepting_world(Predicate{}, m);
+  EXPECT_TRUE(yes.requires_complete(10));
+  EXPECT_TRUE(yes.requires_complete(3));
+  EXPECT_TRUE(yes.requires_fail(4));
+}
+
+TEST(Reception, RejectingWorldNegatesOnlySenderCompletion) {
+  // Footnote 3: negating every sender predicate could assert that two
+  // mutually exclusive processes both complete; only complete(S) is negated.
+  Predicate sender_preds;
+  sender_preds.require_complete(3);
+  sender_preds.require_fail(4);
+  const Message m = speculative_message(10, sender_preds);
+  const Predicate no = rejecting_world(Predicate{}, m);
+  EXPECT_TRUE(no.requires_fail(10));
+  EXPECT_FALSE(no.requires_complete(3));
+  EXPECT_FALSE(no.requires_fail(3));
+  EXPECT_FALSE(no.requires_complete(4));
+  EXPECT_FALSE(no.requires_fail(4));
+}
+
+TEST(Reception, WorldsAreMutuallyExclusive) {
+  const Message m = speculative_message(10);
+  Predicate receiver;
+  const Predicate yes = accepting_world(receiver, m);
+  const Predicate no = rejecting_world(receiver, m);
+  EXPECT_TRUE(yes.conflicts(no));
+}
+
+TEST(Reception, PartialOverlapStillSplits) {
+  Predicate receiver;
+  receiver.require_complete(3);  // shares one assumption with the sender
+  Predicate sender_preds;
+  sender_preds.require_complete(3);
+  const Message m = speculative_message(10, sender_preds);
+  EXPECT_EQ(classify_reception(receiver, m), Reception::kSplit);
+}
+
+TEST(Message, SerializationRoundTrip) {
+  Predicate preds;
+  preds.require_complete(2);
+  Message m = speculative_message(9, preds);
+  m.data = {1, 2, 3, 4};
+  m.destination = 77;
+  m.seq = 42;
+  Bytes buf;
+  ByteWriter w(buf);
+  m.serialize(w);
+  ByteReader r(buf);
+  const Message out = Message::deserialize(r);
+  EXPECT_EQ(out.sender, 9u);
+  EXPECT_TRUE(out.sender_speculative);
+  EXPECT_EQ(out.data, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(out.destination, 77u);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.sending_predicate, preds);
+}
+
+}  // namespace
+}  // namespace altx

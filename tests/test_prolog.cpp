@@ -1,0 +1,463 @@
+// Tests for the mini-Prolog engine: parsing, unification, SLD resolution,
+// arithmetic, cut, list programs, n-queens, and the OR-parallel executors.
+#include <gtest/gtest.h>
+
+#include "prolog/or_parallel.hpp"
+#include "prolog/parser.hpp"
+#include "prolog/solver.hpp"
+#include "prolog/term.hpp"
+
+namespace altx::prolog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Terms and unification
+// ---------------------------------------------------------------------------
+
+TEST(PrologTerm, SymbolInterning) {
+  SymbolTable sym;
+  const Symbol a = sym.intern("foo");
+  const Symbol b = sym.intern("foo");
+  const Symbol c = sym.intern("bar");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(sym.name(c), "bar");
+}
+
+TEST(PrologTerm, UnifyAtomsAndInts) {
+  SymbolTable sym;
+  Bindings b;
+  EXPECT_TRUE(unify(b, mk_atom(sym.intern("x")), mk_atom(sym.intern("x"))));
+  EXPECT_FALSE(unify(b, mk_atom(sym.intern("x")), mk_atom(sym.intern("y"))));
+  EXPECT_TRUE(unify(b, mk_int(3), mk_int(3)));
+  EXPECT_FALSE(unify(b, mk_int(3), mk_int(4)));
+}
+
+TEST(PrologTerm, UnifyBindsVariables) {
+  SymbolTable sym;
+  Bindings b;
+  b.reserve_slots(2);
+  EXPECT_TRUE(unify(b, mk_var(0), mk_int(7)));
+  EXPECT_EQ(b.deref(mk_var(0))->value, 7);
+  // Var-var aliasing then grounding.
+  EXPECT_TRUE(unify(b, mk_var(1), mk_var(0)));
+  EXPECT_EQ(b.deref(mk_var(1))->value, 7);
+}
+
+TEST(PrologTerm, UnifyStructsRecursively) {
+  SymbolTable sym;
+  Bindings b;
+  b.reserve_slots(1);
+  const Symbol f = sym.intern("f");
+  // f(X, 2) = f(1, 2)  ==>  X = 1
+  EXPECT_TRUE(unify(b, mk_struct(f, {mk_var(0), mk_int(2)}),
+                    mk_struct(f, {mk_int(1), mk_int(2)})));
+  EXPECT_EQ(b.deref(mk_var(0))->value, 1);
+  // Arity mismatch fails.
+  EXPECT_FALSE(unify(b, mk_struct(f, {mk_int(1)}),
+                     mk_struct(f, {mk_int(1), mk_int(2)})));
+}
+
+TEST(PrologTerm, TrailUndoRestoresState) {
+  SymbolTable sym;
+  Bindings b;
+  b.reserve_slots(1);
+  const std::size_t mark = b.mark();
+  EXPECT_TRUE(unify(b, mk_var(0), mk_int(9)));
+  EXPECT_TRUE(b.bound(0));
+  b.undo(mark);
+  EXPECT_FALSE(b.bound(0));
+}
+
+TEST(PrologTerm, OccursCheckRejectsCycles) {
+  SymbolTable sym;
+  Bindings b;
+  b.reserve_slots(1);
+  const Symbol f = sym.intern("f");
+  // X = f(X) fails with occurs check, succeeds (dangerously) without.
+  EXPECT_FALSE(unify(b, mk_var(0), mk_struct(f, {mk_var(0)}), true));
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(PrologParser, FactsAndRules) {
+  SymbolTable sym;
+  const auto clauses = parse_program(sym, R"(
+    parent(tom, bob).
+    parent(bob, ann).
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+  )");
+  ASSERT_EQ(clauses.size(), 3u);
+  EXPECT_EQ(clauses[0].body.size(), 0u);
+  EXPECT_EQ(clauses[2].body.size(), 2u);
+  EXPECT_EQ(clauses[2].nvars, 3u);
+}
+
+TEST(PrologParser, ListsDesugarToDots) {
+  SymbolTable sym;
+  const auto q = parse_query(sym, "X = [1,2|T]");
+  ASSERT_EQ(q.goals.size(), 1u);
+  const TermPtr rhs = q.goals[0]->args[1];
+  EXPECT_EQ(sym.name(rhs->functor), ".");
+  EXPECT_EQ(rhs->args[0]->value, 1);
+  EXPECT_EQ(sym.name(rhs->args[1]->functor), ".");
+}
+
+TEST(PrologParser, EmptyListIsNilAtom) {
+  SymbolTable sym;
+  const auto q = parse_query(sym, "X = []");
+  EXPECT_EQ(sym.name(q.goals[0]->args[1]->functor), "[]");
+}
+
+TEST(PrologParser, OperatorPrecedence) {
+  SymbolTable sym;
+  // X is 1 + 2 * 3  parses as  is(X, +(1, *(2, 3))).
+  const auto q = parse_query(sym, "X is 1 + 2 * 3");
+  const TermPtr is = q.goals[0];
+  EXPECT_EQ(sym.name(is->functor), "is");
+  const TermPtr plus = is->args[1];
+  EXPECT_EQ(sym.name(plus->functor), "+");
+  EXPECT_EQ(plus->args[0]->value, 1);
+  EXPECT_EQ(sym.name(plus->args[1]->functor), "*");
+}
+
+TEST(PrologParser, LeftAssociativeMinus) {
+  SymbolTable sym;
+  // 10 - 3 - 2 = (10 - 3) - 2.
+  const auto q = parse_query(sym, "X is 10 - 3 - 2");
+  const TermPtr outer = q.goals[0]->args[1];
+  EXPECT_EQ(sym.name(outer->functor), "-");
+  EXPECT_EQ(outer->args[1]->value, 2);
+  EXPECT_EQ(sym.name(outer->args[0]->functor), "-");
+}
+
+TEST(PrologParser, VariablesScopedPerClause) {
+  SymbolTable sym;
+  const auto clauses = parse_program(sym, "a(X). b(X).");
+  EXPECT_EQ(clauses[0].nvars, 1u);
+  EXPECT_EQ(clauses[1].nvars, 1u);
+}
+
+TEST(PrologParser, UnderscoreIsAlwaysFresh) {
+  SymbolTable sym;
+  const auto clauses = parse_program(sym, "p(_, _).");
+  EXPECT_EQ(clauses[0].nvars, 2u);
+}
+
+TEST(PrologParser, CommentsAreSkipped) {
+  SymbolTable sym;
+  const auto clauses = parse_program(sym, R"(
+    % a comment
+    a(1). % trailing
+  )");
+  EXPECT_EQ(clauses.size(), 1u);
+}
+
+TEST(PrologParser, ErrorsCarryPosition) {
+  SymbolTable sym;
+  EXPECT_THROW(parse_program(sym, "p(1"), ParseError);
+  EXPECT_THROW(parse_program(sym, "p(1) q"), ParseError);
+  EXPECT_THROW(parse_query(sym, "@@@"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------------
+
+Database family() {
+  Database db;
+  db.consult(R"(
+    parent(tom, bob).
+    parent(tom, liz).
+    parent(bob, ann).
+    parent(bob, pat).
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+    sibling(X, Y) :- parent(P, X), parent(P, Y).
+  )");
+  return db;
+}
+
+TEST(PrologSolver, GroundFactSucceeds) {
+  Database db = family();
+  Solver s(db);
+  EXPECT_TRUE(s.solve_first(parse_query(db.symbols, "parent(tom, bob)")).has_value());
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "parent(bob, tom)")).has_value());
+}
+
+TEST(PrologSolver, VariableQueryEnumeratesInClauseOrder) {
+  Database db = family();
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "parent(tom, X)"));
+  ASSERT_EQ(sols.size(), 2u);
+  EXPECT_EQ(sols[0].at("X"), "bob");
+  EXPECT_EQ(sols[1].at("X"), "liz");
+}
+
+TEST(PrologSolver, RuleWithJoin) {
+  Database db = family();
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "grandparent(tom, W)"));
+  ASSERT_EQ(sols.size(), 2u);
+  EXPECT_EQ(sols[0].at("W"), "ann");
+  EXPECT_EQ(sols[1].at("W"), "pat");
+}
+
+TEST(PrologSolver, SolutionLimitStopsSearch) {
+  Database db = family();
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "parent(A, B)"), 3);
+  EXPECT_EQ(sols.size(), 3u);
+}
+
+TEST(PrologSolver, RecursionOverLists) {
+  Database db;
+  db.consult(R"(
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+    member(X, [X|_]).
+    member(X, [_|T]) :- member(X, T).
+  )");
+  Solver s(db);
+  const auto sol =
+      s.solve_first(parse_query(db.symbols, "append([1,2], [3,4], Z)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("Z"), "[1,2,3,4]");
+
+  // All splits of a list: append(X, Y, [1,2,3]) has 4 solutions.
+  const auto splits =
+      s.solve_all(parse_query(db.symbols, "append(X, Y, [1,2,3])"));
+  EXPECT_EQ(splits.size(), 4u);
+
+  const auto members = s.solve_all(parse_query(db.symbols, "member(M, [a,b,c])"));
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[1].at("M"), "b");
+}
+
+TEST(PrologSolver, ArithmeticIsAndComparisons) {
+  Database db;
+  db.consult("double(X, Y) :- Y is X * 2.");
+  Solver s(db);
+  const auto sol = s.solve_first(parse_query(db.symbols, "double(21, Z)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("Z"), "42");
+
+  EXPECT_TRUE(s.solve_first(parse_query(db.symbols, "X is 7 mod 3, X =:= 1")).has_value());
+  EXPECT_TRUE(s.solve_first(parse_query(db.symbols, "X is 10 // 3, X =:= 3")).has_value());
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "1 > 2")).has_value());
+  EXPECT_TRUE(s.solve_first(parse_query(db.symbols, "2 >= 2, 1 =< 2, 3 =\\= 4")).has_value());
+}
+
+TEST(PrologSolver, CutPrunesClauseAlternatives) {
+  Database db;
+  db.consult(R"(
+    max(X, Y, X) :- X >= Y, !.
+    max(_, Y, Y).
+  )");
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "max(3, 2, M)"));
+  ASSERT_EQ(sols.size(), 1u);  // without the cut there would be two
+  EXPECT_EQ(sols[0].at("M"), "3");
+  const auto sols2 = s.solve_all(parse_query(db.symbols, "max(1, 5, M)"));
+  ASSERT_EQ(sols2.size(), 1u);
+  EXPECT_EQ(sols2[0].at("M"), "5");
+}
+
+TEST(PrologSolver, CutAlsoPrunesLeftSiblingChoices) {
+  Database db;
+  db.consult(R"(
+    num(1).
+    num(2).
+    num(3).
+    first(X) :- num(X), !.
+  )");
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "first(X)"));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0].at("X"), "1");
+}
+
+TEST(PrologSolver, FailForcesBacktracking) {
+  Database db;
+  db.consult("n(1). n(2).");
+  Solver s(db);
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "n(X), fail")).has_value());
+  EXPECT_GE(s.steps(), 2u);  // both clauses tried
+}
+
+TEST(PrologSolver, StepBudgetStopsRunawaySearch) {
+  Database db;
+  db.consult("loop :- loop.");
+  Solver::Options o;
+  o.max_steps = 1000;
+  Solver s(db, o);
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "loop")).has_value());
+  EXPECT_TRUE(s.budget_exhausted());
+}
+
+TEST(PrologSolver, StepsCountGrowsWithSearchDepth) {
+  Database db;
+  db.consult(R"(
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+  )");
+  Solver s(db);
+  (void)s.solve_first(parse_query(db.symbols, "append([1,2], [], Z)"));
+  const auto short_steps = s.steps();
+  (void)s.solve_first(
+      parse_query(db.symbols, "append([1,2,3,4,5,6,7,8], [], Z)"));
+  EXPECT_GT(s.steps(), short_steps);
+}
+
+// The paper's own motivating example: unification binds X in equal(X, elrod).
+TEST(PrologSolver, PaperEqualExample) {
+  Database db;
+  db.consult("equal(X, X).");
+  Solver s(db);
+  const auto sol = s.solve_first(parse_query(db.symbols, "equal(X, elrod)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("X"), "elrod");
+}
+
+const char* kQueens = R"(
+  queens(N, Qs) :- range(1, N, Ns), perm(Ns, Qs), safe(Qs).
+  range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+  range(H, H, [H]).
+  perm([], []).
+  perm(L, [H|T]) :- select(H, L, R), perm(R, T).
+  select(X, [X|T], T).
+  select(X, [H|T], [H|R]) :- select(X, T, R).
+  safe([]).
+  safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+  noattack(_, [], _).
+  noattack(Q, [Q1|Qs], D) :-
+    Q =\= Q1, Q1 - Q =\= D, Q - Q1 =\= D,
+    D1 is D + 1, noattack(Q, Qs, D1).
+)";
+
+TEST(PrologSolver, SixQueensHasSolutions) {
+  Database db;
+  db.consult(kQueens);
+  Solver s(db);
+  const auto sol = s.solve_first(parse_query(db.symbols, "queens(6, Qs)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("Qs"), "[2,4,6,1,3,5]");
+  // 6-queens has exactly 4 solutions.
+  const auto all = s.solve_all(parse_query(db.symbols, "queens(6, Qs)"));
+  EXPECT_EQ(all.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// OR-parallel execution
+// ---------------------------------------------------------------------------
+
+Database search_db() {
+  // Three top-level strategies with very different costs; strategy
+  // effectiveness is data-dependent — the paper's ideal case.
+  Database db;
+  db.consult(R"(
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+    solve(X) :- strategy1(X).
+    solve(X) :- strategy2(X).
+    solve(X) :- strategy3(X).
+    strategy1(X) :- burn(50), X = slow1.
+    strategy2(X) :- burn(10), X = quick.
+    strategy3(X) :- burn(60), X = slow2.
+    burn(0).
+    burn(N) :- N > 0, M is N - 1, burn(M), burn_leaf.
+    burn_leaf.
+  )");
+  return db;
+}
+
+TEST(PrologOrParallel, BranchProfilesMeasureWork) {
+  Database db = search_db();
+  const auto q = parse_query(db.symbols, "solve(X)");
+  const auto profiles = profile_branches(db, q);
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_TRUE(profiles[0].found);
+  EXPECT_TRUE(profiles[1].found);
+  EXPECT_TRUE(profiles[2].found);
+  // strategy2 does the least work.
+  EXPECT_LT(profiles[1].steps, profiles[0].steps);
+  EXPECT_LT(profiles[1].steps, profiles[2].steps);
+}
+
+TEST(PrologOrParallel, RealProcessesReturnAValidSolution) {
+  Database db = search_db();
+  const auto q = parse_query(db.symbols, "solve(X)");
+  const auto r = solve_or_parallel(db, q);
+  ASSERT_TRUE(r.found);
+  // Any branch's solution is semantically valid (nondeterministic choice);
+  // the winner must be one of the three strategies.
+  EXPECT_GE(r.winner_branch, 0);
+  EXPECT_LE(r.winner_branch, 2);
+  const std::string x = r.solution.at("X");
+  EXPECT_TRUE(x == "quick" || x == "slow1" || x == "slow2");
+}
+
+TEST(PrologOrParallel, FailingBranchesNeverWin) {
+  Database db;
+  db.consult(R"(
+    pick(X) :- fail_branch(X).
+    pick(X) :- ok_branch(X).
+    fail_branch(_) :- fail.
+    ok_branch(found).
+  )");
+  const auto q = parse_query(db.symbols, "pick(X)");
+  const auto r = solve_or_parallel(db, q);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.winner_branch, 1);
+  EXPECT_EQ(r.solution.at("X"), "found");
+}
+
+TEST(PrologOrParallel, AllBranchesFailingFailsTheQuery) {
+  Database db;
+  db.consult(R"(
+    p(X) :- q(X).
+    p(X) :- r(X).
+    q(_) :- fail.
+    r(_) :- fail.
+  )");
+  const auto q = parse_query(db.symbols, "p(X)");
+  const auto r = solve_or_parallel(db, q);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(PrologOrParallel, SimulatedSpeedupOnDispersedBranches) {
+  Database db = search_db();
+  const auto q = parse_query(db.symbols, "solve(X)");
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(4);
+  cfg.address_space_pages = 32;
+  // At 1 ms per inference the branch times tower over the fork overhead.
+  const auto r = simulate_or_parallel(db, q, /*usec_per_inference=*/1000.0, cfg);
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.branches.size(), 3u);
+  // Sequential tries strategy1 first and succeeds there — but OR-parallel
+  // returns as soon as the cheap strategy2 finishes.
+  EXPECT_GT(r.speedup, 1.0);
+}
+
+TEST(PrologOrParallel, TinyBranchesMakeOverheadDominate) {
+  Database db;
+  db.consult(R"(
+    t(1).
+    t(2).
+  )");
+  const auto q = parse_query(db.symbols, "t(X)");
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(4);
+  cfg.address_space_pages = 64;
+  // At 1 us per inference the spawn overhead dwarfs the work: PI < 1.
+  const auto r = simulate_or_parallel(db, q, 1.0, cfg);
+  ASSERT_TRUE(r.found);
+  EXPECT_LT(r.speedup, 1.0);
+}
+
+}  // namespace
+}  // namespace altx::prolog

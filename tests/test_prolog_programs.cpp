@@ -1,0 +1,331 @@
+// Larger Prolog programs exercising the engine end to end: map coloring,
+// list utilities, arithmetic recursion, graph search, and engine edge cases.
+#include <gtest/gtest.h>
+
+#include "prolog/or_parallel.hpp"
+#include "prolog/solver.hpp"
+
+namespace altx::prolog {
+namespace {
+
+TEST(PrologPrograms, MapColoringAustralia) {
+  Database db;
+  db.consult(R"(
+    color(red). color(green). color(blue).
+    diff(X, Y) :- color(X), color(Y), neq(X, Y).
+    neq(red, green). neq(red, blue).
+    neq(green, red). neq(green, blue).
+    neq(blue, red). neq(blue, green).
+    australia(WA, NT, SA, Q, NSW, V) :-
+      diff(WA, NT), diff(WA, SA), diff(NT, SA), diff(NT, Q),
+      diff(SA, Q), diff(SA, NSW), diff(SA, V), diff(Q, NSW), diff(NSW, V).
+  )");
+  Solver s(db);
+  const auto sol = s.solve_first(
+      parse_query(db.symbols, "australia(WA, NT, SA, Q, NSW, V)"));
+  ASSERT_TRUE(sol.has_value());
+  // Verify the coloring constraints on the reported solution.
+  const auto c = [&](const char* v) { return sol->at(v); };
+  EXPECT_NE(c("WA"), c("NT"));
+  EXPECT_NE(c("WA"), c("SA"));
+  EXPECT_NE(c("SA"), c("Q"));
+  EXPECT_NE(c("NSW"), c("V"));
+}
+
+TEST(PrologPrograms, NaiveReverse) {
+  Database db;
+  db.consult(R"(
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+  )");
+  Solver s(db);
+  const auto sol =
+      s.solve_first(parse_query(db.symbols, "nrev([1,2,3,4,5,6,7,8], R)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("R"), "[8,7,6,5,4,3,2,1]");
+}
+
+TEST(PrologPrograms, FactorialAndGcd) {
+  Database db;
+  db.consult(R"(
+    fact(0, 1).
+    fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+    gcd(X, 0, X) :- !.
+    gcd(X, Y, G) :- Y > 0, R is X mod Y, gcd(Y, R, G).
+  )");
+  Solver s(db);
+  auto f = s.solve_first(parse_query(db.symbols, "fact(10, F)"));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->at("F"), "3628800");
+  auto g = s.solve_first(parse_query(db.symbols, "gcd(48, 36, G)"));
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->at("G"), "12");
+}
+
+TEST(PrologPrograms, LengthAndNth) {
+  Database db;
+  db.consult(R"(
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+    nth(0, [X|_], X).
+    nth(N, [_|T], X) :- N > 0, M is N - 1, nth(M, T, X).
+  )");
+  Solver s(db);
+  auto l = s.solve_first(parse_query(db.symbols, "len([a,b,c,d], N)"));
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->at("N"), "4");
+  auto n = s.solve_first(parse_query(db.symbols, "nth(2, [a,b,c,d], X)"));
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->at("X"), "c");
+}
+
+TEST(PrologPrograms, GraphReachabilityWithCycles) {
+  // Reachability over a cyclic graph needs a visited set; this encoding uses
+  // bounded depth instead (no negation in the engine).
+  Database db;
+  db.consult(R"(
+    edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+    reach(X, X, _).
+    reach(X, Z, D) :- D > 0, edge(X, Y), E is D - 1, reach(Y, Z, E).
+  )");
+  Solver s(db);
+  EXPECT_TRUE(s.solve_first(parse_query(db.symbols, "reach(a, d, 5)")).has_value());
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "reach(d, a, 5)")).has_value());
+}
+
+TEST(PrologPrograms, ZebraLikePuzzle) {
+  // A scaled-down constraints puzzle: three houses, three owners, three pets.
+  Database db;
+  db.consult(R"(
+    perm3(A, B, C) :- sel(A, [1,2,3], R1), sel(B, R1, R2), sel(C, R2, []).
+    sel(X, [X|T], T).
+    sel(X, [H|T], [H|R]) :- sel(X, T, R).
+    puzzle(Alice, Bob, Carol, Dog, Cat, Fish) :-
+      perm3(Alice, Bob, Carol),
+      perm3(Dog, Cat, Fish),
+      Alice =:= Dog,         % alice owns the dog
+      Bob =\= Cat,           % bob is allergic to cats
+      Carol =\= 1.           % carol does not live in house 1
+  )");
+  Solver s(db);
+  const auto sols = s.solve_all(
+      parse_query(db.symbols, "puzzle(Alice, Bob, Carol, Dog, Cat, Fish)"));
+  ASSERT_FALSE(sols.empty());
+  for (const auto& sol : sols) {
+    EXPECT_EQ(sol.at("Alice"), sol.at("Dog"));
+    EXPECT_NE(sol.at("Bob"), sol.at("Cat"));
+    EXPECT_NE(sol.at("Carol"), "1");
+  }
+}
+
+TEST(PrologPrograms, EightQueensFirstSolution) {
+  Database db;
+  db.consult(R"(
+    queens(N, Qs) :- range(1, N, Ns), perm(Ns, Qs), safe(Qs).
+    range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+    range(H, H, [H]).
+    perm([], []).
+    perm(L, [H|T]) :- select(H, L, R), perm(R, T).
+    select(X, [X|T], T).
+    select(X, [H|T], [H|R]) :- select(X, T, R).
+    safe([]).
+    safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+    noattack(_, [], _).
+    noattack(Q, [Q1|Qs], D) :-
+      Q =\= Q1, Q1 - Q =\= D, Q - Q1 =\= D,
+      D1 is D + 1, noattack(Q, Qs, D1).
+  )");
+  Solver s(db);
+  const auto sol = s.solve_first(parse_query(db.symbols, "queens(8, Qs)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("Qs"), "[1,5,8,6,3,7,2,4]");  // standard DFS first solution
+}
+
+TEST(PrologPrograms, CutAtQueryLevelStopsAllAlternatives) {
+  Database db;
+  db.consult("n(1). n(2). n(3).");
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "n(X), !"));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0].at("X"), "1");
+}
+
+TEST(PrologPrograms, UnknownPredicateSimplyFails) {
+  Database db;
+  db.consult("a(1).");
+  Solver s(db);
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "nonexistent(X)")).has_value());
+}
+
+TEST(PrologPrograms, UnboundGoalFails) {
+  Database db;
+  db.consult("a(1).");
+  Solver s(db);
+  // Calling an unbound variable as a goal fails (no call/1 support).
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "G")).has_value());
+}
+
+TEST(PrologPrograms, DivisionByZeroFailsTheGoal) {
+  Database db;
+  db.consult("a(1).");
+  Solver s(db);
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "X is 1 // 0")).has_value());
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "X is 1 mod 0")).has_value());
+}
+
+TEST(PrologPrograms, OrParallelQueensAcrossFirstColumnChoice) {
+  // OR-parallelism at the perm choice point of n-queens: each world pins a
+  // different first selection. All worlds that find solutions must find
+  // valid ones.
+  Database db;
+  db.consult(R"(
+    q6(Qs) :- solve6([1,2,3,4,5,6], Qs).
+    solve6(Ns, Qs) :- perm(Ns, Qs), safe(Qs).
+    perm([], []).
+    perm(L, [H|T]) :- select(H, L, R), perm(R, T).
+    select(X, [X|T], T).
+    select(X, [H|T], [H|R]) :- select(X, T, R).
+    safe([]).
+    safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+    noattack(_, [], _).
+    noattack(Q, [Q1|Qs], D) :-
+      Q =\= Q1, Q1 - Q =\= D, Q - Q1 =\= D,
+      D1 is D + 1, noattack(Q, Qs, D1).
+  )");
+  const auto q = parse_query(db.symbols, "q6(Qs)");
+  const auto r = solve_or_parallel(db, q);
+  ASSERT_TRUE(r.found);
+  // Any of the four 6-queens solutions is acceptable (nondeterministic
+  // selection); check shape: a list of six distinct columns.
+  EXPECT_EQ(r.solution.at("Qs").front(), '[');
+}
+
+}  // namespace
+}  // namespace altx::prolog
+
+namespace altx::prolog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Extended builtins: \+, call/1, findall/3
+// ---------------------------------------------------------------------------
+
+TEST(PrologBuiltins, NegationAsFailure) {
+  Database db;
+  db.consult(R"(
+    bird(tweety). bird(sam).
+    penguin(sam).
+    flies(X) :- bird(X), \+ penguin(X).
+  )");
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "flies(X)"));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0].at("X"), "tweety");
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "flies(sam)")).has_value());
+}
+
+TEST(PrologBuiltins, NegationBindsNothing) {
+  Database db;
+  db.consult("p(1).");
+  Solver s(db);
+  // \+ q(X) succeeds without binding X; the subsequent unification still works.
+  const auto sol = s.solve_first(parse_query(db.symbols, "\\+ q(X), X = 5"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("X"), "5");
+}
+
+TEST(PrologBuiltins, DoubleNegation) {
+  Database db;
+  db.consult("p(1).");
+  Solver s(db);
+  EXPECT_TRUE(s.solve_first(parse_query(db.symbols, "\\+ \\+ p(1)")).has_value());
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "\\+ p(1)")).has_value());
+}
+
+TEST(PrologBuiltins, CallInvokesBoundGoal) {
+  Database db;
+  db.consult(R"(
+    p(1). p(2).
+    apply(G) :- call(G).
+  )");
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "G = p(X), apply(G)"));
+  EXPECT_EQ(sols.size(), 2u);
+  // call with an unbound goal fails rather than crashing.
+  EXPECT_FALSE(s.solve_first(parse_query(db.symbols, "call(Unbound)")).has_value());
+}
+
+TEST(PrologBuiltins, CutInsideCallIsLocal) {
+  // The reader has no (G1, G2) term syntax, so the cut is wrapped in a
+  // helper predicate invoked through call/1; the cut must stay local to it.
+  Database db;
+  db.consult(R"(
+    n(1). n(2). n(3).
+    pick(X) :- n(X), !.
+    firstish(X) :- call(pick(X)).
+  )");
+  Solver s(db);
+  const auto sols = s.solve_all(parse_query(db.symbols, "firstish(X)"));
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0].at("X"), "1");
+}
+
+TEST(PrologBuiltins, FindallCollectsAllWitnesses) {
+  Database db;
+  db.consult("p(1). p(2). p(3).");
+  Solver s(db);
+  const auto sol = s.solve_first(parse_query(db.symbols, "findall(X, p(X), L)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("L"), "[1,2,3]");
+}
+
+TEST(PrologBuiltins, FindallOnFailingGoalGivesEmptyList) {
+  Database db;
+  db.consult("p(1).");
+  Solver s(db);
+  const auto sol = s.solve_first(parse_query(db.symbols, "findall(X, q(X), L)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("L"), "[]");
+}
+
+TEST(PrologBuiltins, FindallWithComputedTemplate) {
+  Database db;
+  db.consult(R"(
+    p(1). p(2).
+    dbl(X, Y) :- p(X), Y is X * 2.
+  )");
+  Solver s(db);
+  const auto sol =
+      s.solve_first(parse_query(db.symbols, "findall(Y, dbl(_, Y), L)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("L"), "[2,4]");
+}
+
+TEST(PrologBuiltins, FindallDoesNotLeakBindings) {
+  Database db;
+  db.consult("p(1). p(2).");
+  Solver s(db);
+  const auto sol = s.solve_first(
+      parse_query(db.symbols, "findall(X, p(X), L), X = free"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("X"), "free");  // X stayed unbound by the sub-search
+}
+
+TEST(PrologBuiltins, SetDifferenceWithNegation) {
+  Database db;
+  db.consult(R"(
+    item(a). item(b). item(c).
+    sold(b).
+    unsold(X) :- item(X), \+ sold(X).
+  )");
+  Solver s(db);
+  const auto sol =
+      s.solve_first(parse_query(db.symbols, "findall(X, unsold(X), L)"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->at("L"), "[a,c]");
+}
+
+}  // namespace
+}  // namespace altx::prolog

@@ -1,0 +1,121 @@
+// Tests for the database-query workload model (E11's substrate).
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/query_workload.hpp"
+
+namespace altx::core {
+namespace {
+
+QuerySpec eq_query(double selectivity, bool index = true,
+                   std::uint64_t rows = 100'000) {
+  QuerySpec q;
+  q.rows = rows;
+  q.selectivity = selectivity;
+  q.predicate = PredKind::kEquality;
+  q.index_available = index;
+  return q;
+}
+
+TEST(QueryWorkload, ScanIsAlwaysViable) {
+  for (auto kind : {PredKind::kEquality, PredKind::kRange, PredKind::kComplex}) {
+    QuerySpec q = eq_query(0.1, false);
+    q.predicate = kind;
+    EXPECT_TRUE(plan_cost(Plan::kScan, q, 1).viable);
+  }
+}
+
+TEST(QueryWorkload, HashOnlyViableForEquality) {
+  QuerySpec q = eq_query(0.01);
+  EXPECT_TRUE(plan_cost(Plan::kHash, q, 1).viable);
+  q.predicate = PredKind::kRange;
+  EXPECT_FALSE(plan_cost(Plan::kHash, q, 1).viable);
+  q.predicate = PredKind::kComplex;
+  EXPECT_FALSE(plan_cost(Plan::kHash, q, 1).viable);
+}
+
+TEST(QueryWorkload, IndexNeedsIndexAndSelectivePredicate) {
+  QuerySpec q = eq_query(0.01, /*index=*/false);
+  EXPECT_FALSE(plan_cost(Plan::kIndex, q, 1).viable);
+  q.index_available = true;
+  EXPECT_TRUE(plan_cost(Plan::kIndex, q, 1).viable);
+  q.predicate = PredKind::kComplex;
+  EXPECT_FALSE(plan_cost(Plan::kIndex, q, 1).viable);
+}
+
+TEST(QueryWorkload, ScanCostIndependentOfSelectivity) {
+  EXPECT_EQ(plan_cost(Plan::kScan, eq_query(0.001), 1).cost,
+            plan_cost(Plan::kScan, eq_query(0.5), 1).cost);
+}
+
+TEST(QueryWorkload, IndexCostGrowsWithSelectivity) {
+  EXPECT_LT(plan_cost(Plan::kIndex, eq_query(0.001), 1).cost,
+            plan_cost(Plan::kIndex, eq_query(0.3), 1).cost);
+}
+
+TEST(QueryWorkload, SelectiveQueriesFavourIndexOverScan) {
+  const QuerySpec q = eq_query(0.0005);
+  EXPECT_LT(plan_cost(Plan::kIndex, q, 1).cost,
+            plan_cost(Plan::kScan, q, 1).cost);
+}
+
+TEST(QueryWorkload, OracleIsTheViableMinimum) {
+  const QuerySpec q = eq_query(0.01);
+  const SimTime oracle = oracle_cost(q, 1);
+  for (std::size_t i = 0; i < kPlanCount; ++i) {
+    const auto pc = plan_cost(static_cast<Plan>(i), q, 1);
+    if (pc.viable) {
+      EXPECT_LE(oracle, pc.cost);
+    }
+  }
+}
+
+TEST(QueryWorkload, OracleFallsBackToScanForComplexPredicates) {
+  QuerySpec q = eq_query(0.1);
+  q.predicate = PredKind::kComplex;
+  EXPECT_EQ(oracle_cost(q, 1), plan_cost(Plan::kScan, q, 1).cost);
+}
+
+TEST(QueryWorkload, BlockHasOneAlternativePerPlan) {
+  const BlockSpec b = query_block(eq_query(0.01), 1);
+  ASSERT_EQ(b.alts.size(), kPlanCount);
+  EXPECT_TRUE(b.alts[0].guard_ok);   // index
+  EXPECT_TRUE(b.alts[1].guard_ok);   // scan
+  EXPECT_TRUE(b.alts[2].guard_ok);   // hash
+}
+
+TEST(QueryWorkload, RaceNeverLosesToTheWorstViablePlan) {
+  // End to end on the simulator: racing is never worse than the scan plus
+  // overhead, for any predicate kind.
+  sim::Kernel::Config cfg;
+  cfg.machine = sim::MachineModel::shared_memory_mp(3);
+  cfg.address_space_pages = 32;
+  Rng rng(5);
+  QueryMixParams mix;
+  for (int i = 0; i < 10; ++i) {
+    const QuerySpec q = draw_query(mix, rng);
+    const auto conc = run_concurrent(query_block(q, 2), cfg);
+    ASSERT_FALSE(conc.failed);
+    const SimTime scan = plan_cost(Plan::kScan, q, 2).cost;
+    EXPECT_LE(conc.elapsed, scan + 100 * kMsec);
+  }
+}
+
+TEST(QueryWorkload, DrawRespectsMixBounds) {
+  QueryMixParams mix;
+  Rng rng(3);
+  int with_index = 0;
+  for (int i = 0; i < 500; ++i) {
+    const QuerySpec q = draw_query(mix, rng);
+    EXPECT_GE(q.rows, mix.min_rows);
+    EXPECT_LE(q.rows, mix.max_rows);
+    EXPECT_GE(q.selectivity, mix.low_selectivity * 0.99);
+    EXPECT_LE(q.selectivity, mix.high_selectivity * 1.01);
+    if (q.index_available) ++with_index;
+  }
+  EXPECT_GT(with_index, 280);
+  EXPECT_LT(with_index, 420);
+}
+
+}  // namespace
+}  // namespace altx::core

@@ -1,0 +1,181 @@
+// Tests for recovery blocks: sequential checkpoint/rollback semantics,
+// concurrent fastest-first execution, fault injection, and the equivalence
+// invariant — the concurrent result must be a result the sequential
+// discipline could have produced.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "rb/recovery_block.hpp"
+
+namespace altx::rb {
+namespace {
+
+struct Account {
+  double balance;
+  int version;
+};
+
+RecoveryBlock<Account> deposit_block(double amount) {
+  RecoveryBlock<Account> rb;
+  // Primary: correct fast implementation.
+  rb.add_alternate([amount](Account& a) {
+    a.balance += amount;
+    a.version += 1;
+  });
+  // Secondary: slower but also correct (a different method).
+  rb.add_alternate([amount](Account& a) {
+    ::usleep(20'000);
+    a.balance = a.balance + amount;
+    a.version += 1;
+  });
+  rb.set_acceptance([](const Account& a) { return a.balance >= 0 && a.version > 0; });
+  return rb;
+}
+
+TEST(RecoveryBlockSeq, PrimarySucceedsFirstTry) {
+  auto rb = deposit_block(10);
+  Account a{100, 0};
+  const auto rep = rb.run_sequential(a);
+  EXPECT_TRUE(rep.succeeded);
+  EXPECT_EQ(rep.alternate, 0u);
+  EXPECT_EQ(rep.attempts, 1u);
+  EXPECT_DOUBLE_EQ(a.balance, 110);
+}
+
+TEST(RecoveryBlockSeq, RollsBackToCheckpointOnFailure) {
+  RecoveryBlock<Account> rb;
+  rb.add_alternate([](Account& a) { a.balance = -999; });       // buggy primary
+  rb.add_alternate([](Account& a) { a.balance += 5; a.version = 1; });
+  rb.set_acceptance([](const Account& a) { return a.balance >= 0 && a.version > 0; });
+  Account a{50, 0};
+  const auto rep = rb.run_sequential(a);
+  EXPECT_TRUE(rep.succeeded);
+  EXPECT_EQ(rep.alternate, 1u);
+  EXPECT_EQ(rep.attempts, 2u);
+  // The buggy primary's damage was rolled back before the secondary ran.
+  EXPECT_DOUBLE_EQ(a.balance, 55);
+}
+
+TEST(RecoveryBlockSeq, TotalFailureLeavesStateUntouched) {
+  RecoveryBlock<Account> rb;
+  rb.add_alternate([](Account& a) { a.balance = -1; });
+  rb.add_alternate([](Account& a) { a.balance = -2; });
+  rb.set_acceptance([](const Account& a) { return a.balance >= 0; });
+  Account a{42, 7};
+  const auto rep = rb.run_sequential(a);
+  EXPECT_FALSE(rep.succeeded);
+  EXPECT_DOUBLE_EQ(a.balance, 42);
+  EXPECT_EQ(a.version, 7);
+}
+
+TEST(RecoveryBlockSeq, ExceptionInAlternateIsAFailure) {
+  RecoveryBlock<Account> rb;
+  rb.add_alternate([](Account&) { throw std::runtime_error("logic bug"); });
+  rb.add_alternate([](Account& a) { a.version = 1; });
+  rb.set_acceptance([](const Account& a) { return a.version == 1; });
+  Account a{0, 0};
+  const auto rep = rb.run_sequential(a);
+  EXPECT_TRUE(rep.succeeded);
+  EXPECT_EQ(rep.alternate, 1u);
+}
+
+TEST(RecoveryBlockConc, FastestPassingAlternateWins) {
+  RecoveryBlock<Account> rb;
+  rb.add_alternate([](Account& a) { ::usleep(150'000); a.balance = 1; a.version = 1; });
+  rb.add_alternate([](Account& a) { ::usleep(10'000); a.balance = 2; a.version = 1; });
+  rb.set_acceptance([](const Account& a) { return a.version == 1; });
+  Account a{0, 0};
+  const auto rep = rb.run_concurrent(a);
+  EXPECT_TRUE(rep.succeeded);
+  EXPECT_EQ(rep.alternate, 1u);
+  EXPECT_DOUBLE_EQ(a.balance, 2);
+}
+
+TEST(RecoveryBlockConc, FailingFastAlternateDoesNotWin) {
+  RecoveryBlock<Account> rb;
+  // The fast primary produces a result the acceptance test rejects.
+  rb.add_alternate([](Account& a) { a.balance = -1; a.version = 1; });
+  rb.add_alternate([](Account& a) { ::usleep(30'000); a.balance = 9; a.version = 1; });
+  rb.set_acceptance([](const Account& a) { return a.balance >= 0 && a.version == 1; });
+  Account a{0, 0};
+  const auto rep = rb.run_concurrent(a);
+  EXPECT_TRUE(rep.succeeded);
+  EXPECT_EQ(rep.alternate, 1u);
+  EXPECT_DOUBLE_EQ(a.balance, 9);
+}
+
+TEST(RecoveryBlockConc, TotalFailureLeavesStateUntouched) {
+  RecoveryBlock<Account> rb;
+  rb.add_alternate([](Account& a) { a.balance = -1; });
+  rb.add_alternate([](Account& a) { a.balance = -2; });
+  rb.set_acceptance([](const Account& a) { return a.balance >= 0; });
+  Account a{42, 7};
+  const auto rep = rb.run_concurrent(a);
+  EXPECT_FALSE(rep.succeeded);
+  EXPECT_DOUBLE_EQ(a.balance, 42);
+  EXPECT_EQ(a.version, 7);
+}
+
+TEST(RecoveryBlockConc, ResultEquivalentToSomeSequentialOutcome) {
+  // Semantic preservation: whatever the race selects must be a state the
+  // sequential discipline could reach with one of the alternates.
+  RecoveryBlock<Account> rb;
+  rb.add_alternate([](Account& a) { a.balance += 10; a.version++; });
+  rb.add_alternate([](Account& a) { a.balance += 20; a.version++; });
+  rb.add_alternate([](Account& a) { a.balance += 30; a.version++; });
+  rb.set_acceptance([](const Account& a) { return a.version == 1; });
+  Account a{0, 0};
+  const auto rep = rb.run_concurrent(a);
+  ASSERT_TRUE(rep.succeeded);
+  EXPECT_TRUE(a.balance == 10 || a.balance == 20 || a.balance == 30);
+  EXPECT_EQ(a.version, 1);
+}
+
+TEST(RecoveryBlockConc, FaultySlowPrimaryIsOvertaken) {
+  // Fastest-first finds "a rapid failure-free path through the computation":
+  // a slow-and-faulty primary does not delay the block the way it delays the
+  // sequential discipline.
+  RecoveryBlock<Account> rb;
+  rb.add_alternate(with_faults<Account>(
+      [](Account& a) { ::usleep(120'000); a.version = 1; },
+      [](Account& a) { a.balance = -1; }, /*fault_prob=*/1.0, /*seed=*/3));
+  rb.add_alternate([](Account& a) { ::usleep(20'000); a.version = 1; a.balance = 1; });
+  rb.set_acceptance([](const Account& a) { return a.balance >= 0 && a.version == 1; });
+
+  Account seq{0, 0};
+  const auto s = rb.run_sequential(seq);
+  Account conc{0, 0};
+  const auto c = rb.run_concurrent(conc);
+  ASSERT_TRUE(s.succeeded);
+  ASSERT_TRUE(c.succeeded);
+  EXPECT_EQ(c.alternate, 1u);
+  // Sequential pays for the faulty primary before trying the secondary.
+  EXPECT_GT(s.elapsed_ms, c.elapsed_ms);
+}
+
+TEST(RecoveryBlock, WithFaultsIsDeterministicPerSeed) {
+  int corruptions = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    auto alt = with_faults<Account>([](Account& a) { a.version = 1; },
+                                    [](Account& a) { a.balance = -1; }, 0.5, seed);
+    Account a{0, 0};
+    alt(a);
+    Account b{0, 0};
+    alt(b);
+    EXPECT_DOUBLE_EQ(a.balance, b.balance);  // same seed, same outcome
+    if (a.balance < 0) ++corruptions;
+  }
+  EXPECT_GT(corruptions, 25);
+  EXPECT_LT(corruptions, 75);
+}
+
+TEST(RecoveryBlock, RequiresAlternatesAndAcceptance) {
+  RecoveryBlock<Account> rb;
+  Account a{0, 0};
+  EXPECT_THROW((void)rb.run_sequential(a), UsageError);
+  rb.add_alternate([](Account&) {});
+  EXPECT_THROW((void)rb.run_sequential(a), UsageError);
+}
+
+}  // namespace
+}  // namespace altx::rb

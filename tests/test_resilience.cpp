@@ -1,0 +1,106 @@
+// Additional resilience scenarios: consensus under node restart and healed
+// partitions, distributed blocks with partitioned arbiters, and executor
+// determinism across repeated runs.
+#include <gtest/gtest.h>
+
+#include "consensus/majority.hpp"
+#include "core/executor.hpp"
+#include "core/workload.hpp"
+#include "dist/distributed.hpp"
+
+namespace altx {
+namespace {
+
+TEST(Resilience, ArbiterRestartRemembersNothingButSafetyHolds) {
+  // Our arbiters keep their vote in MajoritySync (the protocol object), so a
+  // restart models a transient network outage of the node, not amnesia: the
+  // vote survives and at-most-once cannot be violated.
+  net::Network::Config nc;
+  nc.node_count = 5;
+  nc.base_latency = 2 * kMsec;
+  nc.seed = 3;
+  net::Network net(nc);
+  consensus::MajoritySync::Config mc;
+  mc.arbiters = 3;
+  consensus::MajoritySync sync(net, mc);
+  sync.add_candidate(0, 3, 0);
+  sync.add_candidate(1, 4, kMsec);
+  sync.start();
+  net.crash(0);
+  net.after(2, 100 * kMsec, [&] { net.restart(0); });
+  net.run();
+  int winners = 0;
+  for (const auto& [id, o] : sync.outcomes()) {
+    if (o.won) ++winners;
+  }
+  EXPECT_LE(winners, 1);
+  EXPECT_EQ(winners, 1);  // two live arbiters + the restarted one: liveness too
+}
+
+TEST(Resilience, HealedPartitionLetsTheElectionFinish) {
+  net::Network::Config nc;
+  nc.node_count = 4;
+  nc.base_latency = 2 * kMsec;
+  nc.seed = 5;
+  net::Network net(nc);
+  consensus::MajoritySync::Config mc;
+  mc.arbiters = 3;
+  mc.max_rounds = 50;
+  consensus::MajoritySync sync(net, mc);
+  sync.add_candidate(0, 3, 0);
+  sync.start();
+  // The candidate starts cut off from two of three arbiters...
+  net.partition(3, 0);
+  net.partition(3, 1);
+  // ...and the links heal later; retries must complete the majority.
+  net.after(2, 300 * kMsec, [&] {
+    net.heal(3, 0);
+    net.heal(3, 1);
+  });
+  net.run();
+  ASSERT_TRUE(sync.winner().has_value());
+  EXPECT_GE(sync.outcomes().at(0).decided_at, 300 * kMsec);
+}
+
+TEST(Resilience, DistributedBlockSurvivesArbiterPartition) {
+  dist::DistConfig cfg;
+  cfg.arbiters = 3;
+  cfg.timeout = 30 * kSec;
+  net::Network::Config nc;
+  nc.node_count = 3 + 1 + 2;
+  nc.base_latency = 2 * kMsec;
+  nc.seed = 7;
+  net::Network net(nc);
+  dist::DistributedBlock block(
+      net, cfg,
+      {dist::RemoteAlt{100 * kMsec, true}, dist::RemoteAlt{150 * kMsec, true}});
+  block.start();
+  // Worker 0 cannot reach arbiter 0; a 2-of-3 majority is still available.
+  net.partition(block.worker_node(0), 0);
+  net.run();
+  EXPECT_TRUE(block.result().committed);
+  EXPECT_EQ(block.result().winner, 0);
+}
+
+TEST(Resilience, ExecutorRunsAreExactlyRepeatable) {
+  core::WorkloadParams p;
+  p.n_alternatives = 4;
+  p.dist = core::TimeDist::kExponential;
+  p.lo = 80 * kMsec;
+  auto run_once = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    const core::BlockSpec b = core::generate_block(p, rng);
+    sim::Kernel::Config cfg;
+    cfg.machine = sim::MachineModel::shared_memory_mp(2);
+    cfg.address_space_pages = 16;
+    const auto r = core::run_concurrent(b, cfg);
+    return std::tuple{r.elapsed, r.winner, r.stats.cpu_busy,
+                      r.stats.wasted_work};
+  };
+  for (std::uint64_t seed : {2ULL, 4ULL, 8ULL}) {
+    EXPECT_EQ(run_once(seed), run_once(seed)) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace altx

@@ -1,0 +1,172 @@
+// Sequential-equivalence and determinism properties.
+//
+// The paper's correctness bar (section 4.3): "to an observer, the concurrent
+// execution of the Ci must look like Scheme B — a single thread of
+// computation, chosen arbitrarily from among C1..CN". These tests check the
+// strongest memory-level form of that: when alternatives write OVERLAPPING
+// pages with distinct values, the absorbed state must be exactly one
+// alternative's complete write-set — never a mixture — and repeated runs
+// from the same seed must be bit-identical.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx::sim {
+namespace {
+
+Kernel::Config cfg(int cpus, Elimination e = Elimination::kAsynchronous) {
+  Kernel::Config c;
+  c.machine = MachineModel::shared_memory_mp(cpus);
+  c.address_space_pages = 16;
+  c.elimination = e;
+  return c;
+}
+
+class Equivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Equivalence, OverlappingWritesAreNeverMixed) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Kernel k(cfg(static_cast<int>(1 + rng.below(4))));
+    const std::size_t n = 2 + rng.below(4);
+    const std::size_t shared_pages = 4;  // every alternative writes all four
+    std::vector<ProgramRef> alts;
+    std::vector<bool> ok(n);
+    bool any_ok = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      ok[i] = rng.chance(0.75);
+      any_ok = any_ok || ok[i];
+      ProgramBuilder b;
+      // Interleave computation and writes so preemption can occur between
+      // them — a torn absorb would mix values from different alternatives.
+      for (std::size_t p = 0; p < shared_pages; ++p) {
+        b.compute(static_cast<SimTime>(rng.range(1, 40)) * kMsec);
+        b.write(static_cast<VPage>(p), 0, 1000 * (i + 1) + p);
+      }
+      const bool g = ok[i];
+      b.guard([g](const AddressSpace&) { return g; });
+      alts.push_back(b.build());
+    }
+    auto on_fail = ProgramBuilder().write(10, 0, 0xdead).build();
+    const Pid pid = k.spawn_root(ProgramBuilder().alt(alts, 0, on_fail).build());
+    k.run();
+
+    SCOPED_TRACE("seed " + std::to_string(GetParam()) + " trial " +
+                 std::to_string(trial));
+    ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+    const auto& as = k.process(pid)->as_;
+    if (!any_ok) {
+      EXPECT_EQ(as.peek(10, 0), 0xdeadu);
+      for (std::size_t p = 0; p < shared_pages; ++p) {
+        EXPECT_EQ(as.peek(static_cast<VPage>(p), 0), 0u);
+      }
+      continue;
+    }
+    // Identify the winner from page 0, then demand every shared page carries
+    // exactly that winner's value: one complete write-set, no mixture.
+    const std::uint64_t v0 = as.peek(0, 0);
+    ASSERT_GE(v0, 1000u);
+    const std::uint64_t winner = v0 / 1000;
+    ASSERT_LE(winner, n);
+    EXPECT_TRUE(ok[winner - 1]);
+    for (std::size_t p = 0; p < shared_pages; ++p) {
+      EXPECT_EQ(as.peek(static_cast<VPage>(p), 0), 1000 * winner + p)
+          << "page " << p << " carries another alternative's value";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Rng rng(seed);
+    Kernel k(cfg(3));
+    std::vector<ProgramRef> alts;
+    for (int i = 0; i < 4; ++i) {
+      alts.push_back(ProgramBuilder()
+                         .compute(static_cast<SimTime>(rng.range(5, 300)) * kMsec)
+                         .write(0, 0, static_cast<std::uint64_t>(i) + 1)
+                         .build());
+    }
+    const Pid pid = k.spawn_root(ProgramBuilder().alt(alts).build());
+    k.run();
+    return std::tuple{k.now(), k.process(pid)->as_.peek(0, 0),
+                      k.stats().cpu_busy, k.stats().ctx_switches,
+                      k.stats().cow_copies};
+  };
+  for (std::uint64_t seed : {1ULL, 9ULL, 42ULL}) {
+    EXPECT_EQ(run_once(seed), run_once(seed)) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, DifferentCpuCountsChangeTimingNotOutcome) {
+  // The winner is timing-dependent in general, but with one clearly fastest
+  // alternative the selected outcome must be invariant across CPU counts.
+  for (int cpus : {1, 2, 4, 8}) {
+    Kernel k(cfg(cpus));
+    auto fast = ProgramBuilder().compute(10 * kMsec).write(0, 0, 7).build();
+    auto slow1 = ProgramBuilder().compute(900 * kMsec).write(0, 0, 8).build();
+    auto slow2 = ProgramBuilder().compute(900 * kMsec).write(0, 0, 9).build();
+    const Pid pid = k.spawn_root(ProgramBuilder().alt({slow1, fast, slow2}).build());
+    k.run();
+    EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 7u) << cpus << " cpus";
+  }
+}
+
+TEST(Sequencing, ThreeBlocksInARowAccumulateState) {
+  Kernel k(cfg(4));
+  auto step = [](std::uint64_t tag) {
+    return ProgramBuilder()
+        .compute(20 * kMsec)
+        .write(static_cast<VPage>(tag), 0, tag)
+        .build();
+  };
+  auto prog = ProgramBuilder()
+                  .alt({step(1), step(1)})
+                  .alt({step(2), step(2)})
+                  .alt({step(3), step(3)})
+                  .build();
+  const Pid pid = k.spawn_root(prog);
+  k.run();
+  ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.stats().commits, 3u);
+  for (std::uint64_t t = 1; t <= 3; ++t) {
+    EXPECT_EQ(k.process(pid)->as_.peek(static_cast<VPage>(t), 0), t);
+  }
+}
+
+TEST(Sequencing, LaterBlocksSeeEarlierWinnersState) {
+  Kernel k(cfg(4));
+  // Block 2's guard depends on block 1's absorbed value.
+  auto first = ProgramBuilder().compute(5 * kMsec).write(0, 0, 11).build();
+  auto second = ProgramBuilder()
+                    .guard([](const AddressSpace& as) { return as.peek(0, 0) == 11; })
+                    .write(1, 0, 22)
+                    .build();
+  const Pid pid =
+      k.spawn_root(ProgramBuilder().alt({first}).alt({second}).build());
+  k.run();
+  ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(1, 0), 22u);
+}
+
+TEST(Sequencing, FailArmStateVisibleToNextBlock) {
+  Kernel k(cfg(4));
+  auto bad = ProgramBuilder().abort().build();
+  auto on_fail = ProgramBuilder().write(0, 0, 5).build();
+  auto checker = ProgramBuilder()
+                     .guard([](const AddressSpace& as) { return as.peek(0, 0) == 5; })
+                     .write(1, 0, 6)
+                     .build();
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt({bad}, 0, on_fail).alt({checker}).build());
+  k.run();
+  ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(1, 0), 6u);
+}
+
+}  // namespace
+}  // namespace altx::sim

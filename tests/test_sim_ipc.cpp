@@ -1,0 +1,303 @@
+// Integration tests for predicated IPC inside the kernel simulator:
+// multiple-worlds splitting (section 3.4.2), message death with its sending
+// world, source-device gating (sections 3.1, 3.4.2) and buffered idempotent
+// reads (section 6).
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+
+namespace altx::sim {
+namespace {
+
+constexpr Port kService = 1;
+constexpr std::uint32_t kTty = 0;
+
+Kernel::Config cfg(int cpus = 4) {
+  Kernel::Config c;
+  c.machine = MachineModel::shared_memory_mp(cpus);
+  c.address_space_pages = 16;
+  return c;
+}
+
+TEST(SimIpc, PlainSendRecv) {
+  Kernel k(cfg());
+  auto server = ProgramBuilder("server").bind(kService).recv(0, 0).build();
+  auto client = ProgramBuilder("client").compute(1 * kMsec).send_u64(kService, 99).build();
+  const Pid s = k.spawn_root(server);
+  const Pid c = k.spawn_root(client);
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.exit_kind(c), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 99u);
+  EXPECT_EQ(k.stats().world_splits, 0u);  // non-speculative sender
+}
+
+TEST(SimIpc, RecvBlocksUntilDelivery) {
+  Kernel k(cfg());
+  auto server = ProgramBuilder().bind(kService).recv(0, 0).build();
+  auto client = ProgramBuilder().compute(200 * kMsec).send_u64(kService, 5).build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(client);
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_GE(k.now(), 200 * kMsec);
+}
+
+TEST(SimIpc, RecvTimeoutStoresFallback) {
+  Kernel k(cfg());
+  auto server =
+      ProgramBuilder().bind(kService).recv(0, 0, 50 * kMsec, 0xdead).build();
+  const Pid s = k.spawn_root(server);
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 0xdeadu);
+}
+
+TEST(SimIpc, SpeculativeMessageSplitsReceiver) {
+  Kernel k(cfg());
+  // A server receives one message from a speculative alternative, then a
+  // plain confirmation message. The speculative receipt must split it.
+  auto server = ProgramBuilder("server").bind(kService).recv(0, 0).recv(0, 1).build();
+  auto talker = ProgramBuilder("talker")
+                    .compute(5 * kMsec)
+                    .send_u64(kService, 7)
+                    .compute(50 * kMsec)
+                    .build();
+  auto quiet = ProgramBuilder("quiet").compute(100 * kMsec).build();
+  auto confirm = ProgramBuilder("confirm").compute(400 * kMsec).send_u64(kService, 8).build();
+  const Pid s = k.spawn_root(server);
+  const Pid p = k.spawn_root(ProgramBuilder().alt({talker, quiet}).build());
+  k.spawn_root(confirm);
+  k.run();
+  EXPECT_EQ(k.stats().world_splits, 1u);
+  // The talker wins (it is faster), so the accepting world survives and the
+  // rejecting world is eliminated.
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.exit_kind(p), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 7u);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 1), 8u);
+  std::size_t eliminated_servers = 0;
+  for (Pid pid : k.all_pids()) {
+    if (k.exit_kind(pid) == ExitKind::kEliminated && k.process(pid)->frames_.front().prog->label == "server") {
+      ++eliminated_servers;
+    }
+  }
+  EXPECT_EQ(eliminated_servers, 1u);
+}
+
+TEST(SimIpc, RejectingWorldSurvivesWhenSenderLoses) {
+  Kernel k(cfg());
+  // The speculative talker LOSES its race; the accepting server world must
+  // die and the rejecting world (which never saw the message) survives to
+  // consume the confirmation.
+  auto server = ProgramBuilder("server").bind(kService).recv(0, 0).build();
+  auto talker = ProgramBuilder("talker")
+                    .compute(5 * kMsec)
+                    .send_u64(kService, 7)
+                    .compute(300 * kMsec)
+                    .build();
+  auto quick = ProgramBuilder("quick").compute(20 * kMsec).build();
+  auto confirm =
+      ProgramBuilder("confirm").compute(500 * kMsec).send_u64(kService, 8).build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(ProgramBuilder().alt({talker, quick}).build());
+  k.spawn_root(confirm);
+  k.run();
+  EXPECT_EQ(k.stats().world_splits, 1u);
+  // One server world survived and saw only the confirmation value.
+  std::vector<Pid> completed_servers;
+  for (Pid pid : k.all_pids()) {
+    const SimProcess* pr = k.process(pid);
+    if (pr->frames_.front().prog->label == "server" &&
+        k.exit_kind(pid) == ExitKind::kCompleted) {
+      completed_servers.push_back(pid);
+    }
+  }
+  ASSERT_EQ(completed_servers.size(), 1u);
+  EXPECT_EQ(k.process(completed_servers[0])->as_.peek(0, 0), 8u);
+  (void)s;
+}
+
+TEST(SimIpc, MessageFromDeadWorldIsDiscarded) {
+  Kernel k(cfg());
+  // The speculative sender loses long before the server even looks at its
+  // inbox; canonicalization must drop the message as dead.
+  auto talker = ProgramBuilder("talker")
+                    .send_u64(kService, 7)
+                    .compute(300 * kMsec)
+                    .build();
+  auto quick = ProgramBuilder("quick").compute(5 * kMsec).build();
+  auto server = ProgramBuilder("server")
+                    .compute(200 * kMsec)  // race is over by the time we bind
+                    .bind(kService)
+                    .recv(0, 0, 100 * kMsec, 0xfa11)
+                    .build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(ProgramBuilder().alt({talker, quick}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 0xfa11u);
+  EXPECT_EQ(k.stats().world_splits, 0u);
+}
+
+TEST(SimIpc, MessageFromWinnerIsDeliveredWithoutSplit) {
+  Kernel k(cfg());
+  // By the time the server receives, the speculative sender has already won;
+  // canonicalization strips the resolved assumptions: no split needed.
+  auto talker = ProgramBuilder("talker").send_u64(kService, 7).build();
+  auto slow = ProgramBuilder("slow").compute(kSec).build();
+  auto server = ProgramBuilder("server")
+                    .compute(300 * kMsec)
+                    .bind(kService)
+                    .recv(0, 0)
+                    .build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(ProgramBuilder().alt({talker, slow}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 7u);
+  EXPECT_EQ(k.stats().world_splits, 0u);
+}
+
+TEST(SimIpc, GatedSourceWriterLosesToAViableSibling) {
+  Kernel k(cfg());
+  // The fast alternative tries to write the teletype: it is gated (it runs
+  // under unresolved predicates), so the slower, source-free alternative wins
+  // the race and the gated writer is eliminated — the write never appears.
+  auto writer = ProgramBuilder("writer")
+                    .compute(10 * kMsec)
+                    .source_write(kTty, Bytes{'h', 'i'})
+                    .build();
+  auto slow = ProgramBuilder("slow").compute(kSec).write(0, 0, 1).build();
+  const Pid p = k.spawn_root(ProgramBuilder().alt({writer, slow}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(p), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(p)->as_.peek(0, 0), 1u);
+  EXPECT_TRUE(k.source(kTty).writes().empty());
+}
+
+TEST(SimIpc, SoleSourceWritingAlternativeDeadlocksUntilTimeout) {
+  Kernel k(cfg());
+  // If every alternative needs a source, the block cannot decide (the paper's
+  // restriction: a speculative process cannot interface with sources). The
+  // alt_wait TIMEOUT is the designed escape hatch.
+  auto writer = ProgramBuilder("writer").source_write(kTty, Bytes{'x'}).build();
+  auto on_fail = ProgramBuilder().write(0, 0, 0xf).build();
+  const Pid p = k.spawn_root(
+      ProgramBuilder().alt({writer}, 300 * kMsec, on_fail).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(p), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(p)->as_.peek(0, 0), 0xfu);
+  EXPECT_EQ(k.stats().alt_timeouts, 1u);
+  EXPECT_TRUE(k.source(kTty).writes().empty());
+}
+
+TEST(SimIpc, SourceWriteAfterCommitSucceeds) {
+  Kernel k(cfg());
+  // The parent performs the source write after absorbing the winner: exactly
+  // one observable write, with the winner's data.
+  auto a = ProgramBuilder().compute(5 * kMsec).write(0, 0, 'a').build();
+  auto b = ProgramBuilder().compute(50 * kMsec).write(0, 0, 'b').build();
+  auto prog = ProgramBuilder()
+                  .alt({a, b})
+                  .source_write(kTty, Bytes{'!'})
+                  .build();
+  const Pid p = k.spawn_root(prog);
+  k.run();
+  EXPECT_EQ(k.exit_kind(p), ExitKind::kCompleted);
+  ASSERT_EQ(k.source(kTty).writes().size(), 1u);
+  EXPECT_EQ(k.source(kTty).writes()[0].writer, p);
+}
+
+TEST(SimIpc, SourceReadsAreBufferedForIdempotence) {
+  Kernel k(cfg());
+  k.source(5).read_fn = [](std::uint64_t key) { return key * 10; };
+  // Both alternatives read the same source key; the device must be consumed
+  // once, with both readers seeing the same buffered value.
+  auto a = ProgramBuilder().source_read(5, 3, 0, 0).compute(5 * kMsec).build();
+  auto b = ProgramBuilder().source_read(5, 3, 0, 0).compute(50 * kMsec).build();
+  const Pid p = k.spawn_root(ProgramBuilder().alt({a, b}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(p), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(p)->as_.peek(0, 0), 30u);
+  EXPECT_EQ(k.source(5).consumed_reads(), 1u);
+  EXPECT_EQ(k.stats().buffered_source_reads, 1u);
+}
+
+TEST(SimIpc, DoomedSenderCausesNoObservableSend) {
+  auto c = cfg();
+  c.elimination = Elimination::kAsynchronous;
+  Kernel k(c);
+  // The slow alternative sends a message after the fast one has already won
+  // (while it is doomed but not yet killed). The message must never arrive.
+  auto fast = ProgramBuilder().compute(1 * kMsec).build();
+  auto slow = ProgramBuilder()
+                  .compute(30 * kMsec)
+                  .send_u64(kService, 666)
+                  .compute(30 * kMsec)
+                  .build();
+  auto server = ProgramBuilder("server")
+                    .bind(kService)
+                    .recv(0, 0, kSec, 0)
+                    .build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(ProgramBuilder().alt({fast, slow}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 0u);
+}
+
+TEST(SimIpc, BacklogDeliveredOnBind) {
+  Kernel k(cfg());
+  auto client = ProgramBuilder().send_u64(kService, 11).build();
+  auto server = ProgramBuilder().compute(100 * kMsec).bind(kService).recv(0, 0).build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(client);
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 11u);
+}
+
+TEST(SimIpc, FifoOrderPreservedPerSender) {
+  Kernel k(cfg());
+  auto client = ProgramBuilder()
+                    .send_u64(kService, 1)
+                    .send_u64(kService, 2)
+                    .send_u64(kService, 3)
+                    .build();
+  auto server = ProgramBuilder()
+                    .bind(kService)
+                    .recv(0, 0)
+                    .recv(0, 1)
+                    .recv(0, 2)
+                    .build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(client);
+  k.run();
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 1u);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 1), 2u);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 2), 3u);
+}
+
+TEST(SimIpc, CommitGateHoldsSpeculativeCompletion) {
+  Kernel k(cfg());
+  // A top-level process that accepted a speculative message cannot complete
+  // until the sender's race resolves.
+  auto talker = ProgramBuilder("talker")
+                    .send_u64(kService, 9)
+                    .compute(100 * kMsec)
+                    .build();
+  auto rival = ProgramBuilder("rival").compute(400 * kMsec).build();
+  auto server = ProgramBuilder("server").bind(kService).recv(0, 0).build();
+  const Pid s = k.spawn_root(server);
+  k.spawn_root(ProgramBuilder().alt({talker, rival}).build());
+  k.run();
+  // talker wins at ~100ms; until then the accepting server world parks at
+  // the commit gate. Afterwards it completes with the talker's value.
+  EXPECT_EQ(k.exit_kind(s), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(s)->as_.peek(0, 0), 9u);
+}
+
+}  // namespace
+}  // namespace altx::sim

@@ -1,0 +1,292 @@
+// Unit and integration tests for the kernel simulator: scheduling, COW
+// paging, the alt_spawn/alt_wait machinery, sibling elimination, timeouts,
+// and the semantics invariants of DESIGN.md section 5.
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+
+namespace altx::sim {
+namespace {
+
+Kernel::Config small_config(int cpus = 4) {
+  Kernel::Config cfg;
+  cfg.machine = MachineModel::shared_memory_mp(cpus);
+  cfg.address_space_pages = 16;
+  return cfg;
+}
+
+TEST(SimKernel, SingleProcessComputesAndFinishes) {
+  Kernel k(small_config());
+  auto prog = ProgramBuilder("solo").compute(5 * kMsec).write(0, 0, 42).build();
+  const Pid pid = k.spawn_root(prog);
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 42u);
+  EXPECT_GE(k.now(), 5 * kMsec);
+}
+
+TEST(SimKernel, ComputeTimeIsChargedExactly) {
+  Kernel k(small_config(1));
+  auto prog = ProgramBuilder().compute(7 * kMsec).build();
+  const Pid pid = k.spawn_root(prog);
+  k.run();
+  EXPECT_EQ(k.process(pid)->cpu_time_, 7 * kMsec + 1);  // +1 for the end step
+}
+
+TEST(SimKernel, TwoProcessesShareOneCpuFairly) {
+  Kernel k(small_config(1));
+  auto prog = ProgramBuilder().compute(50 * kMsec).build();
+  const Pid a = k.spawn_root(prog);
+  const Pid b = k.spawn_root(prog);
+  k.run();
+  EXPECT_EQ(k.exit_kind(a), ExitKind::kCompleted);
+  EXPECT_EQ(k.exit_kind(b), ExitKind::kCompleted);
+  // Serial execution of both, so the clock covers both computations.
+  EXPECT_GE(k.now(), 100 * kMsec);
+}
+
+TEST(SimKernel, TwoCpusRunTwoProcessesInParallel) {
+  Kernel k(small_config(2));
+  auto prog = ProgramBuilder().compute(50 * kMsec).build();
+  k.spawn_root(prog);
+  k.spawn_root(prog);
+  k.run();
+  EXPECT_LT(k.now(), 60 * kMsec);
+}
+
+TEST(SimKernel, FastestAlternativeWins) {
+  Kernel k(small_config());
+  auto slow = ProgramBuilder("slow").compute(80 * kMsec).write(0, 0, 1).build();
+  auto fast = ProgramBuilder("fast").compute(10 * kMsec).write(0, 0, 2).build();
+  auto mid = ProgramBuilder("mid").compute(40 * kMsec).write(0, 0, 3).build();
+  auto prog = ProgramBuilder("parent").alt({slow, fast, mid}).build();
+  const Pid pid = k.spawn_root(prog);
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  // The parent absorbed exactly the fastest child's state.
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 2u);
+  EXPECT_EQ(k.stats().commits, 1u);
+  EXPECT_EQ(k.stats().forks, 3u);
+}
+
+TEST(SimKernel, LosersAreEliminatedAndCountedAsWaste) {
+  auto cfg = small_config();
+  cfg.elimination = Elimination::kSynchronous;
+  Kernel k(cfg);
+  auto slow = ProgramBuilder().compute(80 * kMsec).build();
+  auto fast = ProgramBuilder().compute(10 * kMsec).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({slow, fast}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.stats().eliminations, 1u);
+  EXPECT_GT(k.stats().wasted_work, 0);
+  // The loser ran for about as long as the winner before being killed.
+  EXPECT_LT(k.stats().wasted_work, 40 * kMsec);
+}
+
+TEST(SimKernel, GuardFailureAbortsWithoutSynchronizing) {
+  Kernel k(small_config());
+  auto failing = ProgramBuilder("failing")
+                     .compute(1 * kMsec)
+                     .write(0, 0, 99)
+                     .guard([](const AddressSpace&) { return false; })
+                     .build();
+  auto ok = ProgramBuilder("ok").compute(20 * kMsec).write(0, 0, 7).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({failing, ok}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  // The guard-failing alternative finished first but must not be selected.
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 7u);
+  EXPECT_EQ(k.stats().aborts, 1u);
+  EXPECT_EQ(k.stats().commits, 1u);
+}
+
+TEST(SimKernel, AllAlternativesFailRunsFailArm) {
+  Kernel k(small_config());
+  auto bad = ProgramBuilder().compute(1 * kMsec).abort().build();
+  auto on_fail = ProgramBuilder("fail-arm").write(1, 0, 123).build();
+  const Pid pid =
+      k.spawn_root(ProgramBuilder().alt({bad, bad, bad}, 0, on_fail).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(1, 0), 123u);
+  EXPECT_EQ(k.stats().alt_failures, 1u);
+  EXPECT_EQ(k.stats().commits, 0u);
+}
+
+TEST(SimKernel, AllFailWithoutFailArmAbortsParent) {
+  Kernel k(small_config());
+  auto bad = ProgramBuilder().abort().build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({bad, bad}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kAborted);
+}
+
+TEST(SimKernel, TimeoutFailsTheBlock) {
+  Kernel k(small_config());
+  auto eternal = ProgramBuilder().compute(10 * kSec).build();
+  auto on_fail = ProgramBuilder().write(0, 0, 5).build();
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt({eternal, eternal}, 200 * kMsec, on_fail).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 5u);
+  EXPECT_EQ(k.stats().alt_timeouts, 1u);
+  // Both children were eliminated, not run to completion.
+  EXPECT_EQ(k.stats().eliminations, 2u);
+  EXPECT_LT(k.now(), kSec);
+}
+
+TEST(SimKernel, SiblingWritesAreInvisibleToWinner) {
+  Kernel k(small_config());
+  // Each alternative writes a distinct page. Whichever wins, the other's
+  // write must not be visible in the parent afterwards.
+  auto a = ProgramBuilder().compute(5 * kMsec).write(2, 0, 11).build();
+  auto b = ProgramBuilder().compute(50 * kMsec).write(3, 0, 22).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({a, b}).build());
+  k.run();
+  EXPECT_EQ(k.process(pid)->as_.peek(2, 0), 11u);
+  EXPECT_EQ(k.process(pid)->as_.peek(3, 0), 0u);
+}
+
+TEST(SimKernel, CowSharingUntilFirstWrite) {
+  Kernel k(small_config());
+  auto child = ProgramBuilder()
+                   .read(0)
+                   .read(1)
+                   .write(2, 0, 9)  // first write: exactly one COW copy
+                   .write(2, 1, 10)
+                   .compute(1 * kMsec)
+                   .build();
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().write(2, 0, 1).alt({child}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.stats().cow_copies, 1u);
+  EXPECT_EQ(k.process(pid)->as_.peek(2, 0), 9u);
+  EXPECT_EQ(k.process(pid)->as_.peek(2, 1), 10u);
+}
+
+TEST(SimKernel, ParentStateInheritedByChildren) {
+  Kernel k(small_config());
+  // The child reads what the parent wrote before spawning and copies it.
+  auto child = ProgramBuilder()
+                   .guard([](const AddressSpace& as) {
+                     return const_cast<AddressSpace&>(as).peek(0, 0) == 77;
+                   })
+                   .write(1, 0, 88)
+                   .build();
+  const Pid pid =
+      k.spawn_root(ProgramBuilder().write(0, 0, 77).alt({child}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(1, 0), 88u);
+}
+
+TEST(SimKernel, NestedAlternativeBlocks) {
+  Kernel k(small_config());
+  auto inner_fast = ProgramBuilder().compute(2 * kMsec).write(0, 0, 1).build();
+  auto inner_slow = ProgramBuilder().compute(30 * kMsec).write(0, 0, 2).build();
+  auto outer_a = ProgramBuilder()
+                     .alt({inner_fast, inner_slow})
+                     .write(0, 1, 10)
+                     .build();
+  auto outer_b = ProgramBuilder().compute(500 * kMsec).write(0, 1, 20).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({outer_a, outer_b}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 1u);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 1), 10u);
+  EXPECT_EQ(k.stats().commits, 2u);
+}
+
+TEST(SimKernel, NestedBlockChildrenDieWithTheirWorld) {
+  Kernel k(small_config(8));
+  // Alternative A spawns a long-running nested block; alternative B wins the
+  // outer race quickly. A's entire subtree must be eliminated.
+  auto grandchild = ProgramBuilder().compute(10 * kSec).build();
+  auto a = ProgramBuilder().alt({grandchild, grandchild}).build();
+  auto b = ProgramBuilder().compute(5 * kMsec).write(0, 0, 3).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({a, b}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 3u);
+  EXPECT_LT(k.now(), kSec);  // nobody waited for the grandchildren
+  EXPECT_TRUE(k.blocked_pids().empty());
+}
+
+TEST(SimKernel, AtMostOneCommitEvenWithTies) {
+  Kernel k(small_config(4));
+  // Four identical alternatives finish at the same simulated time; exactly
+  // one may commit, the rest must be "too late" or eliminated.
+  auto same = ProgramBuilder().compute(10 * kMsec).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({same, same, same, same}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.stats().commits, 1u);
+  EXPECT_EQ(k.stats().too_lates + k.stats().eliminations, 3u);
+}
+
+TEST(SimKernel, AsynchronousEliminationWastesMoreWork) {
+  auto run_with = [](Elimination policy) {
+    auto cfg = small_config(4);
+    cfg.elimination = policy;
+    Kernel k(cfg);
+    auto fast = ProgramBuilder().compute(5 * kMsec).build();
+    auto slow = ProgramBuilder().compute(5 * kSec).build();
+    k.spawn_root(ProgramBuilder().alt({fast, slow}).build());
+    k.run();
+    return k.stats().wasted_work;
+  };
+  // The asynchronous corpse keeps burning CPU until the kill lands.
+  EXPECT_GE(run_with(Elimination::kAsynchronous),
+            run_with(Elimination::kSynchronous));
+}
+
+TEST(SimKernel, SpawnCostGrowsWithAddressSpace) {
+  auto elapsed_with_pages = [](std::size_t pages) {
+    auto cfg = small_config();
+    cfg.address_space_pages = pages;
+    Kernel k(cfg);
+    auto child = ProgramBuilder().compute(1 * kMsec).build();
+    k.spawn_root(ProgramBuilder().alt({child}).build());
+    return k.run();
+  };
+  EXPECT_GT(elapsed_with_pages(400), elapsed_with_pages(10));
+}
+
+TEST(SimKernel, DistributedChildrenUseRemoteForkCosts) {
+  auto cfg = small_config();
+  cfg.machine = MachineModel::workstation_lan(3);
+  Kernel k(cfg);
+  auto child = ProgramBuilder().compute(1 * kMsec).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({child, child, child}).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.stats().remote_forks, 2u);  // alternates 1 and 2 placed remotely
+  EXPECT_GT(k.now(), 500 * kMsec);        // rfork dominates
+}
+
+TEST(SimKernel, StatsSeparateUsefulAndWastedWork) {
+  Kernel k(small_config(4));
+  auto fast = ProgramBuilder().compute(10 * kMsec).build();
+  auto slow = ProgramBuilder().compute(9 * kSec).build();
+  k.spawn_root(ProgramBuilder().alt({fast, slow}).build());
+  k.run();
+  const auto& s = k.stats();
+  EXPECT_GT(s.useful_work, 9 * kMsec);
+  EXPECT_GT(s.cpu_busy, 0);
+  EXPECT_GE(s.cpu_busy, s.useful_work);
+}
+
+TEST(SimKernel, EmptyAlternativeListFailsImmediately) {
+  Kernel k(small_config());
+  auto on_fail = ProgramBuilder().write(0, 0, 1).build();
+  const Pid pid = k.spawn_root(ProgramBuilder().alt({}, 0, on_fail).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_EQ(k.process(pid)->as_.peek(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace altx::sim

@@ -1,0 +1,278 @@
+// Property-based tests on the semantics invariants of DESIGN.md section 5,
+// swept over seeds and kernel configurations with parameterized gtest.
+//
+// For every randomly generated alternative block, regardless of CPU count,
+// elimination policy, copy strategy, or timing:
+//   - at most one alternative commits;
+//   - the block fails exactly when no guard-passing alternative survives;
+//   - the selected alternative is one whose guard held (sequential
+//     equivalence: the outcome is reachable by the nondeterministic
+//     sequential model);
+//   - losers' page writes are never observable in the parent;
+//   - the CPU accounting is consistent.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "core/workload.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx::sim {
+namespace {
+
+struct PropConfig {
+  int cpus;
+  Elimination elimination;
+  bool eager_copy;
+  std::uint64_t seed;
+};
+
+std::string PrintCfg(const ::testing::TestParamInfo<PropConfig>& info) {
+  const PropConfig& c = info.param;
+  return "cpus" + std::to_string(c.cpus) +
+         (c.elimination == Elimination::kSynchronous ? "_sync" : "_async") +
+         (c.eager_copy ? "_eager" : "_cow") + "_seed" + std::to_string(c.seed);
+}
+
+std::vector<PropConfig> make_configs() {
+  std::vector<PropConfig> out;
+  for (int cpus : {1, 2, 4}) {
+    for (auto elim : {Elimination::kSynchronous, Elimination::kAsynchronous}) {
+      for (bool eager : {false, true}) {
+        for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+          out.push_back(PropConfig{cpus, elim, eager, seed});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class BlockProperties : public ::testing::TestWithParam<PropConfig> {};
+
+/// One random block per trial: each alternative writes a tag to the result
+/// page and a witness to its own page; guards pass randomly.
+TEST_P(BlockProperties, AtMostOnceAndWinnerOnlyState) {
+  const PropConfig& pc = GetParam();
+  Rng rng(pc.seed * 1000003);
+  for (int trial = 0; trial < 8; ++trial) {
+    Kernel::Config cfg;
+    cfg.machine = MachineModel::shared_memory_mp(pc.cpus);
+    cfg.elimination = pc.elimination;
+    cfg.eager_copy = pc.eager_copy;
+    const std::size_t n = 1 + rng.below(5);
+    cfg.address_space_pages = 2 + n;
+    Kernel k(cfg);
+
+    std::vector<bool> guard_ok(n);
+    std::vector<ProgramRef> alts;
+    bool any_ok = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      guard_ok[i] = rng.chance(0.7);
+      any_ok = any_ok || guard_ok[i];
+      const bool ok = guard_ok[i];
+      alts.push_back(ProgramBuilder()
+                         .compute(static_cast<SimTime>(rng.range(1, 200)) * kMsec)
+                         .write(0, 0, i + 1)  // result tag
+                         .write(static_cast<VPage>(2 + i), 0, 0xb0b0 + i)
+                         .guard([ok](const AddressSpace&) { return ok; })
+                         .build());
+    }
+    auto on_fail = ProgramBuilder().write(1, 0, 0xdead).build();
+    const Pid pid = k.spawn_root(ProgramBuilder().alt(alts, 0, on_fail).build());
+    k.run();
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + " n=" + std::to_string(n));
+    ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+    EXPECT_LE(k.stats().commits, 1u);
+
+    const auto& as = k.process(pid)->as_;
+    if (any_ok) {
+      // Exactly one commit; the winner's guard held; only the winner's
+      // witness page is visible.
+      EXPECT_EQ(k.stats().commits, 1u);
+      const std::uint64_t tag = as.peek(0, 0);
+      ASSERT_GE(tag, 1u);
+      ASSERT_LE(tag, n);
+      EXPECT_TRUE(guard_ok[tag - 1]) << "a guard-failing alternative won";
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t witness = as.peek(static_cast<VPage>(2 + i), 0);
+        if (i == tag - 1) {
+          EXPECT_EQ(witness, 0xb0b0 + i);
+        } else {
+          EXPECT_EQ(witness, 0u) << "loser " << i << "'s write leaked";
+        }
+      }
+      EXPECT_EQ(as.peek(1, 0), 0u);  // fail arm did not run
+    } else {
+      EXPECT_EQ(k.stats().commits, 0u);
+      EXPECT_EQ(as.peek(0, 0), 0u);
+      EXPECT_EQ(as.peek(1, 0), 0xdeadu);  // fail arm ran
+    }
+    // No process left behind.
+    EXPECT_TRUE(k.blocked_pids().empty());
+  }
+}
+
+TEST_P(BlockProperties, AccountingIsConsistent) {
+  const PropConfig& pc = GetParam();
+  Rng rng(pc.seed * 7 + 13);
+  Kernel::Config cfg;
+  cfg.machine = MachineModel::shared_memory_mp(pc.cpus);
+  cfg.elimination = pc.elimination;
+  cfg.eager_copy = pc.eager_copy;
+  cfg.address_space_pages = 8;
+  Kernel k(cfg);
+
+  std::vector<ProgramRef> alts;
+  for (int i = 0; i < 4; ++i) {
+    alts.push_back(ProgramBuilder()
+                       .compute(static_cast<SimTime>(rng.range(10, 100)) * kMsec)
+                       .build());
+  }
+  const Pid pid = k.spawn_root(ProgramBuilder().alt(alts).build());
+  k.run();
+  ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+
+  // Every charged CPU microsecond is classified, and totals match the
+  // per-process sums.
+  SimTime per_proc = 0;
+  for (Pid p : k.all_pids()) per_proc += k.process(p)->cpu_time_;
+  EXPECT_EQ(per_proc, k.stats().cpu_busy);
+  EXPECT_EQ(k.stats().useful_work + k.stats().wasted_work, k.stats().cpu_busy);
+  EXPECT_EQ(k.stats().forks, 4u);
+  EXPECT_EQ(k.stats().alt_blocks, 1u);
+  EXPECT_EQ(k.stats().commits + k.stats().alt_failures, 1u);
+}
+
+TEST_P(BlockProperties, TimeoutNeverLeavesStragglers) {
+  const PropConfig& pc = GetParam();
+  Kernel::Config cfg;
+  cfg.machine = MachineModel::shared_memory_mp(pc.cpus);
+  cfg.elimination = pc.elimination;
+  cfg.eager_copy = pc.eager_copy;
+  cfg.address_space_pages = 8;
+  Kernel k(cfg);
+  auto eternal = ProgramBuilder().compute(100 * kSec).build();
+  auto on_fail = ProgramBuilder().write(0, 0, 1).build();
+  const Pid pid = k.spawn_root(
+      ProgramBuilder().alt({eternal, eternal, eternal}, 150 * kMsec, on_fail).build());
+  k.run();
+  EXPECT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  EXPECT_LT(k.now(), 5 * kSec);
+  EXPECT_TRUE(k.blocked_pids().empty());
+  for (Pid p : k.all_pids()) {
+    EXPECT_NE(k.process(p)->state_, ProcState::kReady);
+    EXPECT_NE(k.process(p)->state_, ProcState::kRunning);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlockProperties,
+                         ::testing::ValuesIn(make_configs()), PrintCfg);
+
+// ---------------------------------------------------------------------------
+// Nested speculation trees
+// ---------------------------------------------------------------------------
+
+class NestedTree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NestedTree, RandomTwoLevelTreesPreserveSemantics) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    Kernel::Config cfg;
+    cfg.machine = MachineModel::shared_memory_mp(4);
+    cfg.address_space_pages = 16;
+    cfg.elimination =
+        rng.chance(0.5) ? Elimination::kSynchronous : Elimination::kAsynchronous;
+    Kernel k(cfg);
+
+    // Each outer alternative contains an inner block of two leaves; each leaf
+    // may fail its guard. An outer alternative fails iff its inner block
+    // fails (no fail arm).
+    const std::size_t outer_n = 2 + rng.below(2);
+    std::vector<ProgramRef> outer;
+    bool any_possible = false;
+    for (std::size_t i = 0; i < outer_n; ++i) {
+      bool inner_possible = false;
+      std::vector<ProgramRef> inner;
+      for (std::size_t j = 0; j < 2; ++j) {
+        const bool ok = rng.chance(0.6);
+        inner_possible = inner_possible || ok;
+        inner.push_back(
+            ProgramBuilder()
+                .compute(static_cast<SimTime>(rng.range(1, 60)) * kMsec)
+                .write(1, 0, 100 * (i + 1) + j)
+                .guard([ok](const AddressSpace&) { return ok; })
+                .build());
+      }
+      any_possible = any_possible || inner_possible;
+      outer.push_back(ProgramBuilder()
+                          .alt(inner)
+                          .write(0, 0, i + 1)
+                          .build());
+    }
+    auto on_fail = ProgramBuilder().write(0, 0, 0xdead).build();
+    const Pid pid = k.spawn_root(ProgramBuilder().alt(outer, 0, on_fail).build());
+    k.run();
+
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+    const std::uint64_t tag = k.process(pid)->as_.peek(0, 0);
+    if (any_possible) {
+      ASSERT_NE(tag, 0xdeadu) << "block failed though a leaf could succeed";
+      ASSERT_GE(tag, 1u);
+      ASSERT_LE(tag, outer_n);
+      // The inner witness must belong to the winning outer alternative.
+      const std::uint64_t w = k.process(pid)->as_.peek(1, 0);
+      EXPECT_EQ(w / 100, tag);
+    } else {
+      EXPECT_EQ(tag, 0xdeadu);
+    }
+    EXPECT_TRUE(k.blocked_pids().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NestedTree,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---------------------------------------------------------------------------
+// Sources under speculation
+// ---------------------------------------------------------------------------
+
+class SourceDiscipline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SourceDiscipline, SpeculativeWritersNeverTouchDevices) {
+  Rng rng(GetParam());
+  Kernel::Config cfg;
+  cfg.machine = MachineModel::shared_memory_mp(4);
+  cfg.address_space_pages = 8;
+  Kernel k(cfg);
+
+  // Some alternatives try to write the device mid-flight (they will gate and
+  // lose); at least one clean alternative exists.
+  const std::size_t n = 2 + rng.below(3);
+  std::vector<ProgramRef> alts;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    alts.push_back(ProgramBuilder()
+                       .compute(static_cast<SimTime>(rng.range(1, 30)) * kMsec)
+                       .source_write(0, Bytes{static_cast<std::uint8_t>(i)})
+                       .build());
+  }
+  alts.push_back(ProgramBuilder().compute(100 * kMsec).build());
+  const Pid pid = k.spawn_root(ProgramBuilder()
+                                   .alt(alts)
+                                   .source_write(0, Bytes{0xAA})  // post-commit
+                                   .build());
+  k.run();
+  ASSERT_EQ(k.exit_kind(pid), ExitKind::kCompleted);
+  // Exactly one observable device write: the parent's own, after commit.
+  ASSERT_EQ(k.source(0).writes().size(), 1u);
+  EXPECT_EQ(k.source(0).writes()[0].writer, pid);
+  EXPECT_EQ(k.source(0).writes()[0].data, Bytes{0xAA});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SourceDiscipline,
+                         ::testing::Values(5, 6, 7, 8, 9));
+
+}  // namespace
+}  // namespace altx::sim

@@ -1,0 +1,172 @@
+// Seed-swept property tests for multiple-worlds IPC (section 3.4.2) under
+// varied timings: speculative producers racing in an alt block send values
+// to a consumer service; every split chain must collapse to exactly one
+// surviving consumer world whose observed value matches the committed
+// producer.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx::sim {
+namespace {
+
+constexpr Port kService = 9;
+
+class Worlds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Worlds, SplitChainsCollapseToTheWinnersWorld) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    Kernel::Config cfg;
+    cfg.machine = MachineModel::shared_memory_mp(static_cast<int>(2 + rng.below(4)));
+    cfg.address_space_pages = 8;
+    cfg.elimination =
+        rng.chance(0.5) ? Elimination::kSynchronous : Elimination::kAsynchronous;
+    Kernel k(cfg);
+
+    // N speculative producers; each sends its tag early, then computes for a
+    // random time; the fastest *finisher* wins the block — which may differ
+    // from the first sender, so the consumer frequently splits on a message
+    // from an eventual loser.
+    const std::size_t n = 2 + rng.below(3);
+    std::vector<ProgramRef> producers;
+    for (std::size_t i = 0; i < n; ++i) {
+      producers.push_back(
+          ProgramBuilder("producer")
+              .compute(static_cast<SimTime>(rng.range(1, 20)) * kMsec)
+              .send_u64(kService, 100 + i)
+              .compute(static_cast<SimTime>(rng.range(1, 300)) * kMsec)
+              .write(0, 0, i + 1)
+              .build());
+    }
+    auto consumer = ProgramBuilder("consumer")
+                        .bind(kService)
+                        .recv(0, 0)
+                        .compute(5 * kMsec)
+                        .build();
+    const Pid consumer_pid = k.spawn_root(consumer);
+    const Pid block_pid = k.spawn_root(ProgramBuilder().alt(producers).build());
+    k.run();
+
+    SCOPED_TRACE("seed " + std::to_string(GetParam()) + " trial " +
+                 std::to_string(trial));
+    ASSERT_EQ(k.exit_kind(block_pid), ExitKind::kCompleted);
+    const std::uint64_t winner_tag = k.process(block_pid)->as_.peek(0, 0);
+    ASSERT_GE(winner_tag, 1u);
+
+    // Exactly one consumer world completes, and it observed the winning
+    // producer's value.
+    std::size_t completed = 0;
+    std::uint64_t observed = 0;
+    for (Pid p : k.all_pids()) {
+      const SimProcess* pr = k.process(p);
+      if (pr->frames_.front().prog->label != "consumer") continue;
+      if (k.exit_kind(p) == ExitKind::kCompleted) {
+        ++completed;
+        observed = pr->as_.peek(0, 0);
+      }
+    }
+    ASSERT_EQ(completed, 1u);
+    EXPECT_EQ(observed, 100 + (winner_tag - 1));
+    EXPECT_TRUE(k.blocked_pids().empty());
+    (void)consumer_pid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Worlds,
+                         ::testing::Values(11, 23, 37, 41, 59, 67, 73, 89));
+
+TEST(Worlds, ChainedSplitsAcrossTwoSpeculativeSenders) {
+  // Two alternative blocks run concurrently; the consumer receives one
+  // speculative message from each, splitting twice into four worlds; only
+  // the world consistent with BOTH winners may survive.
+  Kernel::Config cfg;
+  cfg.machine = MachineModel::shared_memory_mp(6);
+  cfg.address_space_pages = 8;
+  Kernel k(cfg);
+
+  auto producer = [](std::uint64_t tag, SimTime tail) {
+    return ProgramBuilder("p")
+        .compute(2 * kMsec)
+        .send_u64(kService, tag)
+        .compute(tail)
+        .build();
+  };
+  // Block A: tag 1 wins (shorter tail). Block B: tag 4 wins.
+  const Pid a = k.spawn_root(ProgramBuilder()
+                                 .alt({producer(1, 50 * kMsec), producer(2, 400 * kMsec)})
+                                 .build());
+  const Pid b = k.spawn_root(ProgramBuilder()
+                                 .alt({producer(3, 500 * kMsec), producer(4, 60 * kMsec)})
+                                 .build());
+  auto consumer = ProgramBuilder("consumer")
+                      .bind(kService)
+                      .recv(1, 0)
+                      .recv(2, 0)
+                      .build();
+  k.spawn_root(consumer);
+  k.run();
+
+  ASSERT_EQ(k.exit_kind(a), ExitKind::kCompleted);
+  ASSERT_EQ(k.exit_kind(b), ExitKind::kCompleted);
+  std::size_t completed = 0;
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+  for (Pid p : k.all_pids()) {
+    const SimProcess* pr = k.process(p);
+    if (pr->frames_.front().prog->label != "consumer") continue;
+    if (k.exit_kind(p) == ExitKind::kCompleted) {
+      ++completed;
+      v1 = pr->as_.peek(1, 0);
+      v2 = pr->as_.peek(2, 0);
+    }
+  }
+  ASSERT_EQ(completed, 1u);
+  // The surviving world saw exactly the two winners' messages, in order.
+  EXPECT_TRUE((v1 == 1 && v2 == 4) || (v1 == 4 && v2 == 1))
+      << "v1=" << v1 << " v2=" << v2;
+  EXPECT_GE(k.stats().world_splits, 2u);
+}
+
+TEST(Worlds, SplitConsumerKeepsServingAfterResolution) {
+  // After the race resolves, the surviving consumer world must continue
+  // receiving ordinary (non-speculative) messages on the same port.
+  Kernel::Config cfg;
+  cfg.machine = MachineModel::shared_memory_mp(4);
+  cfg.address_space_pages = 8;
+  Kernel k(cfg);
+  auto talker = ProgramBuilder("t")
+                    .compute(2 * kMsec)
+                    .send_u64(kService, 7)
+                    .compute(20 * kMsec)
+                    .build();
+  auto rival = ProgramBuilder("r").compute(200 * kMsec).build();
+  k.spawn_root(ProgramBuilder().alt({talker, rival}).build());
+  auto late_client =
+      ProgramBuilder("late").compute(kSec).send_u64(kService, 8).build();
+  k.spawn_root(late_client);
+  auto consumer =
+      ProgramBuilder("consumer").bind(kService).recv(0, 0).recv(0, 1).build();
+  k.spawn_root(consumer);
+  k.run();
+
+  std::size_t completed = 0;
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  for (Pid p : k.all_pids()) {
+    const SimProcess* pr = k.process(p);
+    if (pr->frames_.front().prog->label != "consumer") continue;
+    if (k.exit_kind(p) == ExitKind::kCompleted) {
+      ++completed;
+      first = pr->as_.peek(0, 0);
+      second = pr->as_.peek(0, 1);
+    }
+  }
+  ASSERT_EQ(completed, 1u);
+  EXPECT_EQ(first, 7u);
+  EXPECT_EQ(second, 8u);
+}
+
+}  // namespace
+}  // namespace altx::sim

@@ -1,0 +1,39 @@
+// altc — command-line front end of the ALTBEGIN preprocessor.
+//
+//   altc input.alt.cpp output.cpp
+//
+// Reads a C++ source containing ALTBEGIN blocks (see src/altc/translate.hpp)
+// and writes the translated C++.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "altc/translate.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: altc <input> <output>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "altc: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const std::string out_text = altx::altc::translate(buf.str());
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::fprintf(stderr, "altc: cannot write %s\n", argv[2]);
+      return 1;
+    }
+    out << out_text;
+  } catch (const altx::altc::TranslateError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
