@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_queries.dir/bench_e11_queries.cpp.o"
+  "CMakeFiles/bench_e11_queries.dir/bench_e11_queries.cpp.o.d"
+  "bench_e11_queries"
+  "bench_e11_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

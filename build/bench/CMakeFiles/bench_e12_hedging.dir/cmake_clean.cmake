@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_hedging.dir/bench_e12_hedging.cpp.o"
+  "CMakeFiles/bench_e12_hedging.dir/bench_e12_hedging.cpp.o.d"
+  "bench_e12_hedging"
+  "bench_e12_hedging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_hedging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_rfork.dir/bench_e4_rfork.cpp.o"
+  "CMakeFiles/bench_e4_rfork.dir/bench_e4_rfork.cpp.o.d"
+  "bench_e4_rfork"
+  "bench_e4_rfork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_rfork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_recovery_blocks.dir/bench_e6_recovery_blocks.cpp.o"
+  "CMakeFiles/bench_e6_recovery_blocks.dir/bench_e6_recovery_blocks.cpp.o.d"
+  "bench_e6_recovery_blocks"
+  "bench_e6_recovery_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_recovery_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_prolog_or.dir/bench_e7_prolog_or.cpp.o"
+  "CMakeFiles/bench_e7_prolog_or.dir/bench_e7_prolog_or.cpp.o.d"
+  "bench_e7_prolog_or"
+  "bench_e7_prolog_or.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_prolog_or.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

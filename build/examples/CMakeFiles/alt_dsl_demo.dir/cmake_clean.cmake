@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_dsl_demo.dir/alt_dsl_demo.gen.cpp.o"
+  "CMakeFiles/alt_dsl_demo.dir/alt_dsl_demo.gen.cpp.o.d"
+  "alt_dsl_demo"
+  "alt_dsl_demo.gen.cpp"
+  "alt_dsl_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_dsl_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grep_race.dir/grep_race.cpp.o"
+  "CMakeFiles/grep_race.dir/grep_race.cpp.o.d"
+  "grep_race"
+  "grep_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grep_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolog_or_demo.dir/prolog_or_demo.cpp.o"
+  "CMakeFiles/prolog_or_demo.dir/prolog_or_demo.cpp.o.d"
+  "prolog_or_demo"
+  "prolog_or_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolog_or_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

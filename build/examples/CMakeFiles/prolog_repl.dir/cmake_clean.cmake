@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolog_repl.dir/prolog_repl.cpp.o"
+  "CMakeFiles/prolog_repl.dir/prolog_repl.cpp.o.d"
+  "prolog_repl"
+  "prolog_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolog_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_block_demo.dir/recovery_block_demo.cpp.o"
+  "CMakeFiles/recovery_block_demo.dir/recovery_block_demo.cpp.o.d"
+  "recovery_block_demo"
+  "recovery_block_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_block_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

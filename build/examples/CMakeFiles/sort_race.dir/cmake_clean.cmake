@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_race.dir/sort_race.cpp.o"
+  "CMakeFiles/sort_race.dir/sort_race.cpp.o.d"
+  "sort_race"
+  "sort_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_update.dir/speculative_update.cpp.o"
+  "CMakeFiles/speculative_update.dir/speculative_update.cpp.o.d"
+  "speculative_update"
+  "speculative_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

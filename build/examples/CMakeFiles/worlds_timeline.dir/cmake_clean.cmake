@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worlds_timeline.dir/worlds_timeline.cpp.o"
+  "CMakeFiles/worlds_timeline.dir/worlds_timeline.cpp.o.d"
+  "worlds_timeline"
+  "worlds_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worlds_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

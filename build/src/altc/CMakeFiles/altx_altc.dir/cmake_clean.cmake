@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_altc.dir/translate.cpp.o"
+  "CMakeFiles/altx_altc.dir/translate.cpp.o.d"
+  "libaltx_altc.a"
+  "libaltx_altc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_altc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_consensus.dir/majority.cpp.o"
+  "CMakeFiles/altx_consensus.dir/majority.cpp.o.d"
+  "libaltx_consensus.a"
+  "libaltx_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for altx_consensus.
+# This may be replaced when dependencies are built.

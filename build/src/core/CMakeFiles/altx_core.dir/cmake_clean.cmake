@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_core.dir/executor.cpp.o"
+  "CMakeFiles/altx_core.dir/executor.cpp.o.d"
+  "libaltx_core.a"
+  "libaltx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_dist.dir/distributed.cpp.o"
+  "CMakeFiles/altx_dist.dir/distributed.cpp.o.d"
+  "libaltx_dist.a"
+  "libaltx_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

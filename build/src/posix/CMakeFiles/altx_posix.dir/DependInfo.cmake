@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posix/alt_group.cpp" "src/posix/CMakeFiles/altx_posix.dir/alt_group.cpp.o" "gcc" "src/posix/CMakeFiles/altx_posix.dir/alt_group.cpp.o.d"
+  "/root/repo/src/posix/alt_heap.cpp" "src/posix/CMakeFiles/altx_posix.dir/alt_heap.cpp.o" "gcc" "src/posix/CMakeFiles/altx_posix.dir/alt_heap.cpp.o.d"
+  "/root/repo/src/posix/checkpoint.cpp" "src/posix/CMakeFiles/altx_posix.dir/checkpoint.cpp.o" "gcc" "src/posix/CMakeFiles/altx_posix.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/posix/file_heap.cpp" "src/posix/CMakeFiles/altx_posix.dir/file_heap.cpp.o" "gcc" "src/posix/CMakeFiles/altx_posix.dir/file_heap.cpp.o.d"
+  "/root/repo/src/posix/measure.cpp" "src/posix/CMakeFiles/altx_posix.dir/measure.cpp.o" "gcc" "src/posix/CMakeFiles/altx_posix.dir/measure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

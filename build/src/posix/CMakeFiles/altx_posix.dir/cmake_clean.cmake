@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_posix.dir/alt_group.cpp.o"
+  "CMakeFiles/altx_posix.dir/alt_group.cpp.o.d"
+  "CMakeFiles/altx_posix.dir/alt_heap.cpp.o"
+  "CMakeFiles/altx_posix.dir/alt_heap.cpp.o.d"
+  "CMakeFiles/altx_posix.dir/checkpoint.cpp.o"
+  "CMakeFiles/altx_posix.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/altx_posix.dir/file_heap.cpp.o"
+  "CMakeFiles/altx_posix.dir/file_heap.cpp.o.d"
+  "CMakeFiles/altx_posix.dir/measure.cpp.o"
+  "CMakeFiles/altx_posix.dir/measure.cpp.o.d"
+  "libaltx_posix.a"
+  "libaltx_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prolog/or_parallel.cpp" "src/prolog/CMakeFiles/altx_prolog.dir/or_parallel.cpp.o" "gcc" "src/prolog/CMakeFiles/altx_prolog.dir/or_parallel.cpp.o.d"
+  "/root/repo/src/prolog/parser.cpp" "src/prolog/CMakeFiles/altx_prolog.dir/parser.cpp.o" "gcc" "src/prolog/CMakeFiles/altx_prolog.dir/parser.cpp.o.d"
+  "/root/repo/src/prolog/solver.cpp" "src/prolog/CMakeFiles/altx_prolog.dir/solver.cpp.o" "gcc" "src/prolog/CMakeFiles/altx_prolog.dir/solver.cpp.o.d"
+  "/root/repo/src/prolog/term.cpp" "src/prolog/CMakeFiles/altx_prolog.dir/term.cpp.o" "gcc" "src/prolog/CMakeFiles/altx_prolog.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/altx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/altx_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/altx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_prolog.dir/or_parallel.cpp.o"
+  "CMakeFiles/altx_prolog.dir/or_parallel.cpp.o.d"
+  "CMakeFiles/altx_prolog.dir/parser.cpp.o"
+  "CMakeFiles/altx_prolog.dir/parser.cpp.o.d"
+  "CMakeFiles/altx_prolog.dir/solver.cpp.o"
+  "CMakeFiles/altx_prolog.dir/solver.cpp.o.d"
+  "CMakeFiles/altx_prolog.dir/term.cpp.o"
+  "CMakeFiles/altx_prolog.dir/term.cpp.o.d"
+  "libaltx_prolog.a"
+  "libaltx_prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altx_sim.dir/kernel.cpp.o"
+  "CMakeFiles/altx_sim.dir/kernel.cpp.o.d"
+  "libaltx_sim.a"
+  "libaltx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaltx_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_altc.dir/test_altc.cpp.o"
+  "CMakeFiles/test_altc.dir/test_altc.cpp.o.d"
+  "test_altc"
+  "test_altc.pdb"
+  "test_altc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_altc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_heap.dir/test_file_heap.cpp.o"
+  "CMakeFiles/test_file_heap.dir/test_file_heap.cpp.o.d"
+  "test_file_heap"
+  "test_file_heap.pdb"
+  "test_file_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pre_guards.dir/test_pre_guards.cpp.o"
+  "CMakeFiles/test_pre_guards.dir/test_pre_guards.cpp.o.d"
+  "test_pre_guards"
+  "test_pre_guards.pdb"
+  "test_pre_guards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pre_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pre_guards.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prolog.dir/test_prolog.cpp.o"
+  "CMakeFiles/test_prolog.dir/test_prolog.cpp.o.d"
+  "test_prolog"
+  "test_prolog.pdb"
+  "test_prolog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

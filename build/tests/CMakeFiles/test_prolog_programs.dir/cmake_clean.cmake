@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prolog_programs.dir/test_prolog_programs.cpp.o"
+  "CMakeFiles/test_prolog_programs.dir/test_prolog_programs.cpp.o.d"
+  "test_prolog_programs"
+  "test_prolog_programs.pdb"
+  "test_prolog_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prolog_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

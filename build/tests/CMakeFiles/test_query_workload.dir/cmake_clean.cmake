@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_workload.dir/test_query_workload.cpp.o"
+  "CMakeFiles/test_query_workload.dir/test_query_workload.cpp.o.d"
+  "test_query_workload"
+  "test_query_workload.pdb"
+  "test_query_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

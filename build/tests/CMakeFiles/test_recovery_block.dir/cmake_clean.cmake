@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_block.dir/test_recovery_block.cpp.o"
+  "CMakeFiles/test_recovery_block.dir/test_recovery_block.cpp.o.d"
+  "test_recovery_block"
+  "test_recovery_block.pdb"
+  "test_recovery_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

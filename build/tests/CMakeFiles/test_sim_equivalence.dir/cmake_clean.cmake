@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_equivalence.dir/test_sim_equivalence.cpp.o"
+  "CMakeFiles/test_sim_equivalence.dir/test_sim_equivalence.cpp.o.d"
+  "test_sim_equivalence"
+  "test_sim_equivalence.pdb"
+  "test_sim_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

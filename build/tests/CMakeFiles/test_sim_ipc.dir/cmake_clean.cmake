@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_ipc.dir/test_sim_ipc.cpp.o"
+  "CMakeFiles/test_sim_ipc.dir/test_sim_ipc.cpp.o.d"
+  "test_sim_ipc"
+  "test_sim_ipc.pdb"
+  "test_sim_ipc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

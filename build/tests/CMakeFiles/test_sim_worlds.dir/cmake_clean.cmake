@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_worlds.dir/test_sim_worlds.cpp.o"
+  "CMakeFiles/test_sim_worlds.dir/test_sim_worlds.cpp.o.d"
+  "test_sim_worlds"
+  "test_sim_worlds.pdb"
+  "test_sim_worlds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_worlds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_predicate[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_posix_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery_block[1]_include.cmake")
+include("/root/repo/build/tests/test_prolog[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_posix_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_prolog_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_altc[1]_include.cmake")
+include("/root/repo/build/tests/test_file_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_and_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_query_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_worlds[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_pre_guards[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_infrastructure[1]_include.cmake")
+include("/root/repo/build/tests/test_resilience[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_model[1]_include.cmake")
+include("/root/repo/build/tests/test_api_misuse[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altc.dir/altc_main.cpp.o"
+  "CMakeFiles/altc.dir/altc_main.cpp.o.d"
+  "altc"
+  "altc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

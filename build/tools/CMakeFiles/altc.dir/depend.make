@@ -1,0 +1,2 @@
+# Empty dependencies file for altc.
+# This may be replaced when dependencies are built.
