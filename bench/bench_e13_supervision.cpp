@@ -1,0 +1,124 @@
+// E13 — the price of supervision (extension; no paper counterpart).
+//
+// supervised_race wraps the paper's construct in retry/backoff and a
+// sequential fallback. This bench measures what that costs when nothing is
+// wrong and what it buys when children crash: raw race<T> vs supervised_race
+// at 0 / 10 / 30 % injected child-crash rates, on real forked processes.
+//
+// Reported per configuration: success rate (a raw race under crashes simply
+// fails when the viable child dies; the supervisor recovers), mean and p95
+// latency, and throughput in blocks/s.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "posix/fault.hpp"
+#include "posix/supervisor.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::posix;
+using namespace std::chrono_literals;
+
+constexpr int kBlocks = 120;
+
+/// Two alternatives, both viable, ~2 ms of "work" each — the block's cost is
+/// dominated by fork + sync, which is what supervision multiplies.
+std::vector<AlternativeFn<int>> work_alts() {
+  return {
+      [] { ::usleep(2'000); return std::optional<int>(1); },
+      [] { ::usleep(2'500); return std::optional<int>(2); },
+  };
+}
+
+struct Run {
+  Summary latency_ms;
+  int succeeded = 0;
+  int degraded = 0;
+  double blocks_per_s = 0;
+};
+
+Run run_mode(bool supervised, double crash_rate, std::uint64_t seed) {
+  FaultProfile plan;
+  plan.crash_kill = crash_rate;
+  FaultInjector inj(seed, plan);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = 1ms;
+  policy.max_backoff = 4ms;
+  policy.base_timeout = 2'000ms;
+  policy.seed = seed;
+
+  Run out;
+  const auto t_all0 = std::chrono::steady_clock::now();
+  for (int b = 0; b < kBlocks; ++b) {
+    RaceOptions opts;
+    opts.timeout = 2'000ms;
+    if (crash_rate > 0) opts.fault = &inj;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (supervised) {
+      const auto r = supervised_race<int>(work_alts(), policy, opts);
+      if (r.has_value()) {
+        ++out.succeeded;
+        if (r->degraded) ++out.degraded;
+      }
+    } else {
+      const auto r = race<int>(work_alts(), opts);
+      if (r.has_value()) ++out.succeeded;
+    }
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    out.latency_ms.add(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(dt)
+            .count());
+  }
+  const auto dt_all = std::chrono::steady_clock::now() - t_all0;
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(dt_all).count();
+  out.blocks_per_s = secs > 0 ? kBlocks / secs : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13: supervised vs raw race under injected child crashes\n\n");
+  std::printf("2 viable alternatives (~2 ms each), %d blocks per row; crashes\n"
+              "are injected SIGKILLs at the children's sync points. The raw\n"
+              "race fails the block when both children die; the supervisor\n"
+              "retries (3 attempts, 1-4 ms backoff) and degrades to\n"
+              "sequential in-process execution as the last resort.\n\n",
+              kBlocks);
+
+  Table t({"mode", "crash rate", "success", "degraded", "mean", "p95",
+           "blocks/s"});
+  for (const double rate : {0.0, 0.1, 0.3}) {
+    for (const bool supervised : {false, true}) {
+      const auto r = run_mode(supervised, rate, /*seed=*/4242);
+      char success[32];
+      std::snprintf(success, sizeof success, "%d/%d", r.succeeded, kBlocks);
+      char ratebuf[16];
+      std::snprintf(ratebuf, sizeof ratebuf, "%.0f %%", rate * 100);
+      t.add_row({supervised ? "supervised" : "raw race", ratebuf, success,
+                 std::to_string(r.degraded),
+                 Table::num(r.latency_ms.mean()) + " ms",
+                 Table::num(r.latency_ms.percentile(95)) + " ms",
+                 Table::num(r.blocks_per_s, 1)});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: with nothing injected the supervisor adds only a branch\n"
+      "and a report struct per block — any gap there is noise. Under crashes\n"
+      "the raw construct loses the blocks whose children all died, while\n"
+      "supervision converts those losses into retries (bounded extra latency)\n"
+      "and, when every attempt is disrupted, into flagged sequential\n"
+      "fallbacks — availability bought with the paper's own original\n"
+      "semantics as the floor.\n");
+  return 0;
+}

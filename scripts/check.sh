@@ -1,0 +1,38 @@
+#!/bin/sh
+# Full verification: builds and runs the test suite twice — once plain, once
+# with ALTX_SANITIZE=address,undefined — with a per-test timeout, so a hung
+# fault-injection test fails instead of wedging CI.
+#
+# Usage: scripts/check.sh [jobs]
+#   ALTX_TEST_TIMEOUT   per-test ctest timeout in seconds (default 120)
+#   ALTX_SANITIZERS     sanitizer list for the second pass
+#                       (default address,undefined; empty skips the pass)
+set -e
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+TIMEOUT="${ALTX_TEST_TIMEOUT:-120}"
+SANITIZERS="${ALTX_SANITIZERS-address,undefined}"
+
+run_pass() {
+  builddir="$1"
+  shift
+  echo "== configure $builddir ($*)"
+  cmake -B "$ROOT/$builddir" -S "$ROOT" "$@" >/dev/null
+  echo "== build $builddir"
+  cmake --build "$ROOT/$builddir" -j "$JOBS" >/dev/null
+  echo "== ctest $builddir (timeout ${TIMEOUT}s/test)"
+  ctest --test-dir "$ROOT/$builddir" -j "$JOBS" --timeout "$TIMEOUT" \
+        --output-on-failure
+}
+
+run_pass build -DALTX_SANITIZE=
+
+if [ -n "$SANITIZERS" ]; then
+  # Leak detection trips on intentionally SIGKILLed children's inherited
+  # allocations; ASAN_OPTIONS keeps the signal on real errors.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  run_pass build-sanitize "-DALTX_SANITIZE=$SANITIZERS"
+fi
+
+echo "== all checks passed"

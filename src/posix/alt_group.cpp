@@ -13,7 +13,37 @@ namespace {
 constexpr int kExitAbort = 42;    // guard failed, no synchronization
 constexpr int kExitTooLate = 43;  // lost the race for the commit token
 
+pid_t waitpid_eintr(pid_t pid, int* status, int flags) {
+  while (true) {
+    const pid_t r = ::waitpid(pid, status, flags);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
 }  // namespace
+
+const char* to_string(ChildFate fate) {
+  switch (fate) {
+    case ChildFate::kRunning: return "running";
+    case ChildFate::kCommitted: return "committed";
+    case ChildFate::kTooLate: return "too_late";
+    case ChildFate::kAborted: return "aborted";
+    case ChildFate::kCrashed: return "crashed";
+    case ChildFate::kHung: return "hung";
+    case ChildFate::kEliminated: return "eliminated";
+  }
+  return "?";
+}
+
+const char* to_string(WaitVerdict verdict) {
+  switch (verdict) {
+    case WaitVerdict::kUndecided: return "undecided";
+    case WaitVerdict::kWinner: return "winner";
+    case WaitVerdict::kAllFailed: return "all_failed";
+    case WaitVerdict::kTimeout: return "timeout";
+  }
+  return "?";
+}
 
 AltGroup::AltGroup(AltGroupOptions options) : opts_(options) {}
 
@@ -32,6 +62,7 @@ int AltGroup::alt_spawn(int n) {
   ALTX_REQUIRE(!spawned_, "AltGroup: alt_spawn called twice");
   ALTX_REQUIRE(n >= 1, "AltGroup: need at least one alternative");
   spawned_ = true;
+  if (opts_.fault != nullptr) fault_attempt_ = opts_.fault->begin_attempt();
 
   token_ = Pipe::create(/*nonblocking_read=*/true);
   result_ = Pipe::create();
@@ -39,34 +70,69 @@ int AltGroup::alt_spawn(int n) {
   const std::uint8_t token = 1;
   write_all(token_.write_end.get(), &token, 1);
 
+  // Cohort bookkeeping grows in lockstep with the forks so that a mid-loop
+  // failure can kill and reap exactly the children that exist.
   children_.reserve(static_cast<std::size_t>(n));
+  reaped_.reserve(static_cast<std::size_t>(n));
+  killed_.reserve(static_cast<std::size_t>(n));
+  status_.reserve(static_cast<std::size_t>(n));
+
+  auto abandon_cohort = [this] {
+    kill_survivors();
+    reap_all();
+  };
+
   for (int i = 1; i <= n; ++i) {
+    if (opts_.fault != nullptr && opts_.fault->fork_fails(fault_attempt_, i)) {
+      abandon_cohort();
+      throw SystemError("fork (injected fault)", EAGAIN);
+    }
     const pid_t pid = ::fork();
     if (pid < 0) {
-      // Spawn failure: kill what we already have and report.
-      kill_survivors();
-      reap_all();
-      throw_errno("fork");
+      const int err = errno;
+      abandon_cohort();
+      throw SystemError("fork", err);
     }
     if (pid == 0) {
       // Child: a COW copy of everything the parent had.
       my_index_ = i;
       children_.clear();
+      reaped_.clear();
+      killed_.clear();
+      status_.clear();
       if (opts_.heap != nullptr) opts_.heap->begin_tracking();
       return i;
     }
     children_.push_back(pid);
+    reaped_.push_back(false);
+    killed_.push_back(false);
+    ChildStatus st;
+    st.pid = pid;
+    status_.push_back(st);
   }
-  reaped_.assign(children_.size(), false);
   return 0;
 }
 
 void AltGroup::child_commit(const Bytes& result) {
   ALTX_REQUIRE(my_index_ != 0, "child_commit called in the parent");
+  bool drop = false;
+  if (opts_.fault != nullptr) {
+    // May crash / hang / stall right here — the instant before
+    // synchronization, the worst place a real fault can strike.
+    drop = opts_.fault->at_sync_point(fault_attempt_, my_index_) ==
+           FaultKind::kDropCommit;
+  }
   // Try to take the token. First reader commits; everyone else is too late.
   std::uint8_t token = 0;
   const ssize_t got = ::read(token_.read_end.get(), &token, 1);
   if (got != 1) _exit(kExitTooLate);
+  if (drop) {
+    // Injected: the commit is lost between synchronizing and publishing.
+    // Nobody else can ever win (the token is gone) — the block must fail
+    // and the supervisor must notice. Exits with an unexpected status so
+    // the parent classifies this child as crashed.
+    _exit(77);
+  }
 
   Bytes frame;
   ByteWriter w(frame);
@@ -85,6 +151,11 @@ void AltGroup::child_commit(const Bytes& result) {
 
 void AltGroup::child_abort() {
   ALTX_REQUIRE(my_index_ != 0, "child_abort called in the parent");
+  if (opts_.fault != nullptr) {
+    // The abort path is a sync point too: a guard that fails can still
+    // crash or hang on its way out. kDropCommit degenerates to the abort.
+    (void)opts_.fault->at_sync_point(fault_attempt_, my_index_);
+  }
   _exit(kExitAbort);
 }
 
@@ -95,7 +166,6 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::size_t exited = 0;
-  std::vector<bool> done(children_.size(), false);
 
   auto try_read_result = [&]() -> bool {
     if (!wait_readable(result_.read_end.get(), 0)) return false;
@@ -112,28 +182,28 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
       }
     }
     verdict_ = std::move(win);
+    verdict_kind_ = WaitVerdict::kWinner;
     return true;
   };
 
   while (true) {
     if (try_read_result()) break;
 
-    // Reap opportunistically to detect the all-aborted case.
+    // Reap opportunistically: detects the all-failed case and classifies
+    // self-deaths (a signal we did not send is a genuine crash).
     for (std::size_t i = 0; i < children_.size(); ++i) {
-      if (done[i]) continue;
+      if (reaped_[i]) continue;
       int status = 0;
-      const pid_t r = ::waitpid(children_[i], &status, WNOHANG);
+      const pid_t r = waitpid_eintr(children_[i], &status, WNOHANG);
       if (r == children_[i]) {
-        done[i] = true;
-        reaped_[i] = true;
+        record_exit(i, status);
         ++exited;
-        if (WIFEXITED(status) && WEXITSTATUS(status) == kExitAbort) ++aborted_;
       }
     }
     if (exited == children_.size()) {
       // Everyone is gone; a commit may still sit in the pipe (the winner
       // exits after writing).
-      try_read_result();
+      if (!try_read_result()) verdict_kind_ = WaitVerdict::kAllFailed;
       break;
     }
 
@@ -142,7 +212,7 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
       // TIMEOUT: presume no alternative will succeed (section 3.2). A commit
       // that raced in before the kill is still honoured — it won.
       kill_survivors();
-      try_read_result();
+      if (!try_read_result()) verdict_kind_ = WaitVerdict::kTimeout;
       break;
     }
     const auto remaining =
@@ -159,9 +229,20 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
 
 void AltGroup::finish() { reap_all(); }
 
+int AltGroup::count_fate(ChildFate fate) const {
+  int n = 0;
+  for (const auto& st : status_) {
+    if (st.fate == fate) ++n;
+  }
+  return n;
+}
+
 void AltGroup::kill_survivors() {
   for (std::size_t i = 0; i < children_.size(); ++i) {
-    if (!reaped_[i]) ::kill(children_[i], SIGKILL);
+    if (!reaped_[i]) {
+      ::kill(children_[i], SIGKILL);
+      killed_[i] = true;
+    }
   }
 }
 
@@ -169,10 +250,41 @@ void AltGroup::reap_all() {
   for (std::size_t i = 0; i < children_.size(); ++i) {
     if (reaped_[i]) continue;
     int status = 0;
-    if (::waitpid(children_[i], &status, 0) == children_[i]) {
-      reaped_[i] = true;
-      if (WIFEXITED(status) && WEXITSTATUS(status) == kExitAbort) ++aborted_;
+    if (waitpid_eintr(children_[i], &status, 0) == children_[i]) {
+      record_exit(i, status);
     }
+  }
+}
+
+void AltGroup::record_exit(std::size_t i, int status) {
+  reaped_[i] = true;
+  ChildStatus& st = status_[i];
+  if (WIFEXITED(status)) {
+    st.exit_code = WEXITSTATUS(status);
+    if (st.exit_code == 0) {
+      st.fate = ChildFate::kCommitted;
+    } else if (st.exit_code == kExitAbort) {
+      st.fate = ChildFate::kAborted;
+      ++aborted_;
+    } else if (st.exit_code == kExitTooLate) {
+      st.fate = ChildFate::kTooLate;
+    } else {
+      st.fate = ChildFate::kCrashed;  // an exit no protocol path produces
+    }
+  } else if (WIFSIGNALED(status)) {
+    st.signal = WTERMSIG(status);
+    if (killed_[i]) {
+      // We sent the SIGKILL. Before a verdict it was a deadline kill (the
+      // child was hung past the TIMEOUT); after one, routine elimination.
+      // A child that died of its own SIGKILL in the race window between our
+      // poll and our kill is indistinguishable — attributed to us.
+      st.fate = verdict_.has_value() ? ChildFate::kEliminated
+                                     : ChildFate::kHung;
+    } else {
+      st.fate = ChildFate::kCrashed;
+    }
+  } else {
+    st.fate = ChildFate::kCrashed;
   }
 }
 

@@ -17,6 +17,14 @@
 // parent deposits a single token byte; the first child to read it commits;
 // later children find the pipe empty and are "too late" (section 3.2.1) —
 // they terminate themselves.
+//
+// Supervision: every child's fate is classified when it is reaped
+// (committed / aborted / too-late / crashed(signal) / hung / eliminated),
+// and a failed alt_wait distinguishes "every guard failed" from "deadline
+// passed with children still live" — the information a retry policy needs
+// (see posix/supervisor.hpp). An optional FaultInjector is consulted at the
+// children's sync points and before each fork, so the real backend can run
+// the same seeded fault matrix as the simulator.
 #pragma once
 
 #include <sys/types.h>
@@ -28,6 +36,7 @@
 
 #include "common/bytes.hpp"
 #include "posix/alt_heap.hpp"
+#include "posix/fault.hpp"
 #include "posix/fd.hpp"
 
 namespace altx::posix {
@@ -38,9 +47,42 @@ enum class Eliminate {
   kAsynchronous,  // killed immediately, reaped later (finish()/destructor)
 };
 
+/// Classification of one child's end, assigned when it is reaped.
+enum class ChildFate : std::uint8_t {
+  kRunning,     // not yet exited (or not yet reaped)
+  kCommitted,   // took the token and delivered its result (the winner)
+  kTooLate,     // synchronized after the token was gone (section 3.2.1)
+  kAborted,     // guard failed: child_abort
+  kCrashed,     // died of a signal we did not send, or an unexpected exit —
+                // includes a commit lost between token and result delivery
+  kHung,        // still live at the deadline; killed by the parent
+  kEliminated,  // healthy loser killed by the parent after a winner emerged
+};
+
+const char* to_string(ChildFate fate);
+
+struct ChildStatus {
+  pid_t pid = -1;
+  ChildFate fate = ChildFate::kRunning;
+  int signal = 0;      // terminating signal when fate == kCrashed (0 = exit)
+  int exit_code = -1;  // raw exit status when the child exited normally
+};
+
+/// Why alt_wait returned nullopt — or that it did not.
+enum class WaitVerdict : std::uint8_t {
+  kUndecided,  // alt_wait has not (successfully) completed
+  kWinner,     // a child committed; the AltWinner was returned
+  kAllFailed,  // every child exited without committing (guards failed,
+               // crashed, or lost their commit) before the deadline
+  kTimeout,    // the deadline passed with at least one child still live
+};
+
+const char* to_string(WaitVerdict verdict);
+
 struct AltGroupOptions {
   Eliminate elimination = Eliminate::kSynchronous;
-  AltHeap* heap = nullptr;  // optional shared-state arena to absorb
+  AltHeap* heap = nullptr;        // optional shared-state arena to absorb
+  FaultInjector* fault = nullptr; // optional seeded fault plan
 };
 
 struct AltWinner {
@@ -59,20 +101,24 @@ class AltGroup {
 
   /// Forks n alternates. Returns 0 in the parent, 1..n in each child.
   /// In children, the process must finish via child_commit or child_abort.
+  /// On a mid-loop fork() failure the partial cohort is killed and reaped
+  /// before SystemError is thrown, so the caller can retry with a fresh
+  /// group and no process leaks.
   int alt_spawn(int n);
 
   /// Child side: attempt the synchronization with a result payload. If this
   /// child is first, its payload (and dirty heap pages) reach the parent;
-  /// otherwise it is too late. Never returns.
+  /// otherwise it is too late. Never returns. Consults the FaultInjector
+  /// first: the child may crash, hang, stall, or lose the commit here.
   [[noreturn]] void child_commit(const Bytes& result);
 
   /// Child side: the guard failed; abort without synchronizing. Never
-  /// returns.
+  /// returns. Also a FaultInjector sync point.
   [[noreturn]] void child_abort();
 
   /// Parent side: waits for a winner. Returns std::nullopt when every child
-  /// aborted or the timeout expired (the FAIL arm). Idempotent: a second call
-  /// returns the same verdict.
+  /// aborted or the timeout expired (the FAIL arm); verdict() then says
+  /// which. Idempotent: a second call returns the same verdict.
   std::optional<AltWinner> alt_wait(std::chrono::milliseconds timeout);
 
   /// Reaps any remaining children (no-op when elimination was synchronous).
@@ -81,19 +127,36 @@ class AltGroup {
   /// Number of children that aborted (available after alt_wait).
   [[nodiscard]] int aborted_children() const { return aborted_; }
 
+  /// Per-child classification. Fates are final once the child is reaped:
+  /// after a synchronous alt_wait (or finish()) no kRunning entries remain.
+  [[nodiscard]] const std::vector<ChildStatus>& child_statuses() const {
+    return status_;
+  }
+
+  /// How many children ended with `fate` so far.
+  [[nodiscard]] int count_fate(ChildFate fate) const;
+
+  /// Why the last alt_wait came out the way it did.
+  [[nodiscard]] WaitVerdict verdict() const { return verdict_kind_; }
+
  private:
   void kill_survivors();
   void reap_all();
+  void record_exit(std::size_t i, int status);
 
   AltGroupOptions opts_;
   std::vector<pid_t> children_;
   std::vector<bool> reaped_;
+  std::vector<bool> killed_;  // we sent SIGKILL before it was reaped
+  std::vector<ChildStatus> status_;
   Pipe token_;   // 0-1 semaphore: one byte, first reader commits
   Pipe result_;  // winner -> parent: index + payload + heap patch
   int my_index_ = 0;  // 0 in parent
+  std::uint64_t fault_attempt_ = 0;  // attempt id children consult
   bool spawned_ = false;
   bool decided_ = false;
   std::optional<AltWinner> verdict_;
+  WaitVerdict verdict_kind_ = WaitVerdict::kUndecided;
   int aborted_ = 0;
 };
 

@@ -24,6 +24,12 @@ namespace altx::posix {
 
 struct AwaitOptions {
   std::chrono::milliseconds timeout{30'000};
+
+  /// Optional seeded fault plan (see posix/fault.hpp): children consult it
+  /// just before delivering their result; the parent consults it before
+  /// each fork. await_all has no commit token, so kDropCommit simply loses
+  /// the child's frame — which fails the conjunction, as any crash does.
+  FaultInjector* fault = nullptr;
 };
 
 /// Runs every task concurrently; returns all results (in task order) or
@@ -39,13 +45,28 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
   pipes.reserve(n);
   for (std::size_t i = 0; i < n; ++i) pipes.push_back(Pipe::create());
 
+  const std::uint64_t attempt =
+      options.fault != nullptr ? options.fault->begin_attempt() : 0;
+
   std::vector<pid_t> children(n, -1);
+  auto abandon_cohort = [&](std::size_t have) {
+    for (std::size_t k = 0; k < have; ++k) ::kill(children[k], SIGKILL);
+    for (std::size_t k = 0; k < have; ++k) {
+      while (::waitpid(children[k], nullptr, 0) < 0 && errno == EINTR) {
+      }
+    }
+  };
   for (std::size_t i = 0; i < n; ++i) {
+    if (options.fault != nullptr &&
+        options.fault->fork_fails(attempt, static_cast<int>(i) + 1)) {
+      abandon_cohort(i);
+      throw SystemError("fork(await_all) (injected fault)", EAGAIN);
+    }
     const pid_t pid = ::fork();
     if (pid < 0) {
-      for (std::size_t k = 0; k < i; ++k) ::kill(children[k], SIGKILL);
-      for (std::size_t k = 0; k < i; ++k) ::waitpid(children[k], nullptr, 0);
-      throw_errno("fork(await_all)");
+      const int err = errno;
+      abandon_cohort(i);
+      throw SystemError("fork(await_all)", err);
     }
     if (pid == 0) {
       // Drop every inherited pipe end except our own write end, so a failed
@@ -57,8 +78,16 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
       try {
         const std::optional<T> out = tasks[i]();
         if (out.has_value()) {
-          write_frame(pipes[i].write_end.get(), race_encode<T>(*out));
-          _exit(0);
+          bool drop = false;
+          if (options.fault != nullptr) {
+            drop = options.fault->at_sync_point(
+                       attempt, static_cast<int>(i) + 1) ==
+                   FaultKind::kDropCommit;
+          }
+          if (!drop) {
+            write_frame(pipes[i].write_end.get(), race_encode<T>(*out));
+            _exit(0);
+          }
         }
       } catch (...) {
       }
@@ -76,7 +105,10 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
     if (kill_all) {
       for (pid_t pid : children) ::kill(pid, SIGKILL);
     }
-    for (pid_t pid : children) ::waitpid(pid, nullptr, 0);
+    for (pid_t pid : children) {
+      while (::waitpid(pid, nullptr, 0) < 0 && errno == EINTR) {
+      }
+    }
   };
 
   // Collect in order; each wait is bounded by the global deadline. A child

@@ -63,6 +63,20 @@ T race_decode(const Bytes& b) {
   }
 }
 
+/// How a race without a winner ended, plus the per-fate census — what a
+/// retry policy needs to decide whether another attempt can possibly help.
+/// With Eliminate::kAsynchronous some losers may still be unreaped
+/// (kRunning) when this is filled.
+struct RaceReport {
+  WaitVerdict verdict = WaitVerdict::kUndecided;
+  int committed = 0;
+  int aborted = 0;
+  int too_late = 0;
+  int crashed = 0;
+  int hung = 0;
+  int eliminated = 0;
+};
+
 struct RaceOptions {
   std::chrono::milliseconds timeout{10'000};
   Eliminate elimination = Eliminate::kSynchronous;
@@ -74,6 +88,13 @@ struct RaceOptions {
   /// may win for its alternative, so a crashing replica does not lose the
   /// alternative.
   int replicas = 1;
+
+  /// Optional seeded fault plan, consulted by children at their sync points
+  /// and by the parent before each fork (see posix/fault.hpp).
+  FaultInjector* fault = nullptr;
+
+  /// When set, filled with the verdict and child-fate census after the wait.
+  RaceReport* report = nullptr;
 };
 
 template <typename T>
@@ -98,6 +119,7 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
   AltGroupOptions go;
   go.elimination = options.elimination;
   go.heap = options.heap;
+  go.fault = options.fault;
   AltGroup group(go);
   const int n = static_cast<int>(alts.size());
   const int who = group.alt_spawn(n * options.replicas);
@@ -115,6 +137,16 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
     }
   }
   auto win = group.alt_wait(options.timeout);
+  if (options.report != nullptr) {
+    RaceReport& rep = *options.report;
+    rep.verdict = group.verdict();
+    rep.committed = group.count_fate(ChildFate::kCommitted);
+    rep.aborted = group.count_fate(ChildFate::kAborted);
+    rep.too_late = group.count_fate(ChildFate::kTooLate);
+    rep.crashed = group.count_fate(ChildFate::kCrashed);
+    rep.hung = group.count_fate(ChildFate::kHung);
+    rep.eliminated = group.count_fate(ChildFate::kEliminated);
+  }
   if (!win.has_value()) return std::nullopt;
   RaceResult<T> r;
   r.value = race_decode<T>(win->result);

@@ -1,12 +1,14 @@
 // Additional resilience scenarios: consensus under node restart and healed
-// partitions, distributed blocks with partitioned arbiters, and executor
-// determinism across repeated runs.
+// partitions, distributed blocks with partitioned arbiters, executor
+// determinism across repeated runs, and the POSIX supervisor's retry /
+// sequential-fallback ladder.
 #include <gtest/gtest.h>
 
 #include "consensus/majority.hpp"
 #include "core/executor.hpp"
 #include "core/workload.hpp"
 #include "dist/distributed.hpp"
+#include "posix/supervisor.hpp"
 
 namespace altx {
 namespace {
@@ -100,6 +102,130 @@ TEST(Resilience, ExecutorRunsAreExactlyRepeatable) {
   for (std::uint64_t seed : {2ULL, 4ULL, 8ULL}) {
     EXPECT_EQ(run_once(seed), run_once(seed)) << seed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// supervised_race: the POSIX backend's recovery ladder
+// ---------------------------------------------------------------------------
+
+using namespace std::chrono_literals;
+
+TEST(Resilience, SupervisedRaceRetriesThroughACrashStorm) {
+  // Every child of every attempt crashes at its sync point; after
+  // max_attempts the supervisor must degrade to the paper's sequential
+  // semantics and still produce the value, flagged.
+  posix::FaultProfile plan;
+  plan.crash_segv = 1.0;
+  posix::FaultInjector inj(5, plan);
+  posix::RaceOptions opts;
+  opts.fault = &inj;
+  posix::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = 1ms;
+  policy.base_timeout = 500ms;
+  posix::SupervisionLog log;
+  const auto r = posix::supervised_race<int>(
+      {[] { return std::optional<int>(31); }}, policy, opts, &log);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 31);
+  EXPECT_TRUE(r->degraded);
+  EXPECT_EQ(r->attempts, 2);
+  ASSERT_EQ(log.attempts.size(), 2u);
+  EXPECT_EQ(log.attempts[0].outcome, posix::AttemptOutcome::kDisrupted);
+  EXPECT_EQ(log.attempts[1].outcome, posix::AttemptOutcome::kDisrupted);
+  EXPECT_TRUE(log.fell_back_sequential);
+}
+
+TEST(Resilience, SupervisedRaceFallsBackWhenSpawningIsImpossible) {
+  posix::FaultProfile plan;
+  plan.fork_fail = 1.0;  // fork() never succeeds: total resource exhaustion
+  posix::FaultInjector inj(5, plan);
+  posix::RaceOptions opts;
+  opts.fault = &inj;
+  posix::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = 1ms;
+  posix::SupervisionLog log;
+  const auto r = posix::supervised_race<std::string>(
+      {
+          [] { return std::optional<std::string>(); },
+          [] { return std::optional<std::string>("degraded-but-alive"); },
+      },
+      policy, opts, &log);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, "degraded-but-alive");
+  EXPECT_EQ(r->winner, 2);
+  EXPECT_TRUE(r->degraded);
+  for (const auto& a : log.attempts) {
+    EXPECT_EQ(a.outcome, posix::AttemptOutcome::kSpawnFailed);
+  }
+}
+
+TEST(Resilience, SupervisedRaceDoesNotRetryADefinitiveFail) {
+  // Every guard evaluates and fails with no environmental casualty: FAIL is
+  // the block's answer (the paper's FAIL arm), not an error to retry.
+  posix::RetryPolicy policy;
+  policy.max_attempts = 5;
+  posix::SupervisionLog log;
+  const auto r = posix::supervised_race<int>(
+      {
+          [] { return std::optional<int>(); },
+          [] { return std::optional<int>(); },
+      },
+      policy, {}, &log);
+  EXPECT_FALSE(r.has_value());
+  ASSERT_EQ(log.attempts.size(), 1u);  // one attempt, no retries
+  EXPECT_EQ(log.attempts[0].outcome, posix::AttemptOutcome::kAllFailed);
+  EXPECT_FALSE(log.fell_back_sequential);
+}
+
+TEST(Resilience, SupervisedRaceFirstAttemptWinStaysUndegraded) {
+  posix::SupervisionLog log;
+  const auto r = posix::supervised_race<int>(
+      {
+          [] { return std::optional<int>(1); },
+      },
+      {}, {}, &log);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 1);
+  EXPECT_FALSE(r->degraded);
+  EXPECT_EQ(r->attempts, 1);
+  ASSERT_EQ(log.attempts.size(), 1u);
+  EXPECT_EQ(log.attempts[0].outcome, posix::AttemptOutcome::kWon);
+}
+
+TEST(Resilience, SupervisedRaceBackoffScheduleIsDeterministic) {
+  posix::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = 2ms;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;
+  policy.seed = 77;
+  auto run_once = [&] {
+    posix::FaultProfile plan;
+    plan.crash_kill = 1.0;
+    posix::FaultInjector inj(9, plan);
+    posix::RaceOptions opts;
+    opts.fault = &inj;
+    policy.sequential_fallback = false;
+    posix::SupervisionLog log;
+    const auto r = posix::supervised_race<int>(
+        {[] { return std::optional<int>(1); }}, policy, opts, &log);
+    EXPECT_FALSE(r.has_value());
+    std::vector<long long> backoffs;
+    for (const auto& a : log.attempts) {
+      backoffs.push_back(a.backoff_before.count());
+    }
+    return backoffs;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first[0], 0);    // no backoff before the first attempt
+  EXPECT_GT(first[1], 0);    // jittered exponential afterwards
+  EXPECT_LE(first[1], 3);    // 2ms +/- 50%
+  EXPECT_GE(first[2], 2);    // 4ms +/- 50%
 }
 
 }  // namespace
