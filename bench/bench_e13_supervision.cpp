@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "posix/fault.hpp"
 #include "posix/supervisor.hpp"
+#include "report.hpp"
 
 namespace {
 
@@ -96,6 +97,7 @@ int main() {
 
   Table t({"mode", "crash rate", "success", "degraded", "mean", "p95",
            "blocks/s"});
+  bench::Report report("e13_supervision");
   for (const double rate : {0.0, 0.1, 0.3}) {
     for (const bool supervised : {false, true}) {
       const auto r = run_mode(supervised, rate, /*seed=*/4242);
@@ -108,9 +110,19 @@ int main() {
                  Table::num(r.latency_ms.mean()) + " ms",
                  Table::num(r.latency_ms.percentile(95)) + " ms",
                  Table::num(r.blocks_per_s, 1)});
+      report.row(supervised ? "supervised" : "raw_race")
+          .param("crash_rate", rate)
+          .param("blocks", static_cast<double>(kBlocks))
+          .metric("success", r.succeeded)
+          .metric("degraded", r.degraded)
+          .metric("blocks_per_s", r.blocks_per_s)
+          .latency(r.latency_ms);
     }
   }
   t.print();
+  if (const std::string p = report.write(); !p.empty()) {
+    std::printf("\nreport: %s\n", p.c_str());
+  }
 
   std::printf(
       "\nReading: with nothing injected the supervisor adds only a branch\n"

@@ -4,6 +4,9 @@
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <string_view>
+#include <vector>
+
 #include "core/executor.hpp"
 #include "msg/predicate.hpp"
 #include "posix/alt_heap.hpp"
@@ -12,6 +15,7 @@
 #include "altc/translate.hpp"
 #include "consensus/majority.hpp"
 #include "posix/file_heap.hpp"
+#include "report.hpp"
 #include "sim/kernel.hpp"
 
 namespace {
@@ -187,3 +191,32 @@ void BM_PrologFindall(benchmark::State& state) {
 BENCHMARK(BM_PrologFindall);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: default --benchmark_out to
+// BENCH_micro.json (google-benchmark's own JSON schema) so every run leaves
+// a machine-readable report CI can diff. An explicit --benchmark_out on the
+// command line wins; ALTX_BENCH_OUT redirects the default like the table
+// benches.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!has_out) {
+    out_flag = "--benchmark_out=" + altx::bench::report_path("micro");
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Machine-readable benchmark reports.
+//
+// Every bench that wants tracked numbers writes a BENCH_<name>.json file next
+// to its human-readable table, so CI (or a later session) can diff runs
+// without scraping stdout. Layout:
+//
+//   {
+//     "bench": "e13_supervision",
+//     "rows": [
+//       {"name": "supervised",
+//        "params": {"crash_rate": 0.1},
+//        "metrics": {"success": 118},
+//        "latency_ms": {"count": 120, "mean": 9.1, "p50": 8.7, "p95": 14.2,
+//                       "min": 6.0, "max": 31.9}}
+//     ]
+//   }
+//
+// The output directory defaults to the working directory; set ALTX_BENCH_OUT
+// to redirect (CI points it at an artifacts dir). Keys and names come from
+// bench code, never user input, so escaping handles only quotes/backslashes.
+#pragma once
+
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace altx::bench {
+
+/// BENCH_<name>.json, honoring ALTX_BENCH_OUT.
+inline std::string report_path(const std::string& name) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("ALTX_BENCH_OUT"); env && *env) dir = env;
+  return dir + "/BENCH_" + name + ".json";
+}
+
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    explicit Row(std::string name) : name_(std::move(name)) {}
+
+    Row& param(const std::string& key, const std::string& value) {
+      params_.push_back({key, quote(value)});
+      return *this;
+    }
+    Row& param(const std::string& key, double value) {
+      params_.push_back({key, num(value)});
+      return *this;
+    }
+    Row& metric(const std::string& key, double value) {
+      metrics_.push_back({key, num(value)});
+      return *this;
+    }
+    /// Full latency distribution under "latency_<unit>".
+    Row& latency(const Summary& s, const std::string& unit = "ms") {
+      std::ostringstream o;
+      o << "{\"count\":" << s.count() << ",\"mean\":" << num(s.mean())
+        << ",\"p50\":" << num(s.median()) << ",\"p95\":"
+        << num(s.percentile(95)) << ",\"min\":" << num(s.min())
+        << ",\"max\":" << num(s.max()) << "}";
+      latency_ = {"latency_" + unit, o.str()};
+      return *this;
+    }
+
+   private:
+    friend class Report;
+
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> params_;
+    std::vector<std::pair<std::string, std::string>> metrics_;
+    std::pair<std::string, std::string> latency_;
+  };
+
+  Row& row(const std::string& name) {
+    rows_.emplace_back(name);
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json. Returns the path, empty on I/O failure (a
+  /// bench must still print its table even if the report can't be written).
+  std::string write() const {
+    const std::string path = report_path(name_);
+    std::ofstream out(path);
+    if (!out) return {};
+    out << "{\"bench\":" << quote(name_) << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      if (i != 0) out << ",";
+      out << "{\"name\":" << quote(r.name_);
+      out << ",\"params\":{";
+      for (std::size_t j = 0; j < r.params_.size(); ++j) {
+        if (j != 0) out << ",";
+        out << quote(r.params_[j].first) << ":" << r.params_[j].second;
+      }
+      out << "},\"metrics\":{";
+      for (std::size_t j = 0; j < r.metrics_.size(); ++j) {
+        if (j != 0) out << ",";
+        out << quote(r.metrics_[j].first) << ":" << r.metrics_[j].second;
+      }
+      out << "}";
+      if (!r.latency_.first.empty()) {
+        out << "," << quote(r.latency_.first) << ":" << r.latency_.second;
+      }
+      out << "}";
+    }
+    out << "]}\n";
+    return out ? path : std::string{};
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;
+    }
+    q += '"';
+    return q;
+  }
+
+  static std::string num(double v) {
+    std::ostringstream o;
+    o << v;
+    const std::string s = o.str();
+    // JSON has no inf/nan; an empty Summary's min() is such a sentinel.
+    if (s.find_first_not_of("0123456789+-.e") != std::string::npos) {
+      return "null";
+    }
+    return s;
+  }
+
+  std::string name_;
+  std::deque<Row> rows_;  // deque: row() hands out stable references
+};
+
+}  // namespace altx::bench

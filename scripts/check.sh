@@ -1,14 +1,18 @@
 #!/bin/sh
-# Full verification: builds and runs the test suite twice — once plain, once
-# with ALTX_SANITIZE=address,undefined — with a per-test timeout, so a hung
-# fault-injection test fails instead of wedging CI.
+# Full verification: format check, then the test suite twice — once plain,
+# once with ALTX_SANITIZE=address,undefined — with a per-test timeout, so a
+# hung fault-injection test fails instead of wedging CI.
 #
 # Usage: scripts/check.sh [jobs]
 #   ALTX_TEST_TIMEOUT   per-test ctest timeout in seconds (default 120)
 #   ALTX_SANITIZERS     sanitizer list for the second pass
 #                       (default address,undefined; empty skips the pass)
-set -e
+set -eu
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+# Non-interactive by construction: every failure lands on this trap with a
+# non-zero exit, never a prompt — CI and cron runs fail loudly or pass.
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "== check FAILED (exit $status)" >&2; fi; exit $status' EXIT
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 TIMEOUT="${ALTX_TEST_TIMEOUT:-120}"
 SANITIZERS="${ALTX_SANITIZERS-address,undefined}"
@@ -24,6 +28,9 @@ run_pass() {
   ctest --test-dir "$ROOT/$builddir" -j "$JOBS" --timeout "$TIMEOUT" \
         --output-on-failure
 }
+
+echo "== format check"
+"$ROOT/scripts/format.sh" --check
 
 run_pass build -DALTX_SANITIZE=
 

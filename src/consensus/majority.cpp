@@ -1,6 +1,16 @@
 #include "consensus/majority.hpp"
 
+#include "obs/trace.hpp"
+
 namespace altx::consensus {
+
+namespace {
+
+std::uint64_t sim_ns(SimTime t) {
+  return static_cast<std::uint64_t>(t) * 1000ULL;
+}
+
+}  // namespace
 
 MajoritySync::MajoritySync(net::Network& network, Config cfg)
     : net_(network), cfg_(cfg) {
@@ -27,6 +37,7 @@ void MajoritySync::add_candidate(CandidateId id, NodeId home, SimTime start_at) 
 }
 
 void MajoritySync::start() {
+  trace_id_ = obs::next_race_id();
   for (NodeId a = 0; a < static_cast<NodeId>(cfg_.arbiters); ++a) {
     net_.on_receive(a, kConsensusChannel,
                     [this, a](const net::Packet& p) { on_arbiter_packet(a, p); });
@@ -58,6 +69,8 @@ void MajoritySync::begin_round(Candidate& c) {
     o.decided = true;
     o.won = false;
     o.decided_at = net_.now();
+    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kSyncDecided, trace_id_,
+                 0, c.id, 0, static_cast<std::uint64_t>(c.round));
     if (on_decided) on_decided(c.id, o);
     return;
   }
@@ -93,8 +106,12 @@ void MajoritySync::on_candidate_packet(Candidate& c, const net::Packet& p) {
   if (arbiter >= static_cast<NodeId>(cfg_.arbiters)) return;
   if (type == kGrant) {
     c.granted[arbiter] = true;
+    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kVoteGrant, trace_id_, 0,
+                 c.id, static_cast<std::uint64_t>(arbiter));
   } else if (type == kReject) {
     c.rejected[arbiter] = true;
+    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kVoteReject, trace_id_, 0,
+                 c.id, static_cast<std::uint64_t>(arbiter));
   } else {
     return;
   }
@@ -119,6 +136,8 @@ void MajoritySync::check_verdict(Candidate& c) {
     o.decided = true;
     o.won = true;
     o.decided_at = net_.now();
+    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kSyncDecided, trace_id_,
+                 0, c.id, 1, static_cast<std::uint64_t>(o.rounds));
     if (on_decided) on_decided(c.id, o);
   } else if (rejections >= majority() ||
              rejections > cfg_.arbiters - majority()) {
@@ -127,6 +146,8 @@ void MajoritySync::check_verdict(Candidate& c) {
     o.decided = true;
     o.won = false;
     o.decided_at = net_.now();
+    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kSyncDecided, trace_id_,
+                 0, c.id, 0, static_cast<std::uint64_t>(o.rounds));
     if (on_decided) on_decided(c.id, o);
   }
 }

@@ -123,6 +123,7 @@ class MajoritySync {
 
   net::Network& net_;
   Config cfg_;
+  std::uint32_t trace_id_ = 0;  // groups this election's obs events
   std::vector<Arbiter> arbiters_;
   std::map<CandidateId, Candidate> candidates_;
   std::map<CandidateId, SyncOutcome> outcomes_;

@@ -103,6 +103,7 @@ class DistributedBlock {
   std::vector<RemoteAlt> alts_;
   consensus::MajoritySync sync_;
   DistResult result_;
+  std::uint32_t trace_id_ = 0;  // groups this block's obs events
 
   struct WorkerState {
     bool killed = false;

@@ -1,0 +1,46 @@
+#include "obs/event.hpp"
+
+namespace altx::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNone: return "none";
+    case EventKind::kRaceBegin: return "race_begin";
+    case EventKind::kFork: return "fork";
+    case EventKind::kGuardStart: return "guard_start";
+    case EventKind::kGuardResult: return "guard_result";
+    case EventKind::kCommitAttempt: return "commit_attempt";
+    case EventKind::kCommitWon: return "commit_won";
+    case EventKind::kTooLate: return "too_late";
+    case EventKind::kGuardFail: return "guard_fail";
+    case EventKind::kChildFate: return "child_fate";
+    case EventKind::kRaceDecided: return "race_decided";
+    case EventKind::kEliminated: return "eliminated";
+    case EventKind::kAttemptBegin: return "attempt_begin";
+    case EventKind::kAttemptEnd: return "attempt_end";
+    case EventKind::kBackoff: return "backoff";
+    case EventKind::kSequentialFallback: return "sequential_fallback";
+    case EventKind::kHedgeWake: return "hedge_wake";
+    case EventKind::kAwaitBegin: return "await_begin";
+    case EventKind::kAwaitTaskDone: return "await_task_done";
+    case EventKind::kAwaitDecided: return "await_decided";
+    case EventKind::kDistSpawn: return "dist_spawn";
+    case EventKind::kDistAbort: return "dist_abort";
+    case EventKind::kDistResult: return "dist_result";
+    case EventKind::kDistKill: return "dist_kill";
+    case EventKind::kDistDecided: return "dist_decided";
+    case EventKind::kVoteGrant: return "vote_grant";
+    case EventKind::kVoteReject: return "vote_reject";
+    case EventKind::kSyncDecided: return "sync_decided";
+    case EventKind::kSimEvent: return "sim_event";
+  }
+  return "?";
+}
+
+bool is_terminal_fate(EventKind kind) {
+  // kChildFate is the parent's post-mortem verdict — the authoritative
+  // terminal event; the child-side kinds are the child's own last words.
+  return kind == EventKind::kChildFate;
+}
+
+}  // namespace altx::obs

@@ -1,0 +1,95 @@
+// The unified trace-event schema shared by every altx backend.
+//
+// The paper's argument is quantitative — §4 measures fork cost, COW copy
+// rates, and which alternative wins — so the runtime must be able to say,
+// after the fact, *why* a given alternative won, lost, arrived too late, or
+// was retried. The simulator always could (sim::TraceEvent); this schema
+// generalizes that stream so the real-process backend, the supervisor, the
+// distributed layer, and the consensus protocol all speak it too.
+//
+// A Record is a fixed-size POD (48 bytes) so that it can live in a shared
+// ring buffer written concurrently by forked children (see obs/ring.hpp):
+// no pointers, no strings, no destructors — a child killed mid-run leaves
+// at worst one torn slot, never a corrupted heap.
+#pragma once
+
+#include <cstdint>
+
+namespace altx::obs {
+
+/// What happened. Kinds are grouped by the layer that emits them; the
+/// numeric values are part of the on-disk jsonl format, so append only.
+enum class EventKind : std::uint16_t {
+  kNone = 0,
+
+  // Alternative-block lifecycle (posix::AltGroup / race / sim kernel).
+  kRaceBegin = 1,     // a: number of alternatives, b: replicas
+  kFork = 2,          // a: child pid, b: fork latency ns
+  kGuardStart = 3,    // child side: alternative body begins
+  kGuardResult = 4,   // child side: a: 1 = guard held, 0 = failed
+  kCommitAttempt = 5, // child side: about to take the token
+  kCommitWon = 6,     // child side: took the token (the winner)
+  kTooLate = 7,       // child side: token already gone (section 3.2.1)
+  kGuardFail = 8,     // child side: aborting without synchronization
+  kChildFate = 9,     // parent side, at reap: a: ChildFate, b: signal,
+                      //   c: raw exit code (u64-encoded)
+  kRaceDecided = 10,  // parent side: a: WaitVerdict, b: winner index (0 =
+                      //   none), c: pages absorbed
+  kEliminated = 11,   // (sim) a loser was physically terminated
+
+  // Supervision spans (posix::supervised_race).
+  kAttemptBegin = 16, // a: attempt number (0-based), b: timeout ms
+  kAttemptEnd = 17,   // a: attempt number, b: AttemptOutcome
+  kBackoff = 18,      // a: attempt number about to run, b: backoff ms
+  kSequentialFallback = 19,
+
+  // Hedging (posix::hedged).
+  kHedgeWake = 24,    // child side: a: copy index, after its stagger sleep
+
+  // Conjunction (posix::await_all).
+  kAwaitBegin = 32,   // a: task count
+  kAwaitTaskDone = 33,// child side: a: 1 = produced a value, 0 = failed
+  kAwaitDecided = 34, // parent side: a: 1 = all collected, 0 = failed
+
+  // Distributed block (dist::DistributedBlock; timestamps are sim time).
+  kDistSpawn = 48,    // a: alternative index, b: checkpoint bytes
+  kDistAbort = 49,    // a: alternative index (guard failed remotely)
+  kDistResult = 50,   // a: alternative index (result reached coordinator)
+  kDistKill = 51,     // a: alternative index (elimination message sent)
+  kDistDecided = 52,  // a: 1 = committed, 0 = failed; b: winner index
+
+  // Majority-consensus semaphore (consensus::MajoritySync; sim time).
+  kVoteGrant = 64,    // a: candidate id, b: arbiter node
+  kVoteReject = 65,   // a: candidate id, b: arbiter node
+  kSyncDecided = 66,  // a: candidate id, b: 1 = won, c: rounds used
+
+  // Simulator events with no direct generalized counterpart keep their
+  // original sim::TraceEvent::Kind in `a` (see obs/sim_bridge.hpp).
+  kSimEvent = 80,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// One trace record. `race_id` groups every event of one alternative block
+/// (a fresh id per AltGroup / await_all / DistributedBlock); `attempt` is
+/// the supervisor's retry ordinal (0 when unsupervised); `child_index` is
+/// the 1-based alternative number (0 for the parent/coordinator).
+struct Record {
+  std::uint64_t t_ns = 0;      // CLOCK_MONOTONIC ns (sim time ns for sim/dist)
+  std::uint32_t race_id = 0;
+  std::uint32_t attempt = 0;
+  std::int32_t pid = 0;
+  std::int16_t child_index = 0;
+  EventKind kind = EventKind::kNone;
+  std::uint64_t a = 0;  // kind-specific, documented per kind above
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+static_assert(sizeof(Record) == 48, "Record is part of the shared-ring ABI");
+
+/// Terminal fates a child can reach, as recorded in kChildFate / kTooLate /
+/// kGuardFail events. True when `kind` closes a child's story.
+[[nodiscard]] bool is_terminal_fate(EventKind kind);
+
+}  // namespace altx::obs

@@ -1,0 +1,178 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace altx::obs {
+
+namespace {
+
+/// Every kind whose to_string name a reader must recognize.
+constexpr EventKind kAllKinds[] = {
+    EventKind::kNone,          EventKind::kRaceBegin,
+    EventKind::kFork,          EventKind::kGuardStart,
+    EventKind::kGuardResult,   EventKind::kCommitAttempt,
+    EventKind::kCommitWon,     EventKind::kTooLate,
+    EventKind::kGuardFail,     EventKind::kChildFate,
+    EventKind::kRaceDecided,   EventKind::kEliminated,
+    EventKind::kAttemptBegin,  EventKind::kAttemptEnd,
+    EventKind::kBackoff,       EventKind::kSequentialFallback,
+    EventKind::kHedgeWake,     EventKind::kAwaitBegin,
+    EventKind::kAwaitTaskDone, EventKind::kAwaitDecided,
+    EventKind::kDistSpawn,     EventKind::kDistAbort,
+    EventKind::kDistResult,    EventKind::kDistKill,
+    EventKind::kDistDecided,   EventKind::kVoteGrant,
+    EventKind::kVoteReject,    EventKind::kSyncDecided,
+    EventKind::kSimEvent,
+};
+
+void format_jsonl_line(const Record& r, char* buf, std::size_t n) {
+  std::snprintf(buf, n,
+                "{\"t_ns\":%" PRIu64 ",\"kind\":\"%s\",\"race\":%" PRIu32
+                ",\"attempt\":%" PRIu32 ",\"pid\":%" PRId32
+                ",\"child\":%d,\"a\":%" PRIu64 ",\"b\":%" PRIu64
+                ",\"c\":%" PRIu64 "}",
+                r.t_ns, to_string(r.kind), r.race_id, r.attempt, r.pid,
+                static_cast<int>(r.child_index), r.a, r.b, r.c);
+}
+
+/// Extracts the numeric value following `"key":` on the line; nullopt when
+/// the key is absent. Values are at most u64; callers narrow as needed.
+std::optional<std::uint64_t> field_u64(const std::string& line,
+                                       const std::string& key, bool* neg) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  bool negative = false;
+  if (i < line.size() && line[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t v = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  if (neg != nullptr) *neg = negative;
+  return v;
+}
+
+std::optional<std::string> field_string(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const std::size_t start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+}  // namespace
+
+void write_jsonl(const std::vector<Record>& records, std::ostream& out) {
+  char buf[256];
+  for (const Record& r : records) {
+    format_jsonl_line(r, buf, sizeof buf);
+    out << buf << '\n';
+  }
+}
+
+void write_chrome(const std::vector<Record>& records, std::ostream& out) {
+  out << "{\"traceEvents\":[";
+  char buf[320];
+  bool first = true;
+  for (const Record& r : records) {
+    // Supervisor attempts become duration spans; everything else instants.
+    const char* ph = "i";
+    const char* name = to_string(r.kind);
+    if (r.kind == EventKind::kAttemptBegin) {
+      ph = "B";
+      name = "attempt";
+    } else if (r.kind == EventKind::kAttemptEnd) {
+      ph = "E";
+      name = "attempt";
+    }
+    // Perfetto groups rows by (pid, tid): one "process" per alternative
+    // block, one "thread" per participant (0 = the parent/coordinator).
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n{\"name\":\"%s\",\"ph\":\"%s\",%s\"ts\":%.3f,\"pid\":%" PRIu32
+        ",\"tid\":%d,\"args\":{\"os_pid\":%" PRId32 ",\"attempt\":%" PRIu32
+        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 ",\"c\":%" PRIu64 "}}",
+        first ? "" : ",", name, ph,
+        ph[0] == 'i' ? "\"s\":\"t\"," : "",  // instant scope: per thread
+        static_cast<double>(r.t_ns) / 1000.0, r.race_id,
+        static_cast<int>(r.child_index), r.pid, r.attempt, r.a, r.b, r.c);
+    out << buf;
+    first = false;
+  }
+  out << "\n]}\n";
+}
+
+void write_trace(const std::vector<Record>& records, std::ostream& out,
+                 const std::string& format) {
+  if (format == "jsonl" || format.empty()) {
+    write_jsonl(records, out);
+  } else if (format == "chrome") {
+    write_chrome(records, out);
+  } else {
+    throw UsageError("unknown trace format '" + format +
+                     "' (expected jsonl or chrome)");
+  }
+}
+
+std::optional<EventKind> event_kind_from_string(const std::string& name) {
+  static const std::map<std::string, EventKind> table = [] {
+    std::map<std::string, EventKind> t;
+    for (EventKind k : kAllKinds) t.emplace(to_string(k), k);
+    return t;
+  }();
+  const auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Record> parse_jsonl(std::istream& in) {
+  std::vector<Record> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Record r;
+    const auto t = field_u64(line, "t_ns", nullptr);
+    const auto kind = field_string(line, "kind");
+    const auto race = field_u64(line, "race", nullptr);
+    if (!t.has_value() || !kind.has_value() || !race.has_value()) {
+      throw UsageError("trace line " + std::to_string(lineno) +
+                       ": not an altx jsonl record");
+    }
+    r.t_ns = *t;
+    r.kind = event_kind_from_string(*kind).value_or(EventKind::kNone);
+    r.race_id = static_cast<std::uint32_t>(*race);
+    r.attempt = static_cast<std::uint32_t>(
+        field_u64(line, "attempt", nullptr).value_or(0));
+    bool pid_neg = false;
+    const std::uint64_t pid = field_u64(line, "pid", &pid_neg).value_or(0);
+    r.pid = static_cast<std::int32_t>(pid) * (pid_neg ? -1 : 1);
+    bool child_neg = false;
+    const std::uint64_t child =
+        field_u64(line, "child", &child_neg).value_or(0);
+    r.child_index = static_cast<std::int16_t>(child) * (child_neg ? -1 : 1);
+    r.a = field_u64(line, "a", nullptr).value_or(0);
+    r.b = field_u64(line, "b", nullptr).value_or(0);
+    r.c = field_u64(line, "c", nullptr).value_or(0);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace altx::obs

@@ -1,0 +1,43 @@
+// Trace exporters and the matching reader.
+//
+// Two formats, both plain text:
+//
+//   jsonl  — one JSON object per line, every Record field verbatim. The
+//            canonical format: lossless, grep-able, and what altx-trace and
+//            parse_jsonl() read back.
+//
+//   chrome — the Chrome/Perfetto trace_event JSON format (load the file in
+//            ui.perfetto.dev or chrome://tracing). Each alternative block
+//            becomes a "process" row (pid = race id), each participant a
+//            "thread" row; supervisor attempts render as duration spans,
+//            everything else as instants. Lossy by design (a visualization,
+//            not an archive).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace altx::obs {
+
+void write_jsonl(const std::vector<Record>& records, std::ostream& out);
+void write_chrome(const std::vector<Record>& records, std::ostream& out);
+
+/// Dispatches on format name ("jsonl" or "chrome"); throws UsageError on an
+/// unknown format.
+void write_trace(const std::vector<Record>& records, std::ostream& out,
+                 const std::string& format);
+
+/// Reverse of to_string(EventKind); nullopt for unknown names.
+[[nodiscard]] std::optional<EventKind> event_kind_from_string(
+    const std::string& name);
+
+/// Reads a jsonl trace back. Unknown event kinds parse as kNone rather than
+/// failing, so newer traces degrade gracefully in older readers; malformed
+/// lines throw UsageError with the line number.
+[[nodiscard]] std::vector<Record> parse_jsonl(std::istream& in);
+
+}  // namespace altx::obs

@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace altx::obs {
+
+namespace {
+
+int bucket_for(std::uint64_t v) noexcept {
+  // Bucket i holds values in [2^i, 2^(i+1)) (bucket 0 also takes 0).
+  if (v <= 1) return 0;
+  const int b = 63 - __builtin_clzll(v);
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t v) noexcept {
+  buckets_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ULL ? 0 : m;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Nearest-rank over the bucket histogram.
+  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 *
+                                                  static_cast<double>(n));
+  if (rank > 0) --rank;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) return (2ULL << i) - 1;  // bucket's inclusive upper bound
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + name + "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  char buf[160];
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                  "\"max\": %llu, \"mean\": %.1f, \"p50\": %llu, "
+                  "\"p95\": %llu, \"p99\": %llu}",
+                  static_cast<unsigned long long>(h->count()),
+                  static_cast<unsigned long long>(h->sum()),
+                  static_cast<unsigned long long>(h->min()),
+                  static_cast<unsigned long long>(h->max()), h->mean(),
+                  static_cast<unsigned long long>(h->percentile(50)),
+                  static_cast<unsigned long long>(h->percentile(95)),
+                  static_cast<unsigned long long>(h->percentile(99)));
+    out += "\n    \"" + name + "\": " + buf;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: the ALTX_METRICS atexit exporter is registered before main()
+  // while the registry is first touched *during* the run, so a function-
+  // local static would be destroyed before the exporter reads it.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+}  // namespace altx::obs

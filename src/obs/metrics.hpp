@@ -1,0 +1,90 @@
+// Counters and histograms for the hot numbers the paper measures.
+//
+// The trace ring answers "what happened to race #17"; the metrics registry
+// answers "what does fork cost on this machine, at p95, over the whole
+// run". Counters are monotonic; histograms bucket by powers of two (ns
+// resolution spans 1 ns .. ~¼ hour in 62 buckets), which gives percentile
+// estimates within a factor-of-two bucket width at constant memory and an
+// O(1), allocation-free record().
+//
+// The registry is process-local: a forked child's updates die with it, by
+// design — cross-process truth lives in the trace ring, and the parent owns
+// every number reported here (fork latency, decide latency, retries,
+// too-late losses, pages absorbed are all parent-side observations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace altx::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 62;  // bucket i holds values < 2^(i+1)
+
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;  // 0 when empty
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Upper bound of the bucket holding the p-th percentile, p in [0, 100].
+  /// Exact to within the bucket's factor-of-two width; 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named metrics, created on first use and stable thereafter (references
+/// returned by counter()/histogram() never dangle or move).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters": {...}, "histograms": {name: {count, sum, min, max, mean,
+  ///  p50, p95, p99}}} — the ALTX_METRICS dump format.
+  [[nodiscard]] std::string to_json() const;
+
+  void reset();  // testing: drop every metric
+
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace altx::obs

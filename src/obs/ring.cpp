@@ -1,0 +1,84 @@
+#include "obs/ring.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace altx::obs {
+
+TraceRing::TraceRing(std::size_t capacity) {
+  ALTX_REQUIRE(capacity >= 1, "TraceRing: capacity must be positive");
+  capacity_ = capacity;
+  map_bytes_ = sizeof(Header) + capacity * sizeof(Slot);
+  void* p = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw_errno("mmap(TraceRing)");
+  map_ = p;
+  // Anonymous pages arrive zeroed, which is exactly the initial state every
+  // atomic needs; placement-new just makes that formal.
+  header_ = new (map_) Header;
+  slots_ = reinterpret_cast<Slot*>(static_cast<char*>(map_) + sizeof(Header));
+}
+
+TraceRing::~TraceRing() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+void TraceRing::push(const Record& rec) noexcept {
+  const std::uint64_t ticket =
+      header_->head.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= capacity_) {
+    header_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = slots_[ticket];
+  slot.rec = rec;
+  slot.ready.store(1, std::memory_order_release);
+}
+
+std::uint32_t TraceRing::next_race_id() noexcept {
+  // Id 0 means "untraced"; start handing out ids at 1.
+  return header_->next_race_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::vector<Record> TraceRing::snapshot() const {
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  const std::uint64_t n = head < capacity_ ? head : capacity_;
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire) != 0) {
+      out.push_back(slots_[i].rec);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const noexcept {
+  return header_->dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRing::published() const noexcept {
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  const std::uint64_t n = head < capacity_ ? head : capacity_;
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire) != 0) ++count;
+  }
+  return count;
+}
+
+void TraceRing::reset() noexcept {
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  const std::uint64_t n = head < capacity_ ? head : capacity_;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    slots_[i].ready.store(0, std::memory_order_relaxed);
+  }
+  header_->dropped.store(0, std::memory_order_relaxed);
+  header_->head.store(0, std::memory_order_release);
+}
+
+}  // namespace altx::obs

@@ -1,0 +1,87 @@
+// A crash-surviving, lock-free MPSC trace buffer shared across fork().
+//
+// The problem: a forked alternative's story (guard started, guard held,
+// commit attempted, token taken / too late) ends with _exit or SIGKILL, so
+// anything buffered in the child's private memory dies with it. Like
+// lktrace's per-event logs of POSIX synchronization, we want the log to be
+// reconstructable post-mortem — so the log lives in a MAP_SHARED anonymous
+// mapping created by the parent *before* alt_spawn and inherited by every
+// child. A write is two atomic operations and a 48-byte copy; a child
+// killed between them leaves one unpublished slot, which the reader skips.
+//
+// Design: a bounded arena with monotonically increasing tickets rather than
+// a wrapping queue. Producers claim a slot with fetch_add; when the arena
+// is full, further records are counted in `dropped` and lost (newest-loses
+// policy — the earliest events of a race are the ones that explain it, and
+// a terminal fate is emitted once per child, early enough to fit). This
+// keeps every slot single-writer, which is what makes torn records from
+// SIGKILLed children detectable instead of corrupting neighbours: a slot is
+// visible only after its `ready` flag is store-released.
+//
+// The header also hosts the cross-process race-id and attempt counters, so
+// ids stay unique even when nested constructs fork concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace altx::obs {
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;  // records
+
+  /// Creates the shared mapping. Must happen in the process that will fork
+  /// (fork inheritance is the only way children reach the same pages).
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+  ~TraceRing();
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Lock-free, async-signal-safe, callable from any process sharing the
+  /// mapping. Copies `rec` into the next free slot; drops it (and counts
+  /// the drop) when the arena is full.
+  void push(const Record& rec) noexcept;
+
+  /// Fresh cross-process-unique ids.
+  std::uint32_t next_race_id() noexcept;
+
+  /// Reader side (parent, post-mortem): every published record, in write
+  /// order (claim order; sort by t_ns for a timeline). Slots claimed but
+  /// never published — a child died mid-write — are skipped.
+  [[nodiscard]] std::vector<Record> snapshot() const;
+
+  /// Records lost to arena exhaustion.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Records published so far (excludes drops and torn slots).
+  [[nodiscard]] std::uint64_t published() const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Testing aid: forget everything. Only safe with no live children.
+  void reset() noexcept;
+
+ private:
+  struct Header {
+    std::atomic<std::uint64_t> head;     // next ticket to claim
+    std::atomic<std::uint64_t> dropped;
+    std::atomic<std::uint32_t> next_race_id;
+  };
+  struct Slot {
+    std::atomic<std::uint32_t> ready;  // 0 = unpublished, 1 = published
+    Record rec;
+  };
+
+  Header* header_ = nullptr;
+  Slot* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+};
+
+}  // namespace altx::obs

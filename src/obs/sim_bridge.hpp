@@ -1,0 +1,61 @@
+// Maps the simulator's TraceEvent stream into the generalized obs schema.
+//
+// Header-only on purpose: obs must not link against the simulator (the
+// POSIX backend uses obs without it), and the simulator keeps its own
+// synchronous sink (Kernel::Config::trace). A consumer that wants sim runs
+// in the unified trace installs this adapter:
+//
+//   cfg.trace = altx::obs::sim_trace_sink(altx::obs::next_race_id());
+//
+// Sim timestamps are microseconds of simulated time; the bridge converts
+// them to nanoseconds so one timeline unit rules the whole trace file
+// (real and simulated runs are distinguished by their kinds and pids, not
+// by unit guessing).
+#pragma once
+
+#include <functional>
+
+#include "obs/trace.hpp"
+#include "sim/kernel.hpp"
+
+namespace altx::obs {
+
+/// The generalized kind a sim event maps to; kinds with no semantic
+/// counterpart become kSimEvent with the original kind preserved in `a`.
+inline EventKind map_sim_kind(sim::TraceEvent::Kind k) {
+  using K = sim::TraceEvent::Kind;
+  switch (k) {
+    case K::kSpawn: return EventKind::kFork;
+    case K::kCommit: return EventKind::kCommitWon;
+    case K::kAbort: return EventKind::kGuardFail;
+    case K::kEliminate: return EventKind::kEliminated;
+    case K::kTooLate: return EventKind::kTooLate;
+    case K::kBlockFail: return EventKind::kRaceDecided;
+    case K::kTimeout: return EventKind::kRaceDecided;
+    case K::kWorldSplit:
+    case K::kDeliver:
+    case K::kSourceWrite:
+    case K::kComplete:
+    case K::kNodeCrash: return EventKind::kSimEvent;
+  }
+  return EventKind::kSimEvent;
+}
+
+/// A Kernel::Config::trace sink forwarding every sim event into the shared
+/// ring under the given race id. The sim pid rides in the record's pid
+/// field; the peer pid (parent / clone / sender) in `b`; kSimEvent keeps
+/// the original kind in `a`.
+inline std::function<void(const sim::TraceEvent&)> sim_trace_sink(
+    std::uint32_t race_id) {
+  return [race_id](const sim::TraceEvent& ev) {
+    const EventKind kind = map_sim_kind(ev.kind);
+    emit_at(static_cast<std::uint64_t>(ev.time) * 1000ULL, kind, race_id,
+            /*child_index=*/0,
+            kind == EventKind::kSimEvent ? static_cast<std::uint64_t>(ev.kind)
+                                         : static_cast<std::uint64_t>(ev.pid),
+            static_cast<std::uint64_t>(ev.other),
+            static_cast<std::uint64_t>(ev.pid));
+  };
+}
+
+}  // namespace altx::obs

@@ -1,0 +1,204 @@
+#include "obs/trace.hpp"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+
+namespace altx::obs {
+
+namespace detail {
+bool g_enabled = false;
+}  // namespace detail
+
+namespace {
+
+// The ring is leaked deliberately: children may still touch it inside
+// _exit-bound code paths while the parent unwinds static destructors, and a
+// single mapping for the process lifetime is exactly what post-mortem
+// reconstruction wants.
+TraceRing* g_ring = nullptr;
+std::uint32_t g_attempt = 0;  // inherited by children through fork
+pid_t g_creator = -1;
+
+// Export configuration captured from the environment at init.
+std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+std::string& trace_format() {
+  static std::string format;
+  return format;
+}
+std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+void export_at_exit() {
+  // Only the ring's creator exports; a forked child that somehow reaches
+  // exit() (instead of _exit) must not clobber the parent's file.
+  if (::getpid() != g_creator) return;
+  if (!trace_path().empty()) {
+    try {
+      export_to(trace_path(), trace_format());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "altx: trace export failed: %s\n", e.what());
+    }
+  }
+  if (!metrics_path().empty()) {
+    std::ofstream out(metrics_path());
+    if (out) {
+      out << MetricsRegistry::global().to_json();
+    } else {
+      std::fprintf(stderr, "altx: cannot write metrics to %s\n",
+                   metrics_path().c_str());
+    }
+  }
+}
+
+/// Runs before main(): the ring must exist in the process that forks, and
+/// reading the environment once here keeps every later emit branch-only.
+struct EnvInit {
+  EnvInit() {
+    const char* trace = std::getenv("ALTX_TRACE");
+    const char* metrics = std::getenv("ALTX_METRICS");
+    if (trace == nullptr && metrics == nullptr) return;
+    std::size_t capacity = TraceRing::kDefaultCapacity;
+    if (const char* buf = std::getenv("ALTX_TRACE_BUF")) {
+      const long long n = std::atoll(buf);
+      if (n > 0) capacity = static_cast<std::size_t>(n);
+    }
+    if (trace != nullptr) {
+      trace_path() = trace;
+      const char* format = std::getenv("ALTX_TRACE_FORMAT");
+      trace_format() = format != nullptr ? format : "jsonl";
+    }
+    if (metrics != nullptr) metrics_path() = metrics;
+    g_ring = new TraceRing(capacity);
+    g_creator = ::getpid();
+    std::atexit(export_at_exit);
+    detail::g_enabled = true;
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+void emit_slow(EventKind kind, std::uint32_t race_id, std::int16_t child_index,
+               std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  if (g_ring == nullptr) return;
+  Record r;
+  r.t_ns = now_ns();
+  r.race_id = race_id;
+  r.attempt = g_attempt;
+  r.pid = static_cast<std::int32_t>(::getpid());
+  r.child_index = child_index;
+  r.kind = kind;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  g_ring->push(r);
+}
+
+}  // namespace detail
+
+void emit_at(std::uint64_t t_ns, EventKind kind, std::uint32_t race_id,
+             std::int16_t child_index, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c) noexcept {
+  if (!detail::g_enabled || g_ring == nullptr) [[likely]] return;
+  Record r;
+  r.t_ns = t_ns;
+  r.race_id = race_id;
+  r.attempt = g_attempt;
+  r.pid = static_cast<std::int32_t>(::getpid());
+  r.child_index = child_index;
+  r.kind = kind;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  g_ring->push(r);
+}
+
+std::uint32_t next_race_id() noexcept {
+  if (!detail::g_enabled || g_ring == nullptr) [[likely]] return 0;
+  return g_ring->next_race_id();
+}
+
+std::uint64_t now_ns() noexcept {
+  timespec ts;
+  if (::clock_gettime(CLOCK_MONOTONIC, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void set_attempt(std::uint32_t attempt) noexcept { g_attempt = attempt; }
+
+std::uint32_t current_attempt() noexcept { return g_attempt; }
+
+namespace {
+std::uint32_t g_current_race = 0;  // child-side; set after fork
+}  // namespace
+
+void set_current_race(std::uint32_t race_id) noexcept {
+  g_current_race = race_id;
+}
+
+std::uint32_t current_race() noexcept { return g_current_race; }
+
+void enable_for_test(std::size_t capacity) {
+  if (g_ring == nullptr) {
+    g_ring = new TraceRing(capacity);
+    g_creator = ::getpid();
+  }
+  detail::g_enabled = true;
+}
+
+std::vector<Record> snapshot() {
+  if (g_ring == nullptr) return {};
+  return g_ring->snapshot();
+}
+
+std::uint64_t dropped() {
+  return g_ring == nullptr ? 0 : g_ring->dropped();
+}
+
+void reset() {
+  if (g_ring != nullptr) g_ring->reset();
+  g_attempt = 0;
+}
+
+TraceRing* ring() noexcept { return g_ring; }
+
+void export_to(const std::string& path, const std::string& format) {
+  std::vector<Record> records = snapshot();
+  // Claim order is per-process program order but interleaves arbitrarily
+  // across processes; the timeline order is the timestamp order.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& x, const Record& y) {
+                     return x.t_ns < y.t_ns;
+                   });
+  std::ofstream out(path);
+  if (!out) throw SystemError("open trace file " + path, errno);
+  write_trace(records, out, format);
+  out.flush();
+  if (!out) throw SystemError("write trace file " + path, EIO);
+  if (const std::uint64_t lost = dropped(); lost > 0) {
+    std::fprintf(stderr,
+                 "altx: trace buffer overflow: %llu records dropped "
+                 "(raise ALTX_TRACE_BUF)\n",
+                 static_cast<unsigned long long>(lost));
+  }
+}
+
+}  // namespace altx::obs

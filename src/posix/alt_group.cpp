@@ -6,6 +6,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace altx::posix {
 
 namespace {
@@ -63,6 +66,12 @@ int AltGroup::alt_spawn(int n) {
   ALTX_REQUIRE(n >= 1, "AltGroup: need at least one alternative");
   spawned_ = true;
   if (opts_.fault != nullptr) fault_attempt_ = opts_.fault->begin_attempt();
+  if (obs::enabled()) {
+    race_id_ = obs::next_race_id();
+    start_ns_ = obs::now_ns();
+    obs::emit(obs::EventKind::kRaceBegin, race_id_, 0,
+              static_cast<std::uint64_t>(n));
+  }
 
   token_ = Pipe::create(/*nonblocking_read=*/true);
   result_ = Pipe::create();
@@ -87,6 +96,7 @@ int AltGroup::alt_spawn(int n) {
       abandon_cohort();
       throw SystemError("fork (injected fault)", EAGAIN);
     }
+    const std::uint64_t fork_t0 = obs::enabled() ? obs::now_ns() : 0;
     const pid_t pid = ::fork();
     if (pid < 0) {
       const int err = errno;
@@ -101,7 +111,16 @@ int AltGroup::alt_spawn(int n) {
       killed_.clear();
       status_.clear();
       if (opts_.heap != nullptr) opts_.heap->begin_tracking();
+      obs::set_current_race(race_id_);
+      obs::emit(obs::EventKind::kGuardStart, race_id_,
+                static_cast<std::int16_t>(i));
       return i;
+    }
+    if (obs::enabled()) {
+      const std::uint64_t fork_ns = obs::now_ns() - fork_t0;
+      obs::emit(obs::EventKind::kFork, race_id_, static_cast<std::int16_t>(i),
+                static_cast<std::uint64_t>(pid), fork_ns);
+      obs::MetricsRegistry::global().histogram("fork_latency_ns").record(fork_ns);
     }
     children_.push_back(pid);
     reaped_.push_back(false);
@@ -115,6 +134,10 @@ int AltGroup::alt_spawn(int n) {
 
 void AltGroup::child_commit(const Bytes& result) {
   ALTX_REQUIRE(my_index_ != 0, "child_commit called in the parent");
+  // The guard held — recorded before the fault sync point, so the trace
+  // still explains a child that the injector kills on its way in.
+  obs::emit(obs::EventKind::kGuardResult, race_id_,
+            static_cast<std::int16_t>(my_index_), 1);
   bool drop = false;
   if (opts_.fault != nullptr) {
     // May crash / hang / stall right here — the instant before
@@ -123,9 +146,18 @@ void AltGroup::child_commit(const Bytes& result) {
            FaultKind::kDropCommit;
   }
   // Try to take the token. First reader commits; everyone else is too late.
+  obs::emit(obs::EventKind::kCommitAttempt, race_id_,
+            static_cast<std::int16_t>(my_index_));
   std::uint8_t token = 0;
   const ssize_t got = ::read(token_.read_end.get(), &token, 1);
-  if (got != 1) _exit(kExitTooLate);
+  if (got != 1) {
+    obs::emit(obs::EventKind::kTooLate, race_id_,
+              static_cast<std::int16_t>(my_index_));
+    _exit(kExitTooLate);
+  }
+  obs::emit(obs::EventKind::kCommitWon, race_id_,
+            static_cast<std::int16_t>(my_index_),
+            static_cast<std::uint64_t>(result.size()));
   if (drop) {
     // Injected: the commit is lost between synchronizing and publishing.
     // Nobody else can ever win (the token is gone) — the block must fail
@@ -151,11 +183,15 @@ void AltGroup::child_commit(const Bytes& result) {
 
 void AltGroup::child_abort() {
   ALTX_REQUIRE(my_index_ != 0, "child_abort called in the parent");
+  obs::emit(obs::EventKind::kGuardResult, race_id_,
+            static_cast<std::int16_t>(my_index_), 0);
   if (opts_.fault != nullptr) {
     // The abort path is a sync point too: a guard that fails can still
     // crash or hang on its way out. kDropCommit degenerates to the abort.
     (void)opts_.fault->at_sync_point(fault_attempt_, my_index_);
   }
+  obs::emit(obs::EventKind::kGuardFail, race_id_,
+            static_cast<std::int16_t>(my_index_));
   _exit(kExitAbort);
 }
 
@@ -224,6 +260,22 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
   decided_ = true;
   kill_survivors();
   if (opts_.elimination == Eliminate::kSynchronous) reap_all();
+  if (obs::enabled()) {
+    obs::emit(obs::EventKind::kRaceDecided, race_id_, 0,
+              static_cast<std::uint64_t>(verdict_kind_),
+              verdict_.has_value() ? static_cast<std::uint64_t>(verdict_->index)
+                                   : 0,
+              verdict_.has_value() ? verdict_->pages_absorbed : 0);
+    auto& metrics = obs::MetricsRegistry::global();
+    if (verdict_.has_value()) {
+      metrics.histogram("commit_latency_ns").record(obs::now_ns() - start_ns_);
+      metrics.counter("pages_absorbed").add(verdict_->pages_absorbed);
+    } else if (verdict_kind_ == WaitVerdict::kTimeout) {
+      metrics.counter("race_timeouts").add();
+    } else {
+      metrics.counter("race_all_failed").add();
+    }
+  }
   return verdict_;
 }
 
@@ -285,6 +337,18 @@ void AltGroup::record_exit(std::size_t i, int status) {
     }
   } else {
     st.fate = ChildFate::kCrashed;
+  }
+  if (obs::enabled()) {
+    // The terminal fate event: exactly one per reaped child, parent-side,
+    // so it exists even when the child died before its first instruction.
+    obs::emit(obs::EventKind::kChildFate, race_id_,
+              static_cast<std::int16_t>(i + 1),
+              static_cast<std::uint64_t>(st.fate),
+              static_cast<std::uint64_t>(st.signal),
+              static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                  st.exit_code)));
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.counter(std::string("fate_") + to_string(st.fate)).add();
   }
 }
 

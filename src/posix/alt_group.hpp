@@ -25,6 +25,15 @@
 // (see posix/supervisor.hpp). An optional FaultInjector is consulted at the
 // children's sync points and before each fork, so the real backend can run
 // the same seeded fault matrix as the simulator.
+//
+// Observability: when tracing is enabled (ALTX_TRACE, or programmatically —
+// see obs/trace.hpp), every group takes a fresh race id and both sides
+// narrate into the shared ring: the parent emits race_begin / fork /
+// child_fate / race_decided, each child emits guard_start and its own
+// synchronization outcome (commit_attempt, commit_won, too_late,
+// guard_fail). Child events survive SIGKILL — the ring is a MAP_SHARED
+// mapping created before the forks. Disabled, each site costs one
+// predicted branch.
 #pragma once
 
 #include <sys/types.h>
@@ -139,6 +148,9 @@ class AltGroup {
   /// Why the last alt_wait came out the way it did.
   [[nodiscard]] WaitVerdict verdict() const { return verdict_kind_; }
 
+  /// The trace id grouping this block's events (0 when tracing is off).
+  [[nodiscard]] std::uint32_t race_id() const { return race_id_; }
+
  private:
   void kill_survivors();
   void reap_all();
@@ -152,6 +164,8 @@ class AltGroup {
   Pipe token_;   // 0-1 semaphore: one byte, first reader commits
   Pipe result_;  // winner -> parent: index + payload + heap patch
   int my_index_ = 0;  // 0 in parent
+  std::uint32_t race_id_ = 0;        // trace id; children inherit it
+  std::uint64_t start_ns_ = 0;       // alt_spawn timestamp (traced runs)
   std::uint64_t fault_attempt_ = 0;  // attempt id children consult
   bool spawned_ = false;
   bool decided_ = false;

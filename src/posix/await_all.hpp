@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "posix/race.hpp"
 
 namespace altx::posix {
@@ -47,6 +48,9 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
 
   const std::uint64_t attempt =
       options.fault != nullptr ? options.fault->begin_attempt() : 0;
+  const std::uint32_t trace_id = obs::next_race_id();
+  obs::emit(obs::EventKind::kAwaitBegin, trace_id, 0,
+            static_cast<std::uint64_t>(n));
 
   std::vector<pid_t> children(n, -1);
   auto abandon_cohort = [&](std::size_t have) {
@@ -75,6 +79,8 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
         pipes[k].read_end.reset();
         if (k != i) pipes[k].write_end.reset();
       }
+      const auto task_index = static_cast<std::int16_t>(i + 1);
+      obs::emit(obs::EventKind::kGuardStart, trace_id, task_index);
       try {
         const std::optional<T> out = tasks[i]();
         if (out.has_value()) {
@@ -86,11 +92,13 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
           }
           if (!drop) {
             write_frame(pipes[i].write_end.get(), race_encode<T>(*out));
+            obs::emit(obs::EventKind::kAwaitTaskDone, trace_id, task_index, 1);
             _exit(0);
           }
         }
       } catch (...) {
       }
+      obs::emit(obs::EventKind::kAwaitTaskDone, trace_id, task_index, 0);
       _exit(41);  // failed: no frame written
     }
     children[i] = pid;
@@ -139,6 +147,7 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
   }
 
   cleanup(failed);
+  obs::emit(obs::EventKind::kAwaitDecided, trace_id, 0, failed ? 0 : 1);
   if (failed) return std::nullopt;
   return results;
 }

@@ -14,6 +14,7 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "posix/race.hpp"
 
 namespace altx::posix {
@@ -51,6 +52,11 @@ std::optional<HedgeResult<T>> hedged(const HedgedFn<T>& task,
         ::usleep(static_cast<useconds_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(delay).count()));
       }
+      // When this copy *actually* started mattering — the stagger sleep is
+      // the whole point of hedging, so the trace separates wake from fork.
+      obs::emit(obs::EventKind::kHedgeWake, obs::current_race(),
+                static_cast<std::int16_t>(k + 1),
+                static_cast<std::uint64_t>(k));
       return task(k);
     });
   }

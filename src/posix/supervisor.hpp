@@ -29,6 +29,8 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "posix/race.hpp"
 
 namespace altx::posix {
@@ -120,8 +122,21 @@ std::optional<SupervisedResult<T>> supervised_race(
   Rng backoff_rng(policy.seed ^ 0xa5a5a5a55a5a5a5aULL);
   if (log != nullptr) *log = SupervisionLog{};
 
+  // Supervisor-level span events get their own trace id; the races spawned
+  // by each attempt take fresh ids of their own, linked back through the
+  // attempt ordinal stamped into every record (obs::set_attempt).
+  const std::uint32_t span_id = obs::next_race_id();
+  struct AttemptScope {  // restore on every exit path, including throws
+    ~AttemptScope() { obs::set_attempt(0); }
+  } attempt_scope;
+
   auto sequential = [&]() -> std::optional<SupervisedResult<T>> {
     if (log != nullptr) log->fell_back_sequential = true;
+    obs::emit(obs::EventKind::kSequentialFallback, span_id, 0,
+              static_cast<std::uint64_t>(alts.size()));
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global().counter("supervisor_fallbacks").add();
+    }
     for (std::size_t i = 0; i < alts.size(); ++i) {
       try {
         const std::optional<T> out = alts[i]();
@@ -143,12 +158,22 @@ std::optional<SupervisedResult<T>> supervised_race(
   std::chrono::milliseconds pending_backoff{0};
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (pending_backoff.count() > 0) {
+      obs::emit(obs::EventKind::kBackoff, span_id, 0,
+                static_cast<std::uint64_t>(attempt),
+                static_cast<std::uint64_t>(pending_backoff.count()));
       std::this_thread::sleep_for(pending_backoff);
     }
 
     RaceReport report;
     options.timeout = policy.attempt_timeout(attempt);
     options.report = &report;
+    obs::set_attempt(static_cast<std::uint32_t>(attempt));
+    obs::emit(obs::EventKind::kAttemptBegin, span_id, 0,
+              static_cast<std::uint64_t>(attempt),
+              static_cast<std::uint64_t>(options.timeout.count()));
+    if (obs::enabled() && attempt > 0) {
+      obs::MetricsRegistry::global().counter("supervisor_retries").add();
+    }
 
     AttemptReport ar;
     ar.backoff_before = pending_backoff;
@@ -165,6 +190,9 @@ std::optional<SupervisedResult<T>> supervised_race(
 
     if (r.has_value()) {
       ar.outcome = AttemptOutcome::kWon;
+      obs::emit(obs::EventKind::kAttemptEnd, span_id, 0,
+                static_cast<std::uint64_t>(attempt),
+                static_cast<std::uint64_t>(ar.outcome));
       if (log != nullptr) log->attempts.push_back(ar);
       SupervisedResult<T> out;
       out.value = std::move(r->value);
@@ -186,6 +214,9 @@ std::optional<SupervisedResult<T>> supervised_race(
     } else {
       ar.outcome = AttemptOutcome::kDisrupted;
     }
+    obs::emit(obs::EventKind::kAttemptEnd, span_id, 0,
+              static_cast<std::uint64_t>(attempt),
+              static_cast<std::uint64_t>(ar.outcome));
     if (log != nullptr) log->attempts.push_back(ar);
 
     if (clean_fail) return std::nullopt;  // FAIL is an answer, not an error

@@ -1,0 +1,241 @@
+// Trace completeness under injected faults.
+//
+// The observability contract the tentpole promises: a fault-injected run
+// with tracing enabled leaves a COMPLETE story in the shared ring — every
+// child the parent ever forked has exactly one terminal fate event, that
+// fate agrees with AltGroup's own classification, and this holds whatever
+// the seeded injector does to the children (SIGKILL, SIGSEGV, hangs,
+// dropped commits, early exits), including across supervised_race retries.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "obs/trace.hpp"
+#include "posix/fault.hpp"
+#include "posix/race.hpp"
+#include "posix/supervisor.hpp"
+
+namespace altx::posix {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::EventKind;
+using obs::Record;
+
+int sweep_zombies() {
+  int n = 0;
+  while (::waitpid(-1, nullptr, WNOHANG) > 0) ++n;
+  return n;
+}
+
+/// Three alternatives with distinct speeds; only #2 viable. 10 ms of sleep
+/// per child gives every injected hang/delay room to matter.
+std::vector<AlternativeFn<int>> one_viable_alts() {
+  return {
+      [] { ::usleep(2'000); return std::optional<int>(); },
+      [] { ::usleep(4'000); return std::optional<int>(7); },
+      [] { ::usleep(6'000); return std::optional<int>(); },
+  };
+}
+
+/// Per-(race, child) census of one trace snapshot.
+struct TraceCensus {
+  std::map<std::uint32_t, std::set<int>> forked;  // race -> children forked
+  std::map<std::pair<std::uint32_t, int>, std::vector<std::uint64_t>> fates;
+  std::map<std::uint32_t, const Record*> decided;
+
+  explicit TraceCensus(const std::vector<Record>& recs) {
+    for (const Record& r : recs) {
+      if (r.kind == EventKind::kFork) {
+        forked[r.race_id].insert(r.child_index);
+      } else if (r.kind == EventKind::kChildFate) {
+        fates[{r.race_id, r.child_index}].push_back(r.a);
+      } else if (r.kind == EventKind::kRaceDecided) {
+        decided[r.race_id] = &r;
+      }
+    }
+  }
+};
+
+/// The core assertion: every forked child of every race has exactly one
+/// terminal fate event, and no fate exists for a child never forked.
+void assert_complete(const std::vector<Record>& recs) {
+  TraceCensus c(recs);
+  for (const auto& [race, children] : c.forked) {
+    EXPECT_NE(race, 0u);
+    for (const int child : children) {
+      const auto it = c.fates.find({race, child});
+      ASSERT_NE(it, c.fates.end())
+          << "race " << race << " child " << child << ": no fate event";
+      EXPECT_EQ(it->second.size(), 1u)
+          << "race " << race << " child " << child << ": duplicate fates";
+      EXPECT_NE(static_cast<ChildFate>(it->second.front()),
+                ChildFate::kRunning);
+    }
+    // Every race that forked also reached a verdict.
+    EXPECT_TRUE(c.decided.contains(race)) << "race " << race << " undecided";
+  }
+  for (const auto& [key, v] : c.fates) {
+    EXPECT_TRUE(c.forked.contains(key.first) &&
+                c.forked.at(key.first).contains(key.second))
+        << "fate for a child never forked";
+  }
+}
+
+/// Census of trace fates for one race must equal the report's census.
+void assert_agrees(const std::vector<Record>& recs, const RaceReport& rep) {
+  std::map<ChildFate, int> trace_counts;
+  for (const Record& r : recs) {
+    if (r.kind == EventKind::kChildFate) {
+      ++trace_counts[static_cast<ChildFate>(r.a)];
+    }
+  }
+  EXPECT_EQ(trace_counts[ChildFate::kCommitted], rep.committed);
+  EXPECT_EQ(trace_counts[ChildFate::kAborted], rep.aborted);
+  EXPECT_EQ(trace_counts[ChildFate::kTooLate], rep.too_late);
+  EXPECT_EQ(trace_counts[ChildFate::kCrashed], rep.crashed);
+  EXPECT_EQ(trace_counts[ChildFate::kHung], rep.hung);
+  EXPECT_EQ(trace_counts[ChildFate::kEliminated], rep.eliminated);
+  // And the recorded verdict is the group's verdict.
+  for (const Record& r : recs) {
+    if (r.kind == EventKind::kRaceDecided) {
+      EXPECT_EQ(static_cast<WaitVerdict>(r.a), rep.verdict);
+    }
+  }
+}
+
+class TraceCompleteness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::enable_for_test(1 << 14);
+    obs::reset();
+  }
+  void TearDown() override {
+    EXPECT_EQ(sweep_zombies(), 0);
+    obs::reset();
+  }
+};
+
+TEST_F(TraceCompleteness, CleanRace) {
+  RaceOptions opts;
+  opts.timeout = 5'000ms;
+  RaceReport rep;
+  opts.report = &rep;
+  const auto r = race<int>(one_viable_alts(), opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 7);
+  const auto recs = obs::snapshot();
+  assert_complete(recs);
+  assert_agrees(recs, rep);
+  // One race, three forks, one winner.
+  TraceCensus c(recs);
+  ASSERT_EQ(c.forked.size(), 1u);
+  EXPECT_EQ(c.forked.begin()->second.size(), 3u);
+}
+
+TEST_F(TraceCompleteness, EveryFaultKindLeavesACompleteTrace) {
+  const struct { FaultKind kind; double rate; } plans[] = {
+      {FaultKind::kCrashSegv, 0.6}, {FaultKind::kCrashKill, 0.6},
+      {FaultKind::kHang, 0.6},      {FaultKind::kDelay, 0.6},
+      {FaultKind::kEarlyExit, 0.6}, {FaultKind::kDropCommit, 0.6},
+  };
+  for (const auto& plan : plans) {
+    FaultProfile p;
+    switch (plan.kind) {
+      case FaultKind::kCrashSegv: p.crash_segv = plan.rate; break;
+      case FaultKind::kCrashKill: p.crash_kill = plan.rate; break;
+      case FaultKind::kHang: p.hang = plan.rate; break;
+      case FaultKind::kDelay: p.delay = plan.rate; break;
+      case FaultKind::kEarlyExit: p.early_exit = plan.rate; break;
+      case FaultKind::kDropCommit: p.drop_commit = plan.rate; break;
+      case FaultKind::kNone: break;
+    }
+    p.delay_for = 10ms;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      obs::reset();
+      FaultInjector inj(seed, p);
+      RaceOptions opts;
+      opts.timeout = 300ms;
+      opts.fault = &inj;
+      RaceReport rep;
+      opts.report = &rep;
+      (void)race<int>(one_viable_alts(), opts);
+      const auto recs = obs::snapshot();
+      assert_complete(recs);
+      assert_agrees(recs, rep);
+      EXPECT_EQ(sweep_zombies(), 0);
+    }
+  }
+}
+
+TEST_F(TraceCompleteness, SupervisedRetriesStayComplete) {
+  // A hostile plan forces retries (and sometimes the sequential fallback);
+  // every attempt's race must still tell a complete story, and the attempt
+  // ordinal must link each race's records to its supervisor attempt.
+  FaultProfile p;
+  p.crash_kill = 0.5;
+  p.hang = 0.2;
+  FaultInjector inj(/*seed=*/99, p);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = 1ms;
+  policy.max_backoff = 2ms;
+  policy.base_timeout = 300ms;
+  policy.seed = 99;
+
+  RaceOptions opts;
+  opts.timeout = 300ms;
+  opts.fault = &inj;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    obs::reset();
+    (void)supervised_race<int>(one_viable_alts(), policy, opts);
+    const auto recs = obs::snapshot();
+    assert_complete(recs);
+
+    // Attempts pair up, and each forked race carries one attempt ordinal.
+    std::set<std::uint64_t> begun;
+    std::set<std::uint64_t> ended;
+    std::map<std::uint32_t, std::set<std::uint32_t>> attempts_of_race;
+    for (const Record& r : recs) {
+      if (r.kind == EventKind::kAttemptBegin) begun.insert(r.a);
+      if (r.kind == EventKind::kAttemptEnd) ended.insert(r.a);
+      if (r.kind == EventKind::kFork) {
+        attempts_of_race[r.race_id].insert(r.attempt);
+      }
+    }
+    EXPECT_EQ(begun, ended);
+    for (const auto& [race, atts] : attempts_of_race) {
+      EXPECT_EQ(atts.size(), 1u)
+          << "race " << race << " spans multiple attempts";
+    }
+    EXPECT_EQ(sweep_zombies(), 0);
+  }
+}
+
+TEST_F(TraceCompleteness, ReplicatedRaceTracesEveryReplica) {
+  FaultProfile p;
+  p.crash_kill = 0.4;
+  FaultInjector inj(/*seed=*/7, p);
+  RaceOptions opts;
+  opts.timeout = 2'000ms;
+  opts.fault = &inj;
+  opts.replicas = 2;
+  RaceReport rep;
+  opts.report = &rep;
+  (void)race<int>(one_viable_alts(), opts);
+  const auto recs = obs::snapshot();
+  assert_complete(recs);
+  assert_agrees(recs, rep);
+  TraceCensus c(recs);
+  ASSERT_EQ(c.forked.size(), 1u);
+  EXPECT_EQ(c.forked.begin()->second.size(), 6u);  // 3 alts x 2 replicas
+}
+
+}  // namespace
+}  // namespace altx::posix

@@ -1,0 +1,350 @@
+// altx-trace: post-mortem reader for ALTX_TRACE jsonl files.
+//
+// Reconstructs what each alternative block did — who won, when, and every
+// loser's fate (too late / guard failed / crashed / hung / eliminated),
+// across supervisor attempts — then prints aggregate latency statistics.
+//
+//   ALTX_TRACE=trace.jsonl ./your_program
+//   altx-trace trace.jsonl              # per-race timelines + aggregates
+//   altx-trace --summary trace.jsonl    # aggregates only
+//   altx-trace --race 7 trace.jsonl     # one block, every event verbatim
+//
+// Reads the jsonl format only (the chrome format is for Perfetto). Exits 1
+// on unreadable input, 0 otherwise.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "posix/alt_group.hpp"
+#include "posix/supervisor.hpp"
+
+namespace {
+
+using altx::Summary;
+using altx::obs::EventKind;
+using altx::obs::Record;
+
+struct RaceView {
+  std::uint32_t id = 0;
+  std::vector<Record> events;  // time-sorted
+  [[nodiscard]] std::uint64_t t0() const {
+    return events.empty() ? 0 : events.front().t_ns;
+  }
+};
+
+const char* fate_name(std::uint64_t fate) {
+  return altx::posix::to_string(static_cast<altx::posix::ChildFate>(fate));
+}
+
+const char* verdict_name(std::uint64_t v) {
+  return altx::posix::to_string(static_cast<altx::posix::WaitVerdict>(v));
+}
+
+const char* outcome_name(std::uint64_t o) {
+  return altx::posix::to_string(static_cast<altx::posix::AttemptOutcome>(o));
+}
+
+std::string who(const Record& r) {
+  if (r.child_index == 0) return "parent";
+  return "#" + std::to_string(r.child_index);
+}
+
+/// One human line per event; the kind-specific args decoded where they have
+/// a fixed meaning.
+std::string describe(const Record& r) {
+  char buf[160];
+  switch (r.kind) {
+    case EventKind::kRaceBegin:
+      std::snprintf(buf, sizeof buf, "block begins, %llu alternatives",
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kFork:
+      std::snprintf(buf, sizeof buf, "forked pid %llu (fork took %.1f us)",
+                    static_cast<unsigned long long>(r.a),
+                    static_cast<double>(r.b) / 1000.0);
+      break;
+    case EventKind::kGuardStart:
+      std::snprintf(buf, sizeof buf, "guard starts");
+      break;
+    case EventKind::kGuardResult:
+      std::snprintf(buf, sizeof buf, "guard %s",
+                    r.a != 0 ? "held" : "failed");
+      break;
+    case EventKind::kCommitAttempt:
+      std::snprintf(buf, sizeof buf, "reaches for the commit token");
+      break;
+    case EventKind::kCommitWon:
+      std::snprintf(buf, sizeof buf, "took the token (%llu result bytes)",
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kTooLate:
+      std::snprintf(buf, sizeof buf, "too late: token already gone");
+      break;
+    case EventKind::kGuardFail:
+      std::snprintf(buf, sizeof buf, "aborts (guard failed)");
+      break;
+    case EventKind::kChildFate:
+      if (r.b != 0) {
+        std::snprintf(buf, sizeof buf, "reaped: %s (signal %llu)",
+                      fate_name(r.a), static_cast<unsigned long long>(r.b));
+      } else {
+        std::snprintf(buf, sizeof buf, "reaped: %s", fate_name(r.a));
+      }
+      break;
+    case EventKind::kRaceDecided:
+      if (r.b != 0) {
+        std::snprintf(buf, sizeof buf,
+                      "decided: %s — alternative %llu (%llu pages absorbed)",
+                      verdict_name(r.a), static_cast<unsigned long long>(r.b),
+                      static_cast<unsigned long long>(r.c));
+      } else {
+        std::snprintf(buf, sizeof buf, "decided: %s", verdict_name(r.a));
+      }
+      break;
+    case EventKind::kAttemptBegin:
+      std::snprintf(buf, sizeof buf, "attempt %llu begins (timeout %llu ms)",
+                    static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case EventKind::kAttemptEnd:
+      std::snprintf(buf, sizeof buf, "attempt %llu ends: %s",
+                    static_cast<unsigned long long>(r.a), outcome_name(r.b));
+      break;
+    case EventKind::kBackoff:
+      std::snprintf(buf, sizeof buf, "backing off %llu ms before attempt %llu",
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kSequentialFallback:
+      std::snprintf(buf, sizeof buf,
+                    "degrading: sequential in-process fallback");
+      break;
+    case EventKind::kHedgeWake:
+      std::snprintf(buf, sizeof buf, "hedge copy %llu wakes",
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kAwaitBegin:
+      std::snprintf(buf, sizeof buf, "await_all begins, %llu tasks",
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kAwaitTaskDone:
+      std::snprintf(buf, sizeof buf, "task %s",
+                    r.a != 0 ? "produced a value" : "failed");
+      break;
+    case EventKind::kAwaitDecided:
+      std::snprintf(buf, sizeof buf, "await_all %s",
+                    r.a != 0 ? "collected everything" : "failed");
+      break;
+    case EventKind::kDistSpawn:
+      std::snprintf(buf, sizeof buf,
+                    "checkpoint shipped to worker (%llu bytes)",
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case EventKind::kDistAbort:
+      std::snprintf(buf, sizeof buf, "remote guard failed");
+      break;
+    case EventKind::kDistResult:
+      std::snprintf(buf, sizeof buf, "result reached the coordinator");
+      break;
+    case EventKind::kDistKill:
+      std::snprintf(buf, sizeof buf, "elimination sent to worker");
+      break;
+    case EventKind::kDistDecided:
+      if (r.a != 0) {
+        std::snprintf(buf, sizeof buf, "committed: alternative %llu",
+                      static_cast<unsigned long long>(r.b));
+      } else {
+        std::snprintf(buf, sizeof buf, "failed definitively (FAIL won)");
+      }
+      break;
+    case EventKind::kVoteGrant:
+      std::snprintf(buf, sizeof buf, "arbiter %llu grants candidate %llu",
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kVoteReject:
+      std::snprintf(buf, sizeof buf, "arbiter %llu rejects candidate %llu",
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<unsigned long long>(r.a));
+      break;
+    case EventKind::kSyncDecided:
+      std::snprintf(buf, sizeof buf, "candidate %llu %s (%llu rounds)",
+                    static_cast<unsigned long long>(r.a),
+                    r.b != 0 ? "wins the semaphore" : "is too late",
+                    static_cast<unsigned long long>(r.c));
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s a=%llu b=%llu c=%llu",
+                    to_string(r.kind), static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<unsigned long long>(r.c));
+      break;
+  }
+  return buf;
+}
+
+void print_race(const RaceView& race) {
+  std::printf("race %u\n", race.id);
+  for (const Record& r : race.events) {
+    const double rel_ms =
+        static_cast<double>(r.t_ns - race.t0()) / 1'000'000.0;
+    std::printf("  %+10.3f ms  %-7s %s\n", rel_ms, who(r).c_str(),
+                describe(r).c_str());
+  }
+  // One-line verdict: who won, how long the decision took, losers' fates.
+  const Record* decided = nullptr;
+  std::map<int, std::uint64_t> fates;
+  for (const Record& r : race.events) {
+    if (r.kind == EventKind::kRaceDecided) decided = &r;
+    if (r.kind == EventKind::kChildFate) fates[r.child_index] = r.a;
+  }
+  if (decided != nullptr) {
+    const double total_ms =
+        static_cast<double>(decided->t_ns - race.t0()) / 1'000'000.0;
+    std::printf("  => %s in %.3f ms", verdict_name(decided->a), total_ms);
+    if (decided->b != 0) {
+      std::printf(", alternative %llu won",
+                  static_cast<unsigned long long>(decided->b));
+    }
+    bool first = true;
+    for (const auto& [child, fate] : fates) {
+      if (decided->b != 0 && child == static_cast<int>(decided->b)) continue;
+      std::printf("%s#%d %s", first ? "; " : ", ", child, fate_name(fate));
+      first = false;
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void print_ms_stats(const char* label, const Summary& s) {
+  if (s.empty()) return;
+  std::printf("  %-18s n=%-5zu mean %8.3f ms   p50 %8.3f ms   p95 %8.3f ms"
+              "   max %8.3f ms\n",
+              label, s.count(), s.mean(), s.median(), s.percentile(95),
+              s.max());
+}
+
+int run(const std::string& path, bool summary_only,
+        std::optional<std::uint32_t> only_race) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "altx-trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<Record> records;
+  try {
+    records = altx::obs::parse_jsonl(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altx-trace: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  std::map<std::uint32_t, RaceView> races;
+  for (const Record& r : records) {
+    RaceView& v = races[r.race_id];
+    v.id = r.race_id;
+    v.events.push_back(r);
+  }
+  for (auto& [id, v] : races) {
+    std::stable_sort(v.events.begin(), v.events.end(),
+                     [](const Record& x, const Record& y) {
+                       return x.t_ns < y.t_ns;
+                     });
+  }
+
+  std::printf("%s: %zu records, %zu blocks\n\n", path.c_str(), records.size(),
+              races.size());
+
+  if (only_race.has_value()) {
+    const auto it = races.find(*only_race);
+    if (it == races.end()) {
+      std::fprintf(stderr, "altx-trace: no race %u in %s\n", *only_race,
+                   path.c_str());
+      return 1;
+    }
+    print_race(it->second);
+    return 0;
+  }
+
+  if (!summary_only) {
+    for (const auto& [id, v] : races) print_race(v);
+  }
+
+  // Aggregates across the whole file.
+  Summary fork_ms;
+  Summary commit_ms;
+  Summary decide_ms;
+  std::map<std::uint64_t, int> fate_counts;
+  int won = 0;
+  int lost = 0;
+  for (const auto& [id, v] : races) {
+    for (const Record& r : v.events) {
+      if (r.kind == EventKind::kFork) {
+        fork_ms.add(static_cast<double>(r.b) / 1'000'000.0);
+      } else if (r.kind == EventKind::kChildFate) {
+        ++fate_counts[r.a];
+      } else if (r.kind == EventKind::kRaceDecided) {
+        const double ms =
+            static_cast<double>(r.t_ns - v.t0()) / 1'000'000.0;
+        decide_ms.add(ms);
+        if (r.b != 0) {
+          ++won;
+          commit_ms.add(ms);
+        } else {
+          ++lost;
+        }
+      }
+    }
+  }
+  std::printf("aggregates\n");
+  std::printf("  blocks decided: %d won, %d without a winner\n", won, lost);
+  if (!fate_counts.empty()) {
+    std::printf("  child fates:");
+    for (const auto& [fate, count] : fate_counts) {
+      std::printf(" %s=%d", fate_name(fate), count);
+    }
+    std::printf("\n");
+  }
+  print_ms_stats("fork latency", fork_ms);
+  print_ms_stats("commit latency", commit_ms);
+  print_ms_stats("decide latency", decide_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool summary_only = false;
+  std::optional<std::uint32_t> only_race;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--summary") {
+      summary_only = true;
+    } else if (arg == "--race" && i + 1 < argc) {
+      only_race = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: altx-trace [--summary] [--race N] <trace.jsonl>\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "altx-trace: unknown option %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: altx-trace [--summary] [--race N] <trace.jsonl>\n");
+    return 1;
+  }
+  return run(path, summary_only, only_race);
+}
