@@ -10,6 +10,12 @@ std::uint64_t sim_ns(SimTime t) {
   return static_cast<std::uint64_t>(t) * 1000ULL;
 }
 
+/// Sim node n is stamped as trace node n+1 (0 stays the "no node" sentinel);
+/// must agree with dist/distributed.cpp so stitched timelines line up.
+std::uint32_t trace_node(NodeId n) {
+  return static_cast<std::uint32_t>(n) + 1;
+}
+
 }  // namespace
 
 MajoritySync::MajoritySync(net::Network& network, Config cfg)
@@ -69,8 +75,9 @@ void MajoritySync::begin_round(Candidate& c) {
     o.decided = true;
     o.won = false;
     o.decided_at = net_.now();
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kSyncDecided, trace_id_,
-                 0, c.id, 0, static_cast<std::uint64_t>(c.round));
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(c.home),
+                      obs::EventKind::kSyncDecided, trace_id_, 0, c.id, 0,
+                      static_cast<std::uint64_t>(c.round));
     if (on_decided) on_decided(c.id, o);
     return;
   }
@@ -106,12 +113,14 @@ void MajoritySync::on_candidate_packet(Candidate& c, const net::Packet& p) {
   if (arbiter >= static_cast<NodeId>(cfg_.arbiters)) return;
   if (type == kGrant) {
     c.granted[arbiter] = true;
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kVoteGrant, trace_id_, 0,
-                 c.id, static_cast<std::uint64_t>(arbiter));
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(c.home),
+                      obs::EventKind::kVoteGrant, trace_id_, 0, c.id,
+                      static_cast<std::uint64_t>(arbiter));
   } else if (type == kReject) {
     c.rejected[arbiter] = true;
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kVoteReject, trace_id_, 0,
-                 c.id, static_cast<std::uint64_t>(arbiter));
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(c.home),
+                      obs::EventKind::kVoteReject, trace_id_, 0, c.id,
+                      static_cast<std::uint64_t>(arbiter));
   } else {
     return;
   }
@@ -136,8 +145,9 @@ void MajoritySync::check_verdict(Candidate& c) {
     o.decided = true;
     o.won = true;
     o.decided_at = net_.now();
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kSyncDecided, trace_id_,
-                 0, c.id, 1, static_cast<std::uint64_t>(o.rounds));
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(c.home),
+                      obs::EventKind::kSyncDecided, trace_id_, 0, c.id, 1,
+                      static_cast<std::uint64_t>(o.rounds));
     if (on_decided) on_decided(c.id, o);
   } else if (rejections >= majority() ||
              rejections > cfg_.arbiters - majority()) {
@@ -146,8 +156,9 @@ void MajoritySync::check_verdict(Candidate& c) {
     o.decided = true;
     o.won = false;
     o.decided_at = net_.now();
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kSyncDecided, trace_id_,
-                 0, c.id, 0, static_cast<std::uint64_t>(o.rounds));
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(c.home),
+                      obs::EventKind::kSyncDecided, trace_id_, 0, c.id, 0,
+                      static_cast<std::uint64_t>(o.rounds));
     if (on_decided) on_decided(c.id, o);
   }
 }

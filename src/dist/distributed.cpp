@@ -11,6 +11,12 @@ std::uint64_t sim_ns(SimTime t) {
   return static_cast<std::uint64_t>(t) * 1000ULL;
 }
 
+/// Sim node n is stamped as trace node n+1: trace node 0 stays the
+/// "no node / single process" sentinel, so arbiter 0 is distinguishable.
+std::uint32_t trace_node(NodeId n) {
+  return static_cast<std::uint32_t>(n) + 1;
+}
+
 }  // namespace
 
 namespace {
@@ -74,11 +80,13 @@ void DistributedBlock::start() {
   // rfork each alternative: ship the checkpoint (its bulk is the payload, so
   // the network's bandwidth model charges the transfer).
   trace_id_ = obs::next_race_id();
-  obs::emit_at(sim_ns(net_.now()), obs::EventKind::kRaceBegin, trace_id_, 0,
-               alts_.size());
+  obs::emit_at_node(sim_ns(net_.now()), trace_node(coordinator_node()),
+                    obs::EventKind::kRaceBegin, trace_id_, 0, alts_.size());
   for (std::size_t i = 0; i < alts_.size(); ++i) {
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kDistSpawn, trace_id_,
-                 static_cast<std::int16_t>(i + 1), i, cfg_.checkpoint_bytes);
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(coordinator_node()),
+                      obs::EventKind::kDistSpawn, trace_id_,
+                      static_cast<std::int16_t>(i + 1), i,
+                      cfg_.checkpoint_bytes);
     net_.send(coordinator_node(), worker_node(i), kDistChannel,
               encode(kSpawn, static_cast<std::uint32_t>(i), cfg_.checkpoint_bytes));
   }
@@ -134,8 +142,9 @@ void DistributedBlock::on_candidate_decided(consensus::CandidateId id,
         result_.failed = true;
         result_.decided_at = net_.now();
         result_.packets = net_.packets_sent();
-        obs::emit_at(sim_ns(net_.now()), obs::EventKind::kDistDecided,
-                     trace_id_, 0, /*committed=*/0);
+        obs::emit_at_node(sim_ns(net_.now()), trace_node(coordinator_node()),
+                          obs::EventKind::kDistDecided, trace_id_, 0,
+                          /*committed=*/0);
       }
     }
     // FAIL told "too late": some alternative holds the semaphore; its result
@@ -151,8 +160,9 @@ void DistributedBlock::on_candidate_decided(consensus::CandidateId id,
     // Too late for the synchronization: terminate self (section 3.2.1).
     ++result_.too_lates;
     ws.killed = true;
-    obs::emit_at(sim_ns(net_.now()), obs::EventKind::kTooLate, trace_id_,
-                 static_cast<std::int16_t>(alt + 1));
+    obs::emit_at_node(sim_ns(net_.now()), trace_node(worker_node(alt)),
+                      obs::EventKind::kTooLate, trace_id_,
+                      static_cast<std::int16_t>(alt + 1));
   }
 }
 
@@ -169,8 +179,9 @@ void DistributedBlock::on_coordinator_packet(const net::Packet& p) {
   switch (type) {
     case kResult:
       // Ack so the winner stops retransmitting, then absorb.
-      obs::emit_at(sim_ns(net_.now()), obs::EventKind::kDistResult, trace_id_,
-                   static_cast<std::int16_t>(alt + 1), alt);
+      obs::emit_at_node(sim_ns(net_.now()), trace_node(coordinator_node()),
+                        obs::EventKind::kDistResult, trace_id_,
+                        static_cast<std::int16_t>(alt + 1), alt);
       net_.send(coordinator_node(), worker_node(alt), kDistChannel,
                 encode(kAck, alt));
       commit(static_cast<int>(alt));
@@ -178,8 +189,9 @@ void DistributedBlock::on_coordinator_packet(const net::Packet& p) {
     case kAbort:
       ++result_.aborts;
       ++aborts_seen_;
-      obs::emit_at(sim_ns(net_.now()), obs::EventKind::kDistAbort, trace_id_,
-                   static_cast<std::int16_t>(alt + 1), alt);
+      obs::emit_at_node(sim_ns(net_.now()), trace_node(worker_node(alt)),
+                        obs::EventKind::kDistAbort, trace_id_,
+                        static_cast<std::int16_t>(alt + 1), alt);
       if (!done_ && aborts_seen_ == static_cast<int>(alts_.size())) {
         // Every alternative reported a failed guard: claim the semaphore for
         // the failure alternative right away rather than waiting out the
@@ -199,14 +211,16 @@ void DistributedBlock::commit(int winner) {
   result_.winner = winner;
   result_.decided_at = net_.now();
   result_.packets = net_.packets_sent();
-  obs::emit_at(sim_ns(net_.now()), obs::EventKind::kDistDecided, trace_id_, 0,
-               /*committed=*/1, static_cast<std::uint64_t>(winner));
+  obs::emit_at_node(sim_ns(net_.now()), trace_node(coordinator_node()),
+                    obs::EventKind::kDistDecided, trace_id_, 0,
+                    /*committed=*/1, static_cast<std::uint64_t>(winner));
   // Eliminate the siblings, best effort (asynchronous elimination; a lost
   // kill cannot violate at-most-once — the semaphore already refused them).
   for (std::size_t i = 0; i < alts_.size(); ++i) {
     if (static_cast<int>(i) != winner) {
-      obs::emit_at(sim_ns(net_.now()), obs::EventKind::kDistKill, trace_id_,
-                   static_cast<std::int16_t>(i + 1), i);
+      obs::emit_at_node(sim_ns(net_.now()), trace_node(coordinator_node()),
+                        obs::EventKind::kDistKill, trace_id_,
+                        static_cast<std::int16_t>(i + 1), i);
       net_.send(coordinator_node(), worker_node(i), kDistChannel,
                 encode(kKill, static_cast<std::uint32_t>(i)));
     }

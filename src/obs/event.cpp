@@ -16,6 +16,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kChildFate: return "child_fate";
     case EventKind::kRaceDecided: return "race_decided";
     case EventKind::kEliminated: return "eliminated";
+    case EventKind::kChildUsage: return "child_usage";
+    case EventKind::kChildPages: return "child_pages";
+    case EventKind::kSpecReport: return "spec_report";
+    case EventKind::kRingOverflow: return "ring_overflow";
     case EventKind::kAttemptBegin: return "attempt_begin";
     case EventKind::kAttemptEnd: return "attempt_end";
     case EventKind::kBackoff: return "backoff";

@@ -7,7 +7,7 @@
 // generalizes that stream so the real-process backend, the supervisor, the
 // distributed layer, and the consensus protocol all speak it too.
 //
-// A Record is a fixed-size POD (48 bytes) so that it can live in a shared
+// A Record is a fixed-size POD (64 bytes) so that it can live in a shared
 // ring buffer written concurrently by forked children (see obs/ring.hpp):
 // no pointers, no strings, no destructors — a child killed mid-run leaves
 // at worst one torn slot, never a corrupted heap.
@@ -36,6 +36,16 @@ enum class EventKind : std::uint16_t {
   kRaceDecided = 10,  // parent side: a: WaitVerdict, b: winner index (0 =
                       //   none), c: pages absorbed
   kEliminated = 11,   // (sim) a loser was physically terminated
+
+  // Speculation-efficiency accounting (posix::AltGroup).
+  kChildUsage = 12,   // parent side, at reap: a: CPU ns (user+sys, wait4
+                      //   rusage), b: maxrss KiB, c: minor<<32 | major faults
+  kChildPages = 13,   // child side, before its sync point: a: dirty pages in
+                      //   the AltHeap, b: dirty bytes
+  kSpecReport = 14,   // parent side, all children reaped: a: wasted CPU ns
+                      //   (losers), b: discarded pages, c: winner CPU ns
+  kRingOverflow = 15, // synthesized at export when the ring dropped records:
+                      //   a: records dropped
 
   // Supervision spans (posix::supervised_race).
   kAttemptBegin = 16, // a: attempt number (0-based), b: timeout ms
@@ -74,19 +84,28 @@ enum class EventKind : std::uint16_t {
 /// (a fresh id per AltGroup / await_all / DistributedBlock); `attempt` is
 /// the supervisor's retry ordinal (0 when unsupervised); `child_index` is
 /// the 1-based alternative number (0 for the parent/coordinator).
+///
+/// Cross-ring stitching fields: `node_id` names the node the event happened
+/// on (ALTX_NODE_ID for real processes, the sim NodeId for the distributed
+/// layers) and `seq` is the ring's claim ticket — monotonic across every
+/// process sharing one ring, so program order within a node survives the
+/// merge of several per-node trace files (altx-trace --stitch).
 struct Record {
   std::uint64_t t_ns = 0;      // CLOCK_MONOTONIC ns (sim time ns for sim/dist)
+  std::uint64_t seq = 0;       // ring claim ticket, stamped by push()
   std::uint32_t race_id = 0;
   std::uint32_t attempt = 0;
   std::int32_t pid = 0;
+  std::uint32_t node_id = 0;
   std::int16_t child_index = 0;
   EventKind kind = EventKind::kNone;
+  std::uint32_t reserved = 0;  // keeps the a/b/c payload 8-byte aligned
   std::uint64_t a = 0;  // kind-specific, documented per kind above
   std::uint64_t b = 0;
   std::uint64_t c = 0;
 };
 
-static_assert(sizeof(Record) == 48, "Record is part of the shared-ring ABI");
+static_assert(sizeof(Record) == 64, "Record is part of the shared-ring ABI");
 
 /// Terminal fates a child can reach, as recorded in kChildFate / kTooLate /
 /// kGuardFail events. True when `kind` closes a child's story.

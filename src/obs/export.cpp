@@ -1,10 +1,12 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <istream>
 #include <map>
 #include <ostream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -20,6 +22,8 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kCommitWon,     EventKind::kTooLate,
     EventKind::kGuardFail,     EventKind::kChildFate,
     EventKind::kRaceDecided,   EventKind::kEliminated,
+    EventKind::kChildUsage,    EventKind::kChildPages,
+    EventKind::kSpecReport,    EventKind::kRingOverflow,
     EventKind::kAttemptBegin,  EventKind::kAttemptEnd,
     EventKind::kBackoff,       EventKind::kSequentialFallback,
     EventKind::kHedgeWake,     EventKind::kAwaitBegin,
@@ -35,10 +39,12 @@ void format_jsonl_line(const Record& r, char* buf, std::size_t n) {
   std::snprintf(buf, n,
                 "{\"t_ns\":%" PRIu64 ",\"kind\":\"%s\",\"race\":%" PRIu32
                 ",\"attempt\":%" PRIu32 ",\"pid\":%" PRId32
+                ",\"node\":%" PRIu32 ",\"seq\":%" PRIu64
                 ",\"child\":%d,\"a\":%" PRIu64 ",\"b\":%" PRIu64
                 ",\"c\":%" PRIu64 "}",
                 r.t_ns, to_string(r.kind), r.race_id, r.attempt, r.pid,
-                static_cast<int>(r.child_index), r.a, r.b, r.c);
+                r.node_id, r.seq, static_cast<int>(r.child_index), r.a, r.b,
+                r.c);
 }
 
 /// Extracts the numeric value following `"key":` on the line; nullopt when
@@ -85,10 +91,37 @@ void write_jsonl(const std::vector<Record>& records, std::ostream& out) {
   }
 }
 
+namespace {
+
+/// Perfetto "thread" row for a record: participants of the same block on
+/// different nodes must not collapse onto one row, so the node id selects a
+/// per-node band. Node 0 keeps the bare child index (single-node traces
+/// render exactly as before).
+int chrome_tid(const Record& r) {
+  return static_cast<int>(r.node_id) * 1000 + static_cast<int>(r.child_index);
+}
+
+}  // namespace
+
 void write_chrome(const std::vector<Record>& records, std::ostream& out) {
   out << "{\"traceEvents\":[";
-  char buf[320];
+  char buf[352];
   bool first = true;
+  // Name the per-node thread rows once, so a stitched multi-node timeline
+  // reads "node 3 #2" instead of a bare synthetic tid.
+  std::map<std::pair<std::uint32_t, int>, const Record*> rows;
+  for (const Record& r : records) {
+    if (r.node_id != 0) rows.try_emplace({r.race_id, chrome_tid(r)}, &r);
+  }
+  for (const auto& [key, r] : rows) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                  ",\"tid\":%d,\"args\":{\"name\":\"node %" PRIu32 " #%d\"}}",
+                  first ? "" : ",", key.first, key.second, r->node_id,
+                  static_cast<int>(r->child_index));
+    out << buf;
+    first = false;
+  }
   for (const Record& r : records) {
     // Supervisor attempts become duration spans; everything else instants.
     const char* ph = "i";
@@ -101,20 +134,40 @@ void write_chrome(const std::vector<Record>& records, std::ostream& out) {
       name = "attempt";
     }
     // Perfetto groups rows by (pid, tid): one "process" per alternative
-    // block, one "thread" per participant (0 = the parent/coordinator).
+    // block (pid = the trace id), one "thread" per (node, participant).
     std::snprintf(
         buf, sizeof buf,
         "%s\n{\"name\":\"%s\",\"ph\":\"%s\",%s\"ts\":%.3f,\"pid\":%" PRIu32
-        ",\"tid\":%d,\"args\":{\"os_pid\":%" PRId32 ",\"attempt\":%" PRIu32
-        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 ",\"c\":%" PRIu64 "}}",
+        ",\"tid\":%d,\"args\":{\"os_pid\":%" PRId32 ",\"node\":%" PRIu32
+        ",\"attempt\":%" PRIu32 ",\"a\":%" PRIu64 ",\"b\":%" PRIu64
+        ",\"c\":%" PRIu64 "}}",
         first ? "" : ",", name, ph,
         ph[0] == 'i' ? "\"s\":\"t\"," : "",  // instant scope: per thread
-        static_cast<double>(r.t_ns) / 1000.0, r.race_id,
-        static_cast<int>(r.child_index), r.pid, r.attempt, r.a, r.b, r.c);
+        static_cast<double>(r.t_ns) / 1000.0, r.race_id, chrome_tid(r), r.pid,
+        r.node_id, r.attempt, r.a, r.b, r.c);
     out << buf;
     first = false;
   }
   out << "\n]}\n";
+}
+
+std::vector<Record> stitch_records(
+    const std::vector<std::vector<Record>>& traces) {
+  std::vector<Record> all;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  all.reserve(total);
+  for (const auto& t : traces) all.insert(all.end(), t.begin(), t.end());
+  // Causal order: the shared clock first (sim time is one clock across
+  // nodes; CLOCK_MONOTONIC is one clock across processes of one machine),
+  // then each node's own program order as the tie-breaker.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Record& x, const Record& y) {
+                     if (x.t_ns != y.t_ns) return x.t_ns < y.t_ns;
+                     if (x.node_id != y.node_id) return x.node_id < y.node_id;
+                     return x.seq < y.seq;
+                   });
+  return all;
 }
 
 void write_trace(const std::vector<Record>& records, std::ostream& out,
@@ -160,6 +213,10 @@ std::vector<Record> parse_jsonl(std::istream& in) {
     r.race_id = static_cast<std::uint32_t>(*race);
     r.attempt = static_cast<std::uint32_t>(
         field_u64(line, "attempt", nullptr).value_or(0));
+    // node/seq are absent from pre-stitching traces; 0 is their old meaning.
+    r.node_id = static_cast<std::uint32_t>(
+        field_u64(line, "node", nullptr).value_or(0));
+    r.seq = field_u64(line, "seq", nullptr).value_or(0);
     bool pid_neg = false;
     const std::uint64_t pid = field_u64(line, "pid", &pid_neg).value_or(0);
     r.pid = static_cast<std::int32_t>(pid) * (pid_neg ? -1 : 1);

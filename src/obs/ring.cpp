@@ -1,6 +1,9 @@
 #include "obs/ring.hpp"
 
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <new>
@@ -9,18 +12,50 @@
 
 namespace altx::obs {
 
-TraceRing::TraceRing(std::size_t capacity) {
+namespace {
+
+std::size_t ring_bytes(std::size_t capacity) {
+  return sizeof(RingHeader) + capacity * sizeof(RingSlot);
+}
+
+}  // namespace
+
+void TraceRing::map_and_init(int fd, std::size_t capacity) {
   ALTX_REQUIRE(capacity >= 1, "TraceRing: capacity must be positive");
   capacity_ = capacity;
-  map_bytes_ = sizeof(Header) + capacity * sizeof(Slot);
+  map_bytes_ = ring_bytes(capacity);
   void* p = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+                   MAP_SHARED | (fd < 0 ? MAP_ANONYMOUS : 0), fd, 0);
   if (p == MAP_FAILED) throw_errno("mmap(TraceRing)");
   map_ = p;
-  // Anonymous pages arrive zeroed, which is exactly the initial state every
-  // atomic needs; placement-new just makes that formal.
-  header_ = new (map_) Header;
-  slots_ = reinterpret_cast<Slot*>(static_cast<char*>(map_) + sizeof(Header));
+  // Fresh pages arrive zeroed (anonymous, or a just-truncated file), which
+  // is exactly the initial state every atomic needs; placement-new just
+  // makes that formal before the identifying fields are stamped.
+  header_ = new (map_) RingHeader;
+  header_->magic = RingHeader::kMagic;
+  header_->version = RingHeader::kVersion;
+  header_->capacity = capacity;
+  slots_ = reinterpret_cast<RingSlot*>(static_cast<char*>(map_) +
+                                       sizeof(RingHeader));
+}
+
+TraceRing::TraceRing(std::size_t capacity) { map_and_init(-1, capacity); }
+
+TraceRing::TraceRing(const std::string& path, std::size_t capacity) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open(TraceRing " + path + ")");
+  if (::ftruncate(fd, static_cast<off_t>(ring_bytes(capacity))) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw SystemError("ftruncate(TraceRing " + path + ")", err);
+  }
+  try {
+    map_and_init(fd, capacity);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);  // the mapping keeps the pages alive
 }
 
 TraceRing::~TraceRing() {
@@ -34,8 +69,9 @@ void TraceRing::push(const Record& rec) noexcept {
     header_->dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  Slot& slot = slots_[ticket];
+  RingSlot& slot = slots_[ticket];
   slot.rec = rec;
+  slot.rec.seq = ticket;
   slot.ready.store(1, std::memory_order_release);
 }
 
@@ -79,6 +115,76 @@ void TraceRing::reset() noexcept {
   }
   header_->dropped.store(0, std::memory_order_relaxed);
   header_->head.store(0, std::memory_order_release);
+}
+
+TraceRingReader::TraceRingReader(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("open(ring " + path + ")");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw SystemError("fstat(ring " + path + ")", err);
+  }
+  if (st.st_size < static_cast<off_t>(sizeof(RingHeader))) {
+    ::close(fd);
+    throw UsageError(path + " is too small to be an altx trace ring");
+  }
+  map_bytes_ = static_cast<std::size_t>(st.st_size);
+  void* p = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    throw SystemError("mmap(ring " + path + ")", err);
+  }
+  ::close(fd);
+  map_ = p;
+  header_ = static_cast<const RingHeader*>(map_);
+  if (header_->magic != RingHeader::kMagic) {
+    throw UsageError(path + " is not an altx trace ring (bad magic)");
+  }
+  if (header_->version != RingHeader::kVersion) {
+    throw UsageError(path + ": ring version " +
+                     std::to_string(header_->version) + ", expected " +
+                     std::to_string(RingHeader::kVersion));
+  }
+  capacity_ = static_cast<std::size_t>(header_->capacity);
+  if (ring_bytes(capacity_) > map_bytes_) {
+    throw UsageError(path + ": truncated ring file");
+  }
+  slots_ = reinterpret_cast<const RingSlot*>(static_cast<const char*>(map_) +
+                                             sizeof(RingHeader));
+}
+
+TraceRingReader::~TraceRingReader() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+std::vector<Record> TraceRingReader::snapshot() const {
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  const std::uint64_t n = head < capacity_ ? head : capacity_;
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire) != 0) {
+      out.push_back(slots_[i].rec);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRingReader::dropped() const noexcept {
+  return header_->dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRingReader::published() const noexcept {
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  const std::uint64_t n = head < capacity_ ? head : capacity_;
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire) != 0) ++count;
+  }
+  return count;
 }
 
 }  // namespace altx::obs

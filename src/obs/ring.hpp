@@ -4,10 +4,10 @@
 // commit attempted, token taken / too late) ends with _exit or SIGKILL, so
 // anything buffered in the child's private memory dies with it. Like
 // lktrace's per-event logs of POSIX synchronization, we want the log to be
-// reconstructable post-mortem — so the log lives in a MAP_SHARED anonymous
-// mapping created by the parent *before* alt_spawn and inherited by every
-// child. A write is two atomic operations and a 48-byte copy; a child
-// killed between them leaves one unpublished slot, which the reader skips.
+// reconstructable post-mortem — so the log lives in a MAP_SHARED mapping
+// created by the parent *before* alt_spawn and inherited by every child.
+// A write is two atomic operations and a 64-byte copy; a child killed
+// between them leaves one unpublished slot, which the reader skips.
 //
 // Design: a bounded arena with monotonically increasing tickets rather than
 // a wrapping queue. Producers claim a slot with fetch_add; when the arena
@@ -16,19 +16,46 @@
 // a terminal fate is emitted once per child, early enough to fit). This
 // keeps every slot single-writer, which is what makes torn records from
 // SIGKILLed children detectable instead of corrupting neighbours: a slot is
-// visible only after its `ready` flag is store-released.
+// visible only after its `ready` flag is store-released. The claim ticket
+// is stamped into the record as `seq`, giving every event a cross-process
+// monotonic sequence number for trace stitching.
 //
 // The header also hosts the cross-process race-id and attempt counters, so
 // ids stay unique even when nested constructs fork concurrently.
+//
+// Backing: anonymous by default (fork inheritance is the only reader), or a
+// file (ALTX_TRACE_RING=<path>) so an unrelated process — altx-top — can
+// map the same pages and watch races land live. The header starts with a
+// magic + version so an attaching reader can validate what it mapped.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "obs/event.hpp"
 
 namespace altx::obs {
+
+/// Shared-mapping layout, common to the owning TraceRing and an attached
+/// TraceRingReader. Lives at offset 0 of the mapping, slots follow.
+struct RingHeader {
+  static constexpr std::uint32_t kMagic = 0x414c5458;  // "ALTX"
+  static constexpr std::uint32_t kVersion = 2;         // 64-byte Record
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t capacity = 0;          // slots; fixed at creation
+  std::atomic<std::uint64_t> head;     // next ticket to claim
+  std::atomic<std::uint64_t> dropped;
+  std::atomic<std::uint32_t> next_race_id;
+};
+
+struct RingSlot {
+  std::atomic<std::uint32_t> ready;  // 0 = unpublished, 1 = published
+  Record rec;
+};
 
 class TraceRing {
  public:
@@ -37,14 +64,21 @@ class TraceRing {
   /// Creates the shared mapping. Must happen in the process that will fork
   /// (fork inheritance is the only way children reach the same pages).
   explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  /// As above, but file-backed at `path` (created/truncated), so processes
+  /// outside the fork tree — altx-top — can attach read-only. Throws
+  /// SystemError when the file cannot be created or mapped.
+  TraceRing(const std::string& path, std::size_t capacity);
+
   ~TraceRing();
 
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
   /// Lock-free, async-signal-safe, callable from any process sharing the
-  /// mapping. Copies `rec` into the next free slot; drops it (and counts
-  /// the drop) when the arena is full.
+  /// mapping. Copies `rec` into the next free slot with its claim ticket
+  /// stamped as `seq`; drops it (and counts the drop) when the arena is
+  /// full.
   void push(const Record& rec) noexcept;
 
   /// Fresh cross-process-unique ids.
@@ -67,18 +101,38 @@ class TraceRing {
   void reset() noexcept;
 
  private:
-  struct Header {
-    std::atomic<std::uint64_t> head;     // next ticket to claim
-    std::atomic<std::uint64_t> dropped;
-    std::atomic<std::uint32_t> next_race_id;
-  };
-  struct Slot {
-    std::atomic<std::uint32_t> ready;  // 0 = unpublished, 1 = published
-    Record rec;
-  };
+  void map_and_init(int fd, std::size_t capacity);
 
-  Header* header_ = nullptr;
-  Slot* slots_ = nullptr;
+  RingHeader* header_ = nullptr;
+  RingSlot* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+};
+
+/// Read-only attachment to a file-backed TraceRing created by another,
+/// possibly still-running, process. altx-top's side of the live monitor:
+/// maps the file, validates magic/version, and snapshots on demand. The
+/// writer may be appending concurrently — a snapshot sees every record
+/// published before it started and skips slots still being written.
+class TraceRingReader {
+ public:
+  /// Throws SystemError when the file cannot be opened/mapped and
+  /// UsageError when it is not a version-compatible altx ring.
+  explicit TraceRingReader(const std::string& path);
+  ~TraceRingReader();
+
+  TraceRingReader(const TraceRingReader&) = delete;
+  TraceRingReader& operator=(const TraceRingReader&) = delete;
+
+  [[nodiscard]] std::vector<Record> snapshot() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  [[nodiscard]] std::uint64_t published() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const RingHeader* header_ = nullptr;
+  const RingSlot* slots_ = nullptr;
   std::size_t capacity_ = 0;
   void* map_ = nullptr;
   std::size_t map_bytes_ = 0;

@@ -44,17 +44,21 @@ inline EventKind map_sim_kind(sim::TraceEvent::Kind k) {
 /// A Kernel::Config::trace sink forwarding every sim event into the shared
 /// ring under the given race id. The sim pid rides in the record's pid
 /// field; the peer pid (parent / clone / sender) in `b`; kSimEvent keeps
-/// the original kind in `a`.
+/// the original kind in `a`. `node_id` is stamped into every record so a
+/// per-node kernel's stream stitches against other nodes' traces (0 = the
+/// single-node default; sim node n conventionally maps to trace node n+1,
+/// matching dist/ and consensus/).
 inline std::function<void(const sim::TraceEvent&)> sim_trace_sink(
-    std::uint32_t race_id) {
-  return [race_id](const sim::TraceEvent& ev) {
+    std::uint32_t race_id, std::uint32_t node_id = 0) {
+  return [race_id, node_id](const sim::TraceEvent& ev) {
     const EventKind kind = map_sim_kind(ev.kind);
-    emit_at(static_cast<std::uint64_t>(ev.time) * 1000ULL, kind, race_id,
-            /*child_index=*/0,
-            kind == EventKind::kSimEvent ? static_cast<std::uint64_t>(ev.kind)
-                                         : static_cast<std::uint64_t>(ev.pid),
-            static_cast<std::uint64_t>(ev.other),
-            static_cast<std::uint64_t>(ev.pid));
+    emit_at_node(static_cast<std::uint64_t>(ev.time) * 1000ULL, node_id, kind,
+                 race_id, /*child_index=*/0,
+                 kind == EventKind::kSimEvent
+                     ? static_cast<std::uint64_t>(ev.kind)
+                     : static_cast<std::uint64_t>(ev.pid),
+                 static_cast<std::uint64_t>(ev.other),
+                 static_cast<std::uint64_t>(ev.pid));
   };
 }
 

@@ -1,12 +1,16 @@
 #include "obs/trace.hpp"
 
+#include <pthread.h>
 #include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "obs/export.hpp"
@@ -27,7 +31,20 @@ namespace {
 // reconstruction wants.
 TraceRing* g_ring = nullptr;
 std::uint32_t g_attempt = 0;  // inherited by children through fork
+std::uint32_t g_node_id = 0;  // ALTX_NODE_ID; inherited through fork
 pid_t g_creator = -1;
+
+// glibc stopped caching getpid(), and under a container's seccomp filter
+// the syscall costs ~100 ns — real money when every emit stamps a pid on
+// the fork critical path. Cache it ourselves; the pthread_atfork child
+// handler (registered when the ring is created) refreshes it after every
+// fork, which is the only way a process's pid changes.
+pid_t g_self = -1;
+void refresh_self_pid() { g_self = ::getpid(); }
+pid_t self_pid() {
+  if (g_self == -1) refresh_self_pid();
+  return g_self;
+}
 
 // Export configuration captured from the environment at init.
 std::string& trace_path() {
@@ -43,6 +60,13 @@ std::string& metrics_path() {
   return path;
 }
 
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << MetricsRegistry::global().to_json();
+  return static_cast<bool>(out);
+}
+
 void export_at_exit() {
   // Only the ring's creator exports; a forked child that somehow reaches
   // exit() (instead of _exit) must not clobber the parent's file.
@@ -54,15 +78,29 @@ void export_at_exit() {
       std::fprintf(stderr, "altx: trace export failed: %s\n", e.what());
     }
   }
-  if (!metrics_path().empty()) {
-    std::ofstream out(metrics_path());
-    if (out) {
-      out << MetricsRegistry::global().to_json();
-    } else {
-      std::fprintf(stderr, "altx: cannot write metrics to %s\n",
-                   metrics_path().c_str());
-    }
+  if (!metrics_path().empty() && !write_metrics_file(metrics_path())) {
+    std::fprintf(stderr, "altx: cannot write metrics to %s\n",
+                 metrics_path().c_str());
   }
+}
+
+/// The live-metrics exporter: rewrites the ALTX_METRICS file every interval
+/// so an operator (or a `watch cat`) can see counters move while the
+/// process runs. Snapshots are written to <path>.tmp and renamed, so a
+/// concurrent reader never sees a half-written file. The thread is detached
+/// and owns copies of its inputs; the final authoritative dump still comes
+/// from export_at_exit.
+void start_metrics_interval(std::string path, long long interval_ms) {
+  std::thread([path = std::move(path), interval_ms] {
+    const std::string tmp = path + ".tmp";
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      if (!write_metrics_file(tmp)) continue;
+      if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        (void)::unlink(tmp.c_str());
+      }
+    }
+  }).detach();
 }
 
 /// Runs before main(): the ring must exist in the process that forks, and
@@ -70,12 +108,16 @@ void export_at_exit() {
 struct EnvInit {
   EnvInit() {
     const char* trace = std::getenv("ALTX_TRACE");
+    const char* ring_file = std::getenv("ALTX_TRACE_RING");
     const char* metrics = std::getenv("ALTX_METRICS");
-    if (trace == nullptr && metrics == nullptr) return;
+    if (trace == nullptr && ring_file == nullptr && metrics == nullptr) return;
     std::size_t capacity = TraceRing::kDefaultCapacity;
     if (const char* buf = std::getenv("ALTX_TRACE_BUF")) {
       const long long n = std::atoll(buf);
       if (n > 0) capacity = static_cast<std::size_t>(n);
+    }
+    if (const char* node = std::getenv("ALTX_NODE_ID")) {
+      g_node_id = static_cast<std::uint32_t>(std::atoll(node));
     }
     if (trace != nullptr) {
       trace_path() = trace;
@@ -83,10 +125,25 @@ struct EnvInit {
       trace_format() = format != nullptr ? format : "jsonl";
     }
     if (metrics != nullptr) metrics_path() = metrics;
-    g_ring = new TraceRing(capacity);
+    try {
+      // File-backed when a live monitor wants to attach, anonymous otherwise.
+      g_ring = ring_file != nullptr ? new TraceRing(ring_file, capacity)
+                                    : new TraceRing(capacity);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "altx: cannot create trace ring: %s\n", e.what());
+      return;
+    }
     g_creator = ::getpid();
+    refresh_self_pid();
+    ::pthread_atfork(nullptr, nullptr, refresh_self_pid);
     std::atexit(export_at_exit);
     detail::g_enabled = true;
+    if (metrics != nullptr) {
+      if (const char* iv = std::getenv("ALTX_METRICS_INTERVAL_MS")) {
+        const long long ms = std::atoll(iv);
+        if (ms > 0) start_metrics_interval(metrics_path(), ms);
+      }
+    }
   }
 };
 EnvInit g_env_init;
@@ -102,7 +159,8 @@ void emit_slow(EventKind kind, std::uint32_t race_id, std::int16_t child_index,
   r.t_ns = now_ns();
   r.race_id = race_id;
   r.attempt = g_attempt;
-  r.pid = static_cast<std::int32_t>(::getpid());
+  r.pid = static_cast<std::int32_t>(self_pid());
+  r.node_id = g_node_id;
   r.child_index = child_index;
   r.kind = kind;
   r.a = a;
@@ -116,12 +174,19 @@ void emit_slow(EventKind kind, std::uint32_t race_id, std::int16_t child_index,
 void emit_at(std::uint64_t t_ns, EventKind kind, std::uint32_t race_id,
              std::int16_t child_index, std::uint64_t a, std::uint64_t b,
              std::uint64_t c) noexcept {
+  emit_at_node(t_ns, g_node_id, kind, race_id, child_index, a, b, c);
+}
+
+void emit_at_node(std::uint64_t t_ns, std::uint32_t node_id, EventKind kind,
+                  std::uint32_t race_id, std::int16_t child_index,
+                  std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
   if (!detail::g_enabled || g_ring == nullptr) [[likely]] return;
   Record r;
   r.t_ns = t_ns;
   r.race_id = race_id;
   r.attempt = g_attempt;
-  r.pid = static_cast<std::int32_t>(::getpid());
+  r.pid = static_cast<std::int32_t>(self_pid());
+  r.node_id = node_id;
   r.child_index = child_index;
   r.kind = kind;
   r.a = a;
@@ -146,6 +211,10 @@ void set_attempt(std::uint32_t attempt) noexcept { g_attempt = attempt; }
 
 std::uint32_t current_attempt() noexcept { return g_attempt; }
 
+void set_node_id(std::uint32_t node_id) noexcept { g_node_id = node_id; }
+
+std::uint32_t node_id() noexcept { return g_node_id; }
+
 namespace {
 std::uint32_t g_current_race = 0;  // child-side; set after fork
 }  // namespace
@@ -160,6 +229,8 @@ void enable_for_test(std::size_t capacity) {
   if (g_ring == nullptr) {
     g_ring = new TraceRing(capacity);
     g_creator = ::getpid();
+    refresh_self_pid();
+    ::pthread_atfork(nullptr, nullptr, refresh_self_pid);
   }
   detail::g_enabled = true;
 }
@@ -188,12 +259,27 @@ void export_to(const std::string& path, const std::string& format) {
                    [](const Record& x, const Record& y) {
                      return x.t_ns < y.t_ns;
                    });
+  const std::uint64_t lost = dropped();
+  if (lost > 0) {
+    // The overflow marker: a reader (altx-trace, or any jsonl consumer)
+    // must be able to tell a truncated trace from a complete one without
+    // out-of-band knowledge, so the drop count rides in the file itself.
+    Record overflow;
+    overflow.t_ns = records.empty() ? 0 : records.back().t_ns;
+    overflow.seq = records.empty() ? 0 : records.back().seq + 1;
+    overflow.node_id = g_node_id;
+    overflow.pid = static_cast<std::int32_t>(::getpid());
+    overflow.kind = EventKind::kRingOverflow;
+    overflow.a = lost;
+    records.push_back(overflow);
+    MetricsRegistry::global().counter("dropped_events").add(lost);
+  }
   std::ofstream out(path);
   if (!out) throw SystemError("open trace file " + path, errno);
   write_trace(records, out, format);
   out.flush();
   if (!out) throw SystemError("write trace file " + path, EIO);
-  if (const std::uint64_t lost = dropped(); lost > 0) {
+  if (lost > 0) {
     std::fprintf(stderr,
                  "altx: trace buffer overflow: %llu records dropped "
                  "(raise ALTX_TRACE_BUF)\n",

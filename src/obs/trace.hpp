@@ -11,7 +11,12 @@
 //   ALTX_TRACE=<path>          enable tracing; export the trace here at exit
 //   ALTX_TRACE_FORMAT=jsonl|chrome   export format (default jsonl)
 //   ALTX_TRACE_BUF=<records>   ring capacity (default 65536)
+//   ALTX_TRACE_RING=<path>     enable tracing with a file-backed ring that
+//                              a live monitor (altx-top) can attach to
+//   ALTX_NODE_ID=<n>           node id stamped into every record (default 0)
 //   ALTX_METRICS=<path>        dump the metrics registry as JSON at exit
+//   ALTX_METRICS_INTERVAL_MS=<ms>  also rewrite the ALTX_METRICS file
+//                              periodically (live snapshots, atomic rename)
 //
 // Only the process that created the ring exports at exit: children leave
 // through _exit (or a signal), which skips atexit — by design, their story
@@ -52,6 +57,15 @@ void emit_at(std::uint64_t t_ns, EventKind kind, std::uint32_t race_id,
              std::int16_t child_index, std::uint64_t a = 0, std::uint64_t b = 0,
              std::uint64_t c = 0) noexcept;
 
+/// As emit_at(), additionally overriding the record's node id — the
+/// distributed layers attribute each event to the simulated node it
+/// happened on (coordinator, worker, arbiter) instead of this process's
+/// ALTX_NODE_ID, so a stitched timeline separates nodes correctly.
+void emit_at_node(std::uint64_t t_ns, std::uint32_t node_id, EventKind kind,
+                  std::uint32_t race_id, std::int16_t child_index,
+                  std::uint64_t a = 0, std::uint64_t b = 0,
+                  std::uint64_t c = 0) noexcept;
+
 /// A fresh block id, unique across every process sharing the ring.
 /// Returns 0 (the "untraced" id) when tracing is disabled.
 [[nodiscard]] std::uint32_t next_race_id() noexcept;
@@ -64,6 +78,11 @@ void emit_at(std::uint64_t t_ns, EventKind kind, std::uint32_t race_id,
 /// unsupervised attempt.
 void set_attempt(std::uint32_t attempt) noexcept;
 [[nodiscard]] std::uint32_t current_attempt() noexcept;
+
+/// This process's node id (ALTX_NODE_ID at init; settable for tests and
+/// embeddings). Stamped into every record emitted without an explicit node.
+void set_node_id(std::uint32_t node_id) noexcept;
+[[nodiscard]] std::uint32_t node_id() noexcept;
 
 /// The race id of the block this process is currently a child of (set by
 /// AltGroup::alt_spawn in the child after fork; 0 in the parent). Lets code
@@ -93,7 +112,11 @@ void reset();
 
 /// Exports the current ring contents to `path` in the given format
 /// ("jsonl" or "chrome"); called automatically at exit when ALTX_TRACE is
-/// set. Throws SystemError when the file cannot be written.
+/// set. When records were lost to ring exhaustion, a final kRingOverflow
+/// record carrying the drop count is appended to the export (and the
+/// `dropped_events` counter is set) so a truncated trace is detectable
+/// instead of silently short. Throws SystemError when the file cannot be
+/// written.
 void export_to(const std::string& path, const std::string& format);
 
 }  // namespace altx::obs

@@ -1,7 +1,7 @@
 #include "posix/alt_group.hpp"
 
 #include <signal.h>
-#include <sys/wait.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,13 +15,6 @@ namespace {
 
 constexpr int kExitAbort = 42;    // guard failed, no synchronization
 constexpr int kExitTooLate = 43;  // lost the race for the commit token
-
-pid_t waitpid_eintr(pid_t pid, int* status, int flags) {
-  while (true) {
-    const pid_t r = ::waitpid(pid, status, flags);
-    if (r >= 0 || errno != EINTR) return r;
-  }
-}
 
 }  // namespace
 
@@ -55,9 +48,14 @@ AltGroup::~AltGroup() {
   try {
     kill_survivors();
     reap_all();
+    finalize_accounting();
   } catch (...) {
     // Destructors must not throw; losing a reap here only leaks a zombie
     // until process exit.
+  }
+  if (census_ != nullptr) {
+    ::munmap(census_, census_slots_ * sizeof(CensusSlot));
+    census_ = nullptr;
   }
 }
 
@@ -78,6 +76,22 @@ int AltGroup::alt_spawn(int n) {
   // Deposit the single commit token: the 0-1 semaphore of section 3.2.1.
   const std::uint8_t token = 1;
   write_all(token_.write_end.get(), &token, 1);
+
+  // The census arena: one MAP_SHARED slot per child, created before any
+  // fork so every child inherits the same mapping. A child deposits its
+  // dirty-page count here just before its sync point; the numbers survive a
+  // SIGKILL that the pipe-based result path would lose. On mmap failure the
+  // arena is simply absent and accounting degrades to rusage-only.
+  census_slots_ = static_cast<std::size_t>(n);
+  void* arena = ::mmap(nullptr, census_slots_ * sizeof(CensusSlot),
+                       PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS,
+                       -1, 0);
+  if (arena == MAP_FAILED) {
+    census_ = nullptr;
+    census_slots_ = 0;
+  } else {
+    census_ = static_cast<CensusSlot*>(arena);  // MAP_ANONYMOUS: zeroed
+  }
 
   // Cohort bookkeeping grows in lockstep with the forks so that a mid-loop
   // failure can kill and reap exactly the children that exist.
@@ -138,6 +152,7 @@ void AltGroup::child_commit(const Bytes& result) {
   // still explains a child that the injector kills on its way in.
   obs::emit(obs::EventKind::kGuardResult, race_id_,
             static_cast<std::int16_t>(my_index_), 1);
+  publish_census();  // before the sync point: survives an injected SIGKILL
   bool drop = false;
   if (opts_.fault != nullptr) {
     // May crash / hang / stall right here — the instant before
@@ -185,6 +200,7 @@ void AltGroup::child_abort() {
   ALTX_REQUIRE(my_index_ != 0, "child_abort called in the parent");
   obs::emit(obs::EventKind::kGuardResult, race_id_,
             static_cast<std::int16_t>(my_index_), 0);
+  publish_census();  // before the sync point: survives an injected SIGKILL
   if (opts_.fault != nullptr) {
     // The abort path is a sync point too: a guard that fails can still
     // crash or hang on its way out. kDropCommit degenerates to the abort.
@@ -230,9 +246,10 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
     for (std::size_t i = 0; i < children_.size(); ++i) {
       if (reaped_[i]) continue;
       int status = 0;
-      const pid_t r = waitpid_eintr(children_[i], &status, WNOHANG);
+      struct rusage ru {};
+      const pid_t r = wait4_eintr(children_[i], &status, WNOHANG, &ru);
       if (r == children_[i]) {
-        record_exit(i, status);
+        record_exit(i, status, decode_rusage(ru));
         ++exited;
       }
     }
@@ -260,6 +277,7 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
   decided_ = true;
   kill_survivors();
   if (opts_.elimination == Eliminate::kSynchronous) reap_all();
+  finalize_accounting();  // no-op while losers are still unreaped
   if (obs::enabled()) {
     obs::emit(obs::EventKind::kRaceDecided, race_id_, 0,
               static_cast<std::uint64_t>(verdict_kind_),
@@ -279,7 +297,10 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
   return verdict_;
 }
 
-void AltGroup::finish() { reap_all(); }
+void AltGroup::finish() {
+  reap_all();
+  finalize_accounting();
+}
 
 int AltGroup::count_fate(ChildFate fate) const {
   int n = 0;
@@ -302,17 +323,21 @@ void AltGroup::reap_all() {
   for (std::size_t i = 0; i < children_.size(); ++i) {
     if (reaped_[i]) continue;
     int status = 0;
-    if (waitpid_eintr(children_[i], &status, 0) == children_[i]) {
-      record_exit(i, status);
+    struct rusage ru {};
+    if (wait4_eintr(children_[i], &status, 0, &ru) == children_[i]) {
+      record_exit(i, status, decode_rusage(ru));
     }
   }
 }
 
-void AltGroup::record_exit(std::size_t i, int status) {
+void AltGroup::record_exit(std::size_t i, int status,
+                           const ChildUsage& usage) {
   reaped_[i] = true;
   ChildStatus& st = status_[i];
-  if (WIFEXITED(status)) {
-    st.exit_code = WEXITSTATUS(status);
+  st.usage = usage;
+  const ExitInfo info = decode_wait_status(status);
+  if (info.exited) {
+    st.exit_code = info.exit_code;
     if (st.exit_code == 0) {
       st.fate = ChildFate::kCommitted;
     } else if (st.exit_code == kExitAbort) {
@@ -323,20 +348,37 @@ void AltGroup::record_exit(std::size_t i, int status) {
     } else {
       st.fate = ChildFate::kCrashed;  // an exit no protocol path produces
     }
-  } else if (WIFSIGNALED(status)) {
-    st.signal = WTERMSIG(status);
+  } else if (info.signaled) {
+    st.signal = info.signal;
     if (killed_[i]) {
-      // We sent the SIGKILL. Before a verdict it was a deadline kill (the
-      // child was hung past the TIMEOUT); after one, routine elimination.
-      // A child that died of its own SIGKILL in the race window between our
-      // poll and our kill is indistinguishable — attributed to us.
-      st.fate = verdict_.has_value() ? ChildFate::kEliminated
-                                     : ChildFate::kHung;
+      if (verdict_.has_value() &&
+          static_cast<std::size_t>(verdict_->index) == i + 1) {
+        // Our own SIGKILL caught the winner between writing its result and
+        // _exit(0). The answer was already accepted, so this is a commit —
+        // classifying it an elimination would bill the winner's CPU and
+        // pages as speculation waste.
+        st.fate = ChildFate::kCommitted;
+      } else {
+        // We sent the SIGKILL. Before a verdict it was a deadline kill (the
+        // child was hung past the TIMEOUT); after one, routine elimination.
+        // A child that died of its own SIGKILL in the race window between
+        // our poll and our kill is indistinguishable — attributed to us.
+        st.fate = verdict_.has_value() ? ChildFate::kEliminated
+                                       : ChildFate::kHung;
+      }
     } else {
       st.fate = ChildFate::kCrashed;
     }
   } else {
     st.fate = ChildFate::kCrashed;
+  }
+  // Pick up the child's dirty-page census if it published one before dying.
+  // The acquire pairs with the child's release store: a torn slot is never
+  // read, it just counts as "no census" (zeros).
+  if (census_ != nullptr && i < census_slots_ &&
+      census_[i].ready.load(std::memory_order_acquire) != 0) {
+    st.dirty_pages = census_[i].dirty_pages;
+    st.dirty_bytes = census_[i].dirty_bytes;
   }
   if (obs::enabled()) {
     // The terminal fate event: exactly one per reaped child, parent-side,
@@ -347,9 +389,71 @@ void AltGroup::record_exit(std::size_t i, int status) {
               static_cast<std::uint64_t>(st.signal),
               static_cast<std::uint64_t>(static_cast<std::uint32_t>(
                   st.exit_code)));
+    // The kernel's bill for this child, from wait4 — valid even when the
+    // child never ran a line of the protocol.
+    obs::emit(obs::EventKind::kChildUsage, race_id_,
+              static_cast<std::int16_t>(i + 1), usage.cpu_ns, usage.maxrss_kb,
+              (usage.minor_faults << 32) |
+                  (usage.major_faults & 0xffffffffULL));
     auto& metrics = obs::MetricsRegistry::global();
     metrics.counter(std::string("fate_") + to_string(st.fate)).add();
   }
+}
+
+void AltGroup::publish_census() {
+  std::uint64_t pages = 0;
+  std::uint64_t bytes = 0;
+  if (opts_.heap != nullptr) {
+    pages = static_cast<std::uint64_t>(opts_.heap->dirty_pages().size());
+    bytes = pages * static_cast<std::uint64_t>(opts_.heap->page_size());
+  }
+  if (census_ != nullptr && my_index_ >= 1 &&
+      static_cast<std::size_t>(my_index_) <= census_slots_) {
+    CensusSlot& slot = census_[static_cast<std::size_t>(my_index_) - 1];
+    slot.dirty_pages = pages;
+    slot.dirty_bytes = bytes;
+    slot.ready.store(1, std::memory_order_release);
+  }
+  obs::emit(obs::EventKind::kChildPages, race_id_,
+            static_cast<std::int16_t>(my_index_), pages, bytes);
+}
+
+SpeculationReport AltGroup::speculation_report() const {
+  SpeculationReport rep;
+  for (std::size_t i = 0; i < status_.size(); ++i) {
+    if (!reaped_[i]) continue;
+    const ChildStatus& st = status_[i];
+    rep.total_cpu_ns += st.usage.cpu_ns;
+    ++rep.children_costed;
+    if (st.fate == ChildFate::kCommitted) {
+      // The winner's pages were absorbed, not discarded; its CPU is the
+      // price of the answer itself.
+      rep.winner_cpu_ns += st.usage.cpu_ns;
+    } else {
+      rep.discarded_pages += st.dirty_pages;
+      rep.discarded_bytes += st.dirty_bytes;
+    }
+  }
+  rep.wasted_cpu_ns = rep.total_cpu_ns - rep.winner_cpu_ns;
+  return rep;
+}
+
+void AltGroup::finalize_accounting() {
+  if (accounted_ || !spawned_ || my_index_ != 0) return;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!reaped_[i]) return;  // ledger incomplete; try again at next reap
+  }
+  accounted_ = true;
+  if (!obs::enabled()) return;
+  const SpeculationReport rep = speculation_report();
+  obs::emit(obs::EventKind::kSpecReport, race_id_, 0, rep.wasted_cpu_ns,
+            rep.discarded_pages, rep.winner_cpu_ns);
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("spec_wasted_cpu_ns").add(rep.wasted_cpu_ns);
+  metrics.counter("spec_discarded_pages").add(rep.discarded_pages);
+  metrics.counter("spec_discarded_bytes").add(rep.discarded_bytes);
+  metrics.histogram("spec_overhead_ratio_x100")
+      .record(static_cast<std::uint64_t>(rep.overhead_ratio() * 100.0));
 }
 
 }  // namespace altx::posix

@@ -38,6 +38,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -47,6 +48,7 @@
 #include "posix/alt_heap.hpp"
 #include "posix/fault.hpp"
 #include "posix/fd.hpp"
+#include "posix/reap.hpp"
 
 namespace altx::posix {
 
@@ -75,6 +77,17 @@ struct ChildStatus {
   ChildFate fate = ChildFate::kRunning;
   int signal = 0;      // terminating signal when fate == kCrashed (0 = exit)
   int exit_code = -1;  // raw exit status when the child exited normally
+
+  /// Resource bill from wait4 at reap time — valid for every fate,
+  /// including losers we SIGKILLed (the kernel keeps the ledger for us).
+  ChildUsage usage;
+
+  /// Dirty-page census the child reported just before its sync point
+  /// (kChildPages), read back from the shared census arena. Zero for a
+  /// child that died before reaching a sync point — a mid-guard SIGKILL
+  /// leaves its COW cost unknowable.
+  std::uint64_t dirty_pages = 0;
+  std::uint64_t dirty_bytes = 0;
 };
 
 /// Why alt_wait returned nullopt — or that it did not.
@@ -98,6 +111,27 @@ struct AltWinner {
   int index = 0;       // 1-based alternative number (alt_spawn's return)
   Bytes result;        // bytes the winner passed to child_commit
   std::size_t pages_absorbed = 0;
+};
+
+/// What the speculation cost, rolled up over every reaped child of one
+/// block (paper section 3.1's bet, measured): the winner's work is the
+/// price of the answer, everything else is the price of getting it fast.
+struct SpeculationReport {
+  std::uint64_t total_cpu_ns = 0;     // every child, winners and losers
+  std::uint64_t winner_cpu_ns = 0;    // the committed child (0 = no winner)
+  std::uint64_t wasted_cpu_ns = 0;    // total - winner: the losers' bill
+  std::uint64_t discarded_pages = 0;  // losers' dirty COW pages, as reported
+  std::uint64_t discarded_bytes = 0;  //   before their sync points
+  int children_costed = 0;            // reaped children in this rollup
+
+  /// total work / winner work — 1.0 is free speculation, N is "we paid for
+  /// N alternatives to get one answer". 0 when there is no winner to
+  /// normalize by (FAIL / timeout: every cycle was wasted).
+  [[nodiscard]] double overhead_ratio() const {
+    if (winner_cpu_ns == 0) return 0.0;
+    return static_cast<double>(total_cpu_ns) /
+           static_cast<double>(winner_cpu_ns);
+  }
 };
 
 class AltGroup {
@@ -148,19 +182,40 @@ class AltGroup {
   /// Why the last alt_wait came out the way it did.
   [[nodiscard]] WaitVerdict verdict() const { return verdict_kind_; }
 
+  /// The speculation ledger over the children reaped so far: wasted CPU,
+  /// discarded COW pages, overhead ratio. Complete after a synchronous
+  /// alt_wait (or finish()); with asynchronous elimination it covers
+  /// whatever has been reaped when asked.
+  [[nodiscard]] SpeculationReport speculation_report() const;
+
   /// The trace id grouping this block's events (0 when tracing is off).
   [[nodiscard]] std::uint32_t race_id() const { return race_id_; }
 
  private:
+  /// One census slot per child in a MAP_SHARED arena: the child writes its
+  /// dirty-page count just before its sync point (where a fault injector
+  /// may SIGKILL it), the parent reads it at rollup. `ready` is the
+  /// publication flag — a torn write is never read.
+  struct CensusSlot {
+    std::uint64_t dirty_pages;
+    std::uint64_t dirty_bytes;
+    std::atomic<std::uint32_t> ready;
+  };
+
   void kill_survivors();
   void reap_all();
-  void record_exit(std::size_t i, int status);
+  void record_exit(std::size_t i, int status, const ChildUsage& usage);
+  void publish_census();         // child side, before the sync point
+  void finalize_accounting();    // parent side, once every child is reaped
 
   AltGroupOptions opts_;
   std::vector<pid_t> children_;
   std::vector<bool> reaped_;
   std::vector<bool> killed_;  // we sent SIGKILL before it was reaped
   std::vector<ChildStatus> status_;
+  CensusSlot* census_ = nullptr;  // shared arena, one slot per child
+  std::size_t census_slots_ = 0;
+  bool accounted_ = false;  // kSpecReport emitted / metrics rolled up
   Pipe token_;   // 0-1 semaphore: one byte, first reader commits
   Pipe result_;  // winner -> parent: index + payload + heap patch
   int my_index_ = 0;  // 0 in parent

@@ -12,14 +12,13 @@
 // needed, so no commit token is involved — just isolation and collection.
 #pragma once
 
-#include <sys/wait.h>
-
 #include <chrono>
 #include <optional>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "posix/race.hpp"
+#include "posix/reap.hpp"
 
 namespace altx::posix {
 
@@ -56,8 +55,8 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
   auto abandon_cohort = [&](std::size_t have) {
     for (std::size_t k = 0; k < have; ++k) ::kill(children[k], SIGKILL);
     for (std::size_t k = 0; k < have; ++k) {
-      while (::waitpid(children[k], nullptr, 0) < 0 && errno == EINTR) {
-      }
+      int status = 0;
+      wait4_eintr(children[k], &status, 0);
     }
   };
   for (std::size_t i = 0; i < n; ++i) {
@@ -114,8 +113,8 @@ std::optional<std::vector<T>> await_all(const std::vector<AlternativeFn<T>>& tas
       for (pid_t pid : children) ::kill(pid, SIGKILL);
     }
     for (pid_t pid : children) {
-      while (::waitpid(pid, nullptr, 0) < 0 && errno == EINTR) {
-      }
+      int status = 0;
+      wait4_eintr(pid, &status, 0);
     }
   };
 

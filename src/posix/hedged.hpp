@@ -52,6 +52,11 @@ std::optional<HedgeResult<T>> hedged(const HedgedFn<T>& task,
         ::usleep(static_cast<useconds_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(delay).count()));
       }
+      // Each copy is an attempt at the same task; stamp its ordinal the way
+      // supervisor.hpp does, so the timeline attributes this child's events
+      // to hedge copy k rather than to whatever attempt it inherited through
+      // fork. We are in the forked child: the parent's scope is untouched.
+      obs::set_attempt(static_cast<std::uint32_t>(k));
       // When this copy *actually* started mattering — the stagger sleep is
       // the whole point of hedging, so the trace separates wake from fork.
       obs::emit(obs::EventKind::kHedgeWake, obs::current_race(),

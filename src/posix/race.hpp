@@ -75,6 +75,10 @@ struct RaceReport {
   int crashed = 0;
   int hung = 0;
   int eliminated = 0;
+
+  /// What the speculation cost: every child's CPU from wait4 at reap time,
+  /// the losers' discarded COW pages, and the total/winner overhead ratio.
+  SpeculationReport spec;
 };
 
 struct RaceOptions {
@@ -146,6 +150,7 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
     rep.crashed = group.count_fate(ChildFate::kCrashed);
     rep.hung = group.count_fate(ChildFate::kHung);
     rep.eliminated = group.count_fate(ChildFate::kEliminated);
+    rep.spec = group.speculation_report();
   }
   if (!win.has_value()) return std::nullopt;
   RaceResult<T> r;

@@ -1,0 +1,74 @@
+// The one reap path: wait4 with EINTR retry and rusage capture.
+//
+// Every place that used to loop on waitpid (AltGroup's opportunistic poll,
+// its final reap, await_all's cohort teardown) goes through here, for two
+// reasons. First, dedup: the EINTR dance and the WIFEXITED/WIFSIGNALED
+// decoding were copied at each site. Second — the speculation-efficiency
+// ledger needs it — waitpid discards exactly the numbers the accounting
+// wants: wait4's rusage is the only way to learn how much CPU a SIGKILLed
+// loser burned, because the loser itself is no longer around to ask.
+#pragma once
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdint>
+
+namespace altx::posix {
+
+/// One child's resource bill, decoded from wait4's rusage. Fields are the
+/// subset the speculation ledger consumes; all zero when the kernel gave no
+/// usage (it always does for reaped children on Linux).
+struct ChildUsage {
+  std::uint64_t cpu_ns = 0;      // user + system time
+  std::uint64_t maxrss_kb = 0;   // peak resident set, KiB
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+};
+
+[[nodiscard]] inline ChildUsage decode_rusage(const struct rusage& ru) {
+  ChildUsage u;
+  const auto tv_ns = [](const struct timeval& tv) {
+    return static_cast<std::uint64_t>(tv.tv_sec) * 1'000'000'000ULL +
+           static_cast<std::uint64_t>(tv.tv_usec) * 1'000ULL;
+  };
+  u.cpu_ns = tv_ns(ru.ru_utime) + tv_ns(ru.ru_stime);
+  u.maxrss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+  u.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+  u.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  return u;
+}
+
+/// wait4 retrying on EINTR. Same contract as waitpid(pid, status, flags):
+/// returns the reaped pid, 0 when WNOHANG found nothing, -1 on error.
+/// `usage` (optional) receives the child's rusage on a successful reap.
+inline pid_t wait4_eintr(pid_t pid, int* status, int flags,
+                         struct rusage* usage = nullptr) {
+  while (true) {
+    const pid_t r = ::wait4(pid, status, flags, usage);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// A wait(2) status decoded once, instead of WIF* logic at every call site.
+struct ExitInfo {
+  bool exited = false;    // WIFEXITED
+  bool signaled = false;  // WIFSIGNALED
+  int exit_code = -1;     // WEXITSTATUS when exited
+  int signal = 0;         // WTERMSIG when signaled
+};
+
+[[nodiscard]] inline ExitInfo decode_wait_status(int status) {
+  ExitInfo info;
+  if (WIFEXITED(status)) {
+    info.exited = true;
+    info.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    info.signaled = true;
+    info.signal = WTERMSIG(status);
+  }
+  return info;
+}
+
+}  // namespace altx::posix

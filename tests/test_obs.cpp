@@ -274,6 +274,122 @@ TEST(SimBridge, KernelEventsLandInTheSharedTrace) {
   reset();
 }
 
+TEST(Export, NodeAndSeqRoundTrip) {
+  Record r = make_record(5, EventKind::kCommitWon, 2);
+  r.node_id = 7;
+  r.seq = 42;
+  std::ostringstream out;
+  write_jsonl({r}, out);
+  EXPECT_NE(out.str().find("\"node\":7"), std::string::npos);
+  EXPECT_NE(out.str().find("\"seq\":42"), std::string::npos);
+  std::istringstream in(out.str());
+  const auto back = parse_jsonl(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].node_id, 7u);
+  EXPECT_EQ(back[0].seq, 42u);
+  // Pre-stitching traces carry neither key; both default to 0.
+  std::istringstream old(
+      "{\"t_ns\":1,\"kind\":\"fork\",\"race\":1,\"attempt\":0,\"pid\":1,"
+      "\"child\":0,\"a\":0,\"b\":0,\"c\":0}\n");
+  const auto legacy = parse_jsonl(old);
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0].node_id, 0u);
+  EXPECT_EQ(legacy[0].seq, 0u);
+}
+
+TEST(Export, RingStampsMonotonicSeq) {
+  TraceRing r(16);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    r.push(make_record(i, EventKind::kFork));
+  }
+  const auto recs = r.snapshot();
+  ASSERT_EQ(recs.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(recs[i].seq, i);
+}
+
+TEST(Export, StitchOrdersByTimeThenNodeThenSeq) {
+  auto rec = [](std::uint64_t t, std::uint32_t node, std::uint64_t seq,
+                std::uint32_t race) {
+    Record r = make_record(race, EventKind::kSimEvent);
+    r.t_ns = t;
+    r.node_id = node;
+    r.seq = seq;
+    return r;
+  };
+  // Node 2's trace and node 1's trace, each internally in seq order.
+  const std::vector<Record> a = {rec(100, 2, 0, 1), rec(300, 2, 1, 1)};
+  const std::vector<Record> b = {rec(100, 1, 5, 1), rec(200, 1, 6, 1)};
+  const auto merged = stitch_records({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  // t=100 ties break by node id; then t=200 (node 1), t=300 (node 2).
+  EXPECT_EQ(merged[0].node_id, 1u);
+  EXPECT_EQ(merged[1].node_id, 2u);
+  EXPECT_EQ(merged[2].t_ns, 200u);
+  EXPECT_EQ(merged[3].t_ns, 300u);
+  // race_id grouping is untouched: every record still carries its trace id.
+  for (const Record& r : merged) EXPECT_EQ(r.race_id, 1u);
+}
+
+TEST(Export, OverflowSynthesizesMarkerRecord) {
+  // enable_for_test only creates the ring once per process, so overflow by
+  // pushing past whatever capacity the suite's ring actually has.
+  enable_for_test(256);
+  reset();
+  const std::uint32_t id = next_race_id();
+  const std::size_t cap = ring()->capacity();
+  for (std::size_t i = 0; i < cap + 5; ++i) emit(EventKind::kFork, id, 0);
+  EXPECT_GT(dropped(), 0u);
+  const std::string path = "/tmp/altx_test_obs_overflow.jsonl";
+  export_to(path, "jsonl");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const auto recs = parse_jsonl(in);
+  ::unlink(path.c_str());
+  ASSERT_FALSE(recs.empty());
+  const Record& last = recs.back();
+  EXPECT_EQ(last.kind, EventKind::kRingOverflow);
+  EXPECT_EQ(last.a, dropped());
+  // The marker extends the stream: its seq follows the last real record.
+  EXPECT_EQ(last.seq, recs[recs.size() - 2].seq + 1);
+  reset();
+}
+
+TEST(RingFile, ReaderAttachesAndSeesLiveWrites) {
+  const std::string path = "/tmp/altx_test_obs_ringfile.bin";
+  {
+    TraceRing writer(path, 64);
+    writer.push(make_record(1, EventKind::kRaceBegin));
+    writer.push(make_record(1, EventKind::kCommitWon, 1));
+
+    TraceRingReader reader(path);
+    EXPECT_EQ(reader.capacity(), 64u);
+    EXPECT_EQ(reader.published(), 2u);
+    const auto recs = reader.snapshot();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].kind, EventKind::kRaceBegin);
+    EXPECT_EQ(recs[1].kind, EventKind::kCommitWon);
+
+    // Writes after the attach are visible to the same reader: it is a
+    // window onto the shared pages, not a copy.
+    writer.push(make_record(1, EventKind::kRaceDecided));
+    EXPECT_EQ(reader.snapshot().size(), 3u);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(RingFile, ReaderRejectsNonRingFiles) {
+  const std::string path = "/tmp/altx_test_obs_notaring.bin";
+  {
+    std::ofstream out(path);
+    out << "this is not an altx trace ring, not even close, but it is long "
+           "enough that the header mapping itself succeeds cleanly";
+  }
+  EXPECT_THROW(TraceRingReader reader(path), UsageError);
+  ::unlink(path.c_str());
+  EXPECT_THROW(TraceRingReader missing("/tmp/altx_no_such_ring.bin"),
+               SystemError);
+}
+
 TEST(ObsExportToFile, WritesAndRejectsBadPaths) {
   enable_for_test(64);
   reset();

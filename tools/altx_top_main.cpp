@@ -1,0 +1,184 @@
+// altx-top: live view of the alternative blocks of a running process.
+//
+// The traced process exports its ring as a file (ALTX_TRACE_RING=/tmp/r);
+// altx-top maps the same pages read-only and re-renders every interval:
+// which blocks are in flight, which attempt they are on, how many
+// alternatives each spawned, and the fates of the children reaped so far.
+// No cooperation from the writer beyond the mapping — the reader skips
+// slots still being written, so it is safe to watch mid-race.
+//
+//   ALTX_TRACE_RING=/tmp/ring ./your_program &
+//   altx-top /tmp/ring             # refresh until interrupted
+//   altx-top --once /tmp/ring      # one frame (scripts, tests)
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/event.hpp"
+#include "obs/ring.hpp"
+#include "posix/alt_group.hpp"
+
+namespace {
+
+using altx::obs::EventKind;
+using altx::obs::Record;
+
+struct RaceRow {
+  std::uint32_t id = 0;
+  std::uint32_t attempt = 0;   // highest attempt ordinal seen
+  std::uint64_t alts = 0;      // from kRaceBegin / kAwaitBegin
+  std::uint64_t first_ns = 0;
+  std::uint64_t last_ns = 0;
+  bool decided = false;
+  std::uint64_t verdict = 0;   // kRaceDecided a (WaitVerdict)
+  std::uint64_t winner = 0;    // kRaceDecided b
+  std::map<int, std::uint64_t> fates;  // child -> latest ChildFate
+};
+
+const char* fate_name(std::uint64_t fate) {
+  return altx::posix::to_string(static_cast<altx::posix::ChildFate>(fate));
+}
+
+const char* verdict_name(std::uint64_t v) {
+  return altx::posix::to_string(static_cast<altx::posix::WaitVerdict>(v));
+}
+
+std::map<std::uint32_t, RaceRow> fold(const std::vector<Record>& records) {
+  std::map<std::uint32_t, RaceRow> races;
+  for (const Record& r : records) {
+    RaceRow& row = races[r.race_id];
+    row.id = r.race_id;
+    row.attempt = std::max(row.attempt, r.attempt);
+    if (row.first_ns == 0 || r.t_ns < row.first_ns) row.first_ns = r.t_ns;
+    row.last_ns = std::max(row.last_ns, r.t_ns);
+    switch (r.kind) {
+      case EventKind::kRaceBegin:
+      case EventKind::kAwaitBegin:
+        row.alts = r.a;
+        break;
+      case EventKind::kChildFate:
+        row.fates[r.child_index] = r.a;
+        break;
+      case EventKind::kRaceDecided:
+        row.decided = true;
+        row.verdict = r.a;
+        row.winner = r.b;
+        break;
+      case EventKind::kDistDecided:
+      case EventKind::kAwaitDecided:
+        row.decided = true;
+        row.winner = r.b;
+        break;
+      default:
+        break;
+    }
+  }
+  return races;
+}
+
+std::string fate_summary(const RaceRow& row) {
+  std::map<std::uint64_t, int> counts;
+  for (const auto& [child, fate] : row.fates) ++counts[fate];
+  std::string s;
+  for (const auto& [fate, n] : counts) {
+    if (!s.empty()) s += ' ';
+    s += std::to_string(n);
+    s += ' ';
+    s += fate_name(fate);
+  }
+  return s;
+}
+
+void render(const altx::obs::TraceRingReader& reader, bool clear) {
+  const std::vector<Record> records = reader.snapshot();
+  const auto races = fold(records);
+  int in_flight = 0;
+  for (const auto& [id, row] : races) {
+    if (!row.decided) ++in_flight;
+  }
+  if (clear) std::printf("\033[H\033[2J");
+  std::printf("altx-top — %llu records (%zu slot capacity, %llu dropped), "
+              "%zu blocks, %d in flight\n\n",
+              static_cast<unsigned long long>(reader.published()),
+              reader.capacity(),
+              static_cast<unsigned long long>(reader.dropped()),
+              races.size(), in_flight);
+  std::printf("%-8s %-8s %-5s %-10s %-12s %s\n", "race", "attempt", "alts",
+              "age ms", "state", "children");
+  // Newest blocks first; a screenful is plenty for a live view.
+  std::vector<const RaceRow*> rows;
+  rows.reserve(races.size());
+  for (const auto& [id, row] : races) rows.push_back(&row);
+  std::sort(rows.begin(), rows.end(), [](const RaceRow* a, const RaceRow* b) {
+    return a->last_ns > b->last_ns;
+  });
+  const std::uint64_t now_ns =
+      rows.empty() ? 0 : rows.front()->last_ns;  // ring time, not wall time
+  int shown = 0;
+  for (const RaceRow* row : rows) {
+    if (++shown > 30) {
+      std::printf("  ... %zu more\n", rows.size() - 30);
+      break;
+    }
+    std::string state = "in flight";
+    if (row->decided) {
+      state = row->winner != 0 ? "won #" + std::to_string(row->winner)
+                               : verdict_name(row->verdict);
+    }
+    std::printf("%-8u %-8u %-5llu %-10.1f %-12s %s\n", row->id, row->attempt,
+                static_cast<unsigned long long>(row->alts),
+                static_cast<double>(now_ns - row->last_ns) / 1'000'000.0,
+                state.c_str(), fate_summary(*row).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  int interval_ms = 500;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::max(50, std::atoi(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: altx-top [--once] [--interval MS] <ring-file>\n"
+                  "       (the traced process must run with "
+                  "ALTX_TRACE_RING=<ring-file>)\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "altx-top: unknown option %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: altx-top [--once] [--interval MS] "
+                         "<ring-file>\n");
+    return 1;
+  }
+  try {
+    altx::obs::TraceRingReader reader(path);
+    if (once) {
+      render(reader, /*clear=*/false);
+      return 0;
+    }
+    while (true) {
+      render(reader, /*clear=*/true);
+      ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altx-top: %s\n", e.what());
+    return 1;
+  }
+}

@@ -8,13 +8,20 @@
 //   altx-trace trace.jsonl              # per-race timelines + aggregates
 //   altx-trace --summary trace.jsonl    # aggregates only
 //   altx-trace --race 7 trace.jsonl     # one block, every event verbatim
+//   altx-trace --efficiency trace.jsonl # speculation ledger per block
+//   altx-trace --stitch a.jsonl b.jsonl -o merged.json
+//                                       # merge per-node traces into one
+//                                       # causally-ordered Perfetto timeline
 //
-// Reads the jsonl format only (the chrome format is for Perfetto). Exits 1
-// on unreadable input, 0 otherwise.
+// Reads the jsonl format only (the chrome format is for Perfetto; --stitch
+// writes it). A trace whose ring overflowed carries a ring_overflow marker
+// — every mode warns about it on stderr. Exits 1 on unreadable input, 0
+// otherwise.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -180,6 +187,34 @@ std::string describe(const Record& r) {
                     r.b != 0 ? "wins the semaphore" : "is too late",
                     static_cast<unsigned long long>(r.c));
       break;
+    case EventKind::kChildUsage:
+      std::snprintf(buf, sizeof buf,
+                    "billed %.3f ms CPU, peak rss %llu KiB, "
+                    "%llu minor / %llu major faults",
+                    static_cast<double>(r.a) / 1'000'000.0,
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<unsigned long long>(r.c >> 32),
+                    static_cast<unsigned long long>(r.c & 0xffffffffULL));
+      break;
+    case EventKind::kChildPages:
+      std::snprintf(buf, sizeof buf,
+                    "reports %llu dirty pages (%llu bytes) before sync",
+                    static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case EventKind::kSpecReport:
+      std::snprintf(buf, sizeof buf,
+                    "speculation bill: %.3f ms wasted CPU, %llu pages "
+                    "discarded (winner ran %.3f ms)",
+                    static_cast<double>(r.a) / 1'000'000.0,
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<double>(r.c) / 1'000'000.0);
+      break;
+    case EventKind::kRingOverflow:
+      std::snprintf(buf, sizeof buf,
+                    "RING OVERFLOW: %llu records were dropped",
+                    static_cast<unsigned long long>(r.a));
+      break;
     default:
       std::snprintf(buf, sizeof buf, "%s a=%llu b=%llu c=%llu",
                     to_string(r.kind), static_cast<unsigned long long>(r.a),
@@ -232,20 +267,119 @@ void print_ms_stats(const char* label, const Summary& s) {
               s.max());
 }
 
-int run(const std::string& path, bool summary_only,
-        std::optional<std::uint32_t> only_race) {
+/// Loads one jsonl trace; nullopt (after an stderr diagnostic) on failure.
+std::optional<std::vector<Record>> load_records(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "altx-trace: cannot open %s\n", path.c_str());
-    return 1;
+    return std::nullopt;
   }
-  std::vector<Record> records;
   try {
-    records = altx::obs::parse_jsonl(in);
+    return altx::obs::parse_jsonl(in);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "altx-trace: %s: %s\n", path.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+/// A truncated trace is still worth reading, but every conclusion drawn
+/// from it deserves an asterisk — put it on stderr, once per input file.
+void warn_if_overflowed(const std::string& path,
+                        const std::vector<Record>& records) {
+  for (const Record& r : records) {
+    if (r.kind == EventKind::kRingOverflow) {
+      std::fprintf(stderr,
+                   "altx-trace: warning: %s lost %llu records to ring "
+                   "overflow (raise ALTX_TRACE_BUF)\n",
+                   path.c_str(), static_cast<unsigned long long>(r.a));
+      return;
+    }
+  }
+}
+
+/// --efficiency: the speculation ledger per block, from the kSpecReport
+/// each AltGroup emits once all of its children are reaped.
+int run_efficiency(const std::string& path) {
+  const auto loaded = load_records(path);
+  if (!loaded.has_value()) return 1;
+  warn_if_overflowed(path, *loaded);
+  std::printf("%-8s %15s %15s %17s %8s\n", "race", "wasted CPU ms",
+              "winner CPU ms", "discarded pages", "ratio");
+  std::uint64_t total_wasted = 0;
+  std::uint64_t total_winner = 0;
+  std::uint64_t total_pages = 0;
+  int blocks = 0;
+  for (const Record& r : *loaded) {
+    if (r.kind != EventKind::kSpecReport) continue;
+    ++blocks;
+    total_wasted += r.a;
+    total_pages += r.b;
+    total_winner += r.c;
+    const double ratio =
+        r.c == 0 ? 0.0
+                 : static_cast<double>(r.a + r.c) / static_cast<double>(r.c);
+    std::printf("%-8u %15.3f %15.3f %17llu %8.2f\n", r.race_id,
+                static_cast<double>(r.a) / 1'000'000.0,
+                static_cast<double>(r.c) / 1'000'000.0,
+                static_cast<unsigned long long>(r.b), ratio);
+  }
+  if (blocks == 0) {
+    std::printf("no speculation reports in %s (single-child blocks, or the "
+                "trace predates accounting)\n",
+                path.c_str());
+    return 0;
+  }
+  const double total_ratio =
+      total_winner == 0
+          ? 0.0
+          : static_cast<double>(total_wasted + total_winner) /
+                static_cast<double>(total_winner);
+  std::printf("%-8s %15.3f %15.3f %17llu %8.2f   (%d blocks)\n", "total",
+              static_cast<double>(total_wasted) / 1'000'000.0,
+              static_cast<double>(total_winner) / 1'000'000.0,
+              static_cast<unsigned long long>(total_pages), total_ratio,
+              blocks);
+  return 0;
+}
+
+/// --stitch: merge per-node jsonl traces into one causally-ordered file.
+int run_stitch(const std::vector<std::string>& paths, const std::string& out,
+               const std::string& format) {
+  std::vector<std::vector<Record>> traces;
+  traces.reserve(paths.size());
+  for (const std::string& p : paths) {
+    auto loaded = load_records(p);
+    if (!loaded.has_value()) return 1;
+    warn_if_overflowed(p, *loaded);
+    traces.push_back(std::move(*loaded));
+  }
+  const std::vector<Record> merged = altx::obs::stitch_records(traces);
+  std::ofstream file;
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) {
+      std::fprintf(stderr, "altx-trace: cannot write %s\n", out.c_str());
+      return 1;
+    }
+  }
+  std::ostream& sink = out.empty() ? std::cout : file;
+  try {
+    altx::obs::write_trace(merged, sink, format);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altx-trace: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "altx-trace: stitched %zu records from %zu traces\n",
+               merged.size(), traces.size());
+  return 0;
+}
+
+int run(const std::string& path, bool summary_only,
+        std::optional<std::uint32_t> only_race) {
+  const auto loaded = load_records(path);
+  if (!loaded.has_value()) return 1;
+  const std::vector<Record>& records = *loaded;
+  warn_if_overflowed(path, records);
 
   std::map<std::uint32_t, RaceView> races;
   for (const Record& r : records) {
@@ -321,30 +455,56 @@ int run(const std::string& path, bool summary_only,
 
 }  // namespace
 
+namespace {
+
+constexpr char kUsage[] =
+    "usage: altx-trace [--summary] [--race N] [--efficiency] <trace.jsonl>\n"
+    "       altx-trace --stitch a.jsonl b.jsonl ... [-o out] "
+    "[--format chrome|jsonl]\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool summary_only = false;
+  bool efficiency = false;
+  bool stitch = false;
   std::optional<std::uint32_t> only_race;
-  std::string path;
+  std::string out;
+  std::string format = "chrome";  // --stitch exists to feed Perfetto
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--summary") {
       summary_only = true;
+    } else if (arg == "--efficiency") {
+      efficiency = true;
+    } else if (arg == "--stitch") {
+      stitch = true;
     } else if (arg == "--race" && i + 1 < argc) {
       only_race = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if ((arg == "-o" || arg == "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: altx-trace [--summary] [--race N] <trace.jsonl>\n");
+      std::printf("%s", kUsage);
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
-      path = arg;
+      paths.push_back(arg);
     } else {
       std::fprintf(stderr, "altx-trace: unknown option %s\n", arg.c_str());
       return 1;
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: altx-trace [--summary] [--race N] <trace.jsonl>\n");
+  if (paths.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
-  return run(path, summary_only, only_race);
+  if (stitch) return run_stitch(paths, out, format);
+  if (paths.size() != 1) {
+    std::fprintf(stderr, "altx-trace: one input unless --stitch\n%s", kUsage);
+    return 1;
+  }
+  if (efficiency) return run_efficiency(paths.front());
+  return run(paths.front(), summary_only, only_race);
 }
