@@ -34,6 +34,10 @@ echo "== format check"
 
 run_pass build -DALTX_SANITIZE=
 
+echo "== altx-check smoke (200 trials, both backends)"
+"$ROOT/build/tools/altx-check" --trials 200 --seed 42 --quiet \
+    --out "${TMPDIR:-/tmp}"
+
 if [ -n "$SANITIZERS" ]; then
   # Leak detection trips on intentionally SIGKILLed children's inherited
   # allocations; ASAN_OPTIONS keeps the signal on real errors.

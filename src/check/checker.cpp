@@ -1,0 +1,104 @@
+#include "check/checker.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace altx::check {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+CaseResult run_case(const CheckCase& c) {
+  CaseResult res;
+  const RunOutcome run = c.backend == Backend::kSim
+                             ? run_sim(c.program, c.schedule_seed)
+                             : run_posix(c.program, c.schedule_seed, c.faulty);
+  res.interleaving = run.interleaving;
+  if (!run.violation.empty()) {
+    res.violation = run.violation;
+    return res;
+  }
+  if (run.inconclusive) {
+    res.inconclusive = true;
+    return res;
+  }
+  const std::vector<Observation> outcomes = oracle_outcomes(c.program);
+  if (!oracle_admits(outcomes, run.obs)) {
+    res.violation = "oracle-membership";
+    std::string d = "observed " + to_string(run.obs) + "; " +
+                    std::to_string(outcomes.size()) + " admissible:";
+    for (const Observation& o : outcomes) d += "\n  " + to_string(o);
+    res.detail = std::move(d);
+  }
+  return res;
+}
+
+std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t seed,
+                                         bool sim_enabled, bool posix_enabled,
+                                         bool faults, const GenConfig& base,
+                                         TrialStats* stats) {
+  TrialStats local;
+  TrialStats& st = stats != nullptr ? *stats : local;
+  st = TrialStats{};
+  std::set<std::uint64_t> interleavings;
+
+  std::vector<Backend> wheel;
+  if (sim_enabled) wheel.push_back(Backend::kSim);
+  if (posix_enabled) wheel.push_back(Backend::kPosix);
+  ALTX_REQUIRE(!wheel.empty(), "run_trials: no backend enabled");
+
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    CheckCase c;
+    c.backend = wheel[t % wheel.size()];
+    // Every third posix case runs fault-injected when faults are on.
+    c.faulty = faults && c.backend == Backend::kPosix && (t / wheel.size()) % 3 == 0;
+
+    const std::uint64_t gen_seed = mix64(seed ^ mix64(t + 1));
+    c.schedule_seed = mix64(seed ^ mix64(t + 0x517cc1b727220a95ULL));
+    GenConfig cfg = base;
+    if (c.backend == Backend::kPosix) {
+      cfg.allow_extern = false;  // no source devices / ports on this backend
+      cfg.allow_send = false;
+    }
+    c.program = generate_program(gen_seed, cfg);
+
+    ++st.trials;
+    if (c.backend == Backend::kSim) {
+      ++st.sim_trials;
+    } else {
+      ++st.posix_trials;
+    }
+    if (c.faulty) ++st.faulty_trials;
+
+    const CaseResult r = run_case(c);
+    interleavings.insert(r.interleaving);
+    st.oracle_outcomes_total += oracle_outcomes(c.program).size();
+    st.distinct_interleavings = interleavings.size();
+    if (r.inconclusive) {
+      ++st.inconclusive;
+      continue;
+    }
+    if (r.violation.has_value()) {
+      Counterexample cx;
+      cx.found = c;
+      cx.invariant = *r.violation;
+      cx.detail = r.detail;
+      cx.gen_seed = gen_seed;
+      cx.trial = t;
+      return cx;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace altx::check

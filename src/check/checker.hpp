@@ -1,0 +1,69 @@
+// The equivalence checker: generate → execute → compare against the oracle.
+//
+// One *case* is (program, backend, faulty?, schedule_seed). Running a case
+// executes the program on the backend under the seeded schedule, collects
+// the backend-local invariant verdicts (exactly-one-commit, loser-effect
+// visibility, predicate consistency, no deadlock), and then checks the
+// paper's top-level claim: the observation must be a member of the
+// sequential oracle's outcome set. run_trials drives many cases from one
+// master seed and stops at the first violation, which the CLI hands to the
+// shrinker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/backends.hpp"
+#include "check/generate.hpp"
+#include "check/ir.hpp"
+
+namespace altx::check {
+
+struct CheckCase {
+  CheckProgram program;
+  Backend backend = Backend::kSim;
+  bool faulty = false;
+  std::uint64_t schedule_seed = 0;
+};
+
+struct CaseResult {
+  /// Set when an invariant tripped; names it ("at-most-once-commit",
+  /// "oracle-membership", ...). detail carries diagnostics.
+  std::optional<std::string> violation;
+  std::string detail;
+  bool inconclusive = false;
+  std::uint64_t interleaving = 0;
+};
+
+/// Executes one case and checks every invariant, including oracle
+/// membership. Deterministic for sim cases; posix cases may legitimately
+/// observe different admissible outcomes across runs.
+[[nodiscard]] CaseResult run_case(const CheckCase& c);
+
+struct TrialStats {
+  std::uint64_t trials = 0;
+  std::uint64_t sim_trials = 0;
+  std::uint64_t posix_trials = 0;
+  std::uint64_t faulty_trials = 0;
+  std::uint64_t inconclusive = 0;
+  std::uint64_t oracle_outcomes_total = 0;  // summed sizes of outcome sets
+  std::uint64_t distinct_interleavings = 0;
+};
+
+struct Counterexample {
+  CheckCase found;
+  std::string invariant;
+  std::string detail;
+  std::uint64_t gen_seed = 0;
+  std::uint64_t trial = 0;
+};
+
+/// Runs `trials` generated cases from `seed`, alternating across the enabled
+/// backends (faulty posix cases mixed in when `faults`). Returns the first
+/// counterexample, or nullopt if everything passed.
+[[nodiscard]] std::optional<Counterexample> run_trials(
+    std::uint64_t trials, std::uint64_t seed, bool sim_enabled,
+    bool posix_enabled, bool faults, const GenConfig& base, TrialStats* stats);
+
+}  // namespace altx::check

@@ -1,0 +1,104 @@
+#include "check/generate.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace altx::check {
+namespace {
+
+OpWrite random_write(Rng& rng) {
+  // Values from a tiny set so guard_eq comparisons sometimes match writes.
+  return OpWrite{static_cast<std::uint32_t>(rng.below(kPages)),
+                 static_cast<std::uint32_t>(rng.below(kWords)),
+                 1 + rng.below(4)};
+}
+
+OpGuardEq random_guard_eq(Rng& rng) {
+  return OpGuardEq{static_cast<std::uint32_t>(rng.below(kPages)),
+                   static_cast<std::uint32_t>(rng.below(kWords)),
+                   rng.below(5),  // 0 matches untouched cells; 1..4 match writes
+                   rng.chance(0.3)};
+}
+
+Block generate_block(Rng& rng, const GenConfig& cfg, int depth);
+
+Alternative generate_alt(Rng& rng, const GenConfig& cfg, int depth,
+                         bool may_send) {
+  Alternative a;
+  const std::uint32_t n_ops = 1 + static_cast<std::uint32_t>(rng.below(cfg.max_ops));
+  for (std::uint32_t i = 0; i < n_ops; ++i) {
+    switch (rng.below(5)) {
+      case 0:
+        a.ops.emplace_back(OpWork{1 + static_cast<std::uint32_t>(rng.below(4))});
+        break;
+      case 1:
+      case 2:
+        a.ops.emplace_back(random_write(rng));
+        break;
+      case 3:
+        // Mostly-true constant guards keep FAIL reachable but not dominant.
+        a.ops.emplace_back(OpGuardConst{rng.chance(0.75)});
+        break;
+      case 4:
+        a.ops.emplace_back(random_guard_eq(rng));
+        break;
+    }
+  }
+  if (depth == 1 && cfg.allow_nested && rng.chance(0.35)) {
+    a.ops.emplace_back(
+        OpBlock{std::make_shared<Block>(generate_block(rng, cfg, depth + 1))});
+  }
+  if (may_send && rng.chance(0.6)) {
+    // Position is irrelevant to the winner's delivery, but an early send in
+    // an alternative that later fails exercises dead-message dropping.
+    const std::size_t pos = rng.below(a.ops.size() + 1);
+    a.ops.insert(a.ops.begin() + static_cast<std::ptrdiff_t>(pos),
+                 CheckOp{OpSend{100 + rng.below(9)}});
+  }
+  return a;
+}
+
+Block generate_block(Rng& rng, const GenConfig& cfg, int depth) {
+  Block b;
+  const std::size_t n_alts = 1 + rng.below(cfg.max_alts);
+  const bool top = depth == 1;
+  const bool want_send = top && cfg.allow_send && rng.chance(0.4);
+  bool any_send = false;
+  for (std::size_t i = 0; i < n_alts; ++i) {
+    Alternative a = generate_alt(rng, cfg, depth, want_send);
+    for (const CheckOp& op : a.ops) {
+      if (std::holds_alternative<OpSend>(op)) any_send = true;
+    }
+    b.alts.push_back(std::move(a));
+  }
+  if (any_send) {
+    b.recv_after = true;
+    b.recv_page = static_cast<std::uint32_t>(rng.below(kPages));
+    b.recv_word = static_cast<std::uint32_t>(rng.below(kWords));
+    b.recv_timeout_value = 777;
+  }
+  // Speculative code may never touch a device (the kernel gates it), so the
+  // observable extern is the root's, after the block decides. A FAIL that
+  // still produces the tag — or a commit that loses it — is a violation.
+  if (top && cfg.allow_extern && rng.chance(0.4)) {
+    b.extern_after = true;
+    b.extern_tag = 200 + rng.below(9);
+  }
+  return b;
+}
+
+}  // namespace
+
+CheckProgram generate_program(std::uint64_t seed, const GenConfig& cfg) {
+  Rng rng(seed ^ 0xa17c4ec5a17c4ec5ULL);
+  CheckProgram p;
+  const std::size_t n_blocks = 1 + rng.below(cfg.max_blocks);
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    p.blocks.push_back(generate_block(rng, cfg, 1));
+  }
+  validate(p);
+  return p;
+}
+
+}  // namespace altx::check

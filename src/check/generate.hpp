@@ -1,0 +1,31 @@
+// Seeded random program generation for altx-check.
+//
+// Programs are drawn so the interesting collisions are frequent: few shared
+// cells (so alternatives overwrite each other's pages), a mix of always-true,
+// always-false and data-dependent guards (so blocks sometimes FAIL and
+// sometimes depend on a nested winner's absorbed writes), nested blocks, and
+// — when the target backend supports them — observable source writes and
+// predicated sends. Every program returned satisfies check::validate.
+#pragma once
+
+#include <cstdint>
+
+#include "check/ir.hpp"
+
+namespace altx::check {
+
+struct GenConfig {
+  std::uint32_t max_blocks = 3;  // top-level blocks
+  std::uint32_t max_alts = 3;    // alternatives per block
+  std::uint32_t max_ops = 4;     // plain ops per alternative
+  bool allow_nested = true;
+  /// Sim-only observables (the POSIX runner has no source devices or ports).
+  bool allow_extern = true;
+  bool allow_send = true;
+};
+
+/// Deterministic: the same (seed, config) always yields the same program.
+[[nodiscard]] CheckProgram generate_program(std::uint64_t seed,
+                                            const GenConfig& cfg = {});
+
+}  // namespace altx::check

@@ -1,0 +1,343 @@
+#include "check/ir.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace altx::check {
+namespace {
+
+void validate_block(const Block& b, int depth);
+
+void validate_alt(const Alternative& a, int depth) {
+  std::size_t sends = 0;
+  for (const CheckOp& op : a.ops) {
+    if (const auto* w = std::get_if<OpWrite>(&op)) {
+      ALTX_REQUIRE(w->page < kPages && w->word < kWords,
+                   "check program: write out of range");
+    } else if (const auto* g = std::get_if<OpGuardEq>(&op)) {
+      ALTX_REQUIRE(g->page < kPages && g->word < kWords,
+                   "check program: guard_eq out of range");
+    } else if (std::holds_alternative<OpSend>(op)) {
+      ALTX_REQUIRE(depth == 1, "check program: send in a nested block");
+      ALTX_REQUIRE(++sends <= 1, "check program: multiple sends in one alternative");
+    } else if (const auto* nb = std::get_if<OpBlock>(&op)) {
+      ALTX_REQUIRE(nb->block != nullptr, "check program: null nested block");
+      validate_block(*nb->block, depth + 1);
+    }
+  }
+}
+
+void validate_block(const Block& b, int depth) {
+  ALTX_REQUIRE(depth <= 2, "check program: nesting deeper than 2");
+  ALTX_REQUIRE(!b.alts.empty() && b.alts.size() <= 4,
+               "check program: block needs 1..4 alternatives");
+  ALTX_REQUIRE(!b.recv_after || depth == 1,
+               "check program: recv_after on a nested block");
+  ALTX_REQUIRE(!b.extern_after || depth == 1,
+               "check program: extern_after on a nested block");
+  if (b.recv_after) {
+    ALTX_REQUIRE(b.recv_page < kPages && b.recv_word < kWords,
+                 "check program: recv cell out of range");
+  }
+  for (const Alternative& a : b.alts) validate_alt(a, depth);
+}
+
+void count_block(const Block& b, std::size_t& blocks, std::size_t& alts,
+                 std::size_t& widest) {
+  ++blocks;
+  alts += b.alts.size();
+  widest = std::max(widest, b.alts.size());
+  for (const Alternative& a : b.alts) {
+    for (const CheckOp& op : a.ops) {
+      if (const auto* nb = std::get_if<OpBlock>(&op)) {
+        count_block(*nb->block, blocks, alts, widest);
+      }
+    }
+  }
+}
+
+void serialize_block(const Block& b, std::ostringstream& out) {
+  if (b.recv_after) {
+    out << "block_recv " << b.recv_page << ' ' << b.recv_word << ' '
+        << b.recv_timeout_value << '\n';
+  } else {
+    out << "block\n";
+  }
+  if (b.extern_after) out << "extern_after " << b.extern_tag << '\n';
+  for (const Alternative& a : b.alts) {
+    out << "alt\n";
+    for (const CheckOp& op : a.ops) {
+      if (const auto* w = std::get_if<OpWork>(&op)) {
+        out << "work " << w->amount << '\n';
+      } else if (const auto* wr = std::get_if<OpWrite>(&op)) {
+        out << "write " << wr->page << ' ' << wr->word << ' ' << wr->value << '\n';
+      } else if (const auto* gc = std::get_if<OpGuardConst>(&op)) {
+        out << "guard_const " << (gc->ok ? 1 : 0) << '\n';
+      } else if (const auto* ge = std::get_if<OpGuardEq>(&op)) {
+        out << (ge->negate ? "guard_ne " : "guard_eq ") << ge->page << ' '
+            << ge->word << ' ' << ge->value << '\n';
+      } else if (const auto* s = std::get_if<OpSend>(&op)) {
+        out << "send " << s->tag << '\n';
+      } else if (const auto* nb = std::get_if<OpBlock>(&op)) {
+        serialize_block(*nb->block, out);
+      }
+    }
+    out << "endalt\n";
+  }
+  out << "endblock\n";
+}
+
+/// Tokenised line cursor over the .altcheck text.
+struct LineReader {
+  std::vector<std::vector<std::string>> lines;  // non-empty, tokenised
+  std::vector<std::size_t> numbers;             // original 1-based line numbers
+  std::size_t pos = 0;
+  mutable std::size_t last_ = 0;  // most recently peeked/taken line, for fail()
+
+  explicit LineReader(const std::string& text) {
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t n = 0;
+    while (std::getline(in, raw)) {
+      ++n;
+      std::istringstream ls(raw);
+      std::vector<std::string> toks;
+      std::string t;
+      while (ls >> t) toks.push_back(t);
+      if (toks.empty() || toks[0][0] == '#') continue;
+      lines.push_back(std::move(toks));
+      numbers.push_back(n);
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos >= lines.size(); }
+
+  [[nodiscard]] const std::vector<std::string>& peek() const {
+    if (done()) throw UsageError(".altcheck: unexpected end of file");
+    last_ = pos;
+    return lines[pos];
+  }
+
+  const std::vector<std::string>& take() {
+    const auto& l = peek();
+    ++pos;
+    return l;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    const std::size_t line = last_ < numbers.size() ? numbers[last_] : 0;
+    throw UsageError(".altcheck line " + std::to_string(line) + ": " + what);
+  }
+};
+
+std::uint64_t parse_u64(LineReader& r, const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(tok, &used);
+    if (used != tok.size()) r.fail("bad number '" + tok + "'");
+    return v;
+  } catch (const UsageError&) {
+    throw;
+  } catch (const std::exception&) {
+    r.fail("bad number '" + tok + "'");
+  }
+}
+
+std::uint32_t parse_u32(LineReader& r, const std::string& tok) {
+  const std::uint64_t v = parse_u64(r, tok);
+  if (v > UINT32_MAX) r.fail("number out of range '" + tok + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+void need_args(LineReader& r, const std::vector<std::string>& l, std::size_t n) {
+  if (l.size() != n + 1) r.fail("'" + l[0] + "' wants " + std::to_string(n) + " arguments");
+}
+
+Block parse_block(LineReader& r);
+
+Alternative parse_alt(LineReader& r) {
+  Alternative a;
+  for (;;) {
+    const auto& l = r.peek();
+    const std::string& kw = l[0];
+    if (kw == "endalt") {
+      r.take();
+      return a;
+    }
+    if (kw == "block" || kw == "block_recv") {
+      a.ops.emplace_back(OpBlock{std::make_shared<Block>(parse_block(r))});
+      continue;
+    }
+    r.take();
+    if (kw == "work") {
+      need_args(r, l, 1);
+      a.ops.emplace_back(OpWork{parse_u32(r, l[1])});
+    } else if (kw == "write") {
+      need_args(r, l, 3);
+      a.ops.emplace_back(OpWrite{parse_u32(r, l[1]), parse_u32(r, l[2]), parse_u64(r, l[3])});
+    } else if (kw == "guard_const") {
+      need_args(r, l, 1);
+      a.ops.emplace_back(OpGuardConst{parse_u64(r, l[1]) != 0});
+    } else if (kw == "guard_eq" || kw == "guard_ne") {
+      need_args(r, l, 3);
+      a.ops.emplace_back(OpGuardEq{parse_u32(r, l[1]), parse_u32(r, l[2]),
+                                   parse_u64(r, l[3]), kw == "guard_ne"});
+    } else if (kw == "send") {
+      need_args(r, l, 1);
+      a.ops.emplace_back(OpSend{parse_u64(r, l[1])});
+    } else {
+      r.fail("unknown op '" + kw + "'");
+    }
+  }
+}
+
+Block parse_block(LineReader& r) {
+  const auto l = r.take();  // copy: parse_alt advances the reader
+  Block b;
+  if (l[0] == "block_recv") {
+    need_args(r, l, 3);
+    b.recv_after = true;
+    b.recv_page = parse_u32(r, l[1]);
+    b.recv_word = parse_u32(r, l[2]);
+    b.recv_timeout_value = parse_u64(r, l[3]);
+  } else if (l[0] != "block") {
+    r.fail("expected 'block', got '" + l[0] + "'");
+  }
+  if (!r.done() && r.peek()[0] == "extern_after") {
+    const auto el = r.take();
+    need_args(r, el, 1);
+    b.extern_after = true;
+    b.extern_tag = parse_u64(r, el[1]);
+  }
+  for (;;) {
+    const auto& next = r.peek();
+    if (next[0] == "endblock") {
+      r.take();
+      return b;
+    }
+    if (next[0] != "alt") r.fail("expected 'alt' or 'endblock', got '" + next[0] + "'");
+    r.take();
+    b.alts.push_back(parse_alt(r));
+  }
+}
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kPosix: return "posix";
+  }
+  return "?";
+}
+
+void validate(const CheckProgram& p) {
+  ALTX_REQUIRE(!p.blocks.empty() && p.blocks.size() <= 4,
+               "check program: needs 1..4 top-level blocks");
+  for (const Block& b : p.blocks) validate_block(b, 1);
+}
+
+std::size_t count_blocks(const CheckProgram& p) {
+  std::size_t blocks = 0, alts = 0, widest = 0;
+  for (const Block& b : p.blocks) count_block(b, blocks, alts, widest);
+  return blocks;
+}
+
+std::size_t count_alternatives(const CheckProgram& p) {
+  std::size_t blocks = 0, alts = 0, widest = 0;
+  for (const Block& b : p.blocks) count_block(b, blocks, alts, widest);
+  return alts;
+}
+
+std::size_t max_alternatives(const CheckProgram& p) {
+  std::size_t blocks = 0, alts = 0, widest = 0;
+  for (const Block& b : p.blocks) count_block(b, blocks, alts, widest);
+  return widest;
+}
+
+bool uses_sim_only_ops(const CheckProgram& p) {
+  bool found = false;
+  const std::function<void(const Block&)> scan = [&](const Block& b) {
+    if (b.extern_after) found = true;
+    for (const Alternative& a : b.alts) {
+      for (const CheckOp& op : a.ops) {
+        if (std::holds_alternative<OpSend>(op)) {
+          found = true;
+        } else if (const auto* nb = std::get_if<OpBlock>(&op)) {
+          scan(*nb->block);
+        }
+      }
+    }
+  };
+  for (const Block& b : p.blocks) scan(b);
+  return found;
+}
+
+std::string serialize(const CheckProgram& p) {
+  std::ostringstream out;
+  for (const Block& b : p.blocks) serialize_block(b, out);
+  return out.str();
+}
+
+std::string serialize(const ReproCase& c) {
+  std::ostringstream out;
+  out << "altcheck 1\n";
+  out << "backend " << to_string(c.backend) << '\n';
+  out << "faulty " << (c.faulty ? 1 : 0) << '\n';
+  out << "gen_seed " << c.gen_seed << '\n';
+  out << "schedule_seed " << c.schedule_seed << '\n';
+  if (!c.invariant.empty()) out << "invariant " << c.invariant << '\n';
+  out << "program\n" << serialize(c.program) << "endprogram\n";
+  return out.str();
+}
+
+ReproCase parse_repro(const std::string& text) {
+  LineReader r(text);
+  {
+    const auto& l = r.take();
+    if (l.size() != 2 || l[0] != "altcheck" || l[1] != "1") {
+      r.fail("expected 'altcheck 1' header");
+    }
+  }
+  ReproCase c;
+  for (;;) {
+    const auto& l = r.take();
+    if (l[0] == "program") break;
+    if (l[0] == "backend") {
+      need_args(r, l, 1);
+      if (l[1] == "sim") {
+        c.backend = Backend::kSim;
+      } else if (l[1] == "posix") {
+        c.backend = Backend::kPosix;
+      } else {
+        r.fail("unknown backend '" + l[1] + "'");
+      }
+    } else if (l[0] == "faulty") {
+      need_args(r, l, 1);
+      c.faulty = parse_u64(r, l[1]) != 0;
+    } else if (l[0] == "gen_seed") {
+      need_args(r, l, 1);
+      c.gen_seed = parse_u64(r, l[1]);
+    } else if (l[0] == "schedule_seed") {
+      need_args(r, l, 1);
+      c.schedule_seed = parse_u64(r, l[1]);
+    } else if (l[0] == "invariant") {
+      need_args(r, l, 1);
+      c.invariant = l[1];
+    } else {
+      r.fail("unknown header key '" + l[0] + "'");
+    }
+  }
+  while (!r.done() && r.peek()[0] != "endprogram") {
+    c.program.blocks.push_back(parse_block(r));
+  }
+  if (r.done()) r.fail("missing 'endprogram'");
+  r.take();  // endprogram
+  validate(c.program);
+  return c;
+}
+
+}  // namespace altx::check

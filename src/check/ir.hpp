@@ -1,0 +1,154 @@
+// The checker's program IR.
+//
+// altx-check generates random alternative-block programs, runs them on the
+// sim kernel, the POSIX fork/COW backend, and the sequential oracle, and
+// compares observations. The IR is the smallest language that exercises the
+// paper's semantics: straight-line alternatives over a tiny shared memory
+// (writes drive the COW/dirty-page machinery), guards that succeed or fail
+// (constant and data-dependent), nested alternative blocks, observable
+// source-device writes, and predicated IPC back to the parent. There is no
+// general control flow — exactly like sim::Program, the only branches are
+// the ones the paper's constructs introduce.
+//
+// A failing (program, backend, seeds) triple serialises to a line-oriented
+// `.altcheck` text file (see serialize/parse_repro) that altx-check --replay
+// re-executes deterministically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace altx::check {
+
+/// Shared-memory geometry. Small on purpose: few cells means generated
+/// programs collide on pages often, which is where absorb/census bugs live.
+inline constexpr std::uint32_t kPages = 6;
+inline constexpr std::uint32_t kWords = 2;
+inline constexpr std::uint32_t kCells = kPages * kWords;
+
+[[nodiscard]] constexpr std::uint32_t cell_index(std::uint32_t page,
+                                                 std::uint32_t word) {
+  return page * kWords + word;
+}
+
+/// Burn CPU for `amount` abstract units (sim: amount ms of compute; posix:
+/// a short real sleep). Work ops shift who wins the commit race.
+struct OpWork {
+  std::uint32_t amount = 1;
+};
+
+/// Write `value` to shared cell (page, word); dirties the page.
+struct OpWrite {
+  std::uint32_t page = 0;
+  std::uint32_t word = 0;
+  std::uint64_t value = 0;
+};
+
+/// ENSURE that always holds (ok) or always fails (!ok).
+struct OpGuardConst {
+  bool ok = true;
+};
+
+/// ENSURE over the current shared memory: cell (page, word) == value
+/// (negate flips it). Data-dependent failure — whether it trips can depend
+/// on earlier writes, including a nested block's absorbed winner.
+struct OpGuardEq {
+  std::uint32_t page = 0;
+  std::uint32_t word = 0;
+  std::uint64_t value = 0;
+  bool negate = false;
+};
+
+/// Predicated IPC: send `tag` to the parent's per-block port (sim only).
+/// A losing sender's message dies with its world; the winner's message is
+/// what the block's recv_after observes.
+struct OpSend {
+  std::uint64_t tag = 0;
+};
+
+struct Block;
+
+/// A nested alternative block inside an alternative (depth <= 2).
+struct OpBlock {
+  std::shared_ptr<Block> block;
+};
+
+using CheckOp =
+    std::variant<OpWork, OpWrite, OpGuardConst, OpGuardEq, OpSend, OpBlock>;
+
+struct Alternative {
+  std::vector<CheckOp> ops;
+};
+
+struct Block {
+  std::vector<Alternative> alts;
+
+  /// Top-level blocks only: after the block commits, the parent receives the
+  /// winner's OpSend tag into cell (recv_page, recv_word) — or, if the winner
+  /// sent nothing, `recv_timeout_value` once the recv deadline passes.
+  bool recv_after = false;
+  std::uint32_t recv_page = 0;
+  std::uint32_t recv_word = 0;
+  std::uint64_t recv_timeout_value = 0;
+
+  /// Top-level blocks only: after the block commits, the root performs an
+  /// observable, non-idempotent write of `extern_tag` to source device 0
+  /// (sim only). This is the paper's source discipline made testable: a
+  /// speculative alternative may never touch a device (the kernel gates it
+  /// on its unresolved predicates), so the only legal extern position is the
+  /// root, post-commit. The device log is part of the observation, and the
+  /// tag must appear iff the block decided — never after a FAIL.
+  bool extern_after = false;
+  std::uint64_t extern_tag = 0;
+};
+
+/// A program is a sequence of top-level alternative blocks executed by the
+/// root process. A block with no committable alternative FAILs, and with no
+/// FAIL arm in the IR that aborts the whole program (Observation::failed).
+struct CheckProgram {
+  std::vector<Block> blocks;
+};
+
+enum class Backend : std::uint8_t { kSim, kPosix };
+
+[[nodiscard]] const char* to_string(Backend b);
+
+/// A replayable counterexample: the program plus everything that determined
+/// its execution. `invariant` is diagnostic (which check tripped).
+struct ReproCase {
+  CheckProgram program;
+  Backend backend = Backend::kSim;
+  bool faulty = false;
+  std::uint64_t gen_seed = 0;
+  std::uint64_t schedule_seed = 0;
+  std::string invariant;
+};
+
+/// Throws UsageError unless the program obeys the structural rules the
+/// oracle and both runners rely on:
+///   - every block has 1..4 alternatives; nesting depth <= 2;
+///   - all page/word indices are in range;
+///   - recv_after / extern_after only on top-level blocks;
+///   - OpSend only in top-level alternatives, at most one per alternative.
+void validate(const CheckProgram& p);
+
+[[nodiscard]] std::size_t count_blocks(const CheckProgram& p);        // incl. nested
+[[nodiscard]] std::size_t count_alternatives(const CheckProgram& p);  // incl. nested
+[[nodiscard]] std::size_t max_alternatives(const CheckProgram& p);    // widest block
+[[nodiscard]] bool uses_sim_only_ops(const CheckProgram& p);  // send/extern present
+
+/// Line-oriented text form of a program (the body of a .altcheck file).
+[[nodiscard]] std::string serialize(const CheckProgram& p);
+
+/// Full .altcheck file contents.
+[[nodiscard]] std::string serialize(const ReproCase& c);
+
+/// Parses a full .altcheck file; throws UsageError (with a line number) on
+/// anything malformed, and validates the program before returning.
+[[nodiscard]] ReproCase parse_repro(const std::string& text);
+
+}  // namespace altx::check

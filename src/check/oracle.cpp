@@ -1,0 +1,179 @@
+#include "check/oracle.hpp"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/schemes.hpp"
+
+namespace altx::check {
+namespace {
+
+struct SeqState {
+  std::array<std::uint64_t, kCells> cells{};
+  std::vector<std::uint64_t> externs;
+};
+
+/// One possible execution of an alternative's op list: final state if the
+/// alternative can run to completion (ok), or a failure. `sent` is the tag
+/// of the first OpSend on the path, if any.
+struct ExecOutcome {
+  SeqState st;
+  bool ok = false;
+  std::optional<std::uint64_t> sent;
+};
+
+/// One possible outcome of a whole block: a committed alternative's final
+/// state, or FAIL (ok == false, state as it was before the block — nothing
+/// was absorbed).
+struct BlockOutcome {
+  SeqState st;
+  bool ok = false;
+  std::optional<std::uint64_t> sent;
+};
+
+std::vector<BlockOutcome> block_outcomes(const SeqState& st, const Block& b);
+
+void exec_ops(SeqState st, const std::vector<CheckOp>& ops, std::size_t i,
+              std::optional<std::uint64_t> sent, std::vector<ExecOutcome>& out) {
+  for (; i < ops.size(); ++i) {
+    const CheckOp& op = ops[i];
+    if (std::holds_alternative<OpWork>(op)) {
+      continue;  // timing is invisible to the oracle
+    }
+    if (const auto* w = std::get_if<OpWrite>(&op)) {
+      st.cells[cell_index(w->page, w->word)] = w->value;
+    } else if (const auto* gc = std::get_if<OpGuardConst>(&op)) {
+      if (!gc->ok) {
+        out.push_back(ExecOutcome{std::move(st), false, {}});
+        return;
+      }
+    } else if (const auto* ge = std::get_if<OpGuardEq>(&op)) {
+      const bool eq = st.cells[cell_index(ge->page, ge->word)] == ge->value;
+      if (eq == ge->negate) {
+        out.push_back(ExecOutcome{std::move(st), false, {}});
+        return;
+      }
+    } else if (const auto* s = std::get_if<OpSend>(&op)) {
+      if (!sent.has_value()) sent = s->tag;
+    } else if (const auto* nb = std::get_if<OpBlock>(&op)) {
+      // The nested block is the only branch point inside an alternative:
+      // fork the enumeration once per nested outcome.
+      for (BlockOutcome& bo : block_outcomes(st, *nb->block)) {
+        if (!bo.ok) {
+          // Nested FAIL propagates: the enclosing alternative aborts.
+          out.push_back(ExecOutcome{st, false, {}});
+        } else {
+          exec_ops(std::move(bo.st), ops, i + 1, sent, out);
+        }
+      }
+      return;
+    }
+  }
+  out.push_back(ExecOutcome{std::move(st), true, sent});
+}
+
+std::vector<BlockOutcome> block_outcomes(const SeqState& st, const Block& b) {
+  std::vector<BlockOutcome> res;
+  // The block FAILs only when every alternative has at least one failing
+  // execution (a sequential run could then have picked a failing path for
+  // whichever alternative it tried).
+  bool all_can_fail = true;
+  // The choice set is scheme B's support: any alternative a sequential
+  // random pick could select (core/schemes.hpp).
+  for (const std::size_t ai : core::pick_support(b.alts.size())) {
+    const Alternative& a = b.alts[ai];
+    std::vector<ExecOutcome> outs;
+    exec_ops(st, a.ops, 0, std::nullopt, outs);
+    bool can_fail = false;
+    for (ExecOutcome& o : outs) {
+      if (o.ok) {
+        res.push_back(BlockOutcome{std::move(o.st), true, o.sent});
+      } else {
+        can_fail = true;
+      }
+    }
+    all_can_fail = all_can_fail && can_fail;
+  }
+  if (all_can_fail) res.push_back(BlockOutcome{st, false, {}});
+  return res;
+}
+
+void add_unique(std::vector<Observation>& set, Observation o) {
+  for (const Observation& e : set) {
+    if (e == o) return;
+  }
+  set.push_back(std::move(o));
+}
+
+}  // namespace
+
+std::string to_string(const Observation& o) {
+  std::ostringstream out;
+  out << (o.failed ? "FAIL" : "ok") << " cells=[";
+  for (std::size_t i = 0; i < o.cells.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << o.cells[i];
+  }
+  out << "] externs=[";
+  for (std::size_t i = 0; i < o.externs.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << o.externs[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+std::vector<Observation> oracle_outcomes(const CheckProgram& p) {
+  validate(p);
+  std::vector<Observation> finals;
+  std::vector<SeqState> frontier{SeqState{}};
+  for (const Block& b : p.blocks) {
+    std::vector<SeqState> next;
+    for (const SeqState& st : frontier) {
+      for (BlockOutcome& bo : block_outcomes(st, b)) {
+        if (!bo.ok) {
+          // Top-level FAIL aborts the program; the state (and device log)
+          // freeze as they were before the block.
+          add_unique(finals, Observation{true, st.cells, st.externs});
+          continue;
+        }
+        SeqState s2 = std::move(bo.st);
+        if (b.recv_after) {
+          s2.cells[cell_index(b.recv_page, b.recv_word)] =
+              bo.sent.value_or(b.recv_timeout_value);
+        }
+        // The root's post-commit device write: lands iff the block decided.
+        if (b.extern_after) s2.externs.push_back(b.extern_tag);
+        next.push_back(std::move(s2));
+      }
+    }
+    // Dedup between blocks to stop exponential frontier growth.
+    std::vector<SeqState> deduped;
+    for (SeqState& st : next) {
+      bool seen = false;
+      for (const SeqState& e : deduped) {
+        if (e.cells == st.cells && e.externs == st.externs) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) deduped.push_back(std::move(st));
+    }
+    frontier = std::move(deduped);
+  }
+  for (const SeqState& st : frontier) {
+    add_unique(finals, Observation{false, st.cells, st.externs});
+  }
+  return finals;
+}
+
+bool oracle_admits(const std::vector<Observation>& outcomes,
+                   const Observation& o) {
+  for (const Observation& e : outcomes) {
+    if (e == o) return true;
+  }
+  return false;
+}
+
+}  // namespace altx::check

@@ -1,0 +1,43 @@
+// The sequential oracle.
+//
+// The paper's claim (§3.1) is that a concurrently executed alternative block
+// is observationally equivalent to *some* sequential execution that picks one
+// committable alternative per block — scheme B of src/core/schemes.hpp picks
+// that alternative at random, which is exactly why the oracle must enumerate
+// every choice: any of scheme B's possible picks is a legal outcome. The
+// oracle therefore walks the choice tree exhaustively (alternatives per
+// block, recursively through nested blocks) and returns the deduplicated set
+// of final observations. An execution backend is correct when its observed
+// outcome is a member of this set.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/ir.hpp"
+
+namespace altx::check {
+
+/// Everything an outside observer can see of one execution: whether the
+/// program FAILed (a top-level block with no committable alternative), the
+/// final shared memory, and the ordered log of source-device write tags.
+struct Observation {
+  bool failed = false;
+  std::array<std::uint64_t, kCells> cells{};
+  std::vector<std::uint64_t> externs;
+
+  friend bool operator==(const Observation&, const Observation&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Observation& o);
+
+/// All observations some sequential execution can produce. Deduplicated;
+/// never empty (every program has at least one sequential outcome).
+[[nodiscard]] std::vector<Observation> oracle_outcomes(const CheckProgram& p);
+
+[[nodiscard]] bool oracle_admits(const std::vector<Observation>& outcomes,
+                                 const Observation& o);
+
+}  // namespace altx::check

@@ -1,0 +1,208 @@
+#include "check/shrink.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace altx::check {
+namespace {
+
+Block clone_block(const Block& b) {
+  Block out = b;
+  for (Alternative& a : out.alts) {
+    for (CheckOp& op : a.ops) {
+      if (auto* nb = std::get_if<OpBlock>(&op)) {
+        nb->block = std::make_shared<Block>(clone_block(*nb->block));
+      }
+    }
+  }
+  return out;
+}
+
+CheckProgram clone_program(const CheckProgram& p) {
+  CheckProgram out;
+  out.blocks.reserve(p.blocks.size());
+  for (const Block& b : p.blocks) out.blocks.push_back(clone_block(b));
+  return out;
+}
+
+/// Pre-order walk: top-level blocks, each followed by its nested blocks.
+void collect_blocks(Block& b, std::vector<Block*>& out) {
+  out.push_back(&b);
+  for (Alternative& a : b.alts) {
+    for (CheckOp& op : a.ops) {
+      if (auto* nb = std::get_if<OpBlock>(&op)) collect_blocks(*nb->block, out);
+    }
+  }
+}
+
+std::vector<Block*> all_blocks(CheckProgram& p) {
+  std::vector<Block*> out;
+  for (Block& b : p.blocks) collect_blocks(b, out);
+  return out;
+}
+
+/// One structural reduction, addressed by block ordinal so it can be applied
+/// to a fresh clone.
+struct Mutation {
+  enum Kind {
+    kDropTopBlock,   // arg0 = top-level block index
+    kDropAlt,        // arg0 = block ordinal, arg1 = alternative index
+    kDropOp,         // arg0 = block ordinal, arg1 = alt, arg2 = op
+    kSimplifyOp,     // like kDropOp but replaces the op (variant = which way)
+    kDropRecv,       // arg0 = block ordinal: clear recv_after
+    kDropExtern,     // arg0 = block ordinal: clear extern_after
+  };
+  Kind kind = kDropTopBlock;
+  std::size_t arg0 = 0, arg1 = 0, arg2 = 0;
+  int variant = 0;
+};
+
+/// All mutations applicable to `p`, cheapest-win first: whole blocks, then
+/// alternatives, then ops, then field simplifications.
+std::vector<Mutation> mutations_of(const CheckProgram& p) {
+  std::vector<Mutation> out;
+  CheckProgram scratch = clone_program(p);
+  if (scratch.blocks.size() > 1) {
+    for (std::size_t i = 0; i < scratch.blocks.size(); ++i) {
+      out.push_back(Mutation{Mutation::kDropTopBlock, i, 0, 0, 0});
+    }
+  }
+  const std::vector<Block*> blocks = all_blocks(scratch);
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    if (blocks[bi]->alts.size() > 1) {
+      for (std::size_t j = 0; j < blocks[bi]->alts.size(); ++j) {
+        out.push_back(Mutation{Mutation::kDropAlt, bi, j, 0, 0});
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    for (std::size_t j = 0; j < blocks[bi]->alts.size(); ++j) {
+      for (std::size_t k = 0; k < blocks[bi]->alts[j].ops.size(); ++k) {
+        out.push_back(Mutation{Mutation::kDropOp, bi, j, k, 0});
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    if (blocks[bi]->recv_after) {
+      out.push_back(Mutation{Mutation::kDropRecv, bi, 0, 0, 0});
+    }
+    if (blocks[bi]->extern_after) {
+      out.push_back(Mutation{Mutation::kDropExtern, bi, 0, 0, 0});
+    }
+    for (std::size_t j = 0; j < blocks[bi]->alts.size(); ++j) {
+      for (std::size_t k = 0; k < blocks[bi]->alts[j].ops.size(); ++k) {
+        const CheckOp& op = blocks[bi]->alts[j].ops[k];
+        if (const auto* w = std::get_if<OpWork>(&op)) {
+          if (w->amount > 1) out.push_back(Mutation{Mutation::kSimplifyOp, bi, j, k, 0});
+        } else if (const auto* wr = std::get_if<OpWrite>(&op)) {
+          if (wr->value != 1) out.push_back(Mutation{Mutation::kSimplifyOp, bi, j, k, 1});
+        } else if (std::holds_alternative<OpGuardEq>(op)) {
+          out.push_back(Mutation{Mutation::kSimplifyOp, bi, j, k, 2});  // -> true
+          out.push_back(Mutation{Mutation::kSimplifyOp, bi, j, k, 3});  // -> false
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CheckProgram apply(const CheckProgram& p, const Mutation& m) {
+  CheckProgram out = clone_program(p);
+  if (m.kind == Mutation::kDropTopBlock) {
+    out.blocks.erase(out.blocks.begin() + static_cast<std::ptrdiff_t>(m.arg0));
+    return out;
+  }
+  Block& b = *all_blocks(out)[m.arg0];
+  switch (m.kind) {
+    case Mutation::kDropAlt:
+      b.alts.erase(b.alts.begin() + static_cast<std::ptrdiff_t>(m.arg1));
+      break;
+    case Mutation::kDropOp:
+      b.alts[m.arg1].ops.erase(b.alts[m.arg1].ops.begin() +
+                               static_cast<std::ptrdiff_t>(m.arg2));
+      break;
+    case Mutation::kDropRecv:
+      b.recv_after = false;
+      break;
+    case Mutation::kDropExtern:
+      b.extern_after = false;
+      break;
+    case Mutation::kSimplifyOp: {
+      CheckOp& op = b.alts[m.arg1].ops[m.arg2];
+      switch (m.variant) {
+        case 0: std::get<OpWork>(op).amount = 1; break;
+        case 1: std::get<OpWrite>(op).value = 1; break;
+        case 2: op = OpGuardConst{true}; break;
+        case 3: op = OpGuardConst{false}; break;
+      }
+      break;
+    }
+    case Mutation::kDropTopBlock:
+      break;  // handled above
+  }
+  return out;
+}
+
+bool structurally_valid(const CheckProgram& p) {
+  if (p.blocks.empty()) return false;
+  try {
+    validate(p);
+  } catch (const UsageError&) {
+    return false;
+  }
+  return true;
+}
+
+/// A case "fails" if any of confirm_runs executions violates an invariant.
+bool still_fails(const CheckCase& c, const ShrinkOptions& opts, int& runs_left,
+                 std::string* invariant) {
+  for (int r = 0; r < opts.confirm_runs; ++r) {
+    if (runs_left <= 0) return false;
+    --runs_left;
+    const CaseResult res = run_case(c);
+    if (res.violation.has_value()) {
+      if (invariant != nullptr) *invariant = *res.violation;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const CheckCase& c, const ShrinkOptions& opts) {
+  ShrinkResult out;
+  out.reduced = c;
+  out.reduced.program = clone_program(c.program);
+  int runs_left = opts.max_case_runs;
+  std::string invariant;
+  // Greedy first-improvement to a fixpoint: after any accepted reduction,
+  // rescan from the smaller program.
+  bool improved = true;
+  while (improved && runs_left > 0) {
+    improved = false;
+    for (const Mutation& m : mutations_of(out.reduced.program)) {
+      CheckCase candidate = out.reduced;
+      candidate.program = apply(out.reduced.program, m);
+      if (!structurally_valid(candidate.program)) continue;
+      if (still_fails(candidate, opts, runs_left, &invariant)) {
+        out.reduced = std::move(candidate);
+        out.invariant = invariant;
+        improved = true;
+        break;
+      }
+      if (runs_left <= 0) break;
+    }
+  }
+  out.case_runs = opts.max_case_runs - runs_left;
+  if (out.invariant.empty()) {
+    // No reduction held; re-confirm the original for the invariant name.
+    const CaseResult res = run_case(out.reduced);
+    out.invariant = res.violation.value_or("");
+  }
+  return out;
+}
+
+}  // namespace altx::check

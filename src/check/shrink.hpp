@@ -1,0 +1,37 @@
+// Counterexample shrinking.
+//
+// A generated counterexample is usually big: several blocks, several
+// alternatives, ops that play no part in the failure. The shrinker
+// greedily applies structural reductions — drop a block, drop an
+// alternative, drop an op (including whole nested blocks), shrink numeric
+// fields — re-running the case after each candidate and keeping any
+// reduction that still violates an invariant. Because a posix case can be
+// timing-dependent, the predicate re-runs a candidate a few times and
+// counts it failing if any run violates. The fixpoint is the minimal
+// replayable .altcheck repro.
+#pragma once
+
+#include <cstdint>
+
+#include "check/checker.hpp"
+
+namespace altx::check {
+
+struct ShrinkOptions {
+  /// Re-runs per candidate; a candidate "still fails" if any run violates.
+  int confirm_runs = 2;
+  /// Safety valve on total case executions.
+  int max_case_runs = 4000;
+};
+
+struct ShrinkResult {
+  CheckCase reduced;
+  std::string invariant;  // invariant the reduced case violates
+  int case_runs = 0;      // executions spent shrinking
+};
+
+/// `c` must currently violate (as reported by run_case). Returns the
+/// smallest still-failing case found.
+[[nodiscard]] ShrinkResult shrink(const CheckCase& c, const ShrinkOptions& opts = {});
+
+}  // namespace altx::check

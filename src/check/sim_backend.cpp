@@ -1,0 +1,163 @@
+#include <array>
+#include <map>
+#include <memory>
+
+#include "check/backends.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/kernel.hpp"
+#include "sim/machine.hpp"
+#include "sim/program.hpp"
+
+namespace altx::check {
+namespace {
+
+constexpr std::uint32_t kSourceDevice = 0;
+constexpr SimTime kRecvTimeout = 2'000'000;  // 2 sim-seconds ≫ ipc latency
+
+[[nodiscard]] Port block_port(std::size_t top_block_index) {
+  return static_cast<Port>(1000 + top_block_index);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+sim::ProgramRef compile_block_body(const Block& b, sim::ProgramBuilder& pb,
+                                   Port port);
+
+sim::ProgramRef compile_alt(const Alternative& a, Port port) {
+  sim::ProgramBuilder pb;
+  for (const CheckOp& op : a.ops) {
+    if (const auto* w = std::get_if<OpWork>(&op)) {
+      pb.compute(static_cast<SimTime>(w->amount) * 1500);
+    } else if (const auto* wr = std::get_if<OpWrite>(&op)) {
+      pb.write(wr->page, wr->word, wr->value);
+    } else if (const auto* gc = std::get_if<OpGuardConst>(&op)) {
+      const bool ok = gc->ok;
+      pb.guard([ok](const sim::AddressSpace&) { return ok; });
+    } else if (const auto* ge = std::get_if<OpGuardEq>(&op)) {
+      const OpGuardEq g = *ge;
+      pb.guard([g](const sim::AddressSpace& as) {
+        return (as.peek(g.page, g.word) == g.value) != g.negate;
+      });
+    } else if (const auto* s = std::get_if<OpSend>(&op)) {
+      pb.send_u64(port, s->tag);
+    } else if (const auto* nb = std::get_if<OpBlock>(&op)) {
+      compile_block_body(*nb->block, pb, port);
+    }
+  }
+  return pb.build();
+}
+
+/// Appends the block's alt op (and recv, for recv_after blocks) to `pb`.
+/// No on_fail arm: a failed block aborts the executing process, which is
+/// exactly the IR's FAIL-propagation rule.
+sim::ProgramRef compile_block_body(const Block& b, sim::ProgramBuilder& pb,
+                                   Port port) {
+  std::vector<sim::ProgramRef> alts;
+  alts.reserve(b.alts.size());
+  for (const Alternative& a : b.alts) alts.push_back(compile_alt(a, port));
+  pb.alt(std::move(alts));
+  if (b.recv_after) {
+    pb.recv(b.recv_page, b.recv_word, kRecvTimeout, b.recv_timeout_value);
+  }
+  if (b.extern_after) {
+    // The root's own write, after the commit: by the source discipline this
+    // is the only position from which a device write can become observable.
+    Bytes data;
+    ByteWriter bw(data);
+    bw.u64(b.extern_tag);
+    pb.source_write(kSourceDevice, std::move(data));
+  }
+  return pb.build();
+}
+
+}  // namespace
+
+RunOutcome run_sim(const CheckProgram& p, std::uint64_t schedule_seed) {
+  validate(p);
+  RunOutcome out;
+
+  // Derive the schedule knobs. Every draw is from the seed alone.
+  Rng srng(schedule_seed ^ 0x5c4d3e2f1a0b9c8dULL);
+  sim::Kernel::Config cfg;
+  cfg.machine =
+      sim::MachineModel::shared_memory_mp(1 + static_cast<int>(srng.below(4)));
+  cfg.address_space_pages = kPages;
+  cfg.words_per_page = kWords;
+  cfg.elimination = srng.chance(0.5) ? sim::Elimination::kSynchronous
+                                     : sim::Elimination::kAsynchronous;
+  // Per-step cost jitter: 0 (the unperturbed schedule) or up to ~amp us,
+  // hashed from (seed, pid, step ordinal) — reorders who reaches the commit
+  // point first without changing any program's semantics.
+  const std::uint64_t amp = std::array<std::uint64_t, 4>{0, 7, 131, 2503}[srng.below(4)];
+  if (amp != 0) {
+    auto counters = std::make_shared<std::map<Pid, std::uint64_t>>();
+    cfg.perturb_cost = [schedule_seed, amp, counters](Pid pid,
+                                                      SimTime cost) {
+      const std::uint64_t step = (*counters)[pid]++;
+      const std::uint64_t h =
+          mix64(schedule_seed ^ mix64(static_cast<std::uint64_t>(pid)) ^ step);
+      return cost + static_cast<SimTime>(h % (amp + 1));
+    };
+  }
+
+  sim::Kernel kernel(cfg);
+
+  sim::ProgramBuilder root;
+  for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+    // recv_after needs the port bound before the children can send to it.
+    if (p.blocks[i].recv_after) root.bind(block_port(i));
+    compile_block_body(p.blocks[i], root, block_port(i));
+  }
+  const Pid root_pid = kernel.spawn_root(root.build());
+  kernel.run();
+
+  // --- backend-local invariants ---
+  const sim::ExitKind exit = kernel.exit_kind(root_pid);
+  if (exit != sim::ExitKind::kCompleted && exit != sim::ExitKind::kAborted) {
+    out.violation = "sim-root-terminated";  // root can neither lose nor stall
+    return out;
+  }
+  if (!kernel.blocked_pids().empty()) {
+    out.violation = "sim-deadlock";
+    return out;
+  }
+  // Predicate consistency: by the time the root consumes a message its
+  // sender is resolved, so the root must never have been split into worlds.
+  if (kernel.stats().world_splits != 0) {
+    out.violation = "sim-world-split";
+    return out;
+  }
+  // No timeouts were configured; one firing means the kernel lost a child.
+  if (kernel.stats().alt_timeouts != 0) {
+    out.violation = "sim-alt-timeout";
+    return out;
+  }
+
+  // --- observation ---
+  out.obs.failed = exit == sim::ExitKind::kAborted;
+  const sim::SimProcess* proc = kernel.process(root_pid);
+  for (std::uint32_t pg = 0; pg < kPages; ++pg) {
+    for (std::uint32_t wd = 0; wd < kWords; ++wd) {
+      out.obs.cells[cell_index(pg, wd)] = proc->as_.peek(pg, wd);
+    }
+  }
+  for (const auto& rec : kernel.source(kSourceDevice).writes()) {
+    ByteReader br(rec.data);
+    out.obs.externs.push_back(br.u64());
+  }
+
+  const sim::KernelStats& st = kernel.stats();
+  out.interleaving = mix64(st.finished_at) ^ mix64(st.commits * 31 + st.eliminations) ^
+                     mix64(st.cow_copies * 17 + st.ctx_switches);
+  return out;
+}
+
+}  // namespace altx::check

@@ -67,6 +67,17 @@ class StatisticalPicker {
   return rng.below(n);
 }
 
+/// Scheme B's support: every index random_pick can return. The equivalence
+/// checker's sequential oracle (src/check/oracle.hpp) enumerates executions
+/// over exactly this set — a concurrent execution is correct iff it is
+/// observationally equivalent to a sequential run using *some* member.
+[[nodiscard]] inline std::vector<std::size_t> pick_support(std::size_t n) {
+  ALTX_REQUIRE(n >= 1, "pick_support: need alternatives");
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  return all;
+}
+
 /// Case 2: the input domain can be partitioned by performance. The synthetic
 /// routine evaluates predicates in order and dispatches to the first match —
 /// the paper's  "if (size > 10) Q(list) else I(list)"  sort example.

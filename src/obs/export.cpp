@@ -194,6 +194,10 @@ std::optional<EventKind> event_kind_from_string(const std::string& name) {
 }
 
 std::vector<Record> parse_jsonl(std::istream& in) {
+  return parse_jsonl(in, nullptr);
+}
+
+std::vector<Record> parse_jsonl(std::istream& in, JsonlStats* stats) {
   std::vector<Record> out;
   std::string line;
   std::size_t lineno = 0;
@@ -214,9 +218,14 @@ std::vector<Record> parse_jsonl(std::istream& in) {
     r.attempt = static_cast<std::uint32_t>(
         field_u64(line, "attempt", nullptr).value_or(0));
     // node/seq are absent from pre-stitching traces; 0 is their old meaning.
-    r.node_id = static_cast<std::uint32_t>(
-        field_u64(line, "node", nullptr).value_or(0));
-    r.seq = field_u64(line, "seq", nullptr).value_or(0);
+    const auto node = field_u64(line, "node", nullptr);
+    const auto seq = field_u64(line, "seq", nullptr);
+    if (stats != nullptr) {
+      ++stats->records;
+      if (!node.has_value() && !seq.has_value()) ++stats->missing_node_seq;
+    }
+    r.node_id = static_cast<std::uint32_t>(node.value_or(0));
+    r.seq = seq.value_or(0);
     bool pid_neg = false;
     const std::uint64_t pid = field_u64(line, "pid", &pid_neg).value_or(0);
     r.pid = static_cast<std::int32_t>(pid) * (pid_neg ? -1 : 1);

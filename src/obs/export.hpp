@@ -44,9 +44,24 @@ void write_trace(const std::vector<Record>& records, std::ostream& out,
 [[nodiscard]] std::optional<EventKind> event_kind_from_string(
     const std::string& name);
 
+/// Byproduct counters from parse_jsonl, for callers that must reason about
+/// what a trace *didn't* say (e.g. --stitch refusing unmergeable inputs).
+struct JsonlStats {
+  std::size_t records = 0;
+  /// Lines carrying neither "node" nor "seq": a schema-v1 (pre-stitching)
+  /// trace. Parsing still succeeds — both default to 0 — but every record
+  /// collapses onto the same (node, seq) tie-breaker, so such traces cannot
+  /// be causally merged.
+  std::size_t missing_node_seq = 0;
+};
+
 /// Reads a jsonl trace back. Unknown event kinds parse as kNone rather than
 /// failing, so newer traces degrade gracefully in older readers; malformed
 /// lines throw UsageError with the line number.
 [[nodiscard]] std::vector<Record> parse_jsonl(std::istream& in);
+
+/// Same, filling `stats` (may be nullptr) as a side channel.
+[[nodiscard]] std::vector<Record> parse_jsonl(std::istream& in,
+                                              JsonlStats* stats);
 
 }  // namespace altx::obs

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -74,8 +75,15 @@ int AltGroup::alt_spawn(int n) {
   token_ = Pipe::create(/*nonblocking_read=*/true);
   result_ = Pipe::create();
   // Deposit the single commit token: the 0-1 semaphore of section 3.2.1.
+  // ALTX_TEST_BREAK_AT_MOST_ONCE is a test-only sabotage knob for the
+  // equivalence checker (src/check/): it deposits a second token, so two
+  // children can both "win" — the at-most-once-commit violation altx-check
+  // must catch, shrink, and replay. Never set it outside tests.
   const std::uint8_t token = 1;
   write_all(token_.write_end.get(), &token, 1);
+  if (std::getenv("ALTX_TEST_BREAK_AT_MOST_ONCE") != nullptr) {
+    write_all(token_.write_end.get(), &token, 1);
+  }
 
   // The census arena: one MAP_SHARED slot per child, created before any
   // fork so every child inherits the same mapping. A child deposits its

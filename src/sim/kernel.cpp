@@ -337,6 +337,9 @@ SimTime Kernel::op_cost(SimProcess& p) {
   } else if (std::get_if<SourceWriteOp>(&op) || std::get_if<SourceReadOp>(&op)) {
     cost = cfg_.source_io_cost;
   }
+  if (cfg_.perturb_cost) {
+    cost = std::max<SimTime>(1, cfg_.perturb_cost(p.pid_, cost));
+  }
   return penalty + cost;
 }
 

@@ -149,6 +149,16 @@ class Kernel {
     /// Optional trace sink; called synchronously for every TraceEvent.
     std::function<void(const TraceEvent&)> trace;
 
+    /// Optional schedule-exploration hook (see src/check/): called once per
+    /// dispatched step with the process and the step's computed cost, and
+    /// returns the cost to actually charge (>= 1 enforced by the kernel).
+    /// A deterministic perturbation here reorders slice completions — and
+    /// therefore commit races — without touching any program's semantics.
+    /// Determinism contract: the hook must be a pure function of its inputs
+    /// plus state it derives deterministically from them (e.g. a seeded
+    /// per-pid counter), never of wall time or global mutable state.
+    std::function<SimTime(Pid, SimTime)> perturb_cost;
+
     // Small fixed op costs (microseconds).
     SimTime mem_ref_cost = 1;
     SimTime guard_cost = 10;

@@ -1,0 +1,383 @@
+// Tests for the altx-check equivalence-checking subsystem (src/check/):
+// the sequential oracle, the .altcheck IR codec, the generator, the trial
+// driver over both backends, and the shrinker — including the acceptance
+// case where a deliberately injected double-commit bug (the
+// ALTX_TEST_BREAK_AT_MOST_ONCE hook in posix/alt_group.cpp) is caught,
+// shrunk to a tiny program, and replayed from its serialized repro.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/generate.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+#include "common/error.hpp"
+
+namespace altx::check {
+namespace {
+
+Alternative alt_of(std::vector<CheckOp> ops) {
+  Alternative a;
+  a.ops = std::move(ops);
+  return a;
+}
+
+Block block_of(std::vector<Alternative> alts) {
+  Block b;
+  b.alts = std::move(alts);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential oracle
+// ---------------------------------------------------------------------------
+
+TEST(CheckOracle, EveryAlternativeContributesAnOutcome) {
+  CheckProgram p;
+  p.blocks.push_back(block_of({alt_of({OpWrite{0, 0, 5}}),
+                               alt_of({OpWrite{0, 0, 9}})}));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 2u);
+  for (const Observation& o : outs) {
+    EXPECT_FALSE(o.failed);
+    EXPECT_TRUE(o.cells[cell_index(0, 0)] == 5 || o.cells[cell_index(0, 0)] == 9);
+  }
+}
+
+TEST(CheckOracle, NoFailOutcomeWhileSomeAlternativeCannotFail) {
+  CheckProgram p;
+  p.blocks.push_back(block_of({alt_of({OpGuardConst{false}}),
+                               alt_of({OpWrite{1, 0, 2}})}));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_FALSE(outs[0].failed);
+  EXPECT_EQ(outs[0].cells[cell_index(1, 0)], 2u);
+}
+
+TEST(CheckOracle, FailFreezesPreBlockState) {
+  CheckProgram p;
+  p.blocks.push_back(block_of({alt_of({OpWrite{0, 0, 3}})}));
+  p.blocks.push_back(block_of({alt_of({OpGuardConst{false}})}));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_TRUE(outs[0].failed);
+  EXPECT_EQ(outs[0].cells[cell_index(0, 0)], 3u);  // block 1's write survives
+}
+
+TEST(CheckOracle, DataDependentGuardSeesEarlierWrites) {
+  // guard_eq trips or not depending on the same alternative's own write.
+  CheckProgram p;
+  p.blocks.push_back(block_of(
+      {alt_of({OpWrite{2, 1, 4}, OpGuardEq{2, 1, 4, false}, OpWrite{3, 0, 8}})}));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_FALSE(outs[0].failed);
+  EXPECT_EQ(outs[0].cells[cell_index(3, 0)], 8u);
+}
+
+TEST(CheckOracle, NestedFailPropagatesToTheEnclosingAlternative) {
+  auto nested = std::make_shared<Block>(
+      block_of({alt_of({OpGuardConst{false}})}));
+  CheckProgram p;
+  p.blocks.push_back(
+      block_of({alt_of({OpWrite{0, 0, 1}, OpBlock{nested}})}));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_TRUE(outs[0].failed);
+  // The loser's write is invisible: FAIL froze the pre-block state.
+  EXPECT_EQ(outs[0].cells[cell_index(0, 0)], 0u);
+}
+
+TEST(CheckOracle, NestedWinnerWritesAreAbsorbedIntoTheOuterPath) {
+  auto nested = std::make_shared<Block>(block_of({alt_of({OpWrite{4, 1, 7}})}));
+  CheckProgram p;
+  p.blocks.push_back(block_of({alt_of({OpBlock{nested}, OpWrite{5, 0, 2}})}));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_FALSE(outs[0].failed);
+  EXPECT_EQ(outs[0].cells[cell_index(4, 1)], 7u);
+  EXPECT_EQ(outs[0].cells[cell_index(5, 0)], 2u);
+}
+
+TEST(CheckOracle, RecvAfterObservesWinnersTagOrTimeoutValue) {
+  Block b = block_of({alt_of({OpSend{101}}), alt_of({OpWork{1}})});
+  b.recv_after = true;
+  b.recv_page = 5;
+  b.recv_word = 1;
+  b.recv_timeout_value = 777;
+  CheckProgram p;
+  p.blocks.push_back(std::move(b));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 2u);
+  bool saw_tag = false, saw_timeout = false;
+  for (const Observation& o : outs) {
+    if (o.cells[cell_index(5, 1)] == 101) saw_tag = true;
+    if (o.cells[cell_index(5, 1)] == 777) saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_tag);
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(CheckOracle, ExternAfterLandsOnCommitAndNeverOnFail) {
+  Block good = block_of({alt_of({OpWork{1}})});
+  good.extern_after = true;
+  good.extern_tag = 200;
+  Block bad = block_of({alt_of({OpGuardConst{false}})});
+  bad.extern_after = true;
+  bad.extern_tag = 201;
+  CheckProgram p;
+  p.blocks.push_back(std::move(good));
+  p.blocks.push_back(std::move(bad));
+  const auto outs = oracle_outcomes(p);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_TRUE(outs[0].failed);
+  // Block 1's tag was emitted; block 2 FAILed before its extern.
+  ASSERT_EQ(outs[0].externs.size(), 1u);
+  EXPECT_EQ(outs[0].externs[0], 200u);
+}
+
+// ---------------------------------------------------------------------------
+// .altcheck codec and validation
+// ---------------------------------------------------------------------------
+
+TEST(CheckIr, SerializeParseRoundTripIsStable) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 99ULL, 1234ULL}) {
+    ReproCase r;
+    r.program = generate_program(seed);
+    r.backend = seed % 2 == 0 ? Backend::kSim : Backend::kPosix;
+    r.faulty = seed % 3 == 0;
+    r.gen_seed = seed;
+    r.schedule_seed = seed * 31;
+    r.invariant = "oracle-membership";
+    const std::string once = serialize(r);
+    const ReproCase parsed = parse_repro(once);
+    EXPECT_EQ(serialize(parsed), once) << "seed " << seed;
+    EXPECT_EQ(parsed.backend, r.backend);
+    EXPECT_EQ(parsed.faulty, r.faulty);
+    EXPECT_EQ(parsed.gen_seed, r.gen_seed);
+    EXPECT_EQ(parsed.schedule_seed, r.schedule_seed);
+    EXPECT_EQ(parsed.invariant, r.invariant);
+  }
+}
+
+TEST(CheckIr, ParserSkipsCommentsAndBlankLines) {
+  const std::string text =
+      "# a counterexample\n"
+      "altcheck 1\n\n"
+      "backend sim\n"
+      "schedule_seed 9\n"
+      "program\n"
+      "block\n"
+      "# the only alternative\n"
+      "alt\n"
+      "write 0 0 1\n"
+      "endalt\n"
+      "endblock\n"
+      "endprogram\n";
+  const ReproCase r = parse_repro(text);
+  EXPECT_EQ(r.schedule_seed, 9u);
+  ASSERT_EQ(r.program.blocks.size(), 1u);
+}
+
+TEST(CheckIr, ParseErrorsCarryTheOffendingLineNumber) {
+  try {
+    parse_repro("altcheck 1\nbogus 1\n");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  try {
+    parse_repro("altcheck 1\nprogram\nblock\nalt\nwarp 1\nendalt\nendblock\nendprogram\n");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CheckIr, ValidateRejectsStructuralViolations) {
+  EXPECT_THROW(validate(CheckProgram{}), UsageError);  // no blocks
+
+  CheckProgram empty_block;
+  empty_block.blocks.push_back(Block{});
+  EXPECT_THROW(validate(empty_block), UsageError);  // block with no alts
+
+  CheckProgram bad_write;
+  bad_write.blocks.push_back(block_of({alt_of({OpWrite{kPages, 0, 1}})}));
+  EXPECT_THROW(validate(bad_write), UsageError);
+
+  CheckProgram nested_send;
+  nested_send.blocks.push_back(block_of({alt_of(
+      {OpBlock{std::make_shared<Block>(block_of({alt_of({OpSend{1}})}))}})}));
+  EXPECT_THROW(validate(nested_send), UsageError);
+
+  CheckProgram nested_extern;
+  Block ne = block_of({alt_of({OpWork{1}})});
+  ne.extern_after = true;
+  nested_extern.blocks.push_back(
+      block_of({alt_of({OpBlock{std::make_shared<Block>(std::move(ne))}})}));
+  EXPECT_THROW(validate(nested_extern), UsageError);
+
+  CheckProgram two_sends;
+  two_sends.blocks.push_back(block_of({alt_of({OpSend{1}, OpSend{2}})}));
+  EXPECT_THROW(validate(two_sends), UsageError);
+
+  CheckProgram too_deep;
+  auto inner = std::make_shared<Block>(block_of({alt_of({OpWork{1}})}));
+  auto mid = std::make_shared<Block>(block_of({alt_of({OpBlock{inner}})}));
+  too_deep.blocks.push_back(block_of({alt_of({OpBlock{mid}})}));
+  EXPECT_THROW(validate(too_deep), UsageError);
+}
+
+TEST(CheckGenerate, SameSeedSameProgram) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    EXPECT_EQ(serialize(generate_program(seed)), serialize(generate_program(seed)));
+  }
+  // Not a fixed point: different seeds explore different programs.
+  EXPECT_NE(serialize(generate_program(1)), serialize(generate_program(2)));
+}
+
+TEST(CheckGenerate, PosixConfigAvoidsSimOnlyObservables) {
+  GenConfig cfg;
+  cfg.allow_extern = false;
+  cfg.allow_send = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    EXPECT_FALSE(uses_sim_only_ops(generate_program(seed, cfg))) << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trial batches over the real backends
+// ---------------------------------------------------------------------------
+
+TEST(CheckTrials, SimBatchHoldsAllInvariants) {
+  TrialStats stats;
+  const auto cx = run_trials(40, 99, true, false, false, GenConfig{}, &stats);
+  EXPECT_FALSE(cx.has_value())
+      << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
+  EXPECT_EQ(stats.trials, 40u);
+  EXPECT_EQ(stats.sim_trials, 40u);
+  EXPECT_GT(stats.oracle_outcomes_total, 0u);
+}
+
+TEST(CheckTrials, PosixBatchHoldsAllInvariants) {
+  TrialStats stats;
+  const auto cx = run_trials(40, 99, false, true, false, GenConfig{}, &stats);
+  EXPECT_FALSE(cx.has_value())
+      << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
+  EXPECT_EQ(stats.posix_trials, 40u);
+}
+
+TEST(CheckTrials, FaultyPosixBatchHoldsAllInvariants) {
+  TrialStats stats;
+  const auto cx = run_trials(24, 5, false, true, true, GenConfig{}, &stats);
+  EXPECT_FALSE(cx.has_value())
+      << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
+  EXPECT_GT(stats.faulty_trials, 0u);
+}
+
+TEST(CheckTrials, SimCasesAreDeterministic) {
+  CheckCase c;
+  c.program = generate_program(31337);
+  c.backend = Backend::kSim;
+  c.schedule_seed = 4242;
+  const CaseResult a = run_case(c);
+  const CaseResult b = run_case(c);
+  EXPECT_EQ(a.violation.has_value(), b.violation.has_value());
+  EXPECT_EQ(a.interleaving, b.interleaving);
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking + the injected-bug acceptance case
+// ---------------------------------------------------------------------------
+
+/// Scoped env var so a failing assertion can't leak the injected bug into
+/// other tests.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(CheckShrink, InjectedDoubleCommitIsCaughtShrunkAndReplayable) {
+  EnvGuard guard("ALTX_TEST_BREAK_AT_MOST_ONCE", "1");
+
+  TrialStats stats;
+  const auto cx = run_trials(80, 42, false, true, false, GenConfig{}, &stats);
+  ASSERT_TRUE(cx.has_value()) << "injected double-commit was not detected";
+  EXPECT_EQ(cx->invariant, "at-most-once-commit");
+
+  const ShrinkResult sr = shrink(cx->found);
+  EXPECT_EQ(sr.invariant, "at-most-once-commit");
+  // A double commit needs two racers and nothing else: the shrunk repro must
+  // be at most 3 alternatives (the issue's acceptance bound; typically 2).
+  EXPECT_LE(count_alternatives(sr.reduced.program), 3u);
+  EXPECT_LE(count_blocks(sr.reduced.program), 2u);
+
+  // Round-trip through the .altcheck text format, then replay: the parsed
+  // case must still trip the same invariant while the bug is injected.
+  ReproCase repro;
+  repro.program = sr.reduced.program;
+  repro.backend = sr.reduced.backend;
+  repro.faulty = sr.reduced.faulty;
+  repro.gen_seed = cx->gen_seed;
+  repro.schedule_seed = sr.reduced.schedule_seed;
+  repro.invariant = sr.invariant;
+  const ReproCase parsed = parse_repro(serialize(repro));
+
+  CheckCase replay;
+  replay.program = parsed.program;
+  replay.backend = parsed.backend;
+  replay.faulty = parsed.faulty;
+  replay.schedule_seed = parsed.schedule_seed;
+  bool reproduced = false;
+  for (int attempt = 0; attempt < 5 && !reproduced; ++attempt) {
+    const CaseResult r = run_case(replay);
+    reproduced = r.violation.has_value() &&
+                 *r.violation == "at-most-once-commit";
+  }
+  EXPECT_TRUE(reproduced) << "shrunk repro did not replay";
+}
+
+TEST(CheckShrink, ShrinkerPrunesIrrelevantStructure) {
+  // A case that fails deterministically for a *semantic* reason — sim
+  // backend vs an oracle the program can't match is hard to fabricate, so
+  // instead use the injected bug with a deliberately bloated program and
+  // verify the shrinker strictly reduces it.
+  EnvGuard guard("ALTX_TEST_BREAK_AT_MOST_ONCE", "1");
+
+  GenConfig fat;
+  fat.max_blocks = 3;
+  fat.max_alts = 3;
+  fat.allow_extern = false;
+  fat.allow_send = false;
+  CheckCase c;
+  // Find a generated program whose first posix run trips the bug.
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    c.program = generate_program(seed, fat);
+    if (count_alternatives(c.program) < 4) continue;  // want something to prune
+    c.backend = Backend::kPosix;
+    c.schedule_seed = seed;
+    for (int r = 0; r < 3 && !found; ++r) {
+      found = run_case(c).violation.has_value();
+    }
+  }
+  ASSERT_TRUE(found) << "no generated program tripped the injected bug";
+
+  const std::size_t before = count_alternatives(c.program);
+  const ShrinkResult sr = shrink(c);
+  EXPECT_LT(count_alternatives(sr.reduced.program), before);
+  EXPECT_FALSE(sr.invariant.empty());
+}
+
+}  // namespace
+}  // namespace altx::check

@@ -297,6 +297,51 @@ TEST(Export, NodeAndSeqRoundTrip) {
   EXPECT_EQ(legacy[0].seq, 0u);
 }
 
+TEST(Export, JsonlStatsCountRecordsAndSchemaV1Lines) {
+  // Empty input: parses to nothing, and the stats say so — this is what
+  // lets altx-trace --stitch refuse an empty file instead of "stitching"
+  // zero records successfully.
+  std::istringstream empty("");
+  JsonlStats es;
+  EXPECT_TRUE(parse_jsonl(empty, &es).empty());
+  EXPECT_EQ(es.records, 0u);
+  EXPECT_EQ(es.missing_node_seq, 0u);
+
+  // A schema-v1 line (no node/seq keys) parses but is flagged: its records
+  // all collapse onto (node 0, seq 0) and cannot be causally merged.
+  std::istringstream old(
+      "{\"t_ns\":1,\"kind\":\"fork\",\"race\":1,\"attempt\":0,\"pid\":1,"
+      "\"child\":0,\"a\":0,\"b\":0,\"c\":0}\n");
+  JsonlStats vs;
+  ASSERT_EQ(parse_jsonl(old, &vs).size(), 1u);
+  EXPECT_EQ(vs.records, 1u);
+  EXPECT_EQ(vs.missing_node_seq, 1u);
+
+  // A current trace is not flagged.
+  std::ostringstream out;
+  write_jsonl({make_record(3, EventKind::kFork, 1)}, out);
+  std::istringstream in(out.str());
+  JsonlStats cs;
+  ASSERT_EQ(parse_jsonl(in, &cs).size(), 1u);
+  EXPECT_EQ(cs.records, 1u);
+  EXPECT_EQ(cs.missing_node_seq, 0u);
+}
+
+TEST(Export, TruncatedRecordThrowsWithItsLineNumber) {
+  // First line intact, second cut mid-record — the shape a trace takes when
+  // its writer dies while flushing.
+  std::ostringstream out;
+  write_jsonl({make_record(3, EventKind::kFork, 1)}, out);
+  std::istringstream s(out.str() + "{\"t_ns\":12,\"ki");
+  try {
+    (void)parse_jsonl(s);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Export, RingStampsMonotonicSeq) {
   TraceRing r(16);
   for (std::uint32_t i = 1; i <= 4; ++i) {

@@ -8,6 +8,7 @@
 
 #include <chrono>
 
+#include "common/error.hpp"
 #include "posix/alt_group.hpp"
 #include "posix/alt_heap.hpp"
 #include "posix/checkpoint.hpp"
@@ -83,6 +84,41 @@ TEST(PosixRace, SideEffectsOfLosersStayInvisible) {
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->value, 111);
   EXPECT_EQ(global_marker, 0);  // the parent's copy is untouched
+}
+
+TEST(RaceCodec, EmptyStringAndBytesRoundTrip) {
+  EXPECT_EQ(race_decode<std::string>(race_encode<std::string>("")), "");
+  EXPECT_TRUE(race_encode<std::string>("").empty());
+  EXPECT_EQ(race_decode<Bytes>(race_encode<Bytes>(Bytes{})), Bytes{});
+}
+
+TEST(RaceCodec, PayloadsLargerThanThePipeBufferRoundTrip) {
+  // 256 KiB crosses the default 64 KiB pipe capacity several times over;
+  // the frame protocol must not depend on a single atomic write.
+  std::string big(256 * 1024, 'x');
+  for (std::size_t i = 0; i < big.size(); i += 997) big[i] = char('a' + i % 26);
+  EXPECT_EQ(race_decode<std::string>(race_encode<std::string>(big)), big);
+  const Bytes raw(race_encode<std::string>(big));
+  EXPECT_EQ(race_decode<Bytes>(race_encode<Bytes>(raw)), raw);
+}
+
+TEST(RaceCodec, TrivialTypesRejectWrongSizes) {
+  const double v = 2.5;
+  EXPECT_EQ(race_decode<double>(race_encode<double>(v)), v);
+  EXPECT_THROW((void)race_decode<double>(Bytes{}), UsageError);
+  EXPECT_THROW((void)race_decode<int>(Bytes(sizeof(int) + 1, 0)), UsageError);
+}
+
+TEST(PosixRace, LargeResultCrossesTheCommitPipe) {
+  // The winner's payload exceeds PIPE_BUF and the default pipe capacity:
+  // the commit must still deliver it intact.
+  const auto r = race<std::string>({
+      [] { return std::optional<std::string>(std::string(256 * 1024, 'z')); },
+  });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value.size(), 256u * 1024u);
+  EXPECT_EQ(r->value.front(), 'z');
+  EXPECT_EQ(r->value.back(), 'z');
 }
 
 TEST(PosixRace, StringResults) {

@@ -15,6 +15,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <vector>
 
 #include "posix/alt_group.hpp"
 #include "posix/await_all.hpp"
@@ -505,6 +507,81 @@ TEST(SupervisedFaultPlan, FiveHundredTrialsAllRecoverDeterministically) {
   run_supervised_trials(/*fault_seed=*/2026, /*trials=*/500, second);
   EXPECT_EQ(first, second);
   (void)degraded;  // may legitimately be zero with 3 attempts over 0.36
+}
+
+// ---------------------------------------------------------------------------
+// ALTX_FAULT_SEED reproducibility
+// ---------------------------------------------------------------------------
+
+/// Serialises the deterministic replay signature of a supervised run: per
+/// attempt, the supervisor's outcome, the commit count, and the injector's
+/// decided fate for every child of that attempt. (The loser-side census —
+/// aborted vs eliminated vs too-late — is intentionally excluded: which
+/// classification a loser gets races against the winner's elimination kill.)
+std::vector<std::uint8_t> supervised_fate_bytes(std::uint64_t fault_seed) {
+  FaultProfile plan;
+  plan.crash_segv = 0.15;
+  plan.crash_kill = 0.05;
+  plan.early_exit = 0.05;
+  plan.drop_commit = 0.08;
+  plan.delay = 0.05;
+  plan.delay_for = 5ms;
+  FaultInjector inj(fault_seed, plan);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = 1ms;
+  policy.max_backoff = 4ms;
+  policy.base_timeout = 150ms;
+  policy.seed = 7;
+
+  RaceOptions opts;
+  opts.fault = &inj;
+
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t attempt_id = 0;  // mirrors the injector's begin_attempt()
+  for (int t = 0; t < 60; ++t) {
+    SupervisionLog log;
+    const auto r = supervised_race<int>(one_viable_alts(), policy, opts, &log);
+    EXPECT_TRUE(r.has_value()) << "trial " << t;
+    for (const auto& a : log.attempts) {
+      bytes.push_back(static_cast<std::uint8_t>(a.outcome));
+      bytes.push_back(static_cast<std::uint8_t>(a.race.committed));
+      for (int child = 1; child <= 3; ++child) {
+        bytes.push_back(static_cast<std::uint8_t>(inj.decide(attempt_id, child)));
+      }
+      ++attempt_id;
+      bytes.push_back(0xff);  // attempt separator
+    }
+  }
+  return bytes;
+}
+
+TEST(FaultSeedReproducibility, SameSeedAndPlanReplayFateSequencesByteIdentically) {
+  const auto first = supervised_fate_bytes(2027);
+  const auto second = supervised_fate_bytes(2027);
+  EXPECT_EQ(first, second);
+  // And the seed actually steers the plan: a different seed diverges.
+  EXPECT_NE(first, supervised_fate_bytes(2028));
+}
+
+TEST(FaultSeedReproducibility, FromEnvBuildsIdenticalInjectors) {
+  ::setenv("ALTX_FAULT_PLAN",
+           "crash_segv=0.15,drop_commit=0.1,delay=0.1,delay_ms=2", 1);
+  ::setenv("ALTX_FAULT_SEED", "777", 1);
+  const auto a = FaultInjector::from_env();
+  const auto b = FaultInjector::from_env();
+  ::unsetenv("ALTX_FAULT_PLAN");
+  ::unsetenv("ALTX_FAULT_SEED");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->seed(), 777u);
+  for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+    for (int child = 1; child <= 6; ++child) {
+      EXPECT_EQ(a->decide(attempt, child), b->decide(attempt, child));
+      EXPECT_EQ(a->fork_fails(attempt, child), b->fork_fails(attempt, child));
+    }
+  }
 }
 
 }  // namespace

@@ -268,14 +268,15 @@ void print_ms_stats(const char* label, const Summary& s) {
 }
 
 /// Loads one jsonl trace; nullopt (after an stderr diagnostic) on failure.
-std::optional<std::vector<Record>> load_records(const std::string& path) {
+std::optional<std::vector<Record>> load_records(
+    const std::string& path, altx::obs::JsonlStats* stats = nullptr) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "altx-trace: cannot open %s\n", path.c_str());
     return std::nullopt;
   }
   try {
-    return altx::obs::parse_jsonl(in);
+    return altx::obs::parse_jsonl(in, stats);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "altx-trace: %s: %s\n", path.c_str(), e.what());
     return std::nullopt;
@@ -348,8 +349,24 @@ int run_stitch(const std::vector<std::string>& paths, const std::string& out,
   std::vector<std::vector<Record>> traces;
   traces.reserve(paths.size());
   for (const std::string& p : paths) {
-    auto loaded = load_records(p);
+    altx::obs::JsonlStats stats;
+    auto loaded = load_records(p, &stats);
     if (!loaded.has_value()) return 1;
+    // A stitch over nothing, or over records that all collapse onto the same
+    // (node, seq) tie-breaker, silently produces a wrong merge — refuse.
+    if (stats.records == 0) {
+      std::fprintf(stderr, "altx-trace: %s: empty trace, nothing to stitch\n",
+                   p.c_str());
+      return 1;
+    }
+    if (stats.missing_node_seq > 0) {
+      std::fprintf(stderr,
+                   "altx-trace: %s: schema-v1 trace (%zu of %zu records lack "
+                   "node/seq); re-export it with a current writer before "
+                   "stitching\n",
+                   p.c_str(), stats.missing_node_seq, stats.records);
+      return 1;
+    }
     warn_if_overflowed(p, *loaded);
     traces.push_back(std::move(*loaded));
   }
