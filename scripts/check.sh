@@ -38,6 +38,10 @@ echo "== altx-check smoke (200 trials, both backends)"
 "$ROOT/build/tools/altx-check" --trials 200 --seed 42 --quiet \
     --out "${TMPDIR:-/tmp}"
 
+echo "== altx-check governor smoke (100 posix trials, perturbed governor)"
+"$ROOT/build/tools/altx-check" --trials 100 --seed 42 --backend posix \
+    --perturb-governor --quiet --out "${TMPDIR:-/tmp}"
+
 if [ -n "$SANITIZERS" ]; then
   # Leak detection trips on intentionally SIGKILLed children's inherited
   # allocations; ASAN_OPTIONS keeps the signal on real errors.

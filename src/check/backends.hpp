@@ -48,7 +48,14 @@ struct RunOutcome {
 /// `faulty` runs under supervised_race with an injected fault plan (crashes,
 /// kills, lost commits) instead of a plain race. Requires a program without
 /// sim-only ops (extern/send) — see uses_sim_only_ops.
+///
+/// `governed` additionally runs the whole trial under a seed-derived
+/// SpeculationGovernor (a tight token budget, admission waits, a generous
+/// per-arm wall budget, sometimes a SIGTERM grace): admission denials must
+/// degrade blocks to serialized execution without ever changing the set of
+/// admissible outcomes, and the token cap must hold (overdrafts excepted) —
+/// checked as "governor-cap-exceeded".
 [[nodiscard]] RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed,
-                                   bool faulty);
+                                   bool faulty, bool governed = false);
 
 }  // namespace altx::check

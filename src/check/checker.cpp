@@ -20,9 +20,10 @@ std::uint64_t mix64(std::uint64_t x) {
 
 CaseResult run_case(const CheckCase& c) {
   CaseResult res;
-  const RunOutcome run = c.backend == Backend::kSim
-                             ? run_sim(c.program, c.schedule_seed)
-                             : run_posix(c.program, c.schedule_seed, c.faulty);
+  const RunOutcome run =
+      c.backend == Backend::kSim
+          ? run_sim(c.program, c.schedule_seed)
+          : run_posix(c.program, c.schedule_seed, c.faulty, c.governed);
   res.interleaving = run.interleaving;
   if (!run.violation.empty()) {
     res.violation = run.violation;
@@ -45,7 +46,8 @@ CaseResult run_case(const CheckCase& c) {
 
 std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t seed,
                                          bool sim_enabled, bool posix_enabled,
-                                         bool faults, const GenConfig& base,
+                                         bool faults, bool governor,
+                                         const GenConfig& base,
                                          TrialStats* stats) {
   TrialStats local;
   TrialStats& st = stats != nullptr ? *stats : local;
@@ -60,8 +62,12 @@ std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t see
   for (std::uint64_t t = 0; t < trials; ++t) {
     CheckCase c;
     c.backend = wheel[t % wheel.size()];
-    // Every third posix case runs fault-injected when faults are on.
+    // Every third posix case runs fault-injected when faults are on; every
+    // other one runs governor-perturbed when governor is on — the cadences
+    // are coprime-ish, so the faulty × governed combination gets coverage.
     c.faulty = faults && c.backend == Backend::kPosix && (t / wheel.size()) % 3 == 0;
+    c.governed =
+        governor && c.backend == Backend::kPosix && (t / wheel.size()) % 2 == 0;
 
     const std::uint64_t gen_seed = mix64(seed ^ mix64(t + 1));
     c.schedule_seed = mix64(seed ^ mix64(t + 0x517cc1b727220a95ULL));
@@ -79,6 +85,7 @@ std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t see
       ++st.posix_trials;
     }
     if (c.faulty) ++st.faulty_trials;
+    if (c.governed) ++st.governor_trials;
 
     const CaseResult r = run_case(c);
     interleavings.insert(r.interleaving);

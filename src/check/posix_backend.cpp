@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "posix/alt_heap.hpp"
 #include "posix/fault.hpp"
+#include "posix/governor.hpp"
 #include "posix/race.hpp"
 #include "posix/supervisor.hpp"
 
@@ -73,6 +74,7 @@ struct Ctx {
   std::uint64_t schedule_seed;
   altx::posix::FaultInjector* injector;  // top-level blocks only; may be null
   bool faulty;
+  altx::posix::SpeculationGovernor* governor;  // governed trials; may be null
 };
 
 [[nodiscard]] std::uint64_t* cell(const Ctx& c, std::uint32_t page, std::uint32_t word) {
@@ -137,6 +139,7 @@ std::optional<std::uint64_t> run_block(const Ctx& c, const Block& b, int depth,
   altx::posix::RaceOptions opts;
   opts.heap = c.heap;
   opts.timeout = std::chrono::milliseconds(10'000);
+  opts.governor = c.governor;
   altx::posix::RaceReport report;
   opts.report = &report;
   // Top-level blocks consult the injector (a full fault plan in faulty mode,
@@ -172,22 +175,44 @@ std::optional<std::uint64_t> run_block(const Ctx& c, const Block& b, int depth,
     return std::nullopt;
   }
 
-  const auto r = altx::posix::race<std::uint64_t>(alts, opts);
-  if (report.committed > (r.has_value() ? 1 : 0)) {
+  std::optional<altx::posix::RaceResult<std::uint64_t>> r;
+  bool degraded = false;
+  try {
+    r = altx::posix::race<std::uint64_t>(alts, opts);
+  } catch (const altx::posix::AdmissionTimeout&) {
+    // The governor refused this cohort its tokens — at ANY depth (a nested
+    // block inside a speculative child draws from the same shared pool).
+    // Escaping here would read as a failed guard and corrupt the oracle
+    // check, so degrade exactly like the supervisor does: serialized
+    // single-arm races, which keep loser isolation and can always make
+    // progress (single-token admissions overdraft).
+    degraded = true;
+    if (c.governor != nullptr) c.governor->note_degraded();
+    r = altx::posix::serialized_race<std::uint64_t>(alts, opts);
+  }
+  if (!degraded && report.committed > (r.has_value() ? 1 : 0)) {
     // Exactly-one-commit: a winner means precisely one committed child; a
     // FAIL means zero. Two commits is the paper's §3.2 invariant broken.
+    // (Serialized mode reuses `report` per arm, so the census only applies
+    // to the concurrent path.)
     c.score->report("at-most-once-commit");
   }
   if (r.has_value()) return ((r->winner - 1 + rot) % n) + 1;
-  if (report.verdict != altx::posix::WaitVerdict::kAllFailed) {
-    *inconclusive = true;  // timeout or stray crash without injection
+  if (degraded) return std::nullopt;  // every arm ran alone and said no
+  if (report.verdict != altx::posix::WaitVerdict::kAllFailed ||
+      report.over_budget > 0) {
+    // Timeout, a stray crash without injection, or a watchdog kill (the
+    // wall budget is generous, but a stalled machine can still blow it):
+    // the environment, not the semantics, decided this trial.
+    *inconclusive = true;
   }
   return std::nullopt;
 }
 
 }  // namespace
 
-RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool faulty) {
+RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool faulty,
+                     bool governed) {
   validate(p);
   ALTX_REQUIRE(!uses_sim_only_ops(p),
                "run_posix: program uses sim-only ops (extern/send)");
@@ -195,6 +220,27 @@ RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool fa
 
   altx::posix::AltHeap heap(kPages);
   SharedScoreMap score;
+
+  // Governed trials: a deliberately tight token budget (1..3 across the
+  // whole trial, nested blocks included) so admission denials and serialized
+  // degradation actually happen, a wall budget far above any legitimate
+  // arm's runtime so it only fires on a stalled machine, and sometimes a
+  // SIGTERM grace so the escalation ladder gets exercised too. Built before
+  // any fork so every child shares the MAP_SHARED pool.
+  std::unique_ptr<altx::posix::SpeculationGovernor> governor;
+  if (governed) {
+    altx::posix::GovernorConfig gc;
+    gc.tokens = 1 + static_cast<int>(schedule_seed % 3);
+    gc.admit_wait = std::chrono::milliseconds(20);
+    // Short single-token patience: a nested serialized arm whose ancestors
+    // hold every token must overdraft quickly, or the waits pile up inside
+    // the enclosing arm's wall budget.
+    gc.serial_admit_wait = std::chrono::milliseconds(100);
+    gc.arm_wall_budget = std::chrono::milliseconds(5'000);
+    gc.kill_grace = std::chrono::milliseconds((schedule_seed >> 2) % 2 == 0 ? 0 : 2);
+    gc.poll_interval = std::chrono::milliseconds(2);
+    governor = std::make_unique<altx::posix::SpeculationGovernor>(gc);
+  }
 
   altx::posix::FaultProfile profile;
   std::unique_ptr<altx::posix::FaultInjector> injector;
@@ -215,7 +261,8 @@ RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool fa
     injector = std::make_unique<altx::posix::FaultInjector>(schedule_seed, profile);
   }
 
-  Ctx ctx{&heap, &score, schedule_seed, injector.get(), faulty};
+  Ctx ctx{&heap, &score, schedule_seed, injector.get(), faulty,
+          governor.get()};
 
   std::uint64_t fingerprint = 0;
   bool inconclusive = false;
@@ -245,6 +292,17 @@ RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool fa
     fingerprint = fingerprint * 1315423911ULL + *r;
   }
 
+  if (governor != nullptr) {
+    // The cap is a hard claim: concurrent speculative children never exceed
+    // the token budget. The one sanctioned exception is the single-token
+    // liveness overdraft, which the pool counts — a high-water mark above
+    // budget with zero overdrafts is a governor bug.
+    const altx::posix::GovernorStats gs = governor->stats();
+    if (gs.overdrafts == 0 && gs.max_in_flight > governor->config().tokens) {
+      out.violation = "governor-cap-exceeded";
+      return out;
+    }
+  }
   if (score.get()->violations.load() != 0) {
     out.violation = score.get()->invariant;
     return out;

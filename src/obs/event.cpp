@@ -24,6 +24,13 @@ const char* to_string(EventKind kind) {
     case EventKind::kAttemptEnd: return "attempt_end";
     case EventKind::kBackoff: return "backoff";
     case EventKind::kSequentialFallback: return "sequential_fallback";
+    case EventKind::kGovAdmitWait: return "gov_admit_wait";
+    case EventKind::kGovAdmit: return "gov_admit";
+    case EventKind::kGovDeny: return "gov_deny";
+    case EventKind::kGovKill: return "gov_kill";
+    case EventKind::kGovBudget: return "gov_budget";
+    case EventKind::kGovDegrade: return "gov_degrade";
+    case EventKind::kGovOverdraft: return "gov_overdraft";
     case EventKind::kHedgeWake: return "hedge_wake";
     case EventKind::kAwaitBegin: return "await_begin";
     case EventKind::kAwaitTaskDone: return "await_task_done";

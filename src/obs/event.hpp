@@ -53,8 +53,23 @@ enum class EventKind : std::uint16_t {
   kBackoff = 18,      // a: attempt number about to run, b: backoff ms
   kSequentialFallback = 19,
 
+  // Resource governance (posix::SpeculationGovernor). Numbered around the
+  // pre-existing kHedgeWake = 24 — kinds are append-only, not contiguous.
+  kGovAdmitWait = 20, // a: tokens requested, b: in flight, c: effective budget
+  kGovAdmit = 21,     // a: tokens granted, b: in flight after, c: waited ns
+  kGovDeny = 22,      // a: tokens requested, b: waited ns
+  kGovKill = 23,      // watchdog: a: pid, b: reason (0 wall, 1 cpu, 2 shed),
+                      //   c: stage (0 = SIGTERM, 1 = SIGKILL)
+
   // Hedging (posix::hedged).
   kHedgeWake = 24,    // child side: a: copy index, after its stagger sleep
+
+  // Resource governance, continued.
+  kGovBudget = 25,    // a: new effective budget, b: base budget,
+                      //   c: pressure stall pct x100
+  kGovDegrade = 26,   // supervisor: admission denied, running serialized;
+                      //   a: alternatives
+  kGovOverdraft = 27, // single-token liveness overdraft; a: in flight after
 
   // Conjunction (posix::await_all).
   kAwaitBegin = 32,   // a: task count

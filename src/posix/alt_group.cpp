@@ -7,8 +7,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "posix/governor.hpp"
 
 namespace altx::posix {
 
@@ -16,6 +18,12 @@ namespace {
 
 constexpr int kExitAbort = 42;    // guard failed, no synchronization
 constexpr int kExitTooLate = 43;  // lost the race for the commit token
+
+// In-place fork() EAGAIN retries: transient pid exhaustion (a sibling
+// cohort mid-teardown, a fork storm elsewhere in the tree) usually clears
+// in milliseconds, and abandoning the whole cohort to the supervisor's
+// much slower backoff for it would be out of proportion.
+constexpr int kForkRetries = 3;
 
 }  // namespace
 
@@ -28,6 +36,7 @@ const char* to_string(ChildFate fate) {
     case ChildFate::kCrashed: return "crashed";
     case ChildFate::kHung: return "hung";
     case ChildFate::kEliminated: return "eliminated";
+    case ChildFate::kOverBudget: return "over_budget";
   }
   return "?";
 }
@@ -42,13 +51,24 @@ const char* to_string(WaitVerdict verdict) {
   return "?";
 }
 
-AltGroup::AltGroup(AltGroupOptions options) : opts_(options) {}
+AltGroup::AltGroup(AltGroupOptions options) : opts_(options) {
+  if (opts_.governor == nullptr) {
+    opts_.governor = SpeculationGovernor::global();
+  }
+  if (opts_.kill_grace.count() < 0) {
+    const char* s = std::getenv("ALTX_KILL_GRACE_MS");
+    opts_.kill_grace = std::chrono::milliseconds(
+        s != nullptr ? std::strtoll(s, nullptr, 0) : 0);
+    if (opts_.kill_grace.count() < 0) opts_.kill_grace = {};
+  }
+}
 
 AltGroup::~AltGroup() {
   if (my_index_ != 0) return;  // children never own the group
   try {
     kill_survivors();
     reap_all();
+    release_remaining_tokens();
     finalize_accounting();
   } catch (...) {
     // Destructors must not throw; losing a reap here only leaks a zombie
@@ -65,6 +85,16 @@ int AltGroup::alt_spawn(int n) {
   ALTX_REQUIRE(n >= 1, "AltGroup: need at least one alternative");
   spawned_ = true;
   if (opts_.fault != nullptr) fault_attempt_ = opts_.fault->begin_attempt();
+  if (opts_.governor != nullptr) {
+    // Admission before any fork: either the whole cohort runs or none of it
+    // does. kDenied (n >= 2 after the bounded wait) is the degrade signal —
+    // the supervisor catches AdmissionTimeout and serializes the block.
+    if (opts_.governor->admit(n) == Admission::kDenied) {
+      spawned_ = false;  // nothing happened; the group may be retried
+      throw AdmissionTimeout(n);
+    }
+    tokens_held_ = n;
+  }
   if (obs::enabled()) {
     race_id_ = obs::next_race_id();
     start_ns_ = obs::now_ns();
@@ -111,19 +141,37 @@ int AltGroup::alt_spawn(int n) {
   auto abandon_cohort = [this] {
     kill_survivors();
     reap_all();
+    release_remaining_tokens();
   };
 
   for (int i = 1; i <= n; ++i) {
-    if (opts_.fault != nullptr && opts_.fault->fork_fails(fault_attempt_, i)) {
-      abandon_cohort();
-      throw SystemError("fork (injected fault)", EAGAIN);
-    }
     const std::uint64_t fork_t0 = obs::enabled() ? obs::now_ns() : 0;
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      const int err = errno;
-      abandon_cohort();
-      throw SystemError("fork", err);
+    pid_t pid = -1;
+    for (int try_n = 0;; ++try_n) {
+      const bool injected =
+          opts_.fault != nullptr &&
+          opts_.fault->fork_fails(fault_attempt_, i, try_n);
+      if (!injected) {
+        pid = ::fork();
+        if (pid >= 0) break;
+      }
+      const int err = injected ? EAGAIN : errno;
+      // EAGAIN is pid/memory exhaustion and is often transient (a sibling
+      // cohort mid-teardown); retry in place, briefly and jittered, before
+      // abandoning the cohort to the supervisor's coarser backoff.
+      if (err != EAGAIN || try_n >= kForkRetries) {
+        abandon_cohort();
+        throw SystemError(injected ? "fork (injected fault)" : "fork", err);
+      }
+      const double u =
+          Rng((fault_attempt_ << 32) ^
+              (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL) ^
+              static_cast<std::uint64_t>(try_n))
+              .uniform();
+      ::usleep(static_cast<useconds_t>(1'000 + u * 9'000));
+      if (obs::enabled()) {
+        obs::MetricsRegistry::global().counter("fork_eagain_retries").add();
+      }
     }
     if (pid == 0) {
       // Child: a COW copy of everything the parent had.
@@ -132,12 +180,14 @@ int AltGroup::alt_spawn(int n) {
       reaped_.clear();
       killed_.clear();
       status_.clear();
+      if (opts_.governor != nullptr) opts_.governor->apply_child_rlimits();
       if (opts_.heap != nullptr) opts_.heap->begin_tracking();
       obs::set_current_race(race_id_);
       obs::emit(obs::EventKind::kGuardStart, race_id_,
                 static_cast<std::int16_t>(i));
       return i;
     }
+    if (opts_.governor != nullptr) opts_.governor->watch(pid, race_id_, i);
     if (obs::enabled()) {
       const std::uint64_t fork_ns = obs::now_ns() - fork_t0;
       obs::emit(obs::EventKind::kFork, race_id_, static_cast<std::int16_t>(i),
@@ -307,6 +357,7 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
 
 void AltGroup::finish() {
   reap_all();
+  release_remaining_tokens();
   finalize_accounting();
 }
 
@@ -319,11 +370,46 @@ int AltGroup::count_fate(ChildFate fate) const {
 }
 
 void AltGroup::kill_survivors() {
+  if (opts_.kill_grace.count() <= 0) {
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!reaped_[i]) {
+        ::kill(children_[i], SIGKILL);
+        killed_[i] = true;
+      }
+    }
+    return;
+  }
+  // Graceful elimination: SIGTERM first, so a loser with cleanup to do
+  // (flush a log, drop a lock file) gets the grace window, then SIGKILL
+  // whatever is still standing. Children reaped during the window keep the
+  // normal fate pipeline — a SIGTERM death is still "we killed it".
+  bool any = false;
   for (std::size_t i = 0; i < children_.size(); ++i) {
     if (!reaped_[i]) {
-      ::kill(children_[i], SIGKILL);
+      ::kill(children_[i], SIGTERM);
       killed_[i] = true;
+      any = true;
     }
+  }
+  if (!any) return;
+  const auto deadline = std::chrono::steady_clock::now() + opts_.kill_grace;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all_gone = true;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (reaped_[i]) continue;
+      int status = 0;
+      struct rusage ru {};
+      if (wait4_eintr(children_[i], &status, WNOHANG, &ru) == children_[i]) {
+        record_exit(i, status, decode_rusage(ru));
+      } else {
+        all_gone = false;
+      }
+    }
+    if (all_gone) return;
+    ::usleep(1'000);
+  }
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!reaped_[i]) ::kill(children_[i], SIGKILL);  // grace expired
   }
 }
 
@@ -338,11 +424,28 @@ void AltGroup::reap_all() {
   }
 }
 
+void AltGroup::release_remaining_tokens() {
+  if (opts_.governor == nullptr || tokens_released_ >= tokens_held_) return;
+  opts_.governor->release(tokens_held_ - tokens_released_);
+  tokens_released_ = tokens_held_;
+}
+
 void AltGroup::record_exit(std::size_t i, int status,
                            const ChildUsage& usage) {
   reaped_[i] = true;
   ChildStatus& st = status_[i];
   st.usage = usage;
+  std::optional<GovKillReason> gov_kill;
+  if (opts_.governor != nullptr) {
+    opts_.governor->unwatch(st.pid);
+    gov_kill = opts_.governor->consume_kill(st.pid);
+    if (tokens_released_ < tokens_held_) {
+      // One token back per reaped child: a block winding down frees budget
+      // for queued blocks before its own teardown completes.
+      opts_.governor->release(1);
+      ++tokens_released_;
+    }
+  }
   const ExitInfo info = decode_wait_status(status);
   if (info.exited) {
     st.exit_code = info.exit_code;
@@ -358,22 +461,25 @@ void AltGroup::record_exit(std::size_t i, int status,
     }
   } else if (info.signaled) {
     st.signal = info.signal;
-    if (killed_[i]) {
-      if (verdict_.has_value() &&
-          static_cast<std::size_t>(verdict_->index) == i + 1) {
-        // Our own SIGKILL caught the winner between writing its result and
-        // _exit(0). The answer was already accepted, so this is a commit —
-        // classifying it an elimination would bill the winner's CPU and
-        // pages as speculation waste.
-        st.fate = ChildFate::kCommitted;
-      } else {
-        // We sent the SIGKILL. Before a verdict it was a deadline kill (the
-        // child was hung past the TIMEOUT); after one, routine elimination.
-        // A child that died of its own SIGKILL in the race window between
-        // our poll and our kill is indistinguishable — attributed to us.
-        st.fate = verdict_.has_value() ? ChildFate::kEliminated
-                                       : ChildFate::kHung;
-      }
+    if ((killed_[i] || gov_kill.has_value()) && verdict_.has_value() &&
+        static_cast<std::size_t>(verdict_->index) == i + 1) {
+      // A kill we (or the watchdog) sent caught the winner between writing
+      // its result and _exit(0). The answer was already accepted, so this
+      // is a commit — classifying it otherwise would bill the winner's CPU
+      // and pages as speculation waste.
+      st.fate = ChildFate::kCommitted;
+    } else if (gov_kill.has_value()) {
+      // The governor's watchdog killed it: over budget (wall / CPU) or shed
+      // under pressure. Distinct from kCrashed so the supervisor and the
+      // ledger can tell containment from failure.
+      st.fate = ChildFate::kOverBudget;
+    } else if (killed_[i]) {
+      // We sent the kill. Before a verdict it was a deadline kill (the
+      // child was hung past the TIMEOUT); after one, routine elimination.
+      // A child that died of its own SIGKILL in the race window between
+      // our poll and our kill is indistinguishable — attributed to us.
+      st.fate = verdict_.has_value() ? ChildFate::kEliminated
+                                     : ChildFate::kHung;
     } else {
       st.fate = ChildFate::kCrashed;
     }

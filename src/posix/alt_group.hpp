@@ -68,6 +68,8 @@ enum class ChildFate : std::uint8_t {
                 // includes a commit lost between token and result delivery
   kHung,        // still live at the deadline; killed by the parent
   kEliminated,  // healthy loser killed by the parent after a winner emerged
+  kOverBudget,  // killed by the governor's watchdog: wall/CPU budget blown
+                // or shed under memory pressure — contained, not crashed
 };
 
 const char* to_string(ChildFate fate);
@@ -101,10 +103,23 @@ enum class WaitVerdict : std::uint8_t {
 
 const char* to_string(WaitVerdict verdict);
 
+class SpeculationGovernor;
+
 struct AltGroupOptions {
   Eliminate elimination = Eliminate::kSynchronous;
   AltHeap* heap = nullptr;        // optional shared-state arena to absorb
   FaultInjector* fault = nullptr; // optional seeded fault plan
+
+  /// Resource governor consulted at spawn (admission + watchdog + child
+  /// rlimits). nullptr resolves to SpeculationGovernor::global() — the
+  /// env-configured process governor, itself nullptr when no ALTX_GOV_*
+  /// knob is set, so ungoverned runs cost one null check.
+  SpeculationGovernor* governor = nullptr;
+
+  /// SIGTERM → SIGKILL grace for survivor elimination. Negative (the
+  /// default) resolves from ALTX_KILL_GRACE_MS; 0 keeps the historical
+  /// straight-SIGKILL behavior.
+  std::chrono::milliseconds kill_grace{-1};
 };
 
 struct AltWinner {
@@ -204,6 +219,7 @@ class AltGroup {
 
   void kill_survivors();
   void reap_all();
+  void release_remaining_tokens();  // admission tokens not yet returned
   void record_exit(std::size_t i, int status, const ChildUsage& usage);
   void publish_census();         // child side, before the sync point
   void finalize_accounting();    // parent side, once every child is reaped
@@ -219,6 +235,8 @@ class AltGroup {
   Pipe token_;   // 0-1 semaphore: one byte, first reader commits
   Pipe result_;  // winner -> parent: index + payload + heap patch
   int my_index_ = 0;  // 0 in parent
+  int tokens_held_ = 0;      // admission tokens taken for this cohort
+  int tokens_released_ = 0;  // ... of which already returned (1 per reap)
   std::uint32_t race_id_ = 0;        // trace id; children inherit it
   std::uint64_t start_ns_ = 0;       // alt_spawn timestamp (traced runs)
   std::uint64_t fault_attempt_ = 0;  // attempt id children consult

@@ -39,14 +39,16 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kEarlyExit: return "early_exit";
     case FaultKind::kDropCommit: return "drop_commit";
+    case FaultKind::kCpuSpin: return "cpu_spin";
+    case FaultKind::kMemHog: return "mem_hog";
   }
   return "?";
 }
 
 void FaultProfile::validate() const {
-  const double probs[] = {crash_segv, crash_kill, hang,
-                          delay,      early_exit, drop_commit,
-                          fork_fail};
+  const double probs[] = {crash_segv, crash_kill, hang,     delay,
+                          early_exit, drop_commit, cpu_spin, mem_hog,
+                          fork_fail,  fork_storm};
   for (double p : probs) {
     ALTX_REQUIRE(p >= 0.0 && p <= 1.0,
                  "FaultProfile: probabilities must be in [0, 1]");
@@ -55,6 +57,8 @@ void FaultProfile::validate() const {
                "FaultProfile: child-side probabilities sum past 1");
   ALTX_REQUIRE(delay_for.count() >= 0, "FaultProfile: negative delay");
   ALTX_REQUIRE(hang_for.count() >= 0, "FaultProfile: negative hang");
+  ALTX_REQUIRE(spin_for.count() >= 0, "FaultProfile: negative spin");
+  ALTX_REQUIRE(storm_tries >= 0, "FaultProfile: negative storm_tries");
 }
 
 FaultProfile FaultProfile::parse(const std::string& spec) {
@@ -81,11 +85,18 @@ FaultProfile FaultProfile::parse(const std::string& spec) {
     else if (key == "delay") p.delay = value;
     else if (key == "early_exit") p.early_exit = value;
     else if (key == "drop_commit") p.drop_commit = value;
+    else if (key == "cpu_spin") p.cpu_spin = value;
+    else if (key == "mem_hog") p.mem_hog = value;
     else if (key == "fork_fail") p.fork_fail = value;
+    else if (key == "fork_storm") p.fork_storm = value;
     else if (key == "delay_ms") p.delay_for = std::chrono::milliseconds(
                  static_cast<long long>(value));
     else if (key == "hang_ms") p.hang_for = std::chrono::milliseconds(
                  static_cast<long long>(value));
+    else if (key == "spin_ms") p.spin_for = std::chrono::milliseconds(
+                 static_cast<long long>(value));
+    else if (key == "hog_mb") p.hog_mb = static_cast<std::uint64_t>(value);
+    else if (key == "storm_tries") p.storm_tries = static_cast<int>(value);
     else ALTX_REQUIRE(false, "FaultProfile: unknown key '" + key + "'");
   }
   p.validate();
@@ -121,13 +132,26 @@ FaultKind FaultInjector::decide(std::uint64_t attempt, int child_index) const {
   if (u < acc) return FaultKind::kEarlyExit;
   acc += profile_.drop_commit;
   if (u < acc) return FaultKind::kDropCommit;
+  acc += profile_.cpu_spin;
+  if (u < acc) return FaultKind::kCpuSpin;
+  acc += profile_.mem_hog;
+  if (u < acc) return FaultKind::kMemHog;
   return FaultKind::kNone;
 }
 
-bool FaultInjector::fork_fails(std::uint64_t attempt, int child_index) const {
-  if (profile_.fork_fail <= 0.0) return false;
-  return derived_uniform(seed_, attempt, child_index, /*salt=*/2) <
-         profile_.fork_fail;
+bool FaultInjector::fork_fails(std::uint64_t attempt, int child_index,
+                               int try_n) const {
+  if (profile_.fork_fail > 0.0 &&
+      derived_uniform(seed_, attempt, child_index, /*salt=*/2) <
+          profile_.fork_fail) {
+    return true;
+  }
+  if (profile_.fork_storm > 0.0 && try_n < profile_.storm_tries &&
+      derived_uniform(seed_, attempt, child_index, /*salt=*/3) <
+          profile_.fork_storm) {
+    return true;
+  }
+  return false;
 }
 
 FaultKind FaultInjector::at_sync_point(std::uint64_t attempt,
@@ -168,6 +192,34 @@ FaultKind FaultInjector::at_sync_point(std::uint64_t attempt,
       return FaultKind::kNone;
     case FaultKind::kEarlyExit:
       _exit(kExitEarly);
+    case FaultKind::kCpuSpin: {
+      // Burn real CPU (not wall clock): the arm the governor's CPU budget /
+      // RLIMIT_CPU must catch. If nothing kills us first, die unsynced.
+      const auto until = std::chrono::steady_clock::now() + profile_.spin_for;
+      volatile std::uint64_t sink = 0;
+      while (std::chrono::steady_clock::now() < until) {
+        for (int i = 0; i < 10'000; ++i) sink = sink * 6364136223846793005ULL + 1;
+      }
+      _exit(kExitEarly);
+    }
+    case FaultKind::kMemHog: {
+      // Touch every page so the allocation is resident, then stall holding
+      // it — the pressure source PSI shedding and RLIMIT_AS are aimed at.
+      const std::size_t bytes =
+          static_cast<std::size_t>(profile_.hog_mb) << 20;
+      char* hog = static_cast<char*>(std::malloc(bytes));
+      if (hog != nullptr) {
+        for (std::size_t off = 0; off < bytes; off += 4096) hog[off] = 1;
+      }
+      auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+          profile_.hang_for);
+      while (left.count() > 0) {
+        const auto slice = std::min<long long>(left.count(), 500'000);
+        ::usleep(static_cast<useconds_t>(slice));
+        left -= std::chrono::microseconds(slice);
+      }
+      _exit(kExitEarly);
+    }
   }
   return FaultKind::kNone;
 }

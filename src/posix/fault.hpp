@@ -35,6 +35,12 @@ enum class FaultKind : std::uint8_t {
   kDropCommit,  // consume the commit token but never deliver the result
                 // frame: a crash in the window between synchronizing and
                 // publishing — the nastiest at-most-once stressor
+  kCpuSpin,     // busy-loop for `spin_for` burning CPU, then exit without
+                // synchronizing: the runaway arm the governor's CPU budget
+                // (and RLIMIT_CPU backstop) exists to contain
+  kMemHog,      // allocate and touch `hog_mb` MiB, stall holding it, then
+                // exit without synchronizing: the memory-pressure source
+                // behind PSI shedding and RLIMIT_AS
 };
 
 const char* to_string(FaultKind kind);
@@ -49,13 +55,22 @@ struct FaultProfile {
   double delay = 0.0;
   double early_exit = 0.0;
   double drop_commit = 0.0;
-  double fork_fail = 0.0;  // parent side: fork() reports EAGAIN
+  double cpu_spin = 0.0;
+  double mem_hog = 0.0;
+  double fork_fail = 0.0;   // parent side: fork() reports EAGAIN, permanently
+  double fork_storm = 0.0;  // parent side: fork() EAGAINs transiently — the
+                            // first `storm_tries` in-place retries fail, then
+                            // the fork succeeds (pid-exhaustion burst)
 
   std::chrono::milliseconds delay_for{20};     // kDelay stall
   std::chrono::milliseconds hang_for{600'000};  // kHang: 10 min ~ forever
+  std::chrono::milliseconds spin_for{2'000};   // kCpuSpin busy-loop length
+  std::uint64_t hog_mb = 64;                   // kMemHog allocation size
+  int storm_tries = 2;                         // fork_storm: failing tries
 
   [[nodiscard]] double child_total() const {
-    return crash_segv + crash_kill + hang + delay + early_exit + drop_commit;
+    return crash_segv + crash_kill + hang + delay + early_exit + drop_commit +
+           cpu_spin + mem_hog;
   }
   void validate() const;
 
@@ -78,8 +93,13 @@ class FaultInjector {
   [[nodiscard]] FaultKind decide(std::uint64_t attempt, int child_index) const;
 
   /// Whether the parent's fork() of child `child_index` on `attempt` should
-  /// be made to fail with EAGAIN. Pure, independent stream from decide().
-  [[nodiscard]] bool fork_fails(std::uint64_t attempt, int child_index) const;
+  /// be made to fail with EAGAIN. `try_n` is the in-place retry ordinal
+  /// (0 = first try): a `fork_fail` draw fails every try, a `fork_storm`
+  /// draw fails only tries below `storm_tries` — transient exhaustion the
+  /// spawn loop's bounded retry is meant to ride out. Pure, independent
+  /// stream from decide().
+  [[nodiscard]] bool fork_fails(std::uint64_t attempt, int child_index,
+                                int try_n = 0) const;
 
   /// Parent side, once per spawned group: returns the attempt id the group's
   /// children will consult and advances the counter.

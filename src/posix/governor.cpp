@@ -1,0 +1,601 @@
+#include "posix/governor.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "posix/reap.hpp"
+
+namespace altx::posix {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 0);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtod(s, nullptr);
+}
+
+std::chrono::milliseconds env_ms(const char* name, long long fallback) {
+  return std::chrono::milliseconds(
+      static_cast<long long>(env_u64(name, static_cast<std::uint64_t>(fallback))));
+}
+
+int open_pidfd(pid_t pid) {
+#ifdef SYS_pidfd_open
+  const long fd = ::syscall(SYS_pidfd_open, pid, 0);
+  return fd >= 0 ? static_cast<int>(fd) : -1;
+#else
+  (void)pid;
+  return -1;
+#endif
+}
+
+/// "some avg10=12.34 ..." → 12.34; -1 when the stanza is absent.
+double parse_psi_some_avg10(const char* buf) {
+  const char* p = std::strstr(buf, "some");
+  if (p == nullptr) return -1.0;
+  p = std::strstr(p, "avg10=");
+  if (p == nullptr) return -1.0;
+  return std::strtod(p + 6, nullptr);
+}
+
+bool slurp(const char* path, char* buf, std::size_t cap) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fread(buf, 1, cap - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return n > 0;
+}
+
+/// "MemAvailable: 123 kB" / "MemTotal: 456 kB" → available/total * 100.
+double meminfo_available_pct() {
+  char buf[4096];
+  if (!slurp("/proc/meminfo", buf, sizeof buf)) return -1.0;
+  auto field = [&](const char* key) -> double {
+    const char* p = std::strstr(buf, key);
+    if (p == nullptr) return -1.0;
+    return std::strtod(p + std::strlen(key), nullptr);
+  };
+  const double total = field("MemTotal:");
+  const double avail = field("MemAvailable:");
+  if (total <= 0 || avail < 0) return -1.0;
+  return avail / total * 100.0;
+}
+
+}  // namespace
+
+const char* to_string(GovKillReason reason) {
+  switch (reason) {
+    case GovKillReason::kWall: return "wall";
+    case GovKillReason::kCpu: return "cpu";
+    case GovKillReason::kShed: return "shed";
+  }
+  return "?";
+}
+
+PressureSample read_pressure(const std::string& psi_override) {
+  PressureSample s;
+  char buf[1024];
+  if (!psi_override.empty()) {
+    if (slurp(psi_override.c_str(), buf, sizeof buf)) {
+      const double v = parse_psi_some_avg10(buf);
+      if (v >= 0) {
+        s.valid = true;
+        s.mem_stall_pct = v;
+      }
+    }
+    return s;
+  }
+  if (slurp("/proc/pressure/memory", buf, sizeof buf)) {
+    const double v = parse_psi_some_avg10(buf);
+    if (v >= 0) {
+      s.valid = true;
+      s.mem_stall_pct = v;
+    }
+  }
+  if (slurp("/proc/pressure/cpu", buf, sizeof buf)) {
+    const double v = parse_psi_some_avg10(buf);
+    if (v >= 0) {
+      s.valid = true;
+      s.cpu_stall_pct = v;
+    }
+  }
+  if (!s.valid) s.mem_available_pct = meminfo_available_pct();
+  return s;
+}
+
+GovernorConfig GovernorConfig::from_env() {
+  GovernorConfig c;
+  c.tokens = static_cast<int>(env_u64("ALTX_GOV_TOKENS", 0));
+  c.admit_wait = env_ms("ALTX_GOV_ADMIT_WAIT_MS", c.admit_wait.count());
+  c.serial_admit_wait =
+      env_ms("ALTX_GOV_SERIAL_WAIT_MS", c.serial_admit_wait.count());
+  c.arm_wall_budget = env_ms("ALTX_GOV_WALL_MS", 0);
+  c.arm_cpu_budget = env_ms("ALTX_GOV_CPU_MS", 0);
+  c.kill_grace = env_ms("ALTX_KILL_GRACE_MS", 0);
+  c.rlimit_cpu_s = env_u64("ALTX_GOV_RLIMIT_CPU_S", 0);
+  c.rlimit_as_mb = env_u64("ALTX_GOV_RLIMIT_AS_MB", 0);
+  if (const char* p = std::getenv("ALTX_PSI_PATH")) c.psi_path = p;
+  c.psi_shed_pct = env_double("ALTX_GOV_PSI_SHED", c.psi_shed_pct);
+  c.psi_kill_pct = env_double("ALTX_GOV_PSI_KILL", c.psi_kill_pct);
+  c.mem_floor_pct = env_double("ALTX_GOV_MEM_FLOOR", c.mem_floor_pct);
+  c.poll_interval = env_ms("ALTX_GOV_POLL_MS", c.poll_interval.count());
+  return c;
+}
+
+/// The fork-wide truth: admission counters live in one MAP_SHARED page so a
+/// nested block racing inside a forked arm draws from the same pool its
+/// parent does. Kill tallies stay process-local (only the owner kills).
+struct SpeculationGovernor::SharedPool {
+  std::atomic<int> in_flight;
+  std::atomic<int> max_in_flight;
+  std::atomic<int> effective;   // budget after pressure shrink
+  std::atomic<std::uint64_t> admitted;
+  std::atomic<std::uint64_t> waited;
+  std::atomic<std::uint64_t> denied;
+  std::atomic<std::uint64_t> overdrafts;
+  std::atomic<std::uint64_t> degradations;
+  std::atomic<std::uint32_t> last_stall_pct_x100;
+};
+
+struct SpeculationGovernor::WatchEntry {
+  pid_t pid = -1;
+  int pidfd = -1;
+  std::uint32_t race_id = 0;
+  int child_index = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t term_deadline_ns = 0;  // nonzero once SIGTERM was sent
+  bool killed = false;                 // SIGKILL sent; waiting for unwatch
+  GovKillReason reason = GovKillReason::kWall;
+};
+
+SpeculationGovernor::SpeculationGovernor(GovernorConfig cfg) : cfg_(cfg) {
+  ALTX_REQUIRE(cfg_.tokens >= 0, "governor: tokens must be >= 0");
+  ALTX_REQUIRE(cfg_.psi_kill_pct >= cfg_.psi_shed_pct,
+               "governor: psi_kill must be >= psi_shed");
+  owner_pid_ = ::getpid();
+  void* p = ::mmap(nullptr, sizeof(SharedPool), PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw_errno("governor: mmap(pool)");
+  pool_ = new (p) SharedPool{};
+  pool_->effective.store(cfg_.tokens, std::memory_order_relaxed);
+
+  const bool needs_watchdog = cfg_.tokens > 0 ||
+                              cfg_.arm_wall_budget.count() > 0 ||
+                              cfg_.arm_cpu_budget.count() > 0;
+  if (!needs_watchdog) return;
+
+  poll_pressure_now();
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("governor: eventfd");
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) throw_errno("governor: timerfd_create");
+  const long long poll_ns =
+      std::max<long long>(1, cfg_.poll_interval.count()) * 1'000'000LL;
+  itimerspec its{};
+  its.it_interval.tv_sec = poll_ns / 1'000'000'000LL;
+  its.it_interval.tv_nsec = poll_ns % 1'000'000'000LL;
+  its.it_value = its.it_interval;
+  if (::timerfd_settime(timer_fd_, 0, &its, nullptr) != 0) {
+    throw_errno("governor: timerfd_settime");
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+SpeculationGovernor::~SpeculationGovernor() {
+  // A forked copy must not join a thread it does not have, nor unmap the
+  // pool out from under live siblings — but forked children leave through
+  // _exit, so only the owner ever runs this in practice.
+  if (::getpid() == owner_pid_ && watchdog_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    wake_watchdog();
+    watchdog_.join();
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (WatchEntry& e : watches_) {
+      if (e.pidfd >= 0) ::close(e.pidfd);
+    }
+    watches_.clear();
+  }
+  if (pool_ != nullptr && ::getpid() == owner_pid_) {
+    ::munmap(pool_, sizeof(SharedPool));
+  }
+  pool_ = nullptr;
+}
+
+void SpeculationGovernor::wake_watchdog() {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+Admission SpeculationGovernor::admit(int n) {
+  if (!admission_enabled() || n <= 0) return Admission::kGranted;
+  if (n > cfg_.tokens) {
+    // Wider than the base budget: no amount of queueing can ever fit it.
+    // Deny immediately so the caller degrades now instead of after a
+    // pointless admit_wait. (n == 1 never lands here: tokens >= 1.)
+    pool_->denied.fetch_add(1, std::memory_order_relaxed);
+    obs::emit(obs::EventKind::kGovDeny, obs::current_race(), 0,
+              static_cast<std::uint64_t>(n), 0);
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global().counter("gov_denials").add();
+    }
+    return Admission::kDenied;
+  }
+  const std::uint64_t t0 = obs::now_ns();
+  const std::uint64_t wait_ns =
+      static_cast<std::uint64_t>(
+          (n == 1 ? cfg_.serial_admit_wait : cfg_.admit_wait).count()) *
+      1'000'000ULL;
+  bool waited = false;
+  auto bump_max = [this](int cur) {
+    int seen = pool_->max_in_flight.load(std::memory_order_relaxed);
+    while (cur > seen &&
+           !pool_->max_in_flight.compare_exchange_weak(seen, cur)) {
+    }
+  };
+  for (;;) {
+    const int eff = pool_->effective.load(std::memory_order_relaxed);
+    int cur = pool_->in_flight.load(std::memory_order_relaxed);
+    while (cur + n <= eff) {
+      if (pool_->in_flight.compare_exchange_weak(cur, cur + n)) {
+        bump_max(cur + n);
+        pool_->admitted.fetch_add(1, std::memory_order_relaxed);
+        if (waited) pool_->waited.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) {
+          const std::uint64_t dt = obs::now_ns() - t0;
+          obs::emit(obs::EventKind::kGovAdmit, obs::current_race(), 0,
+                    static_cast<std::uint64_t>(n),
+                    static_cast<std::uint64_t>(cur + n), dt);
+          auto& m = obs::MetricsRegistry::global();
+          m.counter("gov_admits").add();
+          if (waited) m.histogram("gov_admit_wait_ns").record(dt);
+        }
+        return Admission::kGranted;
+      }
+    }
+    const std::uint64_t now = obs::now_ns();
+    if (now - t0 >= wait_ns) {
+      if (n == 1) {
+        // The liveness overdraft: one child is the paper's own sequential
+        // semantics — refusing it would wedge the program, so the single
+        // arm runs and the pool goes briefly over budget.
+        const int after = pool_->in_flight.fetch_add(1) + 1;
+        bump_max(after);
+        pool_->overdrafts.fetch_add(1, std::memory_order_relaxed);
+        obs::emit(obs::EventKind::kGovOverdraft, obs::current_race(), 0,
+                  static_cast<std::uint64_t>(after));
+        if (obs::enabled()) {
+          obs::MetricsRegistry::global().counter("gov_overdrafts").add();
+        }
+        return Admission::kOverdraft;
+      }
+      pool_->denied.fetch_add(1, std::memory_order_relaxed);
+      obs::emit(obs::EventKind::kGovDeny, obs::current_race(), 0,
+                static_cast<std::uint64_t>(n), now - t0);
+      if (obs::enabled()) {
+        obs::MetricsRegistry::global().counter("gov_denials").add();
+      }
+      return Admission::kDenied;
+    }
+    if (!waited) {
+      waited = true;
+      obs::emit(obs::EventKind::kGovAdmitWait, obs::current_race(), 0,
+                static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(cur),
+                static_cast<std::uint64_t>(eff));
+    }
+    ::usleep(500);
+  }
+}
+
+void SpeculationGovernor::release(int n) {
+  if (!admission_enabled() || n <= 0) return;
+  pool_->in_flight.fetch_sub(n, std::memory_order_relaxed);
+}
+
+void SpeculationGovernor::watch(pid_t pid, std::uint32_t race_id,
+                                int child_index) {
+  // Only the owner process has the thread that can act on a watch; a forked
+  // copy registering would leak entries nobody scans.
+  if (::getpid() != owner_pid_ || !watchdog_.joinable()) return;
+  if (cfg_.arm_wall_budget.count() == 0 && cfg_.arm_cpu_budget.count() == 0 &&
+      cfg_.psi_kill_pct >= 100.0 && cfg_.tokens == 0) {
+    return;
+  }
+  WatchEntry e;
+  e.pid = pid;
+  e.pidfd = open_pidfd(pid);
+  e.race_id = race_id;
+  e.child_index = child_index;
+  e.start_ns = obs::now_ns();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watches_.push_back(e);
+  }
+  wake_watchdog();
+}
+
+void SpeculationGovernor::unwatch(pid_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    if (watches_[i].pid == pid) {
+      if (watches_[i].pidfd >= 0) ::close(watches_[i].pidfd);
+      watches_.erase(watches_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::optional<GovKillReason> SpeculationGovernor::consume_kill(pid_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = kills_.find(pid);
+  if (it == kills_.end()) return std::nullopt;
+  const GovKillReason r = it->second;
+  kills_.erase(it);
+  return r;
+}
+
+void SpeculationGovernor::apply_child_rlimits() const {
+  if (cfg_.rlimit_cpu_s > 0) {
+    // Soft limit delivers SIGXCPU at the budget, hard limit SIGKILLs one
+    // second later — the kernel-side backstop behind the watchdog.
+    struct rlimit rl{static_cast<rlim_t>(cfg_.rlimit_cpu_s),
+                     static_cast<rlim_t>(cfg_.rlimit_cpu_s + 1)};
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+  if (cfg_.rlimit_as_mb > 0) {
+    const rlim_t bytes = static_cast<rlim_t>(cfg_.rlimit_as_mb) << 20;
+    struct rlimit rl{bytes, bytes};
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+}
+
+void SpeculationGovernor::note_degraded() {
+  pool_->degradations.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().counter("gov_degraded").add();
+  }
+}
+
+int SpeculationGovernor::effective_tokens() const {
+  return pool_->effective.load(std::memory_order_relaxed);
+}
+
+GovernorStats SpeculationGovernor::stats() const {
+  GovernorStats s;
+  s.admitted = pool_->admitted.load(std::memory_order_relaxed);
+  s.waited = pool_->waited.load(std::memory_order_relaxed);
+  s.denied = pool_->denied.load(std::memory_order_relaxed);
+  s.overdrafts = pool_->overdrafts.load(std::memory_order_relaxed);
+  s.degradations = pool_->degradations.load(std::memory_order_relaxed);
+  s.in_flight = pool_->in_flight.load(std::memory_order_relaxed);
+  s.max_in_flight = pool_->max_in_flight.load(std::memory_order_relaxed);
+  s.effective_tokens = pool_->effective.load(std::memory_order_relaxed);
+  s.kills_wall = kills_wall_.load(std::memory_order_relaxed);
+  s.kills_cpu = kills_cpu_.load(std::memory_order_relaxed);
+  s.kills_shed = kills_shed_.load(std::memory_order_relaxed);
+  s.term_escalations = term_escalations_.load(std::memory_order_relaxed);
+  s.pressure_shrinks = pressure_shrinks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SpeculationGovernor::apply_pressure(const PressureSample& s) {
+  double stall = 0.0;
+  if (s.valid) stall = std::max(s.mem_stall_pct, s.cpu_stall_pct);
+  pool_->last_stall_pct_x100.store(
+      static_cast<std::uint32_t>(stall * 100.0), std::memory_order_relaxed);
+  if (cfg_.tokens <= 0) return;  // admission off: nothing to shrink
+
+  int eff = cfg_.tokens;
+  if (s.valid && stall >= cfg_.psi_shed_pct) {
+    const double span = std::max(1e-9, cfg_.psi_kill_pct - cfg_.psi_shed_pct);
+    const double frac = std::min(1.0, (stall - cfg_.psi_shed_pct) / span);
+    eff = cfg_.tokens -
+          static_cast<int>(frac * static_cast<double>(cfg_.tokens - 1) + 0.5);
+  }
+  if (s.mem_available_pct >= 0 && s.mem_available_pct < cfg_.mem_floor_pct) {
+    eff = 1;  // meminfo fallback: nearly out of memory, sequential floor
+  }
+  eff = std::clamp(eff, 1, cfg_.tokens);
+  const int old = pool_->effective.exchange(eff, std::memory_order_relaxed);
+  if (eff != old) {
+    if (eff < old) pressure_shrinks_.fetch_add(1, std::memory_order_relaxed);
+    obs::emit(obs::EventKind::kGovBudget, 0, 0,
+              static_cast<std::uint64_t>(eff),
+              static_cast<std::uint64_t>(cfg_.tokens),
+              static_cast<std::uint64_t>(stall * 100.0));
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .histogram("gov_effective_tokens")
+          .record(static_cast<std::uint64_t>(eff));
+    }
+  }
+}
+
+void SpeculationGovernor::poll_pressure_now() {
+  apply_pressure(read_pressure(cfg_.psi_path));
+}
+
+void SpeculationGovernor::escalate(WatchEntry& e, GovKillReason reason,
+                                   std::uint64_t now_ns) {
+  // First escalation records the kill (for fate classification at reap) and
+  // counts it once, whatever the ladder does afterwards.
+  kills_.emplace(e.pid, reason);
+  switch (reason) {
+    case GovKillReason::kWall:
+      kills_wall_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GovKillReason::kCpu:
+      kills_cpu_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GovKillReason::kShed:
+      kills_shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  e.reason = reason;
+  if (cfg_.kill_grace.count() > 0) {
+    ::kill(e.pid, SIGTERM);
+    e.term_deadline_ns =
+        now_ns + static_cast<std::uint64_t>(cfg_.kill_grace.count()) * 1'000'000ULL;
+    obs::emit(obs::EventKind::kGovKill, e.race_id,
+              static_cast<std::int16_t>(e.child_index),
+              static_cast<std::uint64_t>(e.pid),
+              static_cast<std::uint64_t>(reason), /*stage=*/0);
+  } else {
+    ::kill(e.pid, SIGKILL);
+    e.killed = true;
+    obs::emit(obs::EventKind::kGovKill, e.race_id,
+              static_cast<std::int16_t>(e.child_index),
+              static_cast<std::uint64_t>(e.pid),
+              static_cast<std::uint64_t>(reason), /*stage=*/1);
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter(std::string("gov_kills_") + to_string(reason))
+        .add();
+  }
+}
+
+void SpeculationGovernor::shed_lowest_pi(std::uint64_t now_ns) {
+  // One arm per pressure tick, lowest PI first (the highest alternative
+  // index — alternatives are PI-ordered), and never a block's last live
+  // arm: shedding a loser is indistinguishable from elimination, while
+  // starving a whole block would trade an outcome for memory.
+  std::unordered_map<std::uint32_t, int> live_per_race;
+  for (const WatchEntry& e : watches_) {
+    if (!e.killed && e.term_deadline_ns == 0) ++live_per_race[e.race_id];
+  }
+  WatchEntry* victim = nullptr;
+  for (WatchEntry& e : watches_) {
+    if (e.killed || e.term_deadline_ns != 0) continue;
+    if (live_per_race[e.race_id] < 2) continue;
+    if (victim == nullptr || e.child_index > victim->child_index) victim = &e;
+  }
+  if (victim != nullptr) escalate(*victim, GovKillReason::kShed, now_ns);
+}
+
+void SpeculationGovernor::watchdog_loop() {
+  const std::uint64_t wall_ns =
+      static_cast<std::uint64_t>(cfg_.arm_wall_budget.count()) * 1'000'000ULL;
+  const std::uint64_t cpu_ns =
+      static_cast<std::uint64_t>(cfg_.arm_cpu_budget.count()) * 1'000'000ULL;
+  const std::uint64_t pressure_ns =
+      static_cast<std::uint64_t>(
+          std::max<long long>(1, cfg_.pressure_interval.count())) *
+      1'000'000ULL;
+  std::uint64_t next_pressure_ns = obs::now_ns() + pressure_ns;
+
+  std::vector<pollfd> fds;
+  std::vector<pid_t> fd_pids;  // fds[i+2] belongs to fd_pids[i]
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fd_pids.clear();
+    fds.push_back({wake_fd_, POLLIN, 0});
+    fds.push_back({timer_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const WatchEntry& e : watches_) {
+        if (e.pidfd >= 0) {
+          fds.push_back({e.pidfd, POLLIN, 0});
+          fd_pids.push_back(e.pid);
+        }
+      }
+    }
+    ::poll(fds.data(), fds.size(), /*timeout ms=*/100);
+    if (stop_.load(std::memory_order_acquire)) break;
+    std::uint64_t scratch;
+    if (fds[0].revents & POLLIN) {
+      while (::read(wake_fd_, &scratch, sizeof scratch) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      while (::read(timer_fd_, &scratch, sizeof scratch) > 0) {
+      }
+    }
+
+    const std::uint64_t now = obs::now_ns();
+    if (now >= next_pressure_ns) {
+      poll_pressure_now();
+      next_pressure_ns = now + pressure_ns;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // Arms whose pidfd signalled have exited on their own; drop the watch
+    // (the parent still reaps and bills them — we only stop threatening).
+    for (std::size_t i = 0; i + 2 < fds.size() + 0 && i < fd_pids.size(); ++i) {
+      if ((fds[i + 2].revents & (POLLIN | POLLERR | POLLNVAL)) == 0) continue;
+      for (std::size_t j = 0; j < watches_.size(); ++j) {
+        if (watches_[j].pid == fd_pids[i]) {
+          if (watches_[j].pidfd >= 0) ::close(watches_[j].pidfd);
+          watches_.erase(watches_.begin() + static_cast<std::ptrdiff_t>(j));
+          break;
+        }
+      }
+    }
+    for (WatchEntry& e : watches_) {
+      if (e.killed) continue;
+      if (e.term_deadline_ns != 0) {
+        if (now >= e.term_deadline_ns) {
+          ::kill(e.pid, SIGKILL);  // grace expired: escalate
+          e.killed = true;
+          term_escalations_.fetch_add(1, std::memory_order_relaxed);
+          obs::emit(obs::EventKind::kGovKill, e.race_id,
+                    static_cast<std::int16_t>(e.child_index),
+                    static_cast<std::uint64_t>(e.pid),
+                    static_cast<std::uint64_t>(e.reason), /*stage=*/1);
+        }
+        continue;
+      }
+      if (wall_ns > 0 && now - e.start_ns > wall_ns) {
+        escalate(e, GovKillReason::kWall, now);
+        continue;
+      }
+      if (cpu_ns > 0) {
+        const auto cpu = proc_cpu_ns(e.pid);
+        if (cpu.has_value() && *cpu > cpu_ns) {
+          escalate(e, GovKillReason::kCpu, now);
+        }
+      }
+    }
+    const double stall =
+        pool_->last_stall_pct_x100.load(std::memory_order_relaxed) / 100.0;
+    if (stall >= cfg_.psi_kill_pct) shed_lowest_pi(now);
+  }
+}
+
+SpeculationGovernor* SpeculationGovernor::global() {
+  static const std::unique_ptr<SpeculationGovernor> g = [] {
+    const GovernorConfig c = GovernorConfig::from_env();
+    return c.any_enabled() ? std::make_unique<SpeculationGovernor>(c)
+                           : std::unique_ptr<SpeculationGovernor>();
+  }();
+  return g.get();
+}
+
+}  // namespace altx::posix

@@ -23,6 +23,11 @@ struct HedgeOptions {
   int max_copies = 2;  // primary + hedges
   std::chrono::milliseconds stagger{20};  // delay before each extra copy
   std::chrono::milliseconds timeout{30'000};
+
+  /// Resource governor: hedge copies are speculative children like any
+  /// other and draw from the same admission pool. nullptr resolves to
+  /// SpeculationGovernor::global().
+  SpeculationGovernor* governor = nullptr;
 };
 
 template <RaceSerializable T>
@@ -67,6 +72,7 @@ std::optional<HedgeResult<T>> hedged(const HedgedFn<T>& task,
   }
   RaceOptions ro;
   ro.timeout = options.timeout;
+  ro.governor = options.governor;
   const auto r = race<T>(alts, ro);
   if (!r.has_value()) return std::nullopt;
   HedgeResult<T> out;

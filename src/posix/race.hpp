@@ -75,6 +75,7 @@ struct RaceReport {
   int crashed = 0;
   int hung = 0;
   int eliminated = 0;
+  int over_budget = 0;  // killed by the governor's watchdog
 
   /// What the speculation cost: every child's CPU from wait4 at reap time,
   /// the losers' discarded COW pages, and the total/winner overhead ratio.
@@ -99,6 +100,15 @@ struct RaceOptions {
 
   /// When set, filled with the verdict and child-fate census after the wait.
   RaceReport* report = nullptr;
+
+  /// Resource governor (admission, per-arm budgets, child rlimits). nullptr
+  /// resolves to the env-configured SpeculationGovernor::global(); see
+  /// AltGroupOptions::governor.
+  SpeculationGovernor* governor = nullptr;
+
+  /// SIGTERM → SIGKILL elimination grace; negative resolves from
+  /// ALTX_KILL_GRACE_MS (see AltGroupOptions::kill_grace).
+  std::chrono::milliseconds kill_grace{-1};
 };
 
 template <typename T>
@@ -124,6 +134,8 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
   go.elimination = options.elimination;
   go.heap = options.heap;
   go.fault = options.fault;
+  go.governor = options.governor;
+  go.kill_grace = options.kill_grace;
   AltGroup group(go);
   const int n = static_cast<int>(alts.size());
   const int who = group.alt_spawn(n * options.replicas);
@@ -150,6 +162,7 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
     rep.crashed = group.count_fate(ChildFate::kCrashed);
     rep.hung = group.count_fate(ChildFate::kHung);
     rep.eliminated = group.count_fate(ChildFate::kEliminated);
+    rep.over_budget = group.count_fate(ChildFate::kOverBudget);
     rep.spec = group.speculation_report();
   }
   if (!win.has_value()) return std::nullopt;

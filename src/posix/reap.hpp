@@ -11,9 +11,12 @@
 
 #include <sys/resource.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <optional>
 
 namespace altx::posix {
 
@@ -49,6 +52,42 @@ inline pid_t wait4_eintr(pid_t pid, int* status, int flags,
     const pid_t r = ::wait4(pid, status, flags, usage);
     if (r >= 0 || errno != EINTR) return r;
   }
+}
+
+/// Live CPU (user + system, ns) of a still-running child from
+/// /proc/<pid>/stat. wait4's rusage only exists once the child is reaped;
+/// the governor's watchdog needs the bill *before* death to enforce a CPU
+/// budget, and /proc is the only place the kernel publishes it for a live
+/// process. nullopt when the pid is gone or /proc is unreadable.
+[[nodiscard]] inline std::optional<std::uint64_t> proc_cpu_ns(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/%d/stat", static_cast<int>(pid));
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return std::nullopt;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return std::nullopt;
+  buf[n] = '\0';
+  // The comm field is parenthesised and may contain spaces; parse from the
+  // last ')' so a hostile process name cannot shift the columns.
+  const char* p = nullptr;
+  for (const char* q = buf; *q != '\0'; ++q) {
+    if (*q == ')') p = q;
+  }
+  if (p == nullptr) return std::nullopt;
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  // After ") " come: state ppid pgrp session tty tpgid flags minflt cminflt
+  // majflt cmajflt utime stime (fields 3..15 of proc(5)).
+  if (std::sscanf(p + 1,
+                  " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu",
+                  &utime, &stime) != 2) {
+    return std::nullopt;
+  }
+  const long hz = ::sysconf(_SC_CLK_TCK);
+  if (hz <= 0) return std::nullopt;
+  return (utime + stime) * (1'000'000'000ULL / static_cast<std::uint64_t>(hz));
 }
 
 /// A wait(2) status decoded once, instead of WIF* logic at every call site.

@@ -1,0 +1,51 @@
+// Helpers for tests that fork cohorts or allocate aggressively: detect when
+// the environment itself is resource-constrained (a CI sandbox with a tight
+// RLIMIT_NPROC or RLIMIT_AS) so those tests can GTEST_SKIP instead of
+// reporting spurious failures that are really the sandbox's doing.
+//
+//   TEST(Foo, ManyChildren) {
+//     ALTX_SKIP_IF_CONSTRAINED(/*procs=*/64, /*address_mb=*/512);
+//     ...
+//   }
+#pragma once
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace altx::test {
+
+/// True when the soft RLIMIT_NPROC leaves fewer than `procs` slots beyond
+/// the processes this user already runs. Unlimited counts as roomy.
+inline bool nproc_below(int procs) {
+  struct rlimit rl{};
+  if (::getrlimit(RLIMIT_NPROC, &rl) != 0) return false;
+  if (rl.rlim_cur == RLIM_INFINITY) return false;
+  return rl.rlim_cur < static_cast<rlim_t>(procs);
+}
+
+/// True when the soft RLIMIT_AS caps the address space under `mb` MiB.
+inline bool address_space_below(std::uint64_t mb) {
+  struct rlimit rl{};
+  if (::getrlimit(RLIMIT_AS, &rl) != 0) return false;
+  if (rl.rlim_cur == RLIM_INFINITY) return false;
+  return rl.rlim_cur < mb * (1ULL << 20);
+}
+
+}  // namespace altx::test
+
+/// Skips the current test when the environment cannot fork `procs`
+/// processes or address `address_mb` MiB. Use in tests whose failure mode
+/// under those limits would be an EAGAIN/ENOMEM cascade, not a real bug.
+#define ALTX_SKIP_IF_CONSTRAINED(procs, address_mb)                       \
+  do {                                                                    \
+    if (altx::test::nproc_below(procs)) {                                 \
+      GTEST_SKIP() << "RLIMIT_NPROC below " << (procs)                    \
+                   << "; constrained environment";                        \
+    }                                                                     \
+    if (altx::test::address_space_below(address_mb)) {                    \
+      GTEST_SKIP() << "RLIMIT_AS below " << (address_mb)                  \
+                   << " MiB; constrained environment";                    \
+    }                                                                     \
+  } while (0)

@@ -255,7 +255,7 @@ TEST(CheckGenerate, PosixConfigAvoidsSimOnlyObservables) {
 
 TEST(CheckTrials, SimBatchHoldsAllInvariants) {
   TrialStats stats;
-  const auto cx = run_trials(40, 99, true, false, false, GenConfig{}, &stats);
+  const auto cx = run_trials(40, 99, true, false, false, false, GenConfig{}, &stats);
   EXPECT_FALSE(cx.has_value())
       << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
   EXPECT_EQ(stats.trials, 40u);
@@ -265,7 +265,7 @@ TEST(CheckTrials, SimBatchHoldsAllInvariants) {
 
 TEST(CheckTrials, PosixBatchHoldsAllInvariants) {
   TrialStats stats;
-  const auto cx = run_trials(40, 99, false, true, false, GenConfig{}, &stats);
+  const auto cx = run_trials(40, 99, false, true, false, false, GenConfig{}, &stats);
   EXPECT_FALSE(cx.has_value())
       << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
   EXPECT_EQ(stats.posix_trials, 40u);
@@ -273,7 +273,7 @@ TEST(CheckTrials, PosixBatchHoldsAllInvariants) {
 
 TEST(CheckTrials, FaultyPosixBatchHoldsAllInvariants) {
   TrialStats stats;
-  const auto cx = run_trials(24, 5, false, true, true, GenConfig{}, &stats);
+  const auto cx = run_trials(24, 5, false, true, true, false, GenConfig{}, &stats);
   EXPECT_FALSE(cx.has_value())
       << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
   EXPECT_GT(stats.faulty_trials, 0u);
@@ -311,7 +311,7 @@ TEST(CheckShrink, InjectedDoubleCommitIsCaughtShrunkAndReplayable) {
   EnvGuard guard("ALTX_TEST_BREAK_AT_MOST_ONCE", "1");
 
   TrialStats stats;
-  const auto cx = run_trials(80, 42, false, true, false, GenConfig{}, &stats);
+  const auto cx = run_trials(80, 42, false, true, false, false, GenConfig{}, &stats);
   ASSERT_TRUE(cx.has_value()) << "injected double-commit was not detected";
   EXPECT_EQ(cx->invariant, "at-most-once-commit");
 

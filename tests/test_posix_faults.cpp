@@ -50,6 +50,8 @@ FaultProfile single_fault(FaultKind kind, double rate) {
     case FaultKind::kDelay: p.delay = rate; break;
     case FaultKind::kEarlyExit: p.early_exit = rate; break;
     case FaultKind::kDropCommit: p.drop_commit = rate; break;
+    case FaultKind::kCpuSpin: p.cpu_spin = rate; break;
+    case FaultKind::kMemHog: p.mem_hog = rate; break;
     case FaultKind::kNone: break;
   }
   p.delay_for = 10ms;

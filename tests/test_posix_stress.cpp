@@ -9,6 +9,7 @@
 
 #include <chrono>
 
+#include "constrained.hpp"
 #include "posix/alt_heap.hpp"
 #include "posix/race.hpp"
 
@@ -129,6 +130,7 @@ TEST(PosixStress, LargeResultPayloadCrossesThePipe) {
 }
 
 TEST(PosixStress, ManyConsecutiveRacesLeakNoDescriptors) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/256);
   // Warm up, then assert the fd count is stable across 40 races.
   (void)race<int>({[] { return std::optional<int>(0); }});
   const int before = open_fd_count();
@@ -144,6 +146,7 @@ TEST(PosixStress, ManyConsecutiveRacesLeakNoDescriptors) {
 }
 
 TEST(PosixStress, SixteenWayRace) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/48, /*address_mb=*/256);
   std::vector<AlternativeFn<int>> alts;
   for (int i = 0; i < 16; ++i) {
     alts.push_back([i]() -> std::optional<int> {
@@ -179,6 +182,7 @@ TEST(PosixStress, AsynchronousEliminationReapsInFinish) {
 }
 
 TEST(PosixStress, HeapAbsorptionWithManyDirtyPages) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/8, /*address_mb=*/512);
   AltHeap heap(256);
   RaceOptions opts;
   opts.heap = &heap;

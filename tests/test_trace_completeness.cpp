@@ -152,6 +152,8 @@ TEST_F(TraceCompleteness, EveryFaultKindLeavesACompleteTrace) {
       case FaultKind::kDelay: p.delay = plan.rate; break;
       case FaultKind::kEarlyExit: p.early_exit = plan.rate; break;
       case FaultKind::kDropCommit: p.drop_commit = plan.rate; break;
+      case FaultKind::kCpuSpin: p.cpu_spin = plan.rate; break;
+      case FaultKind::kMemHog: p.mem_hog = plan.rate; break;
       case FaultKind::kNone: break;
     }
     p.delay_for = 10ms;

@@ -26,8 +26,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: altx-check [--trials N] [--seed S] [--backend sim|posix|both]\n"
-    "                  [--faults] [--out DIR] [--max-blocks N] [--max-alts N]\n"
-    "                  [--quiet]\n"
+    "                  [--faults] [--perturb-governor] [--out DIR]\n"
+    "                  [--max-blocks N] [--max-alts N] [--quiet]\n"
     "       altx-check --replay FILE.altcheck\n";
 
 struct Args {
@@ -36,6 +36,7 @@ struct Args {
   bool sim = true;
   bool posix = true;
   bool faults = false;
+  bool governor = false;
   bool quiet = false;
   std::string out_dir = ".";
   std::string replay;
@@ -71,6 +72,8 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (arg == "--faults") {
       a.faults = true;
+    } else if (arg == "--perturb-governor") {
+      a.governor = true;
     } else if (arg == "--out") {
       a.out_dir = next();
     } else if (arg == "--max-blocks") {
@@ -105,10 +108,12 @@ int run_replay(const std::string& path) {
   c.program = repro.program;
   c.backend = repro.backend;
   c.faulty = repro.faulty;
+  c.governed = repro.governed;
   c.schedule_seed = repro.schedule_seed;
 
-  std::printf("replaying %s (backend %s%s, schedule_seed %llu, invariant %s)\n",
+  std::printf("replaying %s (backend %s%s%s, schedule_seed %llu, invariant %s)\n",
               path.c_str(), to_string(repro.backend), repro.faulty ? ", faulty" : "",
+              repro.governed ? ", governed" : "",
               static_cast<unsigned long long>(repro.schedule_seed),
               repro.invariant.empty() ? "?" : repro.invariant.c_str());
   // A posix schedule is only seed-*guided*; give the race a few runs to
@@ -135,14 +140,15 @@ int main(int argc, char** argv) {
 
     altx::check::TrialStats stats;
     const auto cx = altx::check::run_trials(a.trials, a.seed, a.sim, a.posix,
-                                            a.faults, a.gen, &stats);
+                                            a.faults, a.governor, a.gen, &stats);
     if (!a.quiet) {
-      std::printf("altx-check: %llu trials (sim %llu, posix %llu, faulty %llu), "
-                  "%llu inconclusive\n",
+      std::printf("altx-check: %llu trials (sim %llu, posix %llu, faulty %llu, "
+                  "governed %llu), %llu inconclusive\n",
                   static_cast<unsigned long long>(stats.trials),
                   static_cast<unsigned long long>(stats.sim_trials),
                   static_cast<unsigned long long>(stats.posix_trials),
                   static_cast<unsigned long long>(stats.faulty_trials),
+                  static_cast<unsigned long long>(stats.governor_trials),
                   static_cast<unsigned long long>(stats.inconclusive));
       std::printf("altx-check: %llu distinct interleavings, %llu oracle outcomes "
                   "checked\n",
@@ -164,6 +170,7 @@ int main(int argc, char** argv) {
     repro.program = sr.reduced.program;
     repro.backend = sr.reduced.backend;
     repro.faulty = sr.reduced.faulty;
+    repro.governed = sr.reduced.governed;
     repro.gen_seed = cx->gen_seed;
     repro.schedule_seed = sr.reduced.schedule_seed;
     repro.invariant = sr.invariant.empty() ? cx->invariant : sr.invariant;

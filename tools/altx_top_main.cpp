@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,83 @@ const char* fate_name(std::uint64_t fate) {
 
 const char* verdict_name(std::uint64_t v) {
   return altx::posix::to_string(static_cast<altx::posix::WaitVerdict>(v));
+}
+
+// Governor activity folded from the kGov* event stream. The panel shows the
+// most recent effective budget plus lifetime counters — enough to see live
+// whether admission is queueing, shedding, or degrading blocks.
+struct GovPanel {
+  bool active = false;          // any kGov* record seen
+  std::uint64_t effective = 0;  // latest kGovBudget a (0 = never adjusted)
+  std::uint64_t base = 0;       // latest kGovBudget b
+  std::uint64_t stall_x100 = 0; // latest kGovBudget c (PSI some avg10 ×100)
+  std::uint64_t admits = 0;
+  std::uint64_t waits = 0;
+  std::uint64_t denials = 0;
+  std::uint64_t overdrafts = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t kills_wall = 0;
+  std::uint64_t kills_cpu = 0;
+  std::uint64_t kills_shed = 0;
+  std::uint64_t term_escalations = 0;  // kGovKill stage 1 (SIGTERM→SIGKILL)
+};
+
+GovPanel fold_governor(const std::vector<Record>& records) {
+  GovPanel g;
+  // A graced kill emits stage 0 (SIGTERM) and, if the arm ignores it,
+  // stage 1 again at escalation; a straight kill emits only stage 1. Count
+  // the kill at its first event per pid, and the stage-1 repeat of a
+  // SIGTERMed pid as an escalation.
+  std::set<std::uint64_t> termed;
+  for (const Record& r : records) {
+    switch (r.kind) {
+      case EventKind::kGovAdmitWait:
+        g.active = true;
+        ++g.waits;
+        break;
+      case EventKind::kGovAdmit:
+        g.active = true;
+        ++g.admits;
+        break;
+      case EventKind::kGovDeny:
+        g.active = true;
+        ++g.denials;
+        break;
+      case EventKind::kGovOverdraft:
+        g.active = true;
+        ++g.overdrafts;
+        break;
+      case EventKind::kGovDegrade:
+        g.active = true;
+        ++g.degradations;
+        break;
+      case EventKind::kGovBudget:
+        g.active = true;
+        g.effective = r.a;
+        g.base = r.b;
+        g.stall_x100 = r.c;
+        break;
+      case EventKind::kGovKill:
+        g.active = true;
+        if (r.c == 0) {
+          termed.insert(r.a);
+        } else if (termed.count(r.a) != 0) {
+          ++g.term_escalations;
+          break;  // the kill itself was counted at its SIGTERM
+        }
+        if (r.b == 0) {
+          ++g.kills_wall;
+        } else if (r.b == 1) {
+          ++g.kills_cpu;
+        } else {
+          ++g.kills_shed;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return g;
 }
 
 std::map<std::uint32_t, RaceRow> fold(const std::vector<Record>& records) {
@@ -109,6 +187,25 @@ void render(const altx::obs::TraceRingReader& reader, bool clear) {
               reader.capacity(),
               static_cast<unsigned long long>(reader.dropped()),
               races.size(), in_flight);
+  const GovPanel gov = fold_governor(records);
+  if (gov.active) {
+    std::printf("governor  budget %llu/%llu  stall %.2f%%  admits %llu "
+                "(waited %llu)  denied %llu  overdraft %llu  degraded %llu\n",
+                static_cast<unsigned long long>(gov.effective),
+                static_cast<unsigned long long>(gov.base),
+                static_cast<double>(gov.stall_x100) / 100.0,
+                static_cast<unsigned long long>(gov.admits),
+                static_cast<unsigned long long>(gov.waits),
+                static_cast<unsigned long long>(gov.denials),
+                static_cast<unsigned long long>(gov.overdrafts),
+                static_cast<unsigned long long>(gov.degradations));
+    std::printf("          kills: wall %llu  cpu %llu  shed %llu  "
+                "(term→kill escalations %llu)\n\n",
+                static_cast<unsigned long long>(gov.kills_wall),
+                static_cast<unsigned long long>(gov.kills_cpu),
+                static_cast<unsigned long long>(gov.kills_shed),
+                static_cast<unsigned long long>(gov.term_escalations));
+  }
   std::printf("%-8s %-8s %-5s %-10s %-12s %s\n", "race", "attempt", "alts",
               "age ms", "state", "children");
   // Newest blocks first; a screenful is plenty for a live view.
