@@ -1,0 +1,219 @@
+// E17: where do the microseconds go, and what does finding out cost?
+//
+// Three questions, one bench. First, the attribution claim: the phase spans
+// (obs/phase.hpp) must account for >= 95% of every decided race's wall time
+// — if they don't, the critical-path view is decoration, not measurement.
+// Second, the floor decomposition: tracing a minimal two-alternative fork
+// race costs ~20 us over the untraced baseline; the per-phase table says
+// which phases that floor actually lives in (fork and arm_run, historically)
+// instead of leaving it a single opaque number. Third, the profiler bill:
+// arming ITIMER_PROF/SIGPROF at 997 Hz in every child must stay within 10%
+// of the traced baseline on CPU-burning arms, or it is too expensive to
+// leave on during an investigation.
+//
+// Order is load-bearing (same as bench_obs_overhead): tracing cannot be
+// turned off once the ring exists, so the untraced rows run first; the
+// profiler cannot be disarmed for the parent-side comparison, so the
+// prof-off spin rows run before prof_enable().
+//
+// Emits BENCH_e17_attribution.json (bench/report.hpp schema).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/stats.hpp"
+#include "obs/phase.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "posix/race.hpp"
+#include "report.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using altx::obs::EventKind;
+using altx::obs::Phase;
+using altx::obs::Record;
+
+double ns_between(Clock::time_point t0, Clock::time_point t1) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Burn CPU (not wall) for roughly `us` microseconds — SIGPROF ticks on
+/// ITIMER_PROF, so a sleeping arm never samples.
+void spin_us(long us) {
+  volatile std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  while (ns_between(t0, Clock::now()) < static_cast<double>(us) * 1000.0) {
+    for (int i = 0; i < 512; ++i) sink = sink + static_cast<std::uint64_t>(i);
+  }
+}
+
+/// The minimal race the 20 us floor is about: an instant winner, a loser
+/// that would take 1 ms. Fork, COW, commit pipe, elimination, reap.
+void race_minimal() {
+  auto r = altx::posix::race<int>({
+      [] { return std::optional<int>(1); },
+      [] {
+        ::usleep(1000);
+        return std::optional<int>(2);
+      },
+  });
+  if (!r.has_value()) std::abort();
+}
+
+/// CPU-burning arms for the profiler rows: the winner spins ~12 ms, the
+/// loser would spin 40 ms and is eliminated mid-burn — exactly the child
+/// whose profile must survive the SIGKILL. The spins are sized to the
+/// kernel's ITIMER_PROF granularity (~4 ms at CONFIG_HZ=250): an arm must
+/// burn several timer quanta of CPU before elimination or it never ticks.
+void race_spin() {
+  auto r = altx::posix::race<int>({
+      [] {
+        spin_us(12'000);
+        return std::optional<int>(1);
+      },
+      [] {
+        spin_us(40'000);
+        return std::optional<int>(2);
+      },
+  });
+  if (!r.has_value()) std::abort();
+}
+
+altx::Summary time_races(void (*race_fn)(), int iterations) {
+  altx::Summary s;
+  race_fn();  // warm the fork path before timing
+  for (int i = 0; i < iterations; ++i) {
+    const auto t0 = Clock::now();
+    race_fn();
+    s.add(ns_between(t0, Clock::now()) / 1e6);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRaces = 400;
+  constexpr int kSpinRaces = 60;
+
+  // --- untraced baseline first (tracing is one-way) ---
+  const altx::Summary off = time_races(race_minimal, kRaces);
+
+  altx::obs::enable_for_test(1 << 17);
+  const altx::Summary on = time_races(race_minimal, kRaces);
+
+  // Reduce the minimal races just timed: coverage + the per-phase floor.
+  const auto breakdowns =
+      altx::obs::reduce_critical_path(altx::obs::snapshot());
+  std::uint64_t wall = 0;
+  std::uint64_t attributed = 0;
+  std::uint64_t phase_totals[altx::obs::kPhaseCount] = {};
+  int decided = 0;
+  for (const auto& [id, b] : breakdowns) {
+    if (!b.decided) continue;
+    ++decided;
+    wall += b.wall_ns;
+    attributed += b.attributed_ns();
+    for (int p = 0; p < altx::obs::kPhaseCount; ++p) {
+      phase_totals[p] += b.phase_ns[p];
+    }
+  }
+  const double coverage_pct =
+      wall == 0 ? 0.0
+                : static_cast<double>(attributed) / static_cast<double>(wall) *
+                      100.0;
+  const double floor_us = (on.min() - off.min()) * 1000.0;
+
+  // --- profiler bill, on CPU-burning arms (prof-off rows first) ---
+  altx::obs::reset();
+  const altx::Summary spin_off = time_races(race_spin, kSpinRaces);
+  altx::obs::prof_enable(997);
+  altx::obs::reset();
+  const altx::Summary spin_on = time_races(race_spin, kSpinRaces);
+
+  // Sample census: fragments and distinct samples that made it into the
+  // ring — including the ones from arms SIGKILLed mid-burn.
+  std::size_t fragments = 0;
+  std::size_t sampled_children = 0;
+  {
+    std::map<std::pair<pid_t, std::uint32_t>, int> per_child;  // (pid, race)
+    for (const Record& r : altx::obs::snapshot()) {
+      if (r.kind != EventKind::kProfSample) continue;
+      ++fragments;
+      ++per_child[{r.pid, r.race_id}];
+    }
+    sampled_children = per_child.size();
+  }
+
+  // Minima for the trace floor (fastest race = least interfered with); the
+  // median for the profiler rows — spinning losers keep the machine's cores
+  // busy, so the minimum there compares scheduler luck, not code.
+  const double trace_overhead_pct =
+      off.min() > 0.0 ? (on.min() / off.min() - 1.0) * 100.0 : 0.0;
+  const double prof_overhead_pct =
+      spin_off.median() > 0.0
+          ? (spin_on.median() / spin_off.median() - 1.0) * 100.0
+          : 0.0;
+
+  std::printf("E17: attribution quality and its price "
+              "(%d minimal + %d spinning races per row)\n\n",
+              kRaces, kSpinRaces);
+  std::printf("  race, untraced      : min %7.3f ms  p50 %7.3f ms\n",
+              off.min(), off.median());
+  std::printf("  race, traced        : min %7.3f ms  p50 %7.3f ms  "
+              "(+%.1f us floor, %+.2f%%)\n",
+              on.min(), on.median(), floor_us, trace_overhead_pct);
+  std::printf("  phase coverage      : %6.2f %% of wall attributed "
+              "(%d decided races)\n",
+              coverage_pct, decided);
+  std::printf("  floor decomposition :");
+  for (int p = 1; p < altx::obs::kPhaseCount; ++p) {
+    if (phase_totals[p] == 0 || decided == 0) continue;
+    std::printf(" %s=%.1fus", to_string(static_cast<Phase>(p)),
+                static_cast<double>(phase_totals[p]) /
+                    static_cast<double>(decided) / 1000.0);
+  }
+  std::printf("  (mean per race)\n");
+  std::printf("  spin race, prof off : min %7.3f ms  p50 %7.3f ms\n",
+              spin_off.min(), spin_off.median());
+  std::printf("  spin race, prof on  : min %7.3f ms  p50 %7.3f ms  "
+              "(%+.2f%% at %d Hz, p50 vs p50)\n",
+              spin_on.min(), spin_on.median(), prof_overhead_pct,
+              altx::obs::prof_hz());
+  std::printf("  profile yield       : %zu fragments from %zu children\n",
+              fragments, sampled_children);
+
+  altx::bench::Report report("e17_attribution");
+  report.row("race_untraced").param("alternatives", 2).latency(off);
+  auto& traced = report.row("race_traced")
+                     .param("alternatives", 2)
+                     .metric("floor_us", floor_us)
+                     .metric("overhead_pct", trace_overhead_pct)
+                     .metric("coverage_pct", coverage_pct)
+                     .metric("decided_races", decided);
+  for (int p = 1; p < altx::obs::kPhaseCount; ++p) {
+    if (phase_totals[p] == 0 || decided == 0) continue;
+    traced.metric(std::string("phase_") + to_string(static_cast<Phase>(p)) +
+                      "_us_mean",
+                  static_cast<double>(phase_totals[p]) /
+                      static_cast<double>(decided) / 1000.0);
+  }
+  traced.latency(on);
+  report.row("spin_prof_off").latency(spin_off);
+  report.row("spin_prof_on")
+      .param("hz", altx::obs::prof_hz())
+      .metric("overhead_pct", prof_overhead_pct)
+      .metric("sample_fragments", static_cast<double>(fragments))
+      .metric("sampled_children", static_cast<double>(sampled_children))
+      .latency(spin_on);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());
+  return 0;
+}

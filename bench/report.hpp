@@ -6,6 +6,7 @@
 //
 //   {
 //     "bench": "e13_supervision",
+//     "meta": {"schema": 2, "git_sha": "4680c09", "host": "ci-runner-3"},
 //     "rows": [
 //       {"name": "supervised",
 //        "params": {"crash_rate": 0.1},
@@ -20,6 +21,9 @@
 // bench code, never user input, so escaping handles only quotes/backslashes.
 #pragma once
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
@@ -36,6 +40,35 @@ inline std::string report_path(const std::string& name) {
   std::string dir = ".";
   if (const char* env = std::getenv("ALTX_BENCH_OUT"); env && *env) dir = env;
   return dir + "/BENCH_" + name + ".json";
+}
+
+/// Bump when the report layout changes shape (schema 2 added "meta").
+inline constexpr int kReportSchema = 2;
+
+/// The commit the bench binary was run against: ALTX_GIT_SHA when CI
+/// exports it (detached checkouts, worktrees), else asking git directly,
+/// else "unknown". Without this stamp two BENCH files from different
+/// commits diff as if they were the same build.
+inline std::string report_git_sha() {
+  if (const char* env = std::getenv("ALTX_GIT_SHA"); env && *env) return env;
+  std::string sha;
+  if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      for (const char* c = buf; *c != '\0'; ++c) {
+        if (*c == '\n' || *c == '\r') break;
+        sha += *c;
+      }
+    }
+    ::pclose(p);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+inline std::string report_host() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? buf : "unknown";
 }
 
 class Report {
@@ -89,7 +122,11 @@ class Report {
     const std::string path = report_path(name_);
     std::ofstream out(path);
     if (!out) return {};
-    out << "{\"bench\":" << quote(name_) << ",\"rows\":[";
+    out << "{\"bench\":" << quote(name_);
+    out << ",\"meta\":{\"schema\":" << kReportSchema
+        << ",\"git_sha\":" << quote(report_git_sha())
+        << ",\"host\":" << quote(report_host()) << "}";
+    out << ",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       if (i != 0) out << ",";

@@ -31,6 +31,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kGovBudget: return "gov_budget";
     case EventKind::kGovDegrade: return "gov_degrade";
     case EventKind::kGovOverdraft: return "gov_overdraft";
+    case EventKind::kPhaseBegin: return "phase_begin";
+    case EventKind::kPhaseEnd: return "phase_end";
+    case EventKind::kProfSample: return "prof_sample";
+    case EventKind::kProfMap: return "prof_map";
     case EventKind::kHedgeWake: return "hedge_wake";
     case EventKind::kAwaitBegin: return "await_begin";
     case EventKind::kAwaitTaskDone: return "await_task_done";

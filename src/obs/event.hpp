@@ -71,6 +71,16 @@ enum class EventKind : std::uint16_t {
                       //   a: alternatives
   kGovOverdraft = 27, // single-token liveness overdraft; a: in flight after
 
+  // Phase spans + sampling profiles (obs/phase.hpp, obs/profile.hpp).
+  kPhaseBegin = 28,   // a: Phase id (obs::Phase); child_index 0 = parent span
+  kPhaseEnd = 29,     // a: Phase id, b: span duration ns (self-contained, so
+                      //   a SIGKILL between begin and end truncates cleanly)
+  kProfSample = 30,   // child side, SIGPROF handler: one backtrace fragment.
+                      //   a, b: two pc values (0 = unused), c: sample_id<<16
+                      //   | fragment_index<<8 | total_fragments
+  kProfMap = 31,      // a: main executable load base (dl_iterate_phdr) so
+                      //   sample pcs symbolize as exe+offset post-ASLR
+
   // Conjunction (posix::await_all).
   kAwaitBegin = 32,   // a: task count
   kAwaitTaskDone = 33,// child side: a: 1 = produced a value, 0 = failed

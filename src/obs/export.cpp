@@ -26,6 +26,12 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kSpecReport,    EventKind::kRingOverflow,
     EventKind::kAttemptBegin,  EventKind::kAttemptEnd,
     EventKind::kBackoff,       EventKind::kSequentialFallback,
+    EventKind::kGovAdmitWait,  EventKind::kGovAdmit,
+    EventKind::kGovDeny,       EventKind::kGovKill,
+    EventKind::kGovBudget,     EventKind::kGovDegrade,
+    EventKind::kGovOverdraft,  EventKind::kPhaseBegin,
+    EventKind::kPhaseEnd,      EventKind::kProfSample,
+    EventKind::kProfMap,
     EventKind::kHedgeWake,     EventKind::kAwaitBegin,
     EventKind::kAwaitTaskDone, EventKind::kAwaitDecided,
     EventKind::kDistSpawn,     EventKind::kDistAbort,

@@ -1,0 +1,339 @@
+#include "obs/history.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+namespace altx::obs {
+
+namespace {
+
+/// splitmix64 finalizer: spreads (site, arm) over the probe space.
+std::uint64_t mix_key(std::uint64_t site, std::uint32_t arm) noexcept {
+  std::uint64_t x = site ^ (static_cast<std::uint64_t>(arm) *
+                            0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+int bucket_for(std::uint64_t v) noexcept {
+  if (v <= 1) return 0;
+  const int b = 63 - __builtin_clzll(v);
+  return b >= ArmStats::kBuckets ? ArmStats::kBuckets - 1 : b;
+}
+
+}  // namespace
+
+std::uint64_t ArmStats::wall_quantile(double q) const noexcept {
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(q * total);
+  if (rank > 0) --rank;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t bc = wall_buckets[i];
+    if (bc != 0 && seen + bc > rank) {
+      // Linear interpolation by rank position inside the bucket's value
+      // range [2^i, 2^(i+1)) — the +0.5 centers a lone sample.
+      const std::uint64_t lo = i == 0 ? 0 : (1ULL << i);
+      const std::uint64_t hi = 2ULL << i;
+      const double pos =
+          (static_cast<double>(rank - seen) + 0.5) / static_cast<double>(bc);
+      std::uint64_t est =
+          lo + static_cast<std::uint64_t>(pos * static_cast<double>(hi - lo));
+      if (est < min_wall_ns) est = min_wall_ns;
+      if (est > max_wall_ns) est = max_wall_ns;
+      return est;
+    }
+    seen += bc;
+  }
+  return max_wall_ns;
+}
+
+/// The shared arena. MAP_SHARED so samples recorded by a nested race inside
+/// a forked arm land in the same table the top-level process snapshots.
+/// Inserts claim a slot with one CAS on `key`; accumulation is plain
+/// read-modify-write — per (site, arm) there is one writer in practice
+/// (the parent of that race), and a rare lost update costs one sample, not
+/// table integrity.
+struct HistoryStore::Arena {
+  struct Entry {
+    std::atomic<std::uint64_t> key;  // 0 = empty; mix_key(site, arm)
+    ArmStats stats;
+  };
+
+  std::atomic<std::uint64_t> size;
+  std::atomic<std::uint64_t> dropped;
+  double alpha;
+
+  // capacity_ entries live directly after the header in the mapping.
+  Entry* entries() noexcept { return reinterpret_cast<Entry*>(this + 1); }
+  const Entry* entries() const noexcept {
+    return reinterpret_cast<const Entry*>(this + 1);
+  }
+};
+
+HistoryStore::HistoryStore(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  capacity_ = capacity;
+  const std::size_t bytes =
+      sizeof(Arena) + capacity * sizeof(Arena::Entry);
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    // Degraded but functional: a process-private table.
+    mem = ::calloc(1, bytes);
+  }
+  std::memset(mem, 0, bytes);  // MAP_ANONYMOUS is zeroed; calloc fallback too
+  arena_ = static_cast<Arena*>(mem);
+  arena_->alpha = 0.2;
+}
+
+HistoryStore::~HistoryStore() {
+  if (arena_ != nullptr) {
+    const std::size_t bytes =
+        sizeof(Arena) + capacity_ * sizeof(Arena::Entry);
+    ::munmap(arena_, bytes);
+  }
+}
+
+ArmStats* HistoryStore::slot_for(std::uint64_t site, std::uint32_t arm,
+                                 bool insert) noexcept {
+  if (site == 0) return nullptr;
+  const std::uint64_t key = mix_key(site, arm);
+  const std::size_t start = key % capacity_;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Arena::Entry& e = arena_->entries()[(start + i) % capacity_];
+    std::uint64_t have = e.key.load(std::memory_order_acquire);
+    if (have == key) return &e.stats;
+    if (have == 0) {
+      if (!insert) return nullptr;
+      if (e.key.compare_exchange_strong(have, key,
+                                        std::memory_order_acq_rel)) {
+        e.stats.site = site;
+        e.stats.arm = arm;
+        arena_->size.fetch_add(1, std::memory_order_relaxed);
+        return &e.stats;
+      }
+      if (have == key) return &e.stats;  // lost the race to ourselves
+    }
+  }
+  return nullptr;  // table full
+}
+
+void HistoryStore::record(std::uint64_t site, std::uint32_t arm,
+                          std::uint64_t wall_ns, std::uint64_t cpu_ns,
+                          bool success) noexcept {
+  ArmStats* s = slot_for(site, arm, /*insert=*/true);
+  if (s == nullptr) {
+    if (arena_ != nullptr) {
+      arena_->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  const double a = arena_->alpha;
+  if (s->total == 0) {
+    s->ewma_wall_ns = static_cast<double>(wall_ns);
+    s->ewma_cpu_ns = static_cast<double>(cpu_ns);
+    s->min_wall_ns = wall_ns;
+    s->max_wall_ns = wall_ns;
+  } else {
+    s->ewma_wall_ns += a * (static_cast<double>(wall_ns) - s->ewma_wall_ns);
+    s->ewma_cpu_ns += a * (static_cast<double>(cpu_ns) - s->ewma_cpu_ns);
+    if (wall_ns < s->min_wall_ns) s->min_wall_ns = wall_ns;
+    if (wall_ns > s->max_wall_ns) s->max_wall_ns = wall_ns;
+  }
+  ++s->wall_buckets[bucket_for(wall_ns)];
+  ++s->total;
+  if (success) ++s->successes;
+}
+
+const ArmStats* HistoryStore::find(std::uint64_t site,
+                                   std::uint32_t arm) const noexcept {
+  return const_cast<HistoryStore*>(this)->slot_for(site, arm,
+                                                   /*insert=*/false);
+}
+
+std::vector<const ArmStats*> HistoryStore::arms(std::uint64_t site) const {
+  std::vector<const ArmStats*> out;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Arena::Entry& e = arena_->entries()[i];
+    if (e.key.load(std::memory_order_acquire) != 0 &&
+        e.stats.site == site) {
+      out.push_back(&e.stats);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ArmStats* x, const ArmStats* y) {
+    return x->arm < y->arm;
+  });
+  return out;
+}
+
+std::uint64_t HistoryStore::quantile(std::uint64_t site, std::uint32_t arm,
+                                     double q) const noexcept {
+  const ArmStats* s = find(site, arm);
+  return s == nullptr ? 0 : s->wall_quantile(q);
+}
+
+std::size_t HistoryStore::size() const noexcept {
+  return static_cast<std::size_t>(
+      arena_->size.load(std::memory_order_relaxed));
+}
+
+std::uint64_t HistoryStore::samples_dropped() const noexcept {
+  return arena_->dropped.load(std::memory_order_relaxed);
+}
+
+void HistoryStore::set_alpha(double alpha) noexcept {
+  if (alpha > 0.0 && alpha <= 1.0) arena_->alpha = alpha;
+}
+
+double HistoryStore::alpha() const noexcept { return arena_->alpha; }
+
+namespace {
+
+struct SnapshotHeader {
+  std::uint32_t magic = HistoryStore::kMagic;
+  std::uint32_t version = HistoryStore::kVersion;
+  std::uint64_t count = 0;
+  double alpha = 0.2;
+};
+
+}  // namespace
+
+bool HistoryStore::save(const std::string& path) const noexcept {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    SnapshotHeader h;
+    h.count = size();
+    h.alpha = arena_->alpha;
+    out.write(reinterpret_cast<const char*>(&h), sizeof h);
+    std::uint64_t written = 0;
+    for (std::size_t i = 0; i < capacity_ && written < h.count; ++i) {
+      const Arena::Entry& e = arena_->entries()[i];
+      if (e.key.load(std::memory_order_acquire) == 0) continue;
+      out.write(reinterpret_cast<const char*>(&e.stats), sizeof e.stats);
+      ++written;
+    }
+    // Tolerate a count that moved under us: patch the header.
+    if (written != h.count) {
+      h.count = written;
+      out.seekp(0);
+      out.write(reinterpret_cast<const char*>(&h), sizeof h);
+    }
+    out.flush();
+    if (!out) {
+      (void)::unlink(tmp.c_str());
+      return false;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool HistoryStore::load(const std::string& path) noexcept {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  SnapshotHeader h;
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in || h.magic != kMagic || h.version != kVersion) return false;
+  if (h.alpha > 0.0 && h.alpha <= 1.0) arena_->alpha = h.alpha;
+  for (std::uint64_t i = 0; i < h.count; ++i) {
+    ArmStats s;
+    in.read(reinterpret_cast<char*>(&s), sizeof s);
+    if (!in) return false;
+    if (s.site == 0) continue;
+    ArmStats* slot = slot_for(s.site, s.arm, /*insert=*/true);
+    if (slot != nullptr) *slot = s;
+  }
+  return true;
+}
+
+namespace {
+
+HistoryStore* g_store = nullptr;  // leaked: children may hold pointers
+pid_t g_history_creator = -1;
+
+std::string& history_path() {
+  static std::string path;
+  return path;
+}
+
+void history_save_at_exit() {
+  if (::getpid() != g_history_creator) return;
+  if (g_store == nullptr || history_path().empty()) return;
+  if (!g_store->save(history_path())) {
+    std::fprintf(stderr, "altx: cannot snapshot history to %s\n",
+                 history_path().c_str());
+  }
+}
+
+void start_history_interval(long long interval_ms) {
+  std::thread([interval_ms] {
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      if (g_store != nullptr && !history_path().empty()) {
+        (void)g_store->save(history_path());
+      }
+    }
+  }).detach();
+}
+
+/// Before main(), same discipline as the trace EnvInit: the store must
+/// exist (and have loaded its snapshot) before the first race runs.
+struct HistoryEnvInit {
+  HistoryEnvInit() {
+    const char* path = std::getenv("ALTX_HISTORY");
+    if (path == nullptr || path[0] == '\0') return;
+    std::size_t cap = HistoryStore::kDefaultCapacity;
+    if (const char* c = std::getenv("ALTX_HISTORY_CAP")) {
+      const long long n = std::atoll(c);
+      if (n > 0) cap = static_cast<std::size_t>(n);
+    }
+    g_store = new HistoryStore(cap);
+    if (const char* a = std::getenv("ALTX_HISTORY_ALPHA")) {
+      g_store->set_alpha(std::atof(a));
+    }
+    (void)g_store->load(path);  // absent on first run: fine
+    history_path() = path;
+    g_history_creator = ::getpid();
+    std::atexit(history_save_at_exit);
+    if (const char* iv = std::getenv("ALTX_HISTORY_SNAPSHOT_MS")) {
+      const long long ms = std::atoll(iv);
+      if (ms > 0) start_history_interval(ms);
+    }
+  }
+};
+HistoryEnvInit g_history_env_init;
+
+}  // namespace
+
+HistoryStore* HistoryStore::global() noexcept { return g_store; }
+
+HistoryStore* history_enable_for_test(std::size_t capacity) {
+  g_store = new HistoryStore(capacity);  // old store leaked by design
+  g_history_creator = ::getpid();
+  return g_store;
+}
+
+void history_disable_for_test() noexcept { g_store = nullptr; }
+
+}  // namespace altx::obs

@@ -1,0 +1,144 @@
+// Persistent per-arm runtime histories: the feedback store for
+// prediction-driven speculation budgeting (ROADMAP item 2).
+//
+// Keyed by (block site id, arm index), each entry accumulates EWMA and a
+// power-of-two-bucket quantile sketch of the arm's wall time, its CPU
+// bill, and its success (committed) rate. race<T>() records one sample per
+// reaped child when RaceOptions.site_id is set; a CBS-style controller
+// reads the quantiles back to decide which arms are worth launching and
+// when an arm has overrun its predicted quantile.
+//
+// The table lives in a MAP_SHARED anonymous arena, so entries written
+// right up to a crash are still in the mapping when the snapshotter runs;
+// persistence is a tmp+rename binary snapshot (crash-safe: a reader/loader
+// never sees a half-written file), loaded back at startup. Fixed capacity,
+// open addressing, no rehash — the arena never grows or moves, so a
+// pointer into it stays valid for the process lifetime.
+//
+// Env knobs (read once before main):
+//   ALTX_HISTORY=<path>         enable; load <path> at startup, snapshot at
+//                               exit (and periodically, if asked)
+//   ALTX_HISTORY_CAP=<entries>  table capacity (default 1024)
+//   ALTX_HISTORY_SNAPSHOT_MS=<ms>  also snapshot every <ms> (tmp+rename)
+//   ALTX_HISTORY_ALPHA=<0..1>   EWMA smoothing factor (default 0.2)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace altx::obs {
+
+/// Compile-time site ids: hash of file:line (FNV-1a), stable across runs of
+/// the same source. Use ALTX_SITE() at the race call site.
+[[nodiscard]] constexpr std::uint64_t site_hash(const char* file,
+                                                int line) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* p = file; *p != '\0'; ++p) {
+    h = (h ^ static_cast<std::uint64_t>(*p)) * 1099511628211ULL;
+  }
+  h = (h ^ static_cast<std::uint64_t>(line)) * 1099511628211ULL;
+  return h == 0 ? 1 : h;  // 0 means "no site"
+}
+
+#define ALTX_SITE() (::altx::obs::site_hash(__FILE__, __LINE__))
+
+/// One (site, arm) accumulator. POD — lives in the shared arena and is
+/// written byte-for-byte into snapshots.
+struct ArmStats {
+  static constexpr int kBuckets = 48;  // 2^48 ns ≈ 3.3 days, plenty
+
+  std::uint64_t site = 0;  // 0 = slot empty
+  std::uint32_t arm = 0;   // 1-based alternative index
+  std::uint32_t total = 0;
+  std::uint32_t successes = 0;  // fate == committed
+  std::uint32_t pad_ = 0;
+  double ewma_wall_ns = 0.0;
+  double ewma_cpu_ns = 0.0;
+  std::uint64_t min_wall_ns = 0;
+  std::uint64_t max_wall_ns = 0;
+  std::uint32_t wall_buckets[kBuckets] = {};
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(successes) / total;
+  }
+
+  /// Rank-interpolated wall-time quantile, q in [0, 1]. Same
+  /// within-bucket linear interpolation as obs::Histogram::percentile, so
+  /// a p99 is no longer pinned to the bucket's upper bound.
+  [[nodiscard]] std::uint64_t wall_quantile(double q) const noexcept;
+};
+
+class HistoryStore {
+ public:
+  static constexpr std::uint32_t kMagic = 0x58484c41;  // "ALHX"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit HistoryStore(std::size_t capacity = kDefaultCapacity);
+  ~HistoryStore();
+
+  HistoryStore(const HistoryStore&) = delete;
+  HistoryStore& operator=(const HistoryStore&) = delete;
+
+  /// Folds one reaped arm into its entry. Thread-safe; silently drops the
+  /// sample when the table is full (capped stores must not abort races).
+  void record(std::uint64_t site, std::uint32_t arm, std::uint64_t wall_ns,
+              std::uint64_t cpu_ns, bool success) noexcept;
+
+  /// The entry, or nullptr when this (site, arm) was never recorded. The
+  /// pointer stays valid for the store's lifetime (arena never moves); the
+  /// fields keep updating as samples arrive.
+  [[nodiscard]] const ArmStats* find(std::uint64_t site,
+                                     std::uint32_t arm) const noexcept;
+
+  /// Every recorded arm of one site, ordered by arm index.
+  [[nodiscard]] std::vector<const ArmStats*> arms(std::uint64_t site) const;
+
+  /// Convenience for the controller: the wall-time quantile, or 0 when the
+  /// arm has no history yet (callers treat 0 as "no prediction").
+  [[nodiscard]] std::uint64_t quantile(std::uint64_t site, std::uint32_t arm,
+                                       double q) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t samples_dropped() const noexcept;
+
+  /// Binary snapshot via <path>.tmp + rename. False (with errno intact) on
+  /// I/O failure.
+  bool save(const std::string& path) const noexcept;
+
+  /// Merges a snapshot file into the table (occupied entries replace /
+  /// fill slots). False when the file is absent or not a valid snapshot —
+  /// a fresh store is the fallback, never an exception.
+  bool load(const std::string& path) noexcept;
+
+  /// EWMA smoothing factor (shared by every entry of this store).
+  void set_alpha(double alpha) noexcept;
+  [[nodiscard]] double alpha() const noexcept;
+
+  /// The env-configured process store; nullptr when ALTX_HISTORY is unset
+  /// and no test enabled one.
+  static HistoryStore* global() noexcept;
+
+ private:
+  struct Arena;
+  ArmStats* slot_for(std::uint64_t site, std::uint32_t arm,
+                     bool insert) noexcept;
+
+  Arena* arena_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+/// Shorthand for HistoryStore::global().
+[[nodiscard]] inline HistoryStore* history() noexcept {
+  return HistoryStore::global();
+}
+
+/// Testing / embedding: installs a fresh global store (replacing any prior
+/// one) without touching the environment.
+HistoryStore* history_enable_for_test(std::size_t capacity = 256);
+void history_disable_for_test() noexcept;
+
+}  // namespace altx::obs

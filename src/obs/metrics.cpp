@@ -56,14 +56,31 @@ std::uint64_t Histogram::percentile(double p) const noexcept {
   if (n == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
-  // Nearest-rank over the bucket histogram.
+  // Nearest-rank over the bucket histogram, linearly interpolated within
+  // the winning bucket. Power-of-two buckets span [2^i, 2^(i+1)); reporting
+  // the upper bound (the old behavior) over-stated a quantile by up to 2×,
+  // so the estimate is placed by rank position inside the bucket instead
+  // (+0.5 centers a lone sample), then clamped to the observed [min, max].
   std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 *
                                                   static_cast<double>(n));
   if (rank > 0) --rank;
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen > rank) return (2ULL << i) - 1;  // bucket's inclusive upper bound
+    const std::uint64_t bc = buckets_[i].load(std::memory_order_relaxed);
+    if (bc != 0 && seen + bc > rank) {
+      const std::uint64_t lo = i == 0 ? 0 : (1ULL << i);
+      const std::uint64_t hi = 2ULL << i;  // exclusive
+      const double pos =
+          (static_cast<double>(rank - seen) + 0.5) / static_cast<double>(bc);
+      std::uint64_t est =
+          lo + static_cast<std::uint64_t>(pos * static_cast<double>(hi - lo));
+      const std::uint64_t observed_min = min();
+      const std::uint64_t observed_max = max();
+      if (est < observed_min) est = observed_min;
+      if (est > observed_max) est = observed_max;
+      return est;
+    }
+    seen += bc;
   }
   return max();
 }

@@ -1,0 +1,104 @@
+#include "obs/phase.hpp"
+
+namespace altx::obs {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kNone: return "none";
+    case Phase::kAdmissionWait: return "admission_wait";
+    case Phase::kFork: return "fork";
+    case Phase::kArmRun: return "arm_run";
+    case Phase::kResultPipe: return "result_pipe";
+    case Phase::kAbsorb: return "absorb";
+    case Phase::kDecide: return "decide";
+    case Phase::kEliminate: return "eliminate";
+    case Phase::kPageDiff: return "page_diff";
+  }
+  return "?";
+}
+
+std::uint64_t PhaseBreakdown::attributed_ns() const noexcept {
+  std::uint64_t sum = 0;
+  for (int i = 1; i < kPhaseCount; ++i) sum += phase_ns[i];
+  return sum;
+}
+
+double PhaseBreakdown::coverage() const noexcept {
+  if (!decided || wall_ns == 0) return 0.0;
+  const double c =
+      static_cast<double>(attributed_ns()) / static_cast<double>(wall_ns);
+  return c > 1.0 ? 1.0 : c;
+}
+
+Phase PhaseBreakdown::dominant() const noexcept {
+  int best = 0;
+  for (int i = 1; i < kPhaseCount; ++i) {
+    if (phase_ns[i] > phase_ns[best]) best = i;
+  }
+  return phase_ns[best] == 0 ? Phase::kNone : static_cast<Phase>(best);
+}
+
+std::map<std::uint32_t, PhaseBreakdown> reduce_critical_path(
+    const std::vector<Record>& records) {
+  std::map<std::uint32_t, PhaseBreakdown> out;
+  // First pass: race boundaries and span durations (ends are
+  // self-contained, so order does not matter).
+  for (const Record& r : records) {
+    switch (r.kind) {
+      case EventKind::kRaceBegin: {
+        PhaseBreakdown& b = out[r.race_id];
+        if (b.begin_ns == 0 || r.t_ns < b.begin_ns) b.begin_ns = r.t_ns;
+        break;
+      }
+      case EventKind::kRaceDecided: {
+        PhaseBreakdown& b = out[r.race_id];
+        b.decided = true;
+        if (r.t_ns > b.wall_ns) b.wall_ns = r.t_ns;  // end time for now
+        break;
+      }
+      case EventKind::kPhaseEnd: {
+        if (r.a == 0 || r.a >= kPhaseCount) break;
+        PhaseBreakdown& b = out[r.race_id];
+        if (r.child_index == 0) {
+          b.phase_ns[r.a] += r.b;
+        } else {
+          b.child_ns[r.a] += r.b;
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  // Second pass: count begins without a matching end (kill truncation).
+  std::map<std::uint32_t, std::int64_t> open[kPhaseCount];  // keyed by race
+  for (const Record& r : records) {
+    if (r.kind == EventKind::kPhaseBegin && r.a > 0 && r.a < kPhaseCount) {
+      ++open[r.a][r.race_id];
+    } else if (r.kind == EventKind::kPhaseEnd && r.a > 0 &&
+               r.a < kPhaseCount) {
+      --open[r.a][r.race_id];
+    }
+  }
+  for (const auto& per_phase : open) {
+    for (const auto& [race, n] : per_phase) {
+      if (n > 0) {
+        const auto it = out.find(race);
+        if (it != out.end()) {
+          it->second.dangling_begins += static_cast<std::uint32_t>(n);
+        }
+      }
+    }
+  }
+  // Resolve wall_ns from (begin, end) and drop sentinel end times.
+  for (auto& [race, b] : out) {
+    (void)race;
+    if (b.decided && b.wall_ns >= b.begin_ns && b.begin_ns != 0) {
+      b.wall_ns -= b.begin_ns;
+    } else {
+      b.wall_ns = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace altx::obs

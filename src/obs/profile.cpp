@@ -1,0 +1,186 @@
+#include "obs/profile.hpp"
+
+#include <link.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <ucontext.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "obs/event.hpp"
+#include "obs/trace.hpp"
+
+namespace altx::obs {
+
+namespace profdetail {
+bool g_prof_enabled = false;
+}  // namespace profdetail
+
+namespace {
+
+constexpr int kMaxFrames = 16;  // 8 fragments per sample, worst case
+
+int g_hz = 0;
+std::uint32_t g_race = 0;          // race the sampled child belongs to
+int g_child = 0;                   // its 1-based arm index
+std::uint32_t g_sample_seq = 0;    // per-process sample ordinal
+bool g_map_emitted = false;        // reset to false in each fork (copied)
+std::uintptr_t g_exe_base = 0;
+
+// Stack bounds of the sampled thread, captured at arm time (or prewarmed in
+// the parent and inherited through fork — the child runs on the same
+// stack). The frame-pointer walk refuses to dereference outside them.
+thread_local std::uintptr_t t_stack_lo = 0;
+thread_local std::uintptr_t t_stack_hi = 0;
+
+void capture_stack_bounds() noexcept {
+  if (t_stack_hi != 0) return;
+  pthread_attr_t attr;
+  if (::pthread_getattr_np(::pthread_self(), &attr) != 0) return;
+  void* base = nullptr;
+  std::size_t size = 0;
+  if (::pthread_attr_getstack(&attr, &base, &size) == 0 && size > 0) {
+    t_stack_lo = reinterpret_cast<std::uintptr_t>(base);
+    t_stack_hi = t_stack_lo + size;
+  }
+  (void)::pthread_attr_destroy(&attr);
+}
+
+int exe_base_cb(dl_phdr_info* info, std::size_t, void* out) {
+  // The main executable is the entry with an empty name.
+  if (info->dlpi_name == nullptr || info->dlpi_name[0] == '\0') {
+    *static_cast<std::uintptr_t*>(out) = info->dlpi_addr;
+    return 1;
+  }
+  return 0;
+}
+
+/// pc + frame-pointer chain out of the interrupted context. Every
+/// dereference is bounds-checked against the captured stack range, so a
+/// leaf function that clobbered rbp yields a short walk, never a fault.
+int backtrace_fp(void* ucontext, std::uintptr_t* pcs, int max) noexcept {
+  auto* uc = static_cast<ucontext_t*>(ucontext);
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)uc;
+#endif
+  int n = 0;
+  if (pc != 0) pcs[n++] = pc;
+  const std::uintptr_t lo = t_stack_lo;
+  const std::uintptr_t hi = t_stack_hi;
+  if (lo == 0 || hi == 0) return n;
+  while (n < max && fp >= lo && fp + 2 * sizeof(void*) <= hi &&
+         (fp & (sizeof(void*) - 1)) == 0) {
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t ret = frame[1];
+    const std::uintptr_t next = frame[0];
+    if (ret == 0) break;
+    pcs[n++] = ret;
+    if (next <= fp) break;  // stacks grow down; the chain must walk up
+    fp = next;
+  }
+  return n;
+}
+
+void on_sigprof(int, siginfo_t*, void* ucontext) {
+  // Async-signal-safe by construction: clock_gettime + atomic ring pushes.
+  const int saved_errno = errno;
+  std::uintptr_t pcs[kMaxFrames];
+  const int n = backtrace_fp(ucontext, pcs, kMaxFrames);
+  if (n > 0) {
+    const std::uint32_t sample = g_sample_seq++;
+    const int frags = (n + 1) / 2;
+    for (int f = 0; f < frags; ++f) {
+      const std::uint64_t a = pcs[2 * f];
+      const std::uint64_t b = (2 * f + 1 < n) ? pcs[2 * f + 1] : 0;
+      emit(EventKind::kProfSample, g_race,
+           static_cast<std::int16_t>(g_child), a, b,
+           prof_pack_meta(sample, static_cast<std::uint8_t>(f),
+                          static_cast<std::uint8_t>(frags)));
+    }
+  }
+  errno = saved_errno;
+}
+
+void set_timer(int hz) noexcept {
+  itimerval it{};
+  if (hz > 0) {
+    const long usec = 1'000'000L / hz;
+    it.it_interval.tv_sec = usec / 1'000'000L;
+    it.it_interval.tv_usec = usec % 1'000'000L;
+    it.it_value = it.it_interval;
+  }
+  (void)::setitimer(ITIMER_PROF, &it, nullptr);
+}
+
+/// Reads ALTX_PROF / ALTX_PROF_HZ once, before main (same discipline as
+/// trace.cpp's EnvInit; order between the two does not matter — arming
+/// happens at fork time, long after both ran).
+struct ProfEnvInit {
+  ProfEnvInit() {
+    const char* prof = std::getenv("ALTX_PROF");
+    if (prof == nullptr || prof[0] == '\0' || prof[0] == '0') return;
+    int hz = 997;
+    if (const char* hz_env = std::getenv("ALTX_PROF_HZ")) {
+      const long v = std::atol(hz_env);
+      if (v > 0 && v <= 10'000) hz = static_cast<int>(v);
+    }
+    g_hz = hz;
+    profdetail::g_prof_enabled = true;
+  }
+};
+ProfEnvInit g_prof_env_init;
+
+}  // namespace
+
+namespace profdetail {
+
+void prewarm_slow() noexcept { capture_stack_bounds(); }
+
+void arm_child_slow(std::uint32_t race_id, int child_index) noexcept {
+  if (!enabled()) return;  // samples need a ring
+  g_race = race_id;
+  g_child = child_index;
+  capture_stack_bounds();  // usually inherited from the parent's prewarm
+  if (!g_map_emitted) {
+    // Forks inherit the layout, so any one kProfMap record per trace
+    // suffices; readers take the first.
+    if (g_exe_base == 0) {
+      (void)::dl_iterate_phdr(exe_base_cb, &g_exe_base);
+    }
+    emit(EventKind::kProfMap, race_id, static_cast<std::int16_t>(child_index),
+         static_cast<std::uint64_t>(g_exe_base));
+    g_map_emitted = true;
+  }
+  struct sigaction sa{};
+  sa.sa_sigaction = on_sigprof;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  ::sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGPROF, &sa, nullptr) != 0) return;
+  set_timer(g_hz);
+}
+
+}  // namespace profdetail
+
+int prof_hz() noexcept { return g_hz; }
+
+void prof_disarm() noexcept {
+  set_timer(0);
+  ::signal(SIGPROF, SIG_IGN);
+}
+
+void prof_enable(int hz) {
+  g_hz = (hz > 0 && hz <= 10'000) ? hz : 997;
+  profdetail::g_prof_enabled = true;
+}
+
+}  // namespace altx::obs

@@ -9,6 +9,8 @@
 
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "posix/governor.hpp"
 
@@ -85,22 +87,27 @@ int AltGroup::alt_spawn(int n) {
   ALTX_REQUIRE(n >= 1, "AltGroup: need at least one alternative");
   spawned_ = true;
   if (opts_.fault != nullptr) fault_attempt_ = opts_.fault->begin_attempt();
-  if (opts_.governor != nullptr) {
-    // Admission before any fork: either the whole cohort runs or none of it
-    // does. kDenied (n >= 2 after the bounded wait) is the degrade signal —
-    // the supervisor catches AdmissionTimeout and serializes the block.
-    if (opts_.governor->admit(n) == Admission::kDenied) {
-      spawned_ = false;  // nothing happened; the group may be retried
-      throw AdmissionTimeout(n);
-    }
-    tokens_held_ = n;
-  }
+  // The race id exists before admission so the queueing time is part of
+  // this race's timeline — admission wait is wall time the caller pays.
   if (obs::enabled()) {
     race_id_ = obs::next_race_id();
     start_ns_ = obs::now_ns();
     obs::emit(obs::EventKind::kRaceBegin, race_id_, 0,
               static_cast<std::uint64_t>(n));
   }
+  if (opts_.governor != nullptr) {
+    // Admission before any fork: either the whole cohort runs or none of it
+    // does. kDenied (n >= 2 after the bounded wait) is the degrade signal —
+    // the supervisor catches AdmissionTimeout and serializes the block.
+    obs::ScopedPhase admission(obs::Phase::kAdmissionWait, race_id_);
+    if (opts_.governor->admit(n) == Admission::kDenied) {
+      spawned_ = false;  // nothing happened; the group may be retried
+      throw AdmissionTimeout(n);
+    }
+    tokens_held_ = n;
+  }
+  obs::ScopedPhase fork_phase(obs::Phase::kFork, race_id_);
+  obs::prof_prewarm();  // stack bounds for the children's samplers
 
   token_ = Pipe::create(/*nonblocking_read=*/true);
   result_ = Pipe::create();
@@ -174,7 +181,9 @@ int AltGroup::alt_spawn(int n) {
       }
     }
     if (pid == 0) {
-      // Child: a COW copy of everything the parent had.
+      // Child: a COW copy of everything the parent had. The parent's open
+      // fork span is cancelled — only the parent emits its end.
+      fork_phase.cancel();
       my_index_ = i;
       children_.clear();
       reaped_.clear();
@@ -183,8 +192,11 @@ int AltGroup::alt_spawn(int n) {
       if (opts_.governor != nullptr) opts_.governor->apply_child_rlimits();
       if (opts_.heap != nullptr) opts_.heap->begin_tracking();
       obs::set_current_race(race_id_);
+      obs::prof_arm_child(race_id_, i);
       obs::emit(obs::EventKind::kGuardStart, race_id_,
                 static_cast<std::int16_t>(i));
+      child_run_t0_ = obs::phase_begin(obs::Phase::kArmRun, race_id_,
+                                       static_cast<std::int16_t>(i));
       return i;
     }
     if (opts_.governor != nullptr) opts_.governor->watch(pid, race_id_, i);
@@ -199,6 +211,7 @@ int AltGroup::alt_spawn(int n) {
     killed_.push_back(false);
     ChildStatus st;
     st.pid = pid;
+    st.spawn_ns = obs::now_ns();
     status_.push_back(st);
   }
   return 0;
@@ -210,6 +223,9 @@ void AltGroup::child_commit(const Bytes& result) {
   // still explains a child that the injector kills on its way in.
   obs::emit(obs::EventKind::kGuardResult, race_id_,
             static_cast<std::int16_t>(my_index_), 1);
+  obs::phase_end(obs::Phase::kArmRun, race_id_,
+                 static_cast<std::int16_t>(my_index_), child_run_t0_);
+  child_run_t0_ = 0;
   publish_census();  // before the sync point: survives an injected SIGKILL
   bool drop = false;
   if (opts_.fault != nullptr) {
@@ -245,12 +261,19 @@ void AltGroup::child_commit(const Bytes& result) {
   w.blob(result.data(), result.size());
   if (opts_.heap != nullptr) {
     w.u8(1);
+    obs::ScopedPhase diff(obs::Phase::kPageDiff, race_id_,
+                          static_cast<std::int16_t>(my_index_));
     const Bytes patch = opts_.heap->serialize_dirty();
+    diff.end();
     w.blob(patch.data(), patch.size());
   } else {
     w.u8(0);
   }
-  write_frame(result_.write_end.get(), frame);
+  {
+    obs::ScopedPhase pipe(obs::Phase::kResultPipe, race_id_,
+                          static_cast<std::int16_t>(my_index_));
+    write_frame(result_.write_end.get(), frame);
+  }
   _exit(0);
 }
 
@@ -258,6 +281,9 @@ void AltGroup::child_abort() {
   ALTX_REQUIRE(my_index_ != 0, "child_abort called in the parent");
   obs::emit(obs::EventKind::kGuardResult, race_id_,
             static_cast<std::int16_t>(my_index_), 0);
+  obs::phase_end(obs::Phase::kArmRun, race_id_,
+                 static_cast<std::int16_t>(my_index_), child_run_t0_);
+  child_run_t0_ = 0;
   publish_census();  // before the sync point: survives an injected SIGKILL
   if (opts_.fault != nullptr) {
     // The abort path is a sync point too: a guard that fails can still
@@ -277,9 +303,20 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::size_t exited = 0;
 
+  // The parent's view of the arms racing: from here until the first result
+  // byte is readable (or the race is called off). The later phases —
+  // result_pipe, absorb, eliminate, decide — each close before the next
+  // opens, so the parent-side spans tile the race wall time.
+  obs::ScopedPhase arm_phase(obs::Phase::kArmRun, race_id_);
+
   auto try_read_result = [&]() -> bool {
     if (!wait_readable(result_.read_end.get(), 0)) return false;
-    const auto frame = read_frame(result_.read_end.get());
+    arm_phase.end();
+    std::optional<Bytes> frame;
+    {
+      obs::ScopedPhase pipe(obs::Phase::kResultPipe, race_id_);
+      frame = read_frame(result_.read_end.get());
+    }
     if (!frame.has_value()) return false;
     ByteReader r(*frame);
     AltWinner win;
@@ -288,6 +325,7 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
     if (r.u8() == 1) {
       const Bytes patch = r.blob();
       if (opts_.heap != nullptr) {
+        obs::ScopedPhase absorb(obs::Phase::kAbsorb, race_id_);
         win.pages_absorbed = opts_.heap->apply_patch(patch);
       }
     }
@@ -322,7 +360,11 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
     if (now >= deadline) {
       // TIMEOUT: presume no alternative will succeed (section 3.2). A commit
       // that raced in before the kill is still honoured — it won.
-      kill_survivors();
+      arm_phase.end();
+      {
+        obs::ScopedPhase elim(obs::Phase::kEliminate, race_id_);
+        kill_survivors();
+      }
       if (!try_read_result()) verdict_kind_ = WaitVerdict::kTimeout;
       break;
     }
@@ -333,9 +375,25 @@ std::optional<AltWinner> AltGroup::alt_wait(std::chrono::milliseconds timeout) {
   }
 
   decided_ = true;
-  kill_survivors();
-  if (opts_.elimination == Eliminate::kSynchronous) reap_all();
+  arm_phase.end();  // idempotent: already closed on the result/timeout paths
+  {
+    bool survivors = false;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!reaped_[i]) {
+        survivors = true;
+        break;
+      }
+    }
+    if (survivors) {
+      obs::ScopedPhase elim(obs::Phase::kEliminate, race_id_);
+      kill_survivors();
+      if (opts_.elimination == Eliminate::kSynchronous) reap_all();
+    }
+  }
+  const std::uint64_t decide_t0 =
+      obs::phase_begin(obs::Phase::kDecide, race_id_, 0);
   finalize_accounting();  // no-op while losers are still unreaped
+  obs::phase_end(obs::Phase::kDecide, race_id_, 0, decide_t0);
   if (obs::enabled()) {
     obs::emit(obs::EventKind::kRaceDecided, race_id_, 0,
               static_cast<std::uint64_t>(verdict_kind_),
@@ -435,6 +493,7 @@ void AltGroup::record_exit(std::size_t i, int status,
   reaped_[i] = true;
   ChildStatus& st = status_[i];
   st.usage = usage;
+  st.reap_ns = obs::now_ns();
   std::optional<GovKillReason> gov_kill;
   if (opts_.governor != nullptr) {
     opts_.governor->unwatch(st.pid);

@@ -90,6 +90,13 @@ struct ChildStatus {
   /// leaves its COW cost unknowable.
   std::uint64_t dirty_pages = 0;
   std::uint64_t dirty_bytes = 0;
+
+  /// Parent-side wall clamps: CLOCK_MONOTONIC right after fork() returned
+  /// the pid, and at reap. reap_ns - spawn_ns is the arm's wall time as the
+  /// history store records it (for losers it includes the elimination lag —
+  /// the price actually paid for launching the arm).
+  std::uint64_t spawn_ns = 0;
+  std::uint64_t reap_ns = 0;
 };
 
 /// Why alt_wait returned nullopt — or that it did not.
@@ -235,6 +242,7 @@ class AltGroup {
   Pipe token_;   // 0-1 semaphore: one byte, first reader commits
   Pipe result_;  // winner -> parent: index + payload + heap patch
   int my_index_ = 0;  // 0 in parent
+  std::uint64_t child_run_t0_ = 0;  // child side: arm_run span begin
   int tokens_held_ = 0;      // admission tokens taken for this cohort
   int tokens_released_ = 0;  // ... of which already returned (1 per reap)
   std::uint32_t race_id_ = 0;        // trace id; children inherit it

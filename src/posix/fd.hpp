@@ -2,10 +2,12 @@
 #pragma once
 
 #include <fcntl.h>
+#include <limits.h>
 #include <poll.h>
 #include <unistd.h>
 
 #include <cstddef>
+#include <cstring>
 #include <optional>
 #include <utility>
 
@@ -110,6 +112,19 @@ inline bool read_exact(int fd, void* data, std::size_t n) {
 /// Length-prefixed frame I/O over a pipe.
 inline void write_frame(int fd, const Bytes& payload) {
   std::uint64_t len = payload.size();
+  // Frames that fit in PIPE_BUF go out as ONE write: pipe writes up to
+  // PIPE_BUF are atomic, so a header can never interleave with another
+  // writer's payload. Two writers exist only when two children both hold a
+  // commit token (the ALTX_TEST_BREAK_AT_MOST_ONCE double-commit sabotage);
+  // split writes there corrupt the stream and the parent's frame parse
+  // throws instead of the checker seeing the second commit.
+  if (sizeof len + len <= PIPE_BUF) {
+    std::uint8_t buf[sizeof len + PIPE_BUF];
+    std::memcpy(buf, &len, sizeof len);
+    if (!payload.empty()) std::memcpy(buf + sizeof len, payload.data(), len);
+    write_all(fd, buf, sizeof len + len);
+    return;
+  }
   write_all(fd, &len, sizeof len);
   if (!payload.empty()) write_all(fd, payload.data(), payload.size());
 }

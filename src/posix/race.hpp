@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "obs/history.hpp"
 #include "posix/alt_group.hpp"
 
 namespace altx::posix {
@@ -109,6 +110,19 @@ struct RaceOptions {
   /// SIGTERM → SIGKILL elimination grace; negative resolves from
   /// ALTX_KILL_GRACE_MS (see AltGroupOptions::kill_grace).
   std::chrono::milliseconds kill_grace{-1};
+
+  /// Stable identity of this alternative block for the per-arm history
+  /// store (obs/history.hpp): pass ALTX_SITE() (a file:line hash) or any
+  /// nonzero id that is the same every run. When set and a history store is
+  /// active, every reaped child's wall/CPU/success is folded into the
+  /// (site_id, arm) entry. 0 = no history.
+  std::uint64_t site_id = 0;
+
+  /// Overrides the arm index recorded into the history store — used by
+  /// serialized_race, where a degraded block runs each alternative as its
+  /// own single-arm race but the history must still attribute the sample to
+  /// the original arm. 0 = derive from the child index.
+  std::uint32_t history_arm = 0;
 };
 
 template <typename T>
@@ -153,6 +167,27 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
     }
   }
   auto win = group.alt_wait(options.timeout);
+  if (options.site_id != 0) {
+    if (obs::HistoryStore* h = obs::history(); h != nullptr) {
+      // One sample per reaped arm: wall from the parent's spawn/reap
+      // clamps, CPU from the wait4 bill, success = it committed. Replicas
+      // fold into their alternative's entry.
+      const auto& sts = group.child_statuses();
+      for (std::size_t i = 0; i < sts.size(); ++i) {
+        const ChildStatus& st = sts[i];
+        if (st.fate == ChildFate::kRunning) continue;  // async, unreaped
+        const std::uint32_t arm =
+            options.history_arm != 0
+                ? options.history_arm
+                : static_cast<std::uint32_t>(i % static_cast<std::size_t>(n)) +
+                      1;
+        const std::uint64_t wall =
+            st.reap_ns > st.spawn_ns ? st.reap_ns - st.spawn_ns : 0;
+        h->record(options.site_id, arm, wall, st.usage.cpu_ns,
+                  st.fate == ChildFate::kCommitted);
+      }
+    }
+  }
   if (options.report != nullptr) {
     RaceReport& rep = *options.report;
     rep.verdict = group.verdict();

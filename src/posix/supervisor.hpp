@@ -130,6 +130,10 @@ std::optional<RaceResult<T>> serialized_race(
     RaceOptions one = options;
     one.replicas = 1;
     one.report = nullptr;
+    // The degraded single-arm race still feeds the history store under the
+    // original arm's index, not "arm 1 of 1" — predictions must not mix
+    // alternatives just because the block ran serialized.
+    one.history_arm = static_cast<std::uint32_t>(i) + 1;
     std::optional<RaceResult<T>> r =
         race<T>(std::vector<AlternativeFn<T>>{alts[i]}, one);
     if (r.has_value()) {

@@ -124,11 +124,16 @@ TEST(Metrics, CounterAndHistogram) {
   EXPECT_EQ(h.min(), 1u);
   EXPECT_EQ(h.max(), 100u);
   EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 4.0);
-  // Power-of-two buckets: the percentile is the bucket's upper bound, so it
-  // is >= the true value and < 2x the true value.
-  EXPECT_GE(h.percentile(100), 100u);
-  EXPECT_LT(h.percentile(100), 200u);
-  EXPECT_GE(h.percentile(0), 1u);
+  // Power-of-two buckets with linear interpolation inside the winning
+  // bucket, clamped to the observed [min, max]: the estimate stays within
+  // the bucket that holds the true value instead of over-reporting its
+  // upper bound. 100 lands in [64, 128), a lone sample interpolates to the
+  // bucket midpoint (96), and clamping keeps every estimate <= max.
+  EXPECT_GE(h.percentile(100), 64u);
+  EXPECT_LE(h.percentile(100), 100u);
+  EXPECT_GE(h.percentile(0), 1u);   // clamped up to min
+  EXPECT_LE(h.percentile(0), 2u);   // 1 lands in [0, 2)
+  EXPECT_LE(h.percentile(50), 4u);  // rank 1 of {1,2,4,100} -> the 2 bucket
 
   const std::string json = reg.to_json();
   EXPECT_NE(json.find("\"x\": 5"), std::string::npos);

@@ -13,7 +13,10 @@
 #include <chrono>
 #include <map>
 #include <set>
+#include <tuple>
 
+#include "obs/phase.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "posix/fault.hpp"
 #include "posix/race.hpp"
@@ -220,6 +223,76 @@ TEST_F(TraceCompleteness, SupervisedRetriesStayComplete) {
   }
 }
 
+/// Phase-span discipline: parent-side spans always pair (the parent is
+/// never killed), child-side spans may dangle (a SIGKILL between begin and
+/// end) but an end can never outnumber its begins, and the critical-path
+/// reducer still attributes nearly all of every decided race's wall time —
+/// whatever the injector does to the children.
+void assert_phases_pair(const std::vector<Record>& recs) {
+  // (race, child, phase) -> [begins, ends]
+  std::map<std::tuple<std::uint32_t, int, std::uint64_t>, std::pair<int, int>>
+      spans;
+  for (const Record& r : recs) {
+    if (r.kind == EventKind::kPhaseBegin) {
+      ++spans[{r.race_id, r.child_index, r.a}].first;
+    } else if (r.kind == EventKind::kPhaseEnd) {
+      ++spans[{r.race_id, r.child_index, r.a}].second;
+      EXPECT_LT(r.a, static_cast<std::uint64_t>(obs::kPhaseCount));
+    }
+  }
+  for (const auto& [key, counts] : spans) {
+    const auto& [race, child, phase] = key;
+    if (child == 0) {
+      EXPECT_EQ(counts.first, counts.second)
+          << "race " << race << " parent phase " << phase
+          << ": begin/end mismatch";
+    } else {
+      EXPECT_LE(counts.second, counts.first)
+          << "race " << race << " child " << child << " phase " << phase
+          << ": end without begin";
+    }
+  }
+  for (const auto& [id, b] : obs::reduce_critical_path(recs)) {
+    if (!b.decided || b.wall_ns == 0) continue;
+    EXPECT_GE(b.coverage(), 0.90) << "race " << id << ": phases cover only "
+                                  << b.coverage() * 100.0 << "% of wall";
+    EXPECT_NE(b.dominant(), obs::Phase::kNone) << "race " << id;
+  }
+}
+
+TEST_F(TraceCompleteness, PhaseSpansPairUnderEveryFaultKind) {
+  const struct { FaultKind kind; double rate; } plans[] = {
+      {FaultKind::kCrashSegv, 0.6}, {FaultKind::kCrashKill, 0.6},
+      {FaultKind::kHang, 0.6},      {FaultKind::kDelay, 0.6},
+      {FaultKind::kEarlyExit, 0.6}, {FaultKind::kDropCommit, 0.6},
+  };
+  for (const auto& plan : plans) {
+    FaultProfile p;
+    switch (plan.kind) {
+      case FaultKind::kCrashSegv: p.crash_segv = plan.rate; break;
+      case FaultKind::kCrashKill: p.crash_kill = plan.rate; break;
+      case FaultKind::kHang: p.hang = plan.rate; break;
+      case FaultKind::kDelay: p.delay = plan.rate; break;
+      case FaultKind::kEarlyExit: p.early_exit = plan.rate; break;
+      case FaultKind::kDropCommit: p.drop_commit = plan.rate; break;
+      case FaultKind::kCpuSpin: p.cpu_spin = plan.rate; break;
+      case FaultKind::kMemHog: p.mem_hog = plan.rate; break;
+      case FaultKind::kNone: break;
+    }
+    p.delay_for = 10ms;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      obs::reset();
+      FaultInjector inj(seed, p);
+      RaceOptions opts;
+      opts.timeout = 300ms;
+      opts.fault = &inj;
+      (void)race<int>(one_viable_alts(), opts);
+      assert_phases_pair(obs::snapshot());
+      EXPECT_EQ(sweep_zombies(), 0);
+    }
+  }
+}
+
 TEST_F(TraceCompleteness, ReplicatedRaceTracesEveryReplica) {
   FaultProfile p;
   p.crash_kill = 0.4;
@@ -237,6 +310,58 @@ TEST_F(TraceCompleteness, ReplicatedRaceTracesEveryReplica) {
   TraceCensus c(recs);
   ASSERT_EQ(c.forked.size(), 1u);
   EXPECT_EQ(c.forked.begin()->second.size(), 6u);  // 3 alts x 2 replicas
+}
+
+/// Burn CPU (not wall): ITIMER_PROF only ticks while the arm is on-CPU.
+void spin_cpu_ms(long ms) {
+  volatile std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() < ms) {
+    for (int i = 0; i < 512; ++i) sink = sink + static_cast<std::uint64_t>(i);
+  }
+}
+
+TEST_F(TraceCompleteness, ProfilerSamplesSurviveElimination) {
+  obs::prof_enable(997);
+  // The winner burns ~60 ms of CPU before committing, so both losers accrue
+  // well over the kernel's ITIMER_PROF quantum (~4 ms at CONFIG_HZ=250)
+  // before the SIGKILL lands mid-spin — their samples must already be in
+  // the shared ring when they die.
+  RaceOptions opts;
+  opts.timeout = 10'000ms;
+  const auto r = race<int>(
+      {
+          [] { spin_cpu_ms(60); return std::optional<int>(1); },
+          [] { spin_cpu_ms(2'000); return std::optional<int>(2); },
+          [] { spin_cpu_ms(2'000); return std::optional<int>(3); },
+      },
+      opts);
+  obs::profdetail::g_prof_enabled = false;  // don't sample later tests
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 1);
+
+  const auto recs = obs::snapshot();
+  std::set<int> eliminated;
+  std::map<int, int> samples;  // child -> kProfSample fragments
+  for (const Record& rec : recs) {
+    if (rec.kind == EventKind::kChildFate &&
+        static_cast<ChildFate>(rec.a) == ChildFate::kEliminated) {
+      eliminated.insert(rec.child_index);
+    } else if (rec.kind == EventKind::kProfSample) {
+      ++samples[rec.child_index];
+      EXPECT_GE(obs::prof_total_fragments(rec.c), 1);
+      EXPECT_LT(obs::prof_fragment(rec.c), obs::prof_total_fragments(rec.c));
+    }
+  }
+  ASSERT_EQ(eliminated.size(), 2u);  // both spinning losers were SIGKILLed
+  for (const int child : eliminated) {
+    EXPECT_GE(samples[child], 1)
+        << "child " << child << " was sampled for tens of ms of CPU but "
+        << "left no kProfSample in the ring";
+  }
+  assert_complete(recs);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 
 #include "common/error.hpp"
 #include "obs/event.hpp"
+#include "obs/phase.hpp"
 #include "obs/ring.hpp"
 #include "posix/alt_group.hpp"
 
@@ -127,6 +128,48 @@ GovPanel fold_governor(const std::vector<Record>& records) {
   return g;
 }
 
+// Phase-latency panel: count / mean / p95 per parent-side phase, folded
+// from kPhaseEnd records (self-contained — `b` is the span duration). The
+// p95 is nearest-rank over the sorted samples; a live view never holds
+// enough spans for the sort to matter.
+struct PhasePanel {
+  bool active = false;
+  std::vector<std::uint64_t> ns[altx::obs::kPhaseCount];
+};
+
+PhasePanel fold_phases(const std::vector<Record>& records) {
+  PhasePanel p;
+  for (const Record& r : records) {
+    if (r.kind != EventKind::kPhaseEnd || r.child_index != 0) continue;
+    if (r.a >= static_cast<std::uint64_t>(altx::obs::kPhaseCount)) continue;
+    p.active = true;
+    p.ns[r.a].push_back(r.b);
+  }
+  return p;
+}
+
+void render_phases(PhasePanel& p) {
+  if (!p.active) return;
+  std::printf("phase latency (parent side)\n");
+  std::printf("  %-14s %7s %10s %10s\n", "phase", "spans", "mean us",
+              "p95 us");
+  for (int i = 1; i < altx::obs::kPhaseCount; ++i) {
+    std::vector<std::uint64_t>& v = p.ns[i];
+    if (v.empty()) continue;
+    std::sort(v.begin(), v.end());
+    std::uint64_t sum = 0;
+    for (const std::uint64_t d : v) sum += d;
+    const std::size_t rank =
+        std::min(v.size() - 1, v.size() * 95 / 100);
+    std::printf("  %-14s %7zu %10.1f %10.1f\n",
+                to_string(static_cast<altx::obs::Phase>(i)), v.size(),
+                static_cast<double>(sum) / static_cast<double>(v.size()) /
+                    1000.0,
+                static_cast<double>(v[rank]) / 1000.0);
+  }
+  std::printf("\n");
+}
+
 std::map<std::uint32_t, RaceRow> fold(const std::vector<Record>& records) {
   std::map<std::uint32_t, RaceRow> races;
   for (const Record& r : records) {
@@ -206,6 +249,8 @@ void render(const altx::obs::TraceRingReader& reader, bool clear) {
                 static_cast<unsigned long long>(gov.kills_shed),
                 static_cast<unsigned long long>(gov.term_escalations));
   }
+  PhasePanel phases = fold_phases(records);
+  render_phases(phases);
   std::printf("%-8s %-8s %-5s %-10s %-12s %s\n", "race", "attempt", "alts",
               "age ms", "state", "children");
   // Newest blocks first; a screenful is plenty for a live view.

@@ -9,6 +9,12 @@
 //   altx-trace --summary trace.jsonl    # aggregates only
 //   altx-trace --race 7 trace.jsonl     # one block, every event verbatim
 //   altx-trace --efficiency trace.jsonl # speculation ledger per block
+//   altx-trace --critical-path trace.jsonl
+//                                       # where each block's wall time went,
+//                                       # phase by phase
+//   altx-trace --flame trace.jsonl      # collapsed profiler stacks, split
+//                                       # by winner / loser fate (pipe into
+//                                       # flamegraph.pl)
 //   altx-trace --stitch a.jsonl b.jsonl -o merged.json
 //                                       # merge per-node traces into one
 //                                       # causally-ordered Perfetto timeline
@@ -29,6 +35,8 @@
 #include "common/stats.hpp"
 #include "obs/event.hpp"
 #include "obs/export.hpp"
+#include "obs/phase.hpp"
+#include "obs/profile.hpp"
 #include "posix/alt_group.hpp"
 #include "posix/supervisor.hpp"
 
@@ -215,6 +223,28 @@ std::string describe(const Record& r) {
                     "RING OVERFLOW: %llu records were dropped",
                     static_cast<unsigned long long>(r.a));
       break;
+    case EventKind::kPhaseBegin:
+      std::snprintf(buf, sizeof buf, "phase %s begins",
+                    to_string(static_cast<altx::obs::Phase>(r.a)));
+      break;
+    case EventKind::kPhaseEnd:
+      std::snprintf(buf, sizeof buf, "phase %s ends (%.1f us)",
+                    to_string(static_cast<altx::obs::Phase>(r.a)),
+                    static_cast<double>(r.b) / 1000.0);
+      break;
+    case EventKind::kProfSample:
+      std::snprintf(buf, sizeof buf,
+                    "profile sample %u fragment %u/%u (pc %llx %llx)",
+                    altx::obs::prof_sample_id(r.c),
+                    altx::obs::prof_fragment(r.c) + 1,
+                    altx::obs::prof_total_fragments(r.c),
+                    static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b));
+      break;
+    case EventKind::kProfMap:
+      std::snprintf(buf, sizeof buf, "profiler armed (exe base %llx)",
+                    static_cast<unsigned long long>(r.a));
+      break;
     default:
       std::snprintf(buf, sizeof buf, "%s a=%llu b=%llu c=%llu",
                     to_string(r.kind), static_cast<unsigned long long>(r.a),
@@ -299,16 +329,28 @@ void warn_if_overflowed(const std::string& path,
 }
 
 /// --efficiency: the speculation ledger per block, from the kSpecReport
-/// each AltGroup emits once all of its children are reaped.
+/// each AltGroup emits once all of its children are reaped, with the
+/// governor's over-budget kills folded in — a watchdogged arm is pure
+/// waste by construction, so it deserves its own column in the table.
 int run_efficiency(const std::string& path) {
   const auto loaded = load_records(path);
   if (!loaded.has_value()) return 1;
   warn_if_overflowed(path, *loaded);
-  std::printf("%-8s %15s %15s %17s %8s\n", "race", "wasted CPU ms",
-              "winner CPU ms", "discarded pages", "ratio");
+  // Per-race census of arms the governor killed (fate kOverBudget).
+  std::map<std::uint32_t, int> over_budget;
+  for (const Record& r : *loaded) {
+    if (r.kind == EventKind::kChildFate &&
+        static_cast<altx::posix::ChildFate>(r.a) ==
+            altx::posix::ChildFate::kOverBudget) {
+      ++over_budget[r.race_id];
+    }
+  }
+  std::printf("%-8s %15s %15s %17s %9s %8s\n", "race", "wasted CPU ms",
+              "winner CPU ms", "discarded pages", "ob kills", "ratio");
   std::uint64_t total_wasted = 0;
   std::uint64_t total_winner = 0;
   std::uint64_t total_pages = 0;
+  int total_ob = 0;
   int blocks = 0;
   for (const Record& r : *loaded) {
     if (r.kind != EventKind::kSpecReport) continue;
@@ -316,13 +358,16 @@ int run_efficiency(const std::string& path) {
     total_wasted += r.a;
     total_pages += r.b;
     total_winner += r.c;
+    const auto ob_it = over_budget.find(r.race_id);
+    const int ob = ob_it == over_budget.end() ? 0 : ob_it->second;
+    total_ob += ob;
     const double ratio =
         r.c == 0 ? 0.0
                  : static_cast<double>(r.a + r.c) / static_cast<double>(r.c);
-    std::printf("%-8u %15.3f %15.3f %17llu %8.2f\n", r.race_id,
+    std::printf("%-8u %15.3f %15.3f %17llu %9d %8.2f\n", r.race_id,
                 static_cast<double>(r.a) / 1'000'000.0,
                 static_cast<double>(r.c) / 1'000'000.0,
-                static_cast<unsigned long long>(r.b), ratio);
+                static_cast<unsigned long long>(r.b), ob, ratio);
   }
   if (blocks == 0) {
     std::printf("no speculation reports in %s (single-child blocks, or the "
@@ -335,11 +380,204 @@ int run_efficiency(const std::string& path) {
           ? 0.0
           : static_cast<double>(total_wasted + total_winner) /
                 static_cast<double>(total_winner);
-  std::printf("%-8s %15.3f %15.3f %17llu %8.2f   (%d blocks)\n", "total",
+  std::printf("%-8s %15.3f %15.3f %17llu %9d %8.2f   (%d blocks)\n", "total",
               static_cast<double>(total_wasted) / 1'000'000.0,
               static_cast<double>(total_winner) / 1'000'000.0,
-              static_cast<unsigned long long>(total_pages), total_ratio,
-              blocks);
+              static_cast<unsigned long long>(total_pages), total_ob,
+              total_ratio, blocks);
+  return 0;
+}
+
+/// --critical-path: per-race phase breakdown from the kPhaseEnd spans, plus
+/// the cross-race dominant-phase histogram — the answer to "where does the
+/// 20 µs floor actually go?".
+int run_critical_path(const std::string& path) {
+  using altx::obs::kPhaseCount;
+  using altx::obs::Phase;
+  using altx::obs::PhaseBreakdown;
+  const auto loaded = load_records(path);
+  if (!loaded.has_value()) return 1;
+  warn_if_overflowed(path, *loaded);
+  const auto races = altx::obs::reduce_critical_path(*loaded);
+  if (races.empty()) {
+    std::printf("no races in %s\n", path.c_str());
+    return 0;
+  }
+  std::printf("%-8s %10s %6s %-14s  %s\n", "race", "wall ms", "cover",
+              "dominant", "parent phases (ms)");
+  int dominant_count[kPhaseCount] = {};
+  std::uint64_t phase_totals[kPhaseCount] = {};
+  std::uint64_t child_totals[kPhaseCount] = {};
+  std::uint64_t total_wall = 0;
+  std::uint64_t total_attributed = 0;
+  int decided = 0;
+  std::uint32_t dangling = 0;
+  for (const auto& [id, b] : races) {
+    for (int p = 0; p < kPhaseCount; ++p) {
+      phase_totals[p] += b.phase_ns[p];
+      child_totals[p] += b.child_ns[p];
+    }
+    dangling += b.dangling_begins;
+    if (!b.decided) {
+      std::printf("%-8u %10s %6s %-14s  (no decision in trace)\n", id, "-",
+                  "-", "-");
+      continue;
+    }
+    ++decided;
+    total_wall += b.wall_ns;
+    total_attributed += b.attributed_ns();
+    ++dominant_count[static_cast<int>(b.dominant())];
+    std::printf("%-8u %10.3f %5.1f%% %-14s ", id,
+                static_cast<double>(b.wall_ns) / 1'000'000.0,
+                b.coverage() * 100.0, to_string(b.dominant()));
+    for (int p = 1; p < kPhaseCount; ++p) {
+      if (b.phase_ns[p] == 0) continue;
+      std::printf(" %s=%.3f", to_string(static_cast<Phase>(p)),
+                  static_cast<double>(b.phase_ns[p]) / 1'000'000.0);
+    }
+    std::printf("\n");
+  }
+  if (decided == 0) {
+    std::printf("\nno decided races (trace predates phase spans, or all "
+                "blocks were denied admission)\n");
+    return 0;
+  }
+  const double coverage =
+      total_wall == 0 ? 0.0
+                      : static_cast<double>(total_attributed) /
+                            static_cast<double>(total_wall);
+  std::printf("\naggregate: %d decided races, %.1f%% of wall attributed",
+              decided, coverage * 100.0);
+  if (dangling > 0) {
+    std::printf(" (%u spans truncated by kills)", dangling);
+  }
+  std::printf("\n  dominant phase:");
+  for (int p = 0; p < kPhaseCount; ++p) {
+    if (dominant_count[p] == 0) continue;
+    std::printf(" %s=%d", to_string(static_cast<Phase>(p)),
+                dominant_count[p]);
+  }
+  std::printf("\n  parent totals: ");
+  for (int p = 1; p < kPhaseCount; ++p) {
+    if (phase_totals[p] == 0) continue;
+    std::printf(" %s=%.3fms", to_string(static_cast<Phase>(p)),
+                static_cast<double>(phase_totals[p]) / 1'000'000.0);
+  }
+  std::printf("\n  child  totals: ");
+  for (int p = 1; p < kPhaseCount; ++p) {
+    if (child_totals[p] == 0) continue;
+    std::printf(" %s=%.3fms", to_string(static_cast<Phase>(p)),
+                static_cast<double>(child_totals[p]) / 1'000'000.0);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+/// --flame: reassemble kProfSample fragments into collapsed stacks
+/// (flamegraph.pl / speedscope input), rooted at the sampled child's fate so
+/// the winner's and losers' work render side by side.
+int run_flame(const std::string& path, const std::string& out) {
+  const auto loaded = load_records(path);
+  if (!loaded.has_value()) return 1;
+  warn_if_overflowed(path, *loaded);
+
+  // First pass: exe load base per pid (kProfMap) and fate per
+  // (race, child) (kChildFate — its child_index names the reaped arm).
+  std::map<pid_t, std::uint64_t> exe_base;
+  std::map<std::pair<std::uint32_t, int>, std::uint64_t> fates;
+  for (const Record& r : *loaded) {
+    if (r.kind == EventKind::kProfMap && exe_base.count(r.pid) == 0) {
+      exe_base[r.pid] = r.a;
+    } else if (r.kind == EventKind::kChildFate) {
+      fates[{r.race_id, r.child_index}] = r.a;
+    }
+  }
+
+  // Second pass: gather each sample's pcs in fragment order. Fragments of
+  // one sample share (pid, sample_id) and arrive leaf-first.
+  struct Stack {
+    std::vector<std::uint64_t> pcs;
+    std::uint8_t expect = 0;  // total_fragments, for completeness check
+    std::uint8_t got = 0;
+    std::uint32_t race = 0;
+    int child = 0;
+    pid_t pid = 0;
+  };
+  std::map<std::pair<pid_t, std::uint32_t>, Stack> samples;
+  for (const Record& r : *loaded) {
+    if (r.kind != EventKind::kProfSample) continue;
+    Stack& s = samples[{r.pid, altx::obs::prof_sample_id(r.c)}];
+    s.expect = altx::obs::prof_total_fragments(r.c);
+    ++s.got;
+    s.race = r.race_id;
+    s.child = r.child_index;
+    s.pid = r.pid;
+    if (r.a != 0) s.pcs.push_back(r.a);
+    if (r.b != 0) s.pcs.push_back(r.b);
+  }
+  if (samples.empty()) {
+    std::fprintf(stderr,
+                 "altx-trace: no profile samples in %s (run with ALTX_PROF=1 "
+                 "and arms that burn CPU)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  // Fold identical stacks. Collapsed format is root-to-leaf ';'-joined with
+  // a trailing count; the fate tag is the root frame, so a flamegraph
+  // splits winner / loser_* at the base. Ring overflow can eat fragments —
+  // incomplete samples are dropped and counted.
+  std::map<std::string, std::uint64_t> folded;
+  std::size_t incomplete = 0;
+  for (const auto& [key, s] : samples) {
+    if (s.got != s.expect || s.pcs.empty()) {
+      ++incomplete;
+      continue;
+    }
+    std::string line;
+    const auto fit = fates.find({s.race, s.child});
+    if (fit == fates.end()) {
+      line = "unreaped";
+    } else if (static_cast<altx::posix::ChildFate>(fit->second) ==
+               altx::posix::ChildFate::kCommitted) {
+      line = "winner";
+    } else {
+      line = std::string("loser_") + fate_name(fit->second);
+    }
+    const auto bit = exe_base.find(s.pid);
+    const std::uint64_t base = bit == exe_base.end() ? 0 : bit->second;
+    char frame[48];
+    for (auto it = s.pcs.rbegin(); it != s.pcs.rend(); ++it) {  // root first
+      // Only PCs plausibly inside the exe's text get the exe+ prefix; libc
+      // and vdso frames map far above the load base and print raw.
+      if (base != 0 && *it >= base && *it - base < (1ULL << 28)) {
+        std::snprintf(frame, sizeof frame, ";exe+0x%llx",
+                      static_cast<unsigned long long>(*it - base));
+      } else {
+        std::snprintf(frame, sizeof frame, ";0x%llx",
+                      static_cast<unsigned long long>(*it));
+      }
+      line += frame;
+    }
+    ++folded[line];
+  }
+
+  std::ofstream file;
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) {
+      std::fprintf(stderr, "altx-trace: cannot write %s\n", out.c_str());
+      return 1;
+    }
+  }
+  std::ostream& sink = out.empty() ? std::cout : file;
+  for (const auto& [stack, count] : folded) {
+    sink << stack << " " << count << "\n";
+  }
+  std::fprintf(stderr,
+               "altx-trace: %zu samples, %zu unique stacks, %zu incomplete "
+               "(symbolize with: addr2line -fe <exe> <offset>)\n",
+               samples.size() - incomplete, folded.size(), incomplete);
   return 0;
 }
 
@@ -475,7 +713,9 @@ int run(const std::string& path, bool summary_only,
 namespace {
 
 constexpr char kUsage[] =
-    "usage: altx-trace [--summary] [--race N] [--efficiency] <trace.jsonl>\n"
+    "usage: altx-trace [--summary] [--race N] [--efficiency] "
+    "[--critical-path] <trace.jsonl>\n"
+    "       altx-trace --flame [-o out.folded] <trace.jsonl>\n"
     "       altx-trace --stitch a.jsonl b.jsonl ... [-o out] "
     "[--format chrome|jsonl]\n";
 
@@ -484,6 +724,8 @@ constexpr char kUsage[] =
 int main(int argc, char** argv) {
   bool summary_only = false;
   bool efficiency = false;
+  bool critical_path = false;
+  bool flame = false;
   bool stitch = false;
   std::optional<std::uint32_t> only_race;
   std::string out;
@@ -495,6 +737,10 @@ int main(int argc, char** argv) {
       summary_only = true;
     } else if (arg == "--efficiency") {
       efficiency = true;
+    } else if (arg == "--critical-path") {
+      critical_path = true;
+    } else if (arg == "--flame") {
+      flame = true;
     } else if (arg == "--stitch") {
       stitch = true;
     } else if (arg == "--race" && i + 1 < argc) {
@@ -523,5 +769,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (efficiency) return run_efficiency(paths.front());
+  if (critical_path) return run_critical_path(paths.front());
+  if (flame) return run_flame(paths.front(), out);
   return run(paths.front(), summary_only, only_race);
 }
