@@ -1,0 +1,326 @@
+// E18 — altxd: zygote amortization and multi-client throughput (extension;
+// no paper counterpart).
+//
+// Two claims on trial:
+//
+//   1. Amortization. Fork cost scales with the parent's address space
+//      (E2 measured the cold path). A daemon that forks every job from its
+//      own ballooning image pays that price per job; altxd forks workers
+//      from a small frozen zygote, so job spawn cost stays flat however
+//      big the embedding process grows. Rows: local cold-fork races vs
+//      warm daemon jobs at increasing balloon sizes (dirtied parent heap).
+//
+//   2. Concurrency. With 4 client threads pipelining 300 jobs each, the
+//      daemon's in-flight high water must clear 1000 concurrent jobs, with
+//      per-client admission keeping the pool fair and p50/p95/p99 sane.
+//
+// External mode (`--connect SOCK --jobs N --clients K`) turns this binary
+// into a client driver for an already-running altxd: K forked client
+// processes split N echo jobs; used by the CI server-smoke job.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "posix/race.hpp"
+#include "report.hpp"
+#include "server/client.hpp"
+#include "server/registry.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace std::chrono_literals;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A scaled-down run when the sandbox can't fork the full fleet.
+bool constrained_env() {
+  struct rlimit rl{};
+  if (::getrlimit(RLIMIT_NPROC, &rl) == 0 && rl.rlim_cur != RLIM_INFINITY &&
+      rl.rlim_cur < 256) {
+    return true;
+  }
+  if (::getrlimit(RLIMIT_AS, &rl) == 0 && rl.rlim_cur != RLIM_INFINITY &&
+      rl.rlim_cur < (1ULL << 30)) {
+    return true;
+  }
+  return false;
+}
+
+server::JobSpec echo_spec() {
+  server::JobSpec s;
+  s.arms.push_back({"echo", {1, 2, 3, 4}});
+  return s;
+}
+
+server::JobSpec sleep_spec(std::uint32_t ms) {
+  Bytes args;
+  ByteWriter w(args);
+  w.u32(ms);
+  server::JobSpec s;
+  s.timeout_ms = 60'000;
+  s.arms.push_back({"sleep_ms", args});
+  return s;
+}
+
+/// Dirties `mb` MiB so fork must copy that many page-table entries: the
+/// balloon stands in for a long-lived server's accreted state.
+std::vector<std::uint8_t>& balloon(std::size_t mb) {
+  static std::vector<std::uint8_t> pool;
+  const std::size_t want = mb << 20;
+  if (pool.size() < want) {
+    pool.resize(want);
+    for (std::size_t i = 0; i < want; i += 4096) pool[i] = 1;
+  }
+  return pool;
+}
+
+// ---- amortization: cold local forks vs warm daemon workers ---------------
+
+struct AmortRow {
+  Summary local_ms;   // posix::race from the ballooned process (cold fork)
+  Summary daemon_ms;  // same block through altxd (zygote-warm worker)
+};
+
+AmortRow run_amortization(server::Client& client, int jobs) {
+  AmortRow out;
+  const std::vector<posix::AlternativeFn<int>> alts = {
+      [] { return std::optional<int>(7); },
+  };
+  for (int i = 0; i < jobs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = posix::race<int>(alts);
+    if (!r.has_value()) std::abort();
+    out.local_ms.add(ms_since(t0));
+  }
+  for (int i = 0; i < jobs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const server::JobOutcome o =
+        client.wait(client.submit(echo_spec()), 30'000ms);
+    if (o.status != server::JobStatus::kWon) std::abort();
+    out.daemon_ms.add(ms_since(t0));
+  }
+  return out;
+}
+
+// ---- throughput: many clients, deep pipelines ---------------------------
+
+struct ThroughputRow {
+  Summary job_ms;  // submit → outcome, per job (includes queue wait)
+  double jobs_per_s = 0;
+  std::uint64_t inflight_hw = 0;
+  std::uint64_t denied = 0;
+};
+
+ThroughputRow run_throughput(const std::string& sock, int clients,
+                             int jobs_per_client, std::uint32_t sleep_ms,
+                             server::Server& srv) {
+  ThroughputRow out;
+  std::mutex mu;
+  const auto t_all0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < clients; ++t) {
+    pool.emplace_back([&] {
+      server::Client c = server::Client::connect_unix(sock);
+      // Pipeline everything first: in-flight depth is the whole point.
+      std::vector<std::uint64_t> ids;
+      std::vector<std::chrono::steady_clock::time_point> t0s;
+      ids.reserve(static_cast<std::size_t>(jobs_per_client));
+      for (int j = 0; j < jobs_per_client; ++j) {
+        t0s.push_back(std::chrono::steady_clock::now());
+        ids.push_back(c.submit(sleep_spec(sleep_ms)));
+      }
+      Summary local;
+      std::uint64_t denied = 0;
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        const server::JobOutcome o = c.wait(ids[j], 120'000ms);
+        if (o.status == server::JobStatus::kDenied) {
+          ++denied;
+          continue;
+        }
+        if (o.status != server::JobStatus::kWon) std::abort();
+        local.add(ms_since(t0s[j]));
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      for (double v : local.samples()) out.job_ms.add(v);
+      out.denied += denied;
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const double secs = ms_since(t_all0) / 1e3;
+  const auto total = static_cast<double>(out.job_ms.count());
+  out.jobs_per_s = secs > 0 ? total / secs : 0;
+  out.inflight_hw = srv.stats().inflight_hw;
+  return out;
+}
+
+// ---- external client-driver mode (CI server-smoke) ----------------------
+
+int drive_external(const std::string& sock, int jobs, int clients) {
+  std::printf("driving %d jobs from %d client processes against %s\n", jobs,
+              clients, sock.c_str());
+  std::vector<pid_t> kids;
+  const int per = jobs / clients;
+  for (int k = 0; k < clients; ++k) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      try {
+        server::Client c = server::Client::connect_unix(sock);
+        std::vector<std::uint64_t> ids;
+        for (int j = 0; j < per; ++j) ids.push_back(c.submit(echo_spec()));
+        for (const std::uint64_t id : ids) {
+          if (c.wait(id, 60'000ms).status != server::JobStatus::kWon) {
+            ::_exit(3);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client %d: %s\n", k, e.what());
+        ::_exit(4);
+      }
+      ::_exit(0);
+    }
+    kids.push_back(pid);
+  }
+  int rc = 0;
+  for (const pid_t pid : kids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      rc = 1;
+    }
+  }
+  std::printf(rc == 0 ? "all %d clients completed %d jobs\n"
+                      : "FAILED: a client driver exited nonzero (%d x %d)\n",
+              clients, per);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // External mode: --connect SOCK [--jobs N] [--clients K].
+  std::string connect;
+  int ext_jobs = 200, ext_clients = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--connect" && i + 1 < argc) connect = argv[++i];
+    else if (a == "--jobs" && i + 1 < argc) ext_jobs = std::atoi(argv[++i]);
+    else if (a == "--clients" && i + 1 < argc)
+      ext_clients = std::atoi(argv[++i]);
+  }
+  if (!connect.empty()) return drive_external(connect, ext_jobs, ext_clients);
+
+  const bool constrained = constrained_env();
+  const int amort_jobs = constrained ? 40 : 200;
+  const int tp_clients = 4;
+  const int tp_jobs = constrained ? 75 : 300;
+
+  std::printf("E18: altxd zygote amortization and multi-client throughput\n\n");
+  if (constrained) std::printf("(constrained environment: scaled down)\n\n");
+
+  server::register_builtin_handlers(server::HandlerRegistry::global());
+
+  const std::string sock =
+      "/tmp/altx_bench_e18_" + std::to_string(::getpid()) + ".sock";
+  server::ServerConfig cfg;
+  cfg.socket_path = sock;
+  cfg.workers = constrained ? 4 : 8;
+  cfg.per_client_running = 8;
+  cfg.per_client_queue = tp_jobs + 8;  // throughput rows must not deny
+
+  // The zygote forks HERE, while this process is still small. Everything
+  // ballooned below bloats the local fork path only — that asymmetry is
+  // the experiment.
+  server::Server srv(cfg);
+  srv.start();
+  std::thread runner([&] { srv.run(); });
+  server::Client client = server::Client::connect_unix(sock);
+
+  bench::Report report("e18_server");
+  Table amort({"balloon", "local cold fork p50", "daemon warm p50",
+               "local p95", "daemon p95", "speedup p50"});
+  for (const std::size_t mb :
+       constrained ? std::vector<std::size_t>{0, 32}
+                   : std::vector<std::size_t>{0, 64, 256}) {
+    balloon(mb);
+    const AmortRow r = run_amortization(client, amort_jobs);
+    const double speedup =
+        r.daemon_ms.median() > 0 ? r.local_ms.median() / r.daemon_ms.median()
+                                 : 0;
+    amort.add_row({std::to_string(mb) + " MiB",
+                   Table::num(r.local_ms.median()) + " ms",
+                   Table::num(r.daemon_ms.median()) + " ms",
+                   Table::num(r.local_ms.percentile(95)) + " ms",
+                   Table::num(r.daemon_ms.percentile(95)) + " ms",
+                   Table::num(speedup, 2) + "x"});
+    report.row("amortization")
+        .param("balloon_mb", static_cast<double>(mb))
+        .param("jobs", static_cast<double>(amort_jobs))
+        .metric("local_p50_ms", r.local_ms.median())
+        .metric("local_p95_ms", r.local_ms.percentile(95))
+        .metric("local_p99_ms", r.local_ms.percentile(99))
+        .metric("daemon_p50_ms", r.daemon_ms.median())
+        .metric("daemon_p95_ms", r.daemon_ms.percentile(95))
+        .metric("daemon_p99_ms", r.daemon_ms.percentile(99))
+        .metric("speedup_p50", speedup)
+        .latency(r.daemon_ms);
+  }
+  amort.print();
+
+  std::printf("\nthroughput: %d clients x %d pipelined sleep(2ms) jobs\n\n",
+              tp_clients, tp_jobs);
+  const ThroughputRow tp =
+      run_throughput(sock, tp_clients, tp_jobs, 2, srv);
+  Table t({"clients", "jobs", "in-flight hw", "jobs/s", "p50", "p95", "p99",
+           "denied"});
+  t.add_row({std::to_string(tp_clients),
+             std::to_string(tp_clients * tp_jobs),
+             std::to_string(tp.inflight_hw), Table::num(tp.jobs_per_s, 1),
+             Table::num(tp.job_ms.median()) + " ms",
+             Table::num(tp.job_ms.percentile(95)) + " ms",
+             Table::num(tp.job_ms.percentile(99)) + " ms",
+             std::to_string(tp.denied)});
+  t.print();
+  report.row("throughput")
+      .param("clients", static_cast<double>(tp_clients))
+      .param("jobs_per_client", static_cast<double>(tp_jobs))
+      .param("workers", static_cast<double>(cfg.workers))
+      .metric("inflight_hw", static_cast<double>(tp.inflight_hw))
+      .metric("jobs_per_s", tp.jobs_per_s)
+      .metric("p50_ms", tp.job_ms.median())
+      .metric("p95_ms", tp.job_ms.percentile(95))
+      .metric("p99_ms", tp.job_ms.percentile(99))
+      .metric("denied", static_cast<double>(tp.denied))
+      .latency(tp.job_ms);
+
+  srv.request_stop();
+  runner.join();
+
+  report.write();
+  std::printf("\nwrote %s\n", bench::report_path("e18_server").c_str());
+
+  if (!constrained && tp.inflight_hw < 1000) {
+    std::printf("WARNING: in-flight high water %llu below the 1000 target\n",
+                static_cast<unsigned long long>(tp.inflight_hw));
+  }
+  return 0;
+}

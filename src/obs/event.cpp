@@ -39,6 +39,16 @@ const char* to_string(EventKind kind) {
     case EventKind::kAwaitBegin: return "await_begin";
     case EventKind::kAwaitTaskDone: return "await_task_done";
     case EventKind::kAwaitDecided: return "await_decided";
+    case EventKind::kSrvConnect: return "srv_connect";
+    case EventKind::kSrvSubmit: return "srv_submit";
+    case EventKind::kSrvDeny: return "srv_deny";
+    case EventKind::kSrvAssign: return "srv_assign";
+    case EventKind::kSrvResult: return "srv_result";
+    case EventKind::kSrvCancel: return "srv_cancel";
+    case EventKind::kSrvClientGone: return "srv_client_gone";
+    case EventKind::kSrvWorkerSpawn: return "srv_worker_spawn";
+    case EventKind::kSrvWorkerExit: return "srv_worker_exit";
+    case EventKind::kSrvShutdown: return "srv_shutdown";
     case EventKind::kDistSpawn: return "dist_spawn";
     case EventKind::kDistAbort: return "dist_abort";
     case EventKind::kDistResult: return "dist_result";

@@ -86,6 +86,20 @@ enum class EventKind : std::uint16_t {
   kAwaitTaskDone = 33,// child side: a: 1 = produced a value, 0 = failed
   kAwaitDecided = 34, // parent side: a: 1 = all collected, 0 = failed
 
+  // The altxd speculation server (src/server). `a` carries the client id
+  // (the daemon's connection ordinal) where noted; job ids are the
+  // client-chosen per-connection ids from the frame header.
+  kSrvConnect = 35,   // a: client id, b: 1 = tcp, 0 = unix
+  kSrvSubmit = 36,    // a: client id, b: job id, c: alternatives in the job
+  kSrvDeny = 37,      // a: client id, b: job id, c: retry-after ms
+  kSrvAssign = 38,    // a: job id, b: worker pid, c: queue wait ns
+  kSrvResult = 39,    // a: job id, b: JobStatus, c: worker exec ns
+  kSrvCancel = 40,    // a: job id, b: 1 = was running (cohort torn down)
+  kSrvClientGone = 41,// a: client id, b: queued jobs dropped, c: running reaped
+  kSrvWorkerSpawn = 42, // a: worker pid, b: spawn latency ns, c: 1 = respawn
+  kSrvWorkerExit = 43,  // a: worker pid, b: 1 = forced (killed), 0 = clean
+  kSrvShutdown = 44,    // a: in-flight jobs reaped, b: workers torn down
+
   // Distributed block (dist::DistributedBlock; timestamps are sim time).
   kDistSpawn = 48,    // a: alternative index, b: checkpoint bytes
   kDistAbort = 49,    // a: alternative index (guard failed remotely)

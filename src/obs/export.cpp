@@ -34,6 +34,11 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kProfMap,
     EventKind::kHedgeWake,     EventKind::kAwaitBegin,
     EventKind::kAwaitTaskDone, EventKind::kAwaitDecided,
+    EventKind::kSrvConnect,    EventKind::kSrvSubmit,
+    EventKind::kSrvDeny,       EventKind::kSrvAssign,
+    EventKind::kSrvResult,     EventKind::kSrvCancel,
+    EventKind::kSrvClientGone, EventKind::kSrvWorkerSpawn,
+    EventKind::kSrvWorkerExit, EventKind::kSrvShutdown,
     EventKind::kDistSpawn,     EventKind::kDistAbort,
     EventKind::kDistResult,    EventKind::kDistKill,
     EventKind::kDistDecided,   EventKind::kVoteGrant,

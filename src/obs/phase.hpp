@@ -46,9 +46,16 @@ enum class Phase : std::uint8_t {
   kDecide = 6,
   kEliminate = 7,
   kPageDiff = 8,
+  // Daemon-side queue wait (altxd): submit frame arrival → worker
+  // assignment. Emitted by the worker as a self-contained span of the race
+  // the job became, so `altx-trace --critical-path` attributes server
+  // queueing next to the in-process phases. The span precedes kRaceBegin in
+  // wall time, so it adds attribution beyond the race's own wall interval
+  // (coverage clamps at 1).
+  kSrvQueue = 9,
 };
 
-inline constexpr int kPhaseCount = 9;  // including kNone
+inline constexpr int kPhaseCount = 10;  // including kNone
 
 [[nodiscard]] const char* to_string(Phase phase);
 

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -35,6 +36,13 @@ void TraceRing::map_and_init(int fd, std::size_t capacity) {
   header_->magic = RingHeader::kMagic;
   header_->version = RingHeader::kVersion;
   header_->capacity = capacity;
+  header_->creator_pid = static_cast<std::uint32_t>(::getpid());
+  timespec ts{};
+  if (::clock_gettime(CLOCK_REALTIME, &ts) == 0) {
+    header_->created_unix_ns =
+        static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+        static_cast<std::uint64_t>(ts.tv_nsec);
+  }
   slots_ = reinterpret_cast<RingSlot*>(static_cast<char*>(map_) +
                                        sizeof(RingHeader));
 }
@@ -185,6 +193,14 @@ std::uint64_t TraceRingReader::published() const noexcept {
     if (slots_[i].ready.load(std::memory_order_acquire) != 0) ++count;
   }
   return count;
+}
+
+std::uint32_t TraceRingReader::creator_pid() const noexcept {
+  return header_->creator_pid;
+}
+
+std::uint64_t TraceRingReader::created_unix_ns() const noexcept {
+  return header_->created_unix_ns;
 }
 
 }  // namespace altx::obs

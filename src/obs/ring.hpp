@@ -42,7 +42,7 @@ namespace altx::obs {
 /// TraceRingReader. Lives at offset 0 of the mapping, slots follow.
 struct RingHeader {
   static constexpr std::uint32_t kMagic = 0x414c5458;  // "ALTX"
-  static constexpr std::uint32_t kVersion = 2;         // 64-byte Record
+  static constexpr std::uint32_t kVersion = 3;         // + creator identity
 
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
@@ -50,6 +50,10 @@ struct RingHeader {
   std::atomic<std::uint64_t> head;     // next ticket to claim
   std::atomic<std::uint64_t> dropped;
   std::atomic<std::uint32_t> next_race_id;
+  // Who made this ring and when (CLOCK_REALTIME ns), so an attaching
+  // monitor can tell several daemons' rings apart and show uptime.
+  std::uint32_t creator_pid = 0;
+  std::uint64_t created_unix_ns = 0;
 };
 
 struct RingSlot {
@@ -129,6 +133,11 @@ class TraceRingReader {
   [[nodiscard]] std::uint64_t dropped() const noexcept;
   [[nodiscard]] std::uint64_t published() const noexcept;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Identity stamped by the creating process: its pid and the
+  /// CLOCK_REALTIME creation time in ns (for an uptime display).
+  [[nodiscard]] std::uint32_t creator_pid() const noexcept;
+  [[nodiscard]] std::uint64_t created_unix_ns() const noexcept;
 
  private:
   const RingHeader* header_ = nullptr;

@@ -33,6 +33,7 @@ TraceRing* g_ring = nullptr;
 std::uint32_t g_attempt = 0;  // inherited by children through fork
 std::uint32_t g_node_id = 0;  // ALTX_NODE_ID; inherited through fork
 pid_t g_creator = -1;
+bool g_atexit_hooked = false;  // export_at_exit registered exactly once
 
 // glibc stopped caching getpid(), and under a container's seccomp filter
 // the syscall costs ~100 ns — real money when every emit stamps a pid on
@@ -137,6 +138,7 @@ struct EnvInit {
     refresh_self_pid();
     ::pthread_atfork(nullptr, nullptr, refresh_self_pid);
     std::atexit(export_at_exit);
+    g_atexit_hooked = true;
     detail::g_enabled = true;
     if (metrics != nullptr) {
       if (const char* iv = std::getenv("ALTX_METRICS_INTERVAL_MS")) {
@@ -233,6 +235,27 @@ void enable_for_test(std::size_t capacity) {
     ::pthread_atfork(nullptr, nullptr, refresh_self_pid);
   }
   detail::g_enabled = true;
+}
+
+bool attach_ring_file(const std::string& path, std::size_t capacity) {
+  if (g_ring != nullptr) return false;
+  g_ring = new TraceRing(path, capacity);
+  g_creator = ::getpid();
+  refresh_self_pid();
+  ::pthread_atfork(nullptr, nullptr, refresh_self_pid);
+  detail::g_enabled = true;
+  return true;
+}
+
+void set_export_on_exit(const std::string& path, const std::string& format) {
+  trace_path() = path;
+  trace_format() = format;
+  // EnvInit registers export_at_exit whenever it builds a ring; only a
+  // purely programmatic setup (no ALTX_* env at all) still needs the hook.
+  if (!g_atexit_hooked) {
+    std::atexit(export_at_exit);
+    g_atexit_hooked = true;
+  }
 }
 
 std::vector<Record> snapshot() {

@@ -97,6 +97,21 @@ void set_current_race(std::uint32_t race_id) noexcept;
 /// Idempotent; replaces the active ring, so call before spawning children.
 void enable_for_test(std::size_t capacity = 1 << 16);
 
+/// Enables tracing with a file-backed ring at `path` — the programmatic
+/// equivalent of ALTX_TRACE_RING for embeddings that decide after main()
+/// starts (altxd --ring). Must run before any fork so children inherit the
+/// mapping. Returns false when a ring already exists (the env var won; the
+/// caller keeps that ring). Throws SystemError when the file cannot be
+/// created.
+bool attach_ring_file(const std::string& path,
+                      std::size_t capacity = 1 << 16);
+
+/// Registers a trace export (jsonl/chrome) of the active ring at process
+/// exit — the programmatic equivalent of ALTX_TRACE=path. Idempotent per
+/// process; the last path/format wins.
+void set_export_on_exit(const std::string& path,
+                        const std::string& format = "jsonl");
+
 /// Everything published so far, claim-ordered. Empty when disabled.
 [[nodiscard]] std::vector<Record> snapshot();
 

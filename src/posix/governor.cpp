@@ -147,7 +147,22 @@ GovernorConfig GovernorConfig::from_env() {
 /// The fork-wide truth: admission counters live in one MAP_SHARED page so a
 /// nested block racing inside a forked arm draws from the same pool its
 /// parent does. Kill tallies stay process-local (only the owner kills).
+///
+/// The holder ledger tracks how many tokens each *process* currently holds.
+/// A process normally returns its tokens as it reaps; one SIGKILLed
+/// mid-block (altxd destroying a worker cohort) never does, so
+/// reconcile_dead_holders() uses the ledger to give a dead holder's tokens
+/// back. Slots are claimed on first admit and recycled only by reconcile,
+/// so the ledger stays single-writer per slot; when all kMaxHolders slots
+/// are taken a holding goes untracked — the pool math is still correct, the
+/// holding just cannot be reclaimed on a forced kill.
 struct SpeculationGovernor::SharedPool {
+  static constexpr int kMaxHolders = 128;
+  struct Holder {
+    std::atomic<std::int32_t> pid;
+    std::atomic<std::int32_t> held;
+  };
+
   std::atomic<int> in_flight;
   std::atomic<int> max_in_flight;
   std::atomic<int> effective;   // budget after pressure shrink
@@ -155,8 +170,30 @@ struct SpeculationGovernor::SharedPool {
   std::atomic<std::uint64_t> waited;
   std::atomic<std::uint64_t> denied;
   std::atomic<std::uint64_t> overdrafts;
+  std::atomic<std::uint64_t> reclaimed;
   std::atomic<std::uint64_t> degradations;
   std::atomic<std::uint32_t> last_stall_pct_x100;
+  Holder holders[kMaxHolders];
+
+  /// Adjusts the calling process's ledger entry by `delta` tokens.
+  void note_held(int delta) noexcept {
+    const std::int32_t self = static_cast<std::int32_t>(::getpid());
+    for (Holder& h : holders) {
+      if (h.pid.load(std::memory_order_acquire) == self) {
+        h.held.fetch_add(delta, std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (delta <= 0) return;  // released after our slot was reconciled away
+    for (Holder& h : holders) {
+      std::int32_t expect = 0;
+      if (h.pid.compare_exchange_strong(expect, self,
+                                        std::memory_order_acq_rel)) {
+        h.held.fetch_add(delta, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
 };
 
 struct SpeculationGovernor::WatchEntry {
@@ -266,6 +303,7 @@ Admission SpeculationGovernor::admit(int n) {
     while (cur + n <= eff) {
       if (pool_->in_flight.compare_exchange_weak(cur, cur + n)) {
         bump_max(cur + n);
+        pool_->note_held(n);
         pool_->admitted.fetch_add(1, std::memory_order_relaxed);
         if (waited) pool_->waited.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled()) {
@@ -288,6 +326,7 @@ Admission SpeculationGovernor::admit(int n) {
         // arm runs and the pool goes briefly over budget.
         const int after = pool_->in_flight.fetch_add(1) + 1;
         bump_max(after);
+        pool_->note_held(1);
         pool_->overdrafts.fetch_add(1, std::memory_order_relaxed);
         obs::emit(obs::EventKind::kGovOverdraft, obs::current_race(), 0,
                   static_cast<std::uint64_t>(after));
@@ -317,6 +356,42 @@ Admission SpeculationGovernor::admit(int n) {
 void SpeculationGovernor::release(int n) {
   if (!admission_enabled() || n <= 0) return;
   pool_->in_flight.fetch_sub(n, std::memory_order_relaxed);
+  pool_->note_held(-n);
+}
+
+int SpeculationGovernor::reconcile_dead_holders() {
+  if (!admission_enabled()) return 0;
+  const std::int32_t self = static_cast<std::int32_t>(::getpid());
+  int reclaimed = 0;
+  for (SharedPool::Holder& h : pool_->holders) {
+    const std::int32_t pid = h.pid.load(std::memory_order_acquire);
+    if (pid == 0 || pid == self) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+      continue;  // alive (or alive-but-unsignalable, EPERM)
+    }
+    // Claim the slot (pid → 0) before touching the count, so two
+    // reconcilers can never both return the same holding. A freed slot is
+    // claimable by the next first-time admitter.
+    std::int32_t expect = pid;
+    if (!h.pid.compare_exchange_strong(expect, 0,
+                                       std::memory_order_acq_rel)) {
+      continue;
+    }
+    const std::int32_t held = h.held.exchange(0, std::memory_order_relaxed);
+    if (held > 0) {
+      pool_->in_flight.fetch_sub(held, std::memory_order_relaxed);
+      reclaimed += held;
+    }
+  }
+  if (reclaimed > 0) {
+    pool_->reclaimed.fetch_add(static_cast<std::uint64_t>(reclaimed),
+                               std::memory_order_relaxed);
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global().counter("gov_reclaimed").add(
+          static_cast<std::uint64_t>(reclaimed));
+    }
+  }
+  return reclaimed;
 }
 
 void SpeculationGovernor::watch(pid_t pid, std::uint32_t race_id,
@@ -393,6 +468,7 @@ GovernorStats SpeculationGovernor::stats() const {
   s.waited = pool_->waited.load(std::memory_order_relaxed);
   s.denied = pool_->denied.load(std::memory_order_relaxed);
   s.overdrafts = pool_->overdrafts.load(std::memory_order_relaxed);
+  s.reclaimed = pool_->reclaimed.load(std::memory_order_relaxed);
   s.degradations = pool_->degradations.load(std::memory_order_relaxed);
   s.in_flight = pool_->in_flight.load(std::memory_order_relaxed);
   s.max_in_flight = pool_->max_in_flight.load(std::memory_order_relaxed);

@@ -156,6 +156,7 @@ struct GovernorStats {
   std::uint64_t waited = 0;      // admissions that had to queue first
   std::uint64_t denied = 0;
   std::uint64_t overdrafts = 0;
+  std::uint64_t reclaimed = 0;   // tokens returned from dead holders
   std::uint64_t kills_wall = 0;
   std::uint64_t kills_cpu = 0;
   std::uint64_t kills_shed = 0;
@@ -185,6 +186,16 @@ class SpeculationGovernor {
 
   /// Returns n tokens to the pool.
   void release(int n);
+
+  /// Returns the tokens held by processes that no longer exist. Normally a
+  /// process releases what it admitted as it reaps; a process SIGKILLed
+  /// mid-block (altxd tearing down a worker cohort) never does, and its
+  /// tokens would leak from the shared pool forever. Each admit records the
+  /// caller's holding in a per-pid ledger inside the MAP_SHARED pool; this
+  /// scans the ledger, probes each holder with kill(pid, 0), and returns
+  /// dead holders' tokens. Call it from the pool's supervisor after any
+  /// forced teardown (and periodically). Returns the tokens reclaimed.
+  int reconcile_dead_holders();
 
   /// Registers a freshly forked arm with the watchdog (no-op when neither
   /// budget is configured, or in a forked copy of the governor — the

@@ -70,6 +70,12 @@ T race_decode(const Bytes& b) {
 /// (kRunning) when this is filled.
 struct RaceReport {
   WaitVerdict verdict = WaitVerdict::kUndecided;
+
+  /// The trace id grouping this block's events (0 when tracing is off).
+  /// Lets an embedding emit extra spans — altxd's queue-wait phase — into
+  /// the same race timeline after the fact.
+  std::uint32_t race_id = 0;
+
   int committed = 0;
   int aborted = 0;
   int too_late = 0;
@@ -123,6 +129,14 @@ struct RaceOptions {
   /// own single-arm race but the history must still attribute the sample to
   /// the original arm. 0 = derive from the child index.
   std::uint32_t history_arm = 0;
+
+  /// When non-empty, names an altxd Unix socket: server::race() (see
+  /// src/server/client.hpp) ships the block to that daemon instead of
+  /// forking locally, so a call site redirects by filling this field and
+  /// naming its alternatives. posix::race() itself ignores the field — the
+  /// redirect lives in the client library, which keeps altx_posix free of a
+  /// dependency on the server.
+  std::string daemon_socket;
 };
 
 template <typename T>
@@ -191,6 +205,7 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
   if (options.report != nullptr) {
     RaceReport& rep = *options.report;
     rep.verdict = group.verdict();
+    rep.race_id = group.race_id();
     rep.committed = group.count_fate(ChildFate::kCommitted);
     rep.aborted = group.count_fate(ChildFate::kAborted);
     rep.too_late = group.count_fate(ChildFate::kTooLate);

@@ -1,0 +1,232 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "posix/fd.hpp"
+
+namespace altx::server {
+
+struct Client::State {
+  posix::Fd fd;
+  std::mutex write_mu;  // serializes whole frames onto the socket
+
+  std::mutex mu;  // guards everything below
+  std::condition_variable cv;
+  bool reader_active = false;
+  std::map<std::uint64_t, JobOutcome> done;
+  std::optional<WireStats> stats_reply;
+  std::uint64_t pongs = 0;
+  FrameDecoder dec;
+  std::uint64_t next_id = 1;
+  bool broken = false;
+  std::string broken_reason;
+
+  void send_frame(const Frame& frame) {
+    const Bytes raw = encode_frame(frame);
+    std::lock_guard<std::mutex> lk(write_mu);
+    posix::write_all(fd.get(), raw.data(), raw.size());
+  }
+
+  void dispatch(const Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kResult:
+        done[frame.job_id] = decode_outcome(frame.payload);
+        break;
+      case FrameType::kDeny: {
+        // Fold a denial into the same outcome shape a waiter redeems.
+        ByteReader r(frame.payload);
+        JobOutcome out;
+        out.status = JobStatus::kDenied;
+        out.retry_after_ms = r.u32();
+        out.error = r.str();
+        done[frame.job_id] = std::move(out);
+        break;
+      }
+      case FrameType::kStatsReply:
+        stats_reply = decode_stats(frame.payload);
+        break;
+      case FrameType::kPong:
+        ++pongs;
+        break;
+      default:
+        break;  // unexpected server frame: ignore
+    }
+  }
+
+  /// One step of the shared reader protocol, called under `lk`: the first
+  /// waiter becomes the socket reader for a short slice, everyone else
+  /// parks on the cv; any dispatched frame wakes the herd to re-check.
+  void pump(std::unique_lock<std::mutex>& lk) {
+    if (reader_active) {
+      cv.wait_for(lk, std::chrono::milliseconds(50));
+      return;
+    }
+    reader_active = true;
+    lk.unlock();
+    std::uint8_t buf[64 << 10];
+    ssize_t n = -1;
+    bool got_eof = false;
+    std::string err;
+    if (posix::wait_readable(fd.get(), 50)) {
+      do {
+        n = ::read(fd.get(), buf, sizeof buf);
+      } while (n < 0 && errno == EINTR);
+      if (n == 0) got_eof = true;
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        err = std::strerror(errno);
+      }
+    }
+    lk.lock();
+    reader_active = false;
+    if (got_eof) {
+      broken = true;
+      broken_reason = "daemon closed the connection";
+    } else if (!err.empty()) {
+      broken = true;
+      broken_reason = "read: " + err;
+    } else if (n > 0) {
+      dec.feed(buf, static_cast<std::size_t>(n));
+      try {
+        while (std::optional<Frame> f = dec.next()) dispatch(*f);
+      } catch (const UsageError& e) {  // ProtocolError or payload decode
+        broken = true;
+        broken_reason = e.what();
+      }
+    }
+    cv.notify_all();
+  }
+
+  template <typename Pred>
+  auto wait_until(Pred ready, std::chrono::milliseconds timeout,
+                  const char* what) {
+    const bool infinite = timeout.count() < 0;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      if (auto v = ready()) return std::move(*v);
+      if (broken) {
+        throw SystemError(std::string(what) + ": connection broken (" +
+                              broken_reason + ")",
+                          EPIPE);
+      }
+      if (!infinite && std::chrono::steady_clock::now() >= deadline) {
+        throw SystemError(std::string(what) + ": timed out", ETIMEDOUT);
+      }
+      pump(lk);
+    }
+  }
+};
+
+Client::Client(std::unique_ptr<State> st) : st_(std::move(st)) {}
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+int Client::fd() const noexcept { return st_->fd.get(); }
+
+Client Client::connect_unix(const std::string& socket_path) {
+  ALTX_REQUIRE(socket_path.size() < sizeof(sockaddr_un{}.sun_path),
+               "client: socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("client: socket(AF_UNIX)");
+  posix::Fd owned(fd);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("client: connect(" + socket_path + ")");
+  }
+  auto st = std::make_unique<State>();
+  st->fd = std::move(owned);
+  return Client(std::move(st));
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("client: socket(AF_INET)");
+  posix::Fd owned(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = ::htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SystemError("client: bad address " + host, EINVAL);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("client: connect(" + host + ")");
+  }
+  auto st = std::make_unique<State>();
+  st->fd = std::move(owned);
+  return Client(std::move(st));
+}
+
+std::uint64_t Client::submit(const JobSpec& spec) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    ALTX_REQUIRE(!st_->broken, "client: connection broken");
+    id = st_->next_id++;
+  }
+  st_->send_frame({FrameType::kSubmit, 0, id, encode_job(spec)});
+  return id;
+}
+
+JobOutcome Client::wait(std::uint64_t job_id,
+                        std::chrono::milliseconds timeout) {
+  return st_->wait_until(
+      [&]() -> std::optional<JobOutcome> {
+        const auto it = st_->done.find(job_id);
+        if (it == st_->done.end()) return std::nullopt;
+        JobOutcome out = std::move(it->second);
+        st_->done.erase(it);
+        return out;
+      },
+      timeout, "client wait");
+}
+
+void Client::cancel(std::uint64_t job_id) {
+  st_->send_frame({FrameType::kCancel, 0, job_id, {}});
+}
+
+WireStats Client::stats(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    st_->stats_reply.reset();
+  }
+  st_->send_frame({FrameType::kStats, 0, 0, {}});
+  return st_->wait_until(
+      [&]() -> std::optional<WireStats> {
+        if (!st_->stats_reply.has_value()) return std::nullopt;
+        WireStats s = *st_->stats_reply;
+        st_->stats_reply.reset();
+        return s;
+      },
+      timeout, "client stats");
+}
+
+void Client::ping(std::chrono::milliseconds timeout) {
+  std::uint64_t before;
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    before = st_->pongs;
+  }
+  st_->send_frame({FrameType::kPing, 0, 0, {}});
+  (void)st_->wait_until(
+      [&]() -> std::optional<bool> {
+        if (st_->pongs > before) return true;
+        return std::nullopt;
+      },
+      timeout, "client ping");
+}
+
+}  // namespace altx::server

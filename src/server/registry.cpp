@@ -1,0 +1,97 @@
+#include "server/registry.hpp"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "posix/alt_heap.hpp"
+
+namespace altx::server {
+
+namespace {
+
+std::uint32_t args_u32(const Bytes& args, std::uint32_t fallback) {
+  if (args.size() < 4) return fallback;
+  std::uint32_t v = 0;
+  std::memcpy(&v, args.data(), 4);
+  return v;
+}
+
+void sleep_ms(std::uint32_t ms) {
+  timespec ts{static_cast<time_t>(ms / 1000),
+              static_cast<long>(ms % 1000) * 1'000'000L};
+  while (::nanosleep(&ts, &ts) != 0) {
+  }
+}
+
+}  // namespace
+
+void HandlerRegistry::add(const std::string& name, Handler fn) {
+  handlers_[name] = std::move(fn);
+}
+
+const Handler* HandlerRegistry::find(const std::string& name) const {
+  const auto it = handlers_.find(name);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+HandlerRegistry& HandlerRegistry::global() {
+  static HandlerRegistry g;
+  return g;
+}
+
+void register_builtin_handlers(HandlerRegistry& registry) {
+  registry.add("echo", [](const JobContext& ctx) -> std::optional<Bytes> {
+    return ctx.args;
+  });
+  registry.add("fail", [](const JobContext&) -> std::optional<Bytes> {
+    return std::nullopt;
+  });
+  registry.add("sleep_ms", [](const JobContext& ctx) -> std::optional<Bytes> {
+    sleep_ms(args_u32(ctx.args, 1));
+    return ctx.args;
+  });
+  registry.add("sleep_fail",
+               [](const JobContext& ctx) -> std::optional<Bytes> {
+                 sleep_ms(args_u32(ctx.args, 1));
+                 return std::nullopt;
+               });
+  registry.add("burn_ms", [](const JobContext& ctx) -> std::optional<Bytes> {
+    const std::uint32_t ms = args_u32(ctx.args, 1);
+    timespec t0{};
+    ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+    const long long budget_ns = static_cast<long long>(ms) * 1'000'000LL;
+    volatile std::uint64_t sink = 0;
+    for (;;) {
+      for (int i = 0; i < 10'000; ++i) sink += static_cast<std::uint64_t>(i);
+      timespec t{};
+      ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t);
+      const long long spent =
+          (t.tv_sec - t0.tv_sec) * 1'000'000'000LL + (t.tv_nsec - t0.tv_nsec);
+      if (spent >= budget_ns) break;
+    }
+    return ctx.args;
+  });
+  registry.add("hang", [](const JobContext&) -> std::optional<Bytes> {
+    for (;;) sleep_ms(1000);  // until the timeout or a teardown kills us
+  });
+  registry.add("heap_fill", [](const JobContext& ctx)
+                   -> std::optional<Bytes> {
+    if (ctx.heap == nullptr) return std::nullopt;
+    std::size_t pages = args_u32(ctx.args, 1);
+    if (pages > ctx.heap->pages()) pages = ctx.heap->pages();
+    auto* base = static_cast<std::uint8_t*>(ctx.heap->base());
+    const std::size_t psz = ctx.heap->page_size();
+    for (std::size_t p = 0; p < pages; ++p) {
+      base[p * psz] = static_cast<std::uint8_t>(ctx.arm_index);
+    }
+    Bytes out(4);
+    const std::uint32_t n = static_cast<std::uint32_t>(pages);
+    std::memcpy(out.data(), &n, 4);
+    return out;
+  });
+}
+
+}  // namespace altx::server

@@ -1,0 +1,62 @@
+// HandlerRegistry: the daemon-side vocabulary of remote alternatives.
+//
+// A JobSpec arm names a handler; the registry maps that name to a callable
+// the worker runs inside its forked arm. An embedding registers its
+// handlers on the global registry *before* Server::start() — the zygote is
+// forked at start, so workers inherit the registered table through fork and
+// no registration crosses the wire.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace altx::posix {
+class AltHeap;
+}  // namespace altx::posix
+
+namespace altx::server {
+
+/// What a handler sees: its arm's argument blob, the worker's shared-state
+/// arena when the job asked for one (nullptr otherwise), and which arm of
+/// the block it is (1-based — replicas of one alternative share the index).
+struct JobContext {
+  const Bytes& args;
+  posix::AltHeap* heap = nullptr;
+  int arm_index = 0;
+};
+
+/// A handler is an alternative body: a value means the guard held, nullopt
+/// means it failed. It runs in a forked arm, so side effects outside the
+/// AltHeap die with the loser.
+using Handler = std::function<std::optional<Bytes>(const JobContext&)>;
+
+class HandlerRegistry {
+ public:
+  void add(const std::string& name, Handler fn);
+  [[nodiscard]] const Handler* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return handlers_.size(); }
+
+  /// The process-wide registry the daemon serves from.
+  static HandlerRegistry& global();
+
+ private:
+  std::map<std::string, Handler> handlers_;
+};
+
+/// Registers the stock handlers every altxd ships with — enough for the
+/// benches, tests, and smoke jobs without an embedding:
+///
+///   echo        return the args
+///   fail        guard fails (nullopt)
+///   sleep_ms    u32 LE milliseconds in args; sleep, then echo the args
+///   sleep_fail  as sleep_ms, then the guard fails
+///   burn_ms     u32 LE milliseconds of CPU spin, then echo
+///   hang        block until killed (cancellation / teardown tests)
+///   heap_fill   u32 LE page count in args; dirty that many arena pages
+void register_builtin_handlers(HandlerRegistry& registry);
+
+}  // namespace altx::server

@@ -1,0 +1,83 @@
+// The zygote pool: pre-warmed job workers re-forked from a quiescent
+// template.
+//
+// Why not fork workers from the daemon directly? Fork cost scales with the
+// parent's address space — page tables, VMAs, the COW bookkeeping — and the
+// daemon accretes client buffers, queues, and trace state. The zygote is
+// forked at startup while the process is still small and then *never*
+// grows: every worker is re-forked from that frozen template, so job spawn
+// cost stays at the small-parent price however big the daemon gets
+// (bench_e18_server measures the gap). Task Frames' decoupling of an
+// activation from its caller's stack, done with processes.
+//
+// Lifecycle:
+//
+//   Server::start() ── fork ──> zygote (quiescent template)
+//        │  spawn_worker():                │ fork per 'S' command
+//        │   send 'S' + job fd ───────────>│
+//        │<─ worker pid ──────────────────┌┴─> worker (setsid-free, own pgid)
+//        │  job frames over the job fd ──────>│ posix::race<Bytes> per job,
+//        │<───────────────── result frames ───│ arena reset between jobs
+//
+// The zygote ignores SIGCHLD (exited workers self-reap); workers restore
+// SIGCHLD before racing (AltGroup must be able to waitpid its arms). A
+// worker puts itself in its own process group so the daemon can take down
+// the whole cohort — worker plus live arms — with one kill(-pid).
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+
+#include "posix/fd.hpp"
+#include "posix/governor.hpp"
+
+namespace altx::server {
+
+struct ZygoteConfig {
+  /// Arena pages each worker owns for heap-carrying jobs (0 = no arena).
+  std::size_t heap_pages = 64;
+
+  /// Admission governor shared with the daemon (MAP_SHARED pool, inherited
+  /// through the zygote fork). nullptr = races resolve global() as usual.
+  posix::SpeculationGovernor* governor = nullptr;
+};
+
+class Zygote {
+ public:
+  /// Forks the template now. Call early — before listeners, buffers, or
+  /// clients exist — so the template (and every worker forked from it)
+  /// stays small.
+  static Zygote spawn(const ZygoteConfig& cfg);
+
+  Zygote(Zygote&& other) noexcept;
+  Zygote& operator=(Zygote&& other) noexcept;
+  ~Zygote();
+
+  struct WorkerHandle {
+    pid_t pid = -1;
+    posix::Fd job_fd;  // daemon end of the worker's job socketpair
+  };
+
+  /// Asks the template to fork a fresh worker; returns its pid and the fd
+  /// the daemon sends job frames on. Closing the fd makes the worker exit
+  /// cleanly after its current job.
+  WorkerHandle spawn_worker();
+
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+  [[nodiscard]] bool alive() const noexcept { return pid_ > 0; }
+
+  /// Closes the control socket (template exits on EOF) and reaps it.
+  void shutdown();
+
+ private:
+  Zygote() = default;
+
+  void shutdown_nothrow() noexcept;
+
+  posix::Fd control_;  // daemon end of the template's command socket
+  pid_t pid_ = -1;
+};
+
+}  // namespace altx::server

@@ -1,0 +1,430 @@
+// altxd end-to-end: multi-client admission, fair draining, cancellation
+// without token leaks, denial visibility, and graceful shutdown that reaps
+// every in-flight cohort.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "constrained.hpp"
+#include "obs/event.hpp"
+#include "obs/trace.hpp"
+#include "posix/governor.hpp"
+#include "server/client.hpp"
+#include "server/registry.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace altx;
+using namespace altx::server;
+using namespace std::chrono_literals;
+
+JobSpec echo_job(std::uint8_t tag) {
+  JobSpec s;
+  s.arms.push_back({"echo", {tag}});
+  return s;
+}
+
+JobSpec sleep_job(std::uint32_t ms, std::uint32_t timeout_ms = 30'000) {
+  Bytes args;
+  ByteWriter w(args);
+  w.u32(ms);
+  JobSpec s;
+  s.timeout_ms = timeout_ms;
+  s.arms.push_back({"sleep_ms", args});
+  return s;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_builtin_handlers(HandlerRegistry::global());
+    sock_ = "/tmp/altx_server_test_" + std::to_string(::getpid()) + ".sock";
+  }
+
+  void start(ServerConfig cfg) {
+    cfg.socket_path = sock_;
+    server_ = std::make_unique<Server>(std::move(cfg));
+    server_->start();
+    runner_ = std::thread([this] { server_->run(); });
+  }
+
+  void stop() {
+    if (server_ != nullptr) {
+      server_->request_stop();
+      if (runner_.joinable()) runner_.join();
+      server_.reset();
+    }
+  }
+
+  void TearDown() override {
+    stop();
+    ::unlink(sock_.c_str());
+  }
+
+  std::string sock_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+TEST_F(ServerTest, EchoRoundTripAndRaceSemantics) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  start(cfg);
+
+  Client c = Client::connect_unix(sock_);
+
+  // Plain echo.
+  const JobOutcome out = c.wait(c.submit(echo_job(42)), 15'000ms);
+  ASSERT_EQ(out.status, JobStatus::kWon);
+  EXPECT_EQ(out.value, (Bytes{42}));
+  EXPECT_EQ(out.winner, 1u);
+
+  // Fastest-first: the 1 ms arm beats the 300 ms arm.
+  Bytes slow, fast;
+  {
+    ByteWriter w(slow);
+    w.u32(300);
+  }
+  {
+    ByteWriter w(fast);
+    w.u32(1);
+  }
+  JobSpec race2;
+  race2.arms.push_back({"sleep_ms", slow});
+  race2.arms.push_back({"sleep_ms", fast});
+  const JobOutcome r2 = c.wait(c.submit(race2), 15'000ms);
+  ASSERT_EQ(r2.status, JobStatus::kWon);
+  EXPECT_EQ(r2.winner, 2u);
+
+  // All guards fail.
+  JobSpec failing;
+  failing.arms.push_back({"fail", {}});
+  failing.arms.push_back({"fail", {}});
+  EXPECT_EQ(c.wait(c.submit(failing), 15'000ms).status,
+            JobStatus::kAllFailed);
+
+  // Timeout in the worker.
+  JobSpec hung;
+  hung.timeout_ms = 100;
+  hung.arms.push_back({"hang", {}});
+  EXPECT_EQ(c.wait(c.submit(hung), 15'000ms).status, JobStatus::kTimeout);
+
+  // Unknown handler is a daemon-side error, not a FAIL.
+  JobSpec unknown;
+  unknown.arms.push_back({"no_such_handler", {}});
+  EXPECT_EQ(c.wait(c.submit(unknown), 15'000ms).status, JobStatus::kError);
+}
+
+TEST_F(ServerTest, ServerRaceWrapperMirrorsPosixRace) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  start(cfg);
+
+  // The RaceOptions::daemon_socket redirect: same call shape as
+  // posix::race, remote execution.
+  posix::RaceOptions o;
+  o.timeout = 10'000ms;
+  o.daemon_socket = sock_;
+  posix::RaceReport report;
+  o.report = &report;
+  RemoteRaceInfo info;
+  const auto r = server::race<Bytes>(
+      {{"fail", {}}, {"echo", {5}}}, o, &info);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->winner, 2);
+  EXPECT_EQ(r->value, (Bytes{5}));
+  EXPECT_EQ(report.verdict, posix::WaitVerdict::kWinner);
+  EXPECT_EQ(info.status, JobStatus::kWon);
+  EXPECT_GT(info.exec_ns, 0u);
+}
+
+TEST_F(ServerTest, PipelinedJobsAndStats) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.per_client_running = 2;
+  cfg.per_client_queue = 64;
+  start(cfg);
+
+  Client c = Client::connect_unix(sock_);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(c.submit(echo_job(static_cast<std::uint8_t>(i))));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const JobOutcome out = c.wait(ids[static_cast<std::size_t>(i)], 30'000ms);
+    ASSERT_EQ(out.status, JobStatus::kWon) << "job " << i;
+    EXPECT_EQ(out.value, (Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  const WireStats s = c.stats();
+  EXPECT_GE(s.accepted, 20u);
+  EXPECT_GE(s.completed, 20u);
+  EXPECT_EQ(s.clients, 1u);
+}
+
+TEST_F(ServerTest, PerClientQueueCapDeniesWithRetryAfter) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  obs::enable_for_test();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.per_client_running = 1;
+  cfg.per_client_queue = 2;
+  cfg.retry_after_ms = 77;
+  start(cfg);
+
+  Client c = Client::connect_unix(sock_);
+  // One running + two queued saturate this client; further submits must be
+  // denied with the configured backoff hint, not buffered.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(c.submit(sleep_job(150)));
+  int denied = 0, won = 0;
+  for (const std::uint64_t id : ids) {
+    const JobOutcome out = c.wait(id, 60'000ms);
+    if (out.status == JobStatus::kDenied) {
+      ++denied;
+      EXPECT_EQ(out.retry_after_ms, 77u);
+      EXPECT_FALSE(out.error.empty());
+    } else {
+      EXPECT_EQ(out.status, JobStatus::kWon);
+      ++won;
+    }
+  }
+  EXPECT_GT(denied, 0);
+  EXPECT_GT(won, 0);
+  EXPECT_GE(server_->stats().denied, static_cast<std::uint64_t>(denied));
+
+  // The denials are visible in the trace ring.
+  bool saw_deny = false;
+  for (const obs::Record& r : obs::snapshot()) {
+    if (static_cast<obs::EventKind>(r.kind) == obs::EventKind::kSrvDeny) {
+      saw_deny = true;
+      EXPECT_EQ(r.c, 77u);  // retry-after rides in the event
+    }
+  }
+  EXPECT_TRUE(saw_deny);
+  stop();
+  obs::reset();
+}
+
+TEST_F(ServerTest, FairDrainingAcrossClients) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 1;  // one worker: assignment order IS completion order
+  cfg.per_client_running = 1;
+  cfg.per_client_queue = 64;
+  start(cfg);
+
+  Client a = Client::connect_unix(sock_);
+  Client b = Client::connect_unix(sock_);
+
+  // A floods first; B arrives with two jobs. Round-robin draining must
+  // interleave B's jobs instead of making them wait out A's whole queue.
+  std::vector<std::uint64_t> a_ids;
+  for (int i = 0; i < 8; ++i) a_ids.push_back(a.submit(sleep_job(30)));
+  std::vector<std::uint64_t> b_ids;
+  for (int i = 0; i < 2; ++i) b_ids.push_back(b.submit(sleep_job(30)));
+
+  std::atomic<std::uint64_t> b_done_ns{0};
+  std::thread bt([&] {
+    for (const std::uint64_t id : b_ids) {
+      ASSERT_EQ(b.wait(id, 60'000ms).status, JobStatus::kWon);
+    }
+    b_done_ns.store(obs::now_ns());
+  });
+  // By the time A's 6th job completes, B (2 jobs) must already be done —
+  // under FIFO-across-all it would have waited for all 8 of A's.
+  for (std::size_t i = 0; i < a_ids.size(); ++i) {
+    ASSERT_EQ(a.wait(a_ids[i], 60'000ms).status, JobStatus::kWon);
+    if (i == 5) {
+      const auto deadline = std::chrono::steady_clock::now() + 5s;
+      while (b_done_ns.load() == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(1ms);
+      }
+      EXPECT_NE(b_done_ns.load(), 0u)
+          << "client B starved behind client A's queue";
+    }
+  }
+  bt.join();
+}
+
+TEST_F(ServerTest, ConcurrentClientsSmallQuotaNoTokenLeaks) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/64, /*address_mb=*/1024);
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.per_client_running = 2;  // small quota vs N client threads
+  cfg.per_client_queue = 32;
+  cfg.gov_tokens = 16;
+  start(cfg);
+
+  constexpr int kClients = 6;
+  constexpr int kJobs = 25;
+  std::atomic<int> won{0}, denied{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client c = Client::connect_unix(sock_);
+      for (int j = 0; j < kJobs; ++j) {
+        const std::uint64_t id =
+            c.submit(sleep_job(1 + (t + j) % 3));
+        const JobOutcome out = c.wait(id, 60'000ms);
+        if (out.status == JobStatus::kWon) {
+          ++won;
+        } else if (out.status == JobStatus::kDenied) {
+          ++denied;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(won.load() + denied.load(), kClients * kJobs);
+  EXPECT_GT(won.load(), 0);
+
+  // After the storm: nothing queued, nothing running, and the shared
+  // governor pool holds zero in-flight tokens — cancellations and quota
+  // churn leaked nothing.
+  posix::SpeculationGovernor* gov = server_->governor();
+  ASSERT_NE(gov, nullptr);
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    const ServerStats st = server_->stats();
+    if (st.queued == 0 && st.running == 0 && gov->stats().in_flight == 0) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "queued=" << st.queued << " running=" << st.running
+        << " gov_in_flight=" << gov->stats().in_flight;
+    std::this_thread::sleep_for(10ms);
+  }
+}
+
+TEST_F(ServerTest, CancelQueuedAndRunningReleasesEverything) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.per_client_running = 1;
+  cfg.gov_tokens = 8;
+  cfg.kill_grace = 20ms;
+  start(cfg);
+
+  Client c = Client::connect_unix(sock_);
+  JobSpec hang;
+  hang.timeout_ms = 60'000;
+  hang.arms.push_back({"hang", {}});
+  const std::uint64_t running = c.submit(hang);
+  const std::uint64_t queued = c.submit(hang);  // quota 1: this one queues
+
+  // Give the first job time to start racing.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (server_->stats().running < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+
+  c.cancel(queued);
+  c.cancel(running);
+  EXPECT_EQ(c.wait(queued, 15'000ms).status, JobStatus::kCanceled);
+  EXPECT_EQ(c.wait(running, 15'000ms).status, JobStatus::kCanceled);
+
+  posix::SpeculationGovernor* gov = server_->governor();
+  ASSERT_NE(gov, nullptr);
+  const auto drain = std::chrono::steady_clock::now() + 10s;
+  while (gov->stats().in_flight != 0 &&
+         std::chrono::steady_clock::now() < drain) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(gov->stats().in_flight, 0);
+  EXPECT_GE(server_->stats().canceled, 2u);
+
+  // The replacement worker serves the next job normally.
+  EXPECT_EQ(c.wait(c.submit(echo_job(9)), 15'000ms).status, JobStatus::kWon);
+}
+
+TEST_F(ServerTest, GracefulShutdownReapsEveryCohort) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 3;
+  cfg.kill_grace = 20ms;
+  start(cfg);
+
+  Client c = Client::connect_unix(sock_);
+  JobSpec hang;
+  hang.timeout_ms = 60'000;
+  hang.arms.push_back({"hang", {}});
+  hang.arms.push_back({"hang", {}});
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(c.submit(hang));
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (server_->stats().running < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(server_->stats().running, 3u);
+
+  stop();  // request_stop + join: shutdown reaps all three cohorts
+
+  // The no-orphans guarantee: this process (the daemon's embedder and
+  // subreaper) has no children left at all.
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+
+  // The canceled jobs were answered before the socket closed.
+  int canceled = 0;
+  for (const std::uint64_t id : ids) {
+    try {
+      if (c.wait(id, 2'000ms).status == JobStatus::kCanceled) ++canceled;
+    } catch (const SystemError&) {
+      // Connection may break before every goodbye frame is read; the
+      // cohort-reaping guarantee above is the hard requirement.
+    }
+  }
+  EXPECT_GE(canceled, 0);
+}
+
+TEST_F(ServerTest, HeapJobsUseTheWorkerArena) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.heap_pages = 16;
+  start(cfg);
+
+  Client c = Client::connect_unix(sock_);
+  Bytes args;
+  ByteWriter w(args);
+  w.u32(8);  // dirty 8 arena pages
+  JobSpec s;
+  s.heap_pages = 8;
+  s.arms.push_back({"heap_fill", args});
+  // Twice through the same worker: the arena reset between jobs means the
+  // second run sees the same zeroed pages as the first.
+  for (int round = 0; round < 2; ++round) {
+    const JobOutcome out = c.wait(c.submit(s), 15'000ms);
+    ASSERT_EQ(out.status, JobStatus::kWon) << out.error;
+    ASSERT_EQ(out.value.size(), 4u);
+    std::uint32_t pages = 0;
+    std::memcpy(&pages, out.value.data(), 4);
+    EXPECT_EQ(pages, 8u);
+  }
+
+  // Asking for more pages than the worker arena holds is a clean error.
+  JobSpec too_big;
+  too_big.heap_pages = 64;
+  too_big.arms.push_back({"heap_fill", args});
+  const JobOutcome out = c.wait(c.submit(too_big), 15'000ms);
+  EXPECT_EQ(out.status, JobStatus::kError);
+}
+
+}  // namespace

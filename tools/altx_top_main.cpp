@@ -10,9 +10,12 @@
 //   ALTX_TRACE_RING=/tmp/ring ./your_program &
 //   altx-top /tmp/ring             # refresh until interrupted
 //   altx-top --once /tmp/ring      # one frame (scripts, tests)
+#include <signal.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -224,6 +227,26 @@ void render(const altx::obs::TraceRingReader& reader, bool clear) {
     if (!row.decided) ++in_flight;
   }
   if (clear) std::printf("\033[H\033[2J");
+  // Identify the attach target: with several daemons each exporting a ring,
+  // the pid + uptime line is what tells the panels apart.
+  if (reader.creator_pid() != 0) {
+    const std::uint32_t pid = reader.creator_pid();
+    const bool alive = ::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                       errno == EPERM;
+    double up_s = 0.0;
+    timespec ts{};
+    if (reader.created_unix_ns() != 0 &&
+        ::clock_gettime(CLOCK_REALTIME, &ts) == 0) {
+      const std::uint64_t now =
+          static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+          static_cast<std::uint64_t>(ts.tv_nsec);
+      if (now > reader.created_unix_ns()) {
+        up_s = static_cast<double>(now - reader.created_unix_ns()) / 1e9;
+      }
+    }
+    std::printf("writer pid %u (%s)  ring up %.1fs\n", pid,
+                alive ? "alive" : "gone", up_s);
+  }
   std::printf("altx-top — %llu records (%zu slot capacity, %llu dropped), "
               "%zu blocks, %d in flight\n\n",
               static_cast<unsigned long long>(reader.published()),

@@ -1,0 +1,185 @@
+// altxd — the long-lived speculation daemon.
+//
+//   altxd --socket /tmp/altx.sock [--tcp PORT] [--workers N]
+//         [--quota N] [--queue N] [--retry-after MS] [--gov-tokens N]
+//         [--heap-pages N] [--ring PATH [--ring-cap N]]
+//         [--trace-out PATH [--format jsonl|chrome]]
+//
+// Clients connect with server::Client (src/server/client.hpp) or redirect
+// existing race<T>() call sites via RaceOptions::daemon_socket. With
+// --ring, `altx-top <ring>` is the live ops console and
+// `altx-trace --critical-path <exported trace>` attributes queue wait.
+// SIGTERM/SIGINT shut down gracefully: every queued job is answered, every
+// in-flight cohort is reaped, no speculative child survives the daemon.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "server/registry.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+altx::server::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [options]\n"
+               "  --socket PATH      Unix-domain listening socket (required)\n"
+               "  --tcp PORT         also listen on 127.0.0.1:PORT (-1 = ephemeral)\n"
+               "  --workers N        pre-warmed worker pool size (default 4)\n"
+               "  --quota N          per-client concurrent running jobs (default 8)\n"
+               "  --queue N          per-client queue cap before RETRY-AFTER (default 64)\n"
+               "  --retry-after MS   backoff hint in denials (default 50)\n"
+               "  --gov-tokens N     governor token pool shared with workers (default off)\n"
+               "  --heap-pages N     worker arena pages (default 64)\n"
+               "  --ring PATH        file-backed trace ring for altx-top\n"
+               "  --ring-cap N       ring capacity in records (default 65536)\n"
+               "  --trace-out PATH   export the trace here at exit\n"
+               "  --format FMT       trace export format: jsonl|chrome (default jsonl)\n",
+               argv0);
+}
+
+int to_int(const char* s, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "altxd: bad %s: %s\n", what, s);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  altx::server::ServerConfig cfg;
+  std::string ring_path;
+  std::size_t ring_cap = 1 << 16;
+  std::string trace_out;
+  std::string trace_format = "jsonl";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "altxd: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      cfg.socket_path = next();
+    } else if (a == "--tcp") {
+      cfg.tcp_port = to_int(next(), "--tcp");
+    } else if (a == "--workers") {
+      cfg.workers = to_int(next(), "--workers");
+    } else if (a == "--quota") {
+      cfg.per_client_running = to_int(next(), "--quota");
+    } else if (a == "--queue") {
+      cfg.per_client_queue = to_int(next(), "--queue");
+    } else if (a == "--retry-after") {
+      cfg.retry_after_ms =
+          static_cast<std::uint32_t>(to_int(next(), "--retry-after"));
+    } else if (a == "--gov-tokens") {
+      cfg.gov_tokens = to_int(next(), "--gov-tokens");
+    } else if (a == "--heap-pages") {
+      cfg.heap_pages =
+          static_cast<std::size_t>(to_int(next(), "--heap-pages"));
+    } else if (a == "--ring") {
+      ring_path = next();
+    } else if (a == "--ring-cap") {
+      ring_cap = static_cast<std::size_t>(to_int(next(), "--ring-cap"));
+    } else if (a == "--trace-out") {
+      trace_out = next();
+    } else if (a == "--format") {
+      trace_format = next();
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "altxd: unknown option %s\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.socket_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    // The ring must exist before Server::start() forks the zygote so every
+    // worker (and every arm) inherits the mapping and emits into it.
+    if (!ring_path.empty()) {
+      if (!altx::obs::attach_ring_file(ring_path, ring_cap)) {
+        std::fprintf(stderr,
+                     "altxd: a trace ring already exists (ALTX_TRACE_RING?); "
+                     "--ring %s ignored\n",
+                     ring_path.c_str());
+      }
+    }
+    if (!trace_out.empty()) {
+      altx::obs::set_export_on_exit(trace_out, trace_format);
+    }
+
+    altx::server::register_builtin_handlers(
+        altx::server::HandlerRegistry::global());
+
+    const std::string socket_path = cfg.socket_path;
+    const int workers = cfg.workers;
+    const int quota = cfg.per_client_running;
+    const int queue = cfg.per_client_queue;
+    const int gov_tokens = cfg.gov_tokens;
+
+    altx::server::Server server(std::move(cfg));
+    server.start();
+    g_server = &server;
+    ::signal(SIGTERM, on_signal);
+    ::signal(SIGINT, on_signal);
+
+    std::printf("altxd: pid %d listening on %s", ::getpid(),
+                socket_path.c_str());
+    if (server.tcp_port() != 0) {
+      std::printf(" and 127.0.0.1:%d", server.tcp_port());
+    }
+    std::printf(" (%d workers, quota %d, queue %d", workers, quota, queue);
+    if (gov_tokens > 0) std::printf(", %d governor tokens", gov_tokens);
+    std::printf(")\n");
+    if (!ring_path.empty()) {
+      std::printf("altxd: trace ring at %s (attach with: altx-top %s)\n",
+                  ring_path.c_str(), ring_path.c_str());
+    }
+    std::fflush(stdout);
+
+    server.run();
+
+    const altx::server::ServerStats s = server.stats();
+    std::printf(
+        "altxd: shut down — %llu accepted, %llu completed, %llu denied, "
+        "%llu canceled, %llu worker spawns (%llu respawns), %llu tokens "
+        "reclaimed, in-flight high water %llu\n",
+        static_cast<unsigned long long>(s.accepted),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.denied),
+        static_cast<unsigned long long>(s.canceled),
+        static_cast<unsigned long long>(s.worker_spawns),
+        static_cast<unsigned long long>(s.worker_respawns),
+        static_cast<unsigned long long>(s.tokens_reclaimed),
+        static_cast<unsigned long long>(s.inflight_hw));
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altxd: %s\n", e.what());
+    return 1;
+  }
+}
