@@ -17,10 +17,14 @@
 // External mode (`--connect SOCK --jobs N --clients K`) turns this binary
 // into a client driver for an already-running altxd: K forked client
 // processes split N echo jobs; used by the CI server-smoke job.
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +35,8 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/event.hpp"
+#include "obs/trace.hpp"
 #include "posix/race.hpp"
 #include "report.hpp"
 #include "server/client.hpp"
@@ -169,6 +175,54 @@ ThroughputRow run_throughput(const std::string& sock, int clients,
   return out;
 }
 
+// ---- scrape overhead: 10 Hz metrics scraper vs dark ---------------------
+
+/// One blocking GET /metrics; returns bytes read (0 on failure).
+std::size_t scrape_once(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::size_t total = 0;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    if (::write(fd, req, sizeof req - 1) == sizeof req - 1) {
+      char buf[8192];
+      ssize_t n = 0;
+      while ((n = ::read(fd, buf, sizeof buf)) > 0)
+        total += static_cast<std::size_t>(n);
+    }
+  }
+  ::close(fd);
+  return total;
+}
+
+struct Scraper {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::thread th;
+
+  void run_at_10hz(int port) {
+    th = std::thread([this, port] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t n = scrape_once(port);
+        if (n > 0) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+          bytes.fetch_add(n, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(100ms);
+      }
+    });
+  }
+  void join() {
+    stop.store(true, std::memory_order_relaxed);
+    if (th.joinable()) th.join();
+  }
+};
+
 // ---- external client-driver mode (CI server-smoke) ----------------------
 
 int drive_external(const std::string& sock, int jobs, int clients) {
@@ -185,12 +239,26 @@ int drive_external(const std::string& sock, int jobs, int clients) {
     if (pid == 0) {
       try {
         server::Client c = server::Client::connect_unix(sock);
-        std::vector<std::uint64_t> ids;
-        for (int j = 0; j < per; ++j) ids.push_back(c.submit(echo_spec()));
-        for (const std::uint64_t id : ids) {
-          if (c.wait(id, 60'000ms).status != server::JobStatus::kWon) {
-            ::_exit(3);
-          }
+        // Mint a cross-process trace id per job, exactly as server::race<T>
+        // does, so a stitched client+daemon trace correlates across the
+        // hop. The ring is fork-shared, so these records land in the
+        // parent's arena and export with its ALTX_TRACE dump at exit.
+        std::vector<std::uint64_t> ids, traces;
+        std::vector<std::uint32_t> races;
+        for (int j = 0; j < per; ++j) {
+          const std::uint64_t trace = obs::mint_trace_id();
+          const std::uint64_t span = obs::mint_trace_id();
+          const std::uint32_t race = obs::next_race_id();
+          obs::emit_trace(trace, obs::EventKind::kRaceBegin, race, 0, 1, 1);
+          ids.push_back(c.submit(echo_spec(), trace, span));
+          traces.push_back(trace);
+          races.push_back(race);
+        }
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          const server::JobOutcome o = c.wait(ids[j], 60'000ms);
+          obs::emit_trace(traces[j], obs::EventKind::kRaceDecided, races[j],
+                          0, 0, o.winner);
+          if (o.status != server::JobStatus::kWon) ::_exit(3);
         }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "client %d: %s\n", k, e.what());
@@ -246,6 +314,7 @@ int main(int argc, char** argv) {
   cfg.workers = constrained ? 4 : 8;
   cfg.per_client_running = 8;
   cfg.per_client_queue = tp_jobs + 8;  // throughput rows must not deny
+  cfg.metrics_addr = "127.0.0.1:0";    // for the scrape-overhead rows
 
   // The zygote forks HERE, while this process is still small. Everything
   // ballooned below bloats the local fork path only — that asymmetry is
@@ -311,6 +380,48 @@ int main(int argc, char** argv) {
       .metric("p99_ms", tp.job_ms.percentile(99))
       .metric("denied", static_cast<double>(tp.denied))
       .latency(tp.job_ms);
+
+  // Scrape overhead: the same throughput workload, dark vs with a 10 Hz
+  // scraper hammering the metrics endpoint. The exposition renders inside
+  // the daemon's poll loop, so any cost shows up directly as lost jobs/s.
+  std::printf("\nscrape overhead: %d clients x %d jobs, dark vs 10 Hz GET\n\n",
+              tp_clients, tp_jobs);
+  const int metrics_port = srv.metrics_port();
+  const ThroughputRow dark =
+      run_throughput(sock, tp_clients, tp_jobs, 2, srv);
+  Scraper scraper;
+  scraper.run_at_10hz(metrics_port);
+  const ThroughputRow lit = run_throughput(sock, tp_clients, tp_jobs, 2, srv);
+  scraper.join();
+  const double overhead_pct =
+      dark.jobs_per_s > 0
+          ? 100.0 * (1.0 - lit.jobs_per_s / dark.jobs_per_s)
+          : 0;
+  Table sc({"mode", "jobs/s", "p50", "p95", "scrapes", "overhead"});
+  sc.add_row({"dark", Table::num(dark.jobs_per_s, 1),
+              Table::num(dark.job_ms.median()) + " ms",
+              Table::num(dark.job_ms.percentile(95)) + " ms", "0", "--"});
+  sc.add_row({"10 Hz scrape", Table::num(lit.jobs_per_s, 1),
+              Table::num(lit.job_ms.median()) + " ms",
+              Table::num(lit.job_ms.percentile(95)) + " ms",
+              std::to_string(scraper.scrapes.load()),
+              Table::num(overhead_pct, 2) + " %"});
+  sc.print();
+  report.row("scrape_overhead")
+      .param("clients", static_cast<double>(tp_clients))
+      .param("jobs_per_client", static_cast<double>(tp_jobs))
+      .param("scrape_hz", 10)
+      .metric("dark_jobs_per_s", dark.jobs_per_s)
+      .metric("scraped_jobs_per_s", lit.jobs_per_s)
+      .metric("overhead_pct", overhead_pct)
+      .metric("scrapes", static_cast<double>(scraper.scrapes.load()))
+      .metric("scrape_bytes", static_cast<double>(scraper.bytes.load()))
+      .metric("dark_p50_ms", dark.job_ms.median())
+      .metric("scraped_p50_ms", lit.job_ms.median());
+  if (overhead_pct > 2.0) {
+    std::printf("WARNING: scrape overhead %.2f%% above the 2%% budget\n",
+                overhead_pct);
+  }
 
   srv.request_stop();
   runner.join();

@@ -129,6 +129,14 @@ enum class EventKind : std::uint16_t {
 /// layers) and `seq` is the ring's claim ticket — monotonic across every
 /// process sharing one ring, so program order within a node survives the
 /// merge of several per-node trace files (altx-trace --stitch).
+///
+/// `trace_id` (schema v3) is the cross-process correlation id: minted once
+/// at the client's race<T>()/server::race<T>() call, carried over the altxd
+/// job protocol, and stamped into every record the daemon, its workers, and
+/// their speculative grandchildren emit for that job. 0 = untraced (a local
+/// race that never crossed a socket). Unlike race_id — which is a per-ring
+/// counter and collides across stitched rings — trace_id is globally unique,
+/// so it is the grouping key for cross-hop views.
 struct Record {
   std::uint64_t t_ns = 0;      // CLOCK_MONOTONIC ns (sim time ns for sim/dist)
   std::uint64_t seq = 0;       // ring claim ticket, stamped by push()
@@ -142,9 +150,10 @@ struct Record {
   std::uint64_t a = 0;  // kind-specific, documented per kind above
   std::uint64_t b = 0;
   std::uint64_t c = 0;
+  std::uint64_t trace_id = 0;  // schema v3: cross-process correlation id
 };
 
-static_assert(sizeof(Record) == 64, "Record is part of the shared-ring ABI");
+static_assert(sizeof(Record) == 72, "Record is part of the shared-ring ABI");
 
 /// Terminal fates a child can reach, as recorded in kChildFate / kTooLate /
 /// kGuardFail events. True when `kind` closes a child's story.

@@ -52,10 +52,10 @@ void format_jsonl_line(const Record& r, char* buf, std::size_t n) {
                 ",\"attempt\":%" PRIu32 ",\"pid\":%" PRId32
                 ",\"node\":%" PRIu32 ",\"seq\":%" PRIu64
                 ",\"child\":%d,\"a\":%" PRIu64 ",\"b\":%" PRIu64
-                ",\"c\":%" PRIu64 "}",
+                ",\"c\":%" PRIu64 ",\"trace\":%" PRIu64 "}",
                 r.t_ns, to_string(r.kind), r.race_id, r.attempt, r.pid,
                 r.node_id, r.seq, static_cast<int>(r.child_index), r.a, r.b,
-                r.c);
+                r.c, r.trace_id);
 }
 
 /// Extracts the numeric value following `"key":` on the line; nullopt when
@@ -95,7 +95,7 @@ std::optional<std::string> field_string(const std::string& line,
 }  // namespace
 
 void write_jsonl(const std::vector<Record>& records, std::ostream& out) {
-  char buf[256];
+  char buf[320];
   for (const Record& r : records) {
     format_jsonl_line(r, buf, sizeof buf);
     out << buf << '\n';
@@ -116,13 +116,40 @@ int chrome_tid(const Record& r) {
 
 void write_chrome(const std::vector<Record>& records, std::ostream& out) {
   out << "{\"traceEvents\":[";
-  char buf[352];
+  char buf[448];
   bool first = true;
+  // A cross-process job's records share a trace_id but *not* a race_id (the
+  // client's race counter and the daemon's are unrelated), so traced records
+  // group under a compact per-trace "process" instead of their race id.
+  // Offset past the race-id band so the two keyspaces cannot collide.
+  constexpr std::uint32_t kTracePidBase = 1u << 30;
+  std::map<std::uint64_t, std::uint32_t> trace_pids;
+  for (const Record& r : records) {
+    if (r.trace_id != 0) {
+      trace_pids.try_emplace(
+          r.trace_id, kTracePidBase +
+                          static_cast<std::uint32_t>(trace_pids.size()));
+    }
+  }
+  const auto chrome_pid = [&](const Record& r) {
+    if (r.trace_id == 0) return r.race_id;
+    return trace_pids.at(r.trace_id);
+  };
+  // Name each trace's process row by the full 64-bit id so the Perfetto
+  // track is greppable back to the jsonl.
+  for (const auto& [tid64, pid] : trace_pids) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                  ",\"args\":{\"name\":\"trace %016" PRIx64 "\"}}",
+                  first ? "" : ",", pid, tid64);
+    out << buf;
+    first = false;
+  }
   // Name the per-node thread rows once, so a stitched multi-node timeline
   // reads "node 3 #2" instead of a bare synthetic tid.
   std::map<std::pair<std::uint32_t, int>, const Record*> rows;
   for (const Record& r : records) {
-    if (r.node_id != 0) rows.try_emplace({r.race_id, chrome_tid(r)}, &r);
+    if (r.node_id != 0) rows.try_emplace({chrome_pid(r), chrome_tid(r)}, &r);
   }
   for (const auto& [key, r] : rows) {
     std::snprintf(buf, sizeof buf,
@@ -145,17 +172,18 @@ void write_chrome(const std::vector<Record>& records, std::ostream& out) {
       name = "attempt";
     }
     // Perfetto groups rows by (pid, tid): one "process" per alternative
-    // block (pid = the trace id), one "thread" per (node, participant).
+    // block (pid = the race id, or the compact trace id when the block
+    // crossed the altxd hop), one "thread" per (node, participant).
     std::snprintf(
         buf, sizeof buf,
         "%s\n{\"name\":\"%s\",\"ph\":\"%s\",%s\"ts\":%.3f,\"pid\":%" PRIu32
         ",\"tid\":%d,\"args\":{\"os_pid\":%" PRId32 ",\"node\":%" PRIu32
-        ",\"attempt\":%" PRIu32 ",\"a\":%" PRIu64 ",\"b\":%" PRIu64
-        ",\"c\":%" PRIu64 "}}",
+        ",\"attempt\":%" PRIu32 ",\"race\":%" PRIu32 ",\"trace\":%" PRIu64
+        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 ",\"c\":%" PRIu64 "}}",
         first ? "" : ",", name, ph,
         ph[0] == 'i' ? "\"s\":\"t\"," : "",  // instant scope: per thread
-        static_cast<double>(r.t_ns) / 1000.0, r.race_id, chrome_tid(r), r.pid,
-        r.node_id, r.attempt, r.a, r.b, r.c);
+        static_cast<double>(r.t_ns) / 1000.0, chrome_pid(r), chrome_tid(r),
+        r.pid, r.node_id, r.attempt, r.race_id, r.trace_id, r.a, r.b, r.c);
     out << buf;
     first = false;
   }
@@ -247,6 +275,8 @@ std::vector<Record> parse_jsonl(std::istream& in, JsonlStats* stats) {
     r.a = field_u64(line, "a", nullptr).value_or(0);
     r.b = field_u64(line, "b", nullptr).value_or(0);
     r.c = field_u64(line, "c", nullptr).value_or(0);
+    // Absent from pre-v3 traces; 0 ("untraced") is exactly their meaning.
+    r.trace_id = field_u64(line, "trace", nullptr).value_or(0);
     out.push_back(r);
   }
   return out;

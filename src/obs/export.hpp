@@ -29,9 +29,10 @@ void write_chrome(const std::vector<Record>& records, std::ostream& out);
 /// Merges several per-node / per-process traces (each already parsed from
 /// jsonl) into one causally-ordered stream: sorted by timestamp, ties
 /// broken by (node, seq) so each node's program order is preserved. Events
-/// stay grouped by their trace id (`race_id`) across nodes — the Perfetto
-/// rendering keys rows on it. kRingOverflow markers are kept (a stitched
-/// view of a truncated trace is still truncated).
+/// stay grouped across nodes by `trace_id` when set (a job that crossed the
+/// altxd hop) and by `race_id` otherwise — the Perfetto rendering keys rows
+/// on them. kRingOverflow markers are kept (a stitched view of a truncated
+/// trace is still truncated).
 [[nodiscard]] std::vector<Record> stitch_records(
     const std::vector<std::vector<Record>>& traces);
 

@@ -141,6 +141,46 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
+std::string MetricsRegistry::to_prometheus(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[192];
+  for (const auto& [name, c] : counters_) {
+    const std::string full = prefix + name + "_total";
+    out += "# TYPE " + full + " counter\n";
+    std::snprintf(buf, sizeof buf, "%s %llu\n", full.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " histogram\n";
+    const std::vector<std::uint64_t> buckets = h->bucket_counts();
+    int last = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (buckets[static_cast<std::size_t>(i)] != 0) last = i;
+    }
+    std::uint64_t cum = 0;
+    for (int i = 0; i <= last; ++i) {
+      cum += buckets[static_cast<std::size_t>(i)];
+      // Bucket i holds integer values in [2^i, 2^(i+1)), so its inclusive
+      // upper bound — Prometheus `le` semantics — is 2^(i+1)-1.
+      std::snprintf(buf, sizeof buf, "%s_bucket{le=\"%llu\"} %llu\n",
+                    full.c_str(),
+                    static_cast<unsigned long long>((2ULL << i) - 1),
+                    static_cast<unsigned long long>(cum));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  full.c_str(), static_cast<unsigned long long>(h->count()),
+                  full.c_str(), static_cast<unsigned long long>(h->sum()),
+                  full.c_str(), static_cast<unsigned long long>(h->count()));
+    out += buf;
+  }
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();

@@ -77,6 +77,15 @@ class MetricsRegistry {
   ///  p50, p95, p99}}} — the ALTX_METRICS dump format.
   [[nodiscard]] std::string to_json() const;
 
+  /// Prometheus text exposition (v0.0.4): every counter as
+  /// `<prefix><name>_total`, every histogram as cumulative
+  /// `<prefix><name>_bucket{le="..."}` rows plus `_sum` and `_count`. The
+  /// power-of-two buckets are exported exactly: values are integers, so
+  /// bucket i ([2^i, 2^(i+1))) becomes le="2^(i+1)-1"; empty tail buckets
+  /// are elided. Names must already be exposition-safe ([a-z0-9_]).
+  [[nodiscard]] std::string to_prometheus(
+      const std::string& prefix = "altx_") const;
+
   void reset();  // testing: drop every metric
 
   static MetricsRegistry& global();

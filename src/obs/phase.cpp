@@ -19,7 +19,7 @@ const char* to_string(Phase phase) {
 }
 
 std::uint64_t PhaseBreakdown::attributed_ns() const noexcept {
-  std::uint64_t sum = 0;
+  std::uint64_t sum = rpc_ns;
   for (int i = 1; i < kPhaseCount; ++i) sum += phase_ns[i];
   return sum;
 }
@@ -71,21 +71,39 @@ std::map<std::uint32_t, PhaseBreakdown> reduce_critical_path(
     }
   }
   // Second pass: count begins without a matching end (kill truncation).
-  std::map<std::uint32_t, std::int64_t> open[kPhaseCount];  // keyed by race
+  // Untraced spans are keyed by (node, race) so that after a --stitch two
+  // rings' unrelated races — whose per-ring race counters collide — cannot
+  // cancel each other's endpoints. Spans carrying a trace id key on it
+  // alone: a begin in the client's ring and its end in the daemon's ring
+  // are one cross-hop span, not two dangling halves.
+  struct OpenSpans {
+    std::int64_t n = 0;
+    std::uint32_t race = 0;  // of the last unmatched begin, for attribution
+  };
+  using SpanKey = std::pair<std::uint64_t, std::uint64_t>;
+  const auto span_key = [](const Record& r) {
+    if (r.trace_id != 0) return SpanKey{r.trace_id, 0};
+    return SpanKey{0, (static_cast<std::uint64_t>(r.node_id) << 32) |
+                          r.race_id};
+  };
+  std::map<SpanKey, OpenSpans> open[kPhaseCount];
   for (const Record& r : records) {
     if (r.kind == EventKind::kPhaseBegin && r.a > 0 && r.a < kPhaseCount) {
-      ++open[r.a][r.race_id];
+      OpenSpans& o = open[r.a][span_key(r)];
+      ++o.n;
+      o.race = r.race_id;
     } else if (r.kind == EventKind::kPhaseEnd && r.a > 0 &&
                r.a < kPhaseCount) {
-      --open[r.a][r.race_id];
+      --open[r.a][span_key(r)].n;
     }
   }
   for (const auto& per_phase : open) {
-    for (const auto& [race, n] : per_phase) {
-      if (n > 0) {
-        const auto it = out.find(race);
+    for (const auto& [key, o] : per_phase) {
+      (void)key;
+      if (o.n > 0) {
+        const auto it = out.find(o.race);
         if (it != out.end()) {
-          it->second.dangling_begins += static_cast<std::uint32_t>(n);
+          it->second.dangling_begins += static_cast<std::uint32_t>(o.n);
         }
       }
     }
@@ -99,6 +117,98 @@ std::map<std::uint32_t, PhaseBreakdown> reduce_critical_path(
       // so its span lies outside (begin, decided); fold it into the wall so
       // coverage stays a fraction of the job's end-to-end time.
       b.wall_ns += b.phase_ns[static_cast<int>(Phase::kSrvQueue)];
+    } else {
+      b.wall_ns = 0;
+    }
+  }
+  return out;
+}
+
+std::map<std::uint64_t, PhaseBreakdown> reduce_critical_path_by_trace(
+    const std::vector<Record>& records) {
+  std::map<std::uint64_t, PhaseBreakdown> out;
+  std::map<std::uint64_t, std::uint64_t> end_ns;
+  std::map<std::uint64_t, std::uint64_t> srv_submit_ns, srv_result_ns;
+  for (const Record& r : records) {
+    if (r.trace_id == 0) continue;
+    switch (r.kind) {
+      case EventKind::kRaceBegin: {
+        PhaseBreakdown& b = out[r.trace_id];
+        if (b.begin_ns == 0 || r.t_ns < b.begin_ns) b.begin_ns = r.t_ns;
+        break;
+      }
+      case EventKind::kRaceDecided: {
+        PhaseBreakdown& b = out[r.trace_id];
+        b.decided = true;
+        std::uint64_t& e = end_ns[r.trace_id];
+        if (r.t_ns > e) e = r.t_ns;
+        break;
+      }
+      case EventKind::kSrvSubmit: {
+        std::uint64_t& t = srv_submit_ns[r.trace_id];
+        if (t == 0 || r.t_ns < t) t = r.t_ns;
+        break;
+      }
+      case EventKind::kSrvResult: {
+        std::uint64_t& t = srv_result_ns[r.trace_id];
+        if (r.t_ns > t) t = r.t_ns;
+        break;
+      }
+      case EventKind::kPhaseEnd: {
+        if (r.a == 0 || r.a >= kPhaseCount) break;
+        PhaseBreakdown& b = out[r.trace_id];
+        if (r.child_index == 0) {
+          b.phase_ns[r.a] += r.b;
+        } else {
+          b.child_ns[r.a] += r.b;
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  // Dangling audit: keyed by (trace, phase), so a span's begin and end may
+  // land in different rings — they are the same cross-hop span.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> open;
+  for (const Record& r : records) {
+    if (r.trace_id == 0) continue;
+    if (r.kind == EventKind::kPhaseBegin && r.a > 0 && r.a < kPhaseCount) {
+      ++open[{r.trace_id, r.a}];
+    } else if (r.kind == EventKind::kPhaseEnd && r.a > 0 &&
+               r.a < kPhaseCount) {
+      --open[{r.trace_id, r.a}];
+    }
+  }
+  for (const auto& [key, n] : open) {
+    if (n > 0) {
+      out[key.first].dangling_begins += static_cast<std::uint32_t>(n);
+    }
+  }
+  // The outermost (begin, decided) interval is the wall: when the client's
+  // ring is present its submit→result brackets the worker's race, and the
+  // daemon queue wait lies *inside* it — so, unlike the per-race reduction,
+  // srv_queue is not folded in on top. A daemon-only trace degrades to the
+  // worker's own interval (coverage then clamps at 1, as before).
+  for (auto& [trace, b] : out) {
+    const auto e = end_ns.find(trace);
+    if (b.decided && e != end_ns.end() && b.begin_ns != 0 &&
+        e->second >= b.begin_ns) {
+      b.wall_ns = e->second - b.begin_ns;
+      // The daemon hop: client submit → daemon admission, and daemon reply
+      // → client decided. Both rings stamp the same-host monotonic clock,
+      // so the differences are real wire + poll-loop dispatch time. Guard
+      // each leg against reordered stamps (a daemon-only trace has no
+      // client bracket and contributes nothing here).
+      const auto ss = srv_submit_ns.find(trace);
+      if (ss != srv_submit_ns.end() && ss->second > b.begin_ns &&
+          ss->second <= e->second) {
+        b.rpc_ns += ss->second - b.begin_ns;
+      }
+      const auto sr = srv_result_ns.find(trace);
+      if (sr != srv_result_ns.end() && sr->second < e->second &&
+          sr->second >= b.begin_ns) {
+        b.rpc_ns += e->second - sr->second;
+      }
     } else {
       b.wall_ns = 0;
     }

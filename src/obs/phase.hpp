@@ -132,8 +132,14 @@ struct PhaseBreakdown {
   std::uint64_t phase_ns[kPhaseCount] = {};
   std::uint64_t child_ns[kPhaseCount] = {};
   std::uint32_t dangling_begins = 0;   // spans truncated by a kill
+  // Socket + poll-loop dispatch time of the daemon hop: the part of the
+  // client's wall before the daemon admitted the job plus the part after
+  // it forwarded the result. Only the by-trace reduction fills this (both
+  // rings must be present); same-host monotonic clocks make the cross-
+  // process subtraction meaningful.
+  std::uint64_t rpc_ns = 0;
 
-  /// Sum of the parent-side phase durations.
+  /// Sum of the parent-side phase durations plus the daemon-hop rpc time.
   [[nodiscard]] std::uint64_t attributed_ns() const noexcept;
 
   /// attributed / wall, in [0, 1]; 0 when the race never decided.
@@ -145,8 +151,24 @@ struct PhaseBreakdown {
 
 /// Reduces a record stream to per-race breakdowns. Only races that emitted
 /// kRaceBegin appear; races denied admission (no kRaceDecided) appear with
-/// decided == false and wall_ns == 0.
+/// decided == false and wall_ns == 0. The dangling-span audit keys spans by
+/// (node, race) — two stitched rings' colliding race counters cannot cancel
+/// each other — and by trace id when one is set, so a span whose begin and
+/// end landed in different rings counts as one cross-hop span, not two
+/// truncated halves.
 [[nodiscard]] std::map<std::uint32_t, PhaseBreakdown> reduce_critical_path(
     const std::vector<Record>& records);
+
+/// Cross-hop reduction: groups by Record::trace_id (nonzero only), merging
+/// the client's and the daemon's rings of one job into a single breakdown.
+/// wall_ns is the outermost kRaceBegin→kRaceDecided interval — the client's
+/// submit→result when its ring is present — and phase_ns sums the parent
+/// spans from every node under the trace, so coverage() measures how much
+/// of the client-observed wall is attributed to named phases across the
+/// socket hop. rpc_ns captures the hop itself (client submit → daemon
+/// kSrvSubmit, daemon kSrvResult → client decided) so wire and dispatch
+/// time count as attributed rather than as mystery residue.
+[[nodiscard]] std::map<std::uint64_t, PhaseBreakdown>
+reduce_critical_path_by_trace(const std::vector<Record>& records);
 
 }  // namespace altx::obs

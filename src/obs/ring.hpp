@@ -6,7 +6,7 @@
 // lktrace's per-event logs of POSIX synchronization, we want the log to be
 // reconstructable post-mortem — so the log lives in a MAP_SHARED mapping
 // created by the parent *before* alt_spawn and inherited by every child.
-// A write is two atomic operations and a 64-byte copy; a child killed
+// A write is two atomic operations and a 72-byte copy; a child killed
 // between them leaves one unpublished slot, which the reader skips.
 //
 // Design: a bounded arena with monotonically increasing tickets rather than
@@ -42,7 +42,7 @@ namespace altx::obs {
 /// TraceRingReader. Lives at offset 0 of the mapping, slots follow.
 struct RingHeader {
   static constexpr std::uint32_t kMagic = 0x414c5458;  // "ALTX"
-  static constexpr std::uint32_t kVersion = 3;         // + creator identity
+  static constexpr std::uint32_t kVersion = 4;  // + Record::trace_id (v3 schema)
 
   std::uint32_t magic = 0;
   std::uint32_t version = 0;

@@ -32,6 +32,7 @@ namespace {
 TraceRing* g_ring = nullptr;
 std::uint32_t g_attempt = 0;  // inherited by children through fork
 std::uint32_t g_node_id = 0;  // ALTX_NODE_ID; inherited through fork
+std::uint64_t g_trace_id = 0;  // ambient cross-process trace id; fork-inherited
 pid_t g_creator = -1;
 bool g_atexit_hooked = false;  // export_at_exit registered exactly once
 
@@ -61,10 +62,31 @@ std::string& metrics_path() {
   return path;
 }
 
+std::uint64_t wall_now_ns() {
+  timespec ts;
+  if (::clock_gettime(CLOCK_REALTIME, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Metrics snapshot schema: bumped when the JSON shape changes. v2 added the
+// "meta" envelope (schema, pid, monotonic + wall clocks) so an external
+// scraper can align snapshot series across processes and reboots.
+constexpr int kMetricsSchema = 2;
+
 bool write_metrics_file(const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
-  out << MetricsRegistry::global().to_json();
+  const std::string body = MetricsRegistry::global().to_json();
+  char meta[192];
+  std::snprintf(meta, sizeof(meta),
+                "{\"meta\": {\"schema\": %d, \"pid\": %d, "
+                "\"mono_ns\": %llu, \"wall_ns\": %llu},",
+                kMetricsSchema, static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(now_ns()),
+                static_cast<unsigned long long>(wall_now_ns()));
+  // Splice the envelope into the registry dump's outer object.
+  out << meta << body.substr(1);
   return static_cast<bool>(out);
 }
 
@@ -168,6 +190,7 @@ void emit_slow(EventKind kind, std::uint32_t race_id, std::int16_t child_index,
   r.a = a;
   r.b = b;
   r.c = c;
+  r.trace_id = g_trace_id;
   g_ring->push(r);
 }
 
@@ -194,6 +217,26 @@ void emit_at_node(std::uint64_t t_ns, std::uint32_t node_id, EventKind kind,
   r.a = a;
   r.b = b;
   r.c = c;
+  r.trace_id = g_trace_id;
+  g_ring->push(r);
+}
+
+void emit_trace(std::uint64_t trace_id, EventKind kind, std::uint32_t race_id,
+                std::int16_t child_index, std::uint64_t a, std::uint64_t b,
+                std::uint64_t c) noexcept {
+  if (!detail::g_enabled || g_ring == nullptr) [[likely]] return;
+  Record r;
+  r.t_ns = now_ns();
+  r.race_id = race_id;
+  r.attempt = g_attempt;
+  r.pid = static_cast<std::int32_t>(self_pid());
+  r.node_id = g_node_id;
+  r.child_index = child_index;
+  r.kind = kind;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  r.trace_id = trace_id;
   g_ring->push(r);
 }
 
@@ -226,6 +269,28 @@ void set_current_race(std::uint32_t race_id) noexcept {
 }
 
 std::uint32_t current_race() noexcept { return g_current_race; }
+
+void set_current_trace(std::uint64_t trace_id) noexcept {
+  g_trace_id = trace_id;
+}
+
+std::uint64_t current_trace() noexcept { return g_trace_id; }
+
+std::uint64_t mint_trace_id() noexcept {
+  // splitmix64 over (pid, clock, counter): probabilistically unique across
+  // every client process that ever talks to one daemon, never 0, and cheap
+  // enough to mint per job. Deliberately independent of the ring (which may
+  // not exist — a dark client's jobs must still trace on the daemon side).
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x = now_ns() ^
+                    (static_cast<std::uint64_t>(self_pid()) << 32) ^
+                    (counter.fetch_add(1, std::memory_order_relaxed) << 1);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
 
 void enable_for_test(std::size_t capacity) {
   if (g_ring == nullptr) {
@@ -270,6 +335,7 @@ std::uint64_t dropped() {
 void reset() {
   if (g_ring != nullptr) g_ring->reset();
   g_attempt = 0;
+  g_trace_id = 0;
 }
 
 TraceRing* ring() noexcept { return g_ring; }

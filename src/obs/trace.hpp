@@ -91,6 +91,29 @@ void set_node_id(std::uint32_t node_id) noexcept;
 void set_current_race(std::uint32_t race_id) noexcept;
 [[nodiscard]] std::uint32_t current_race() noexcept;
 
+/// The ambient cross-process trace id (Record::trace_id, schema v3).
+/// Minted at the client's race<T>()/server::race<T>() entry, carried over
+/// the altxd job protocol, and set in the daemon worker before it runs the
+/// job so every record the worker and its speculative children emit —
+/// including a SIGKILLed loser's last gasp — lands under the client's
+/// trace. Inherited through fork; 0 = no ambient trace. Unlike the other
+/// ambient scopes this works even when tracing is disabled, because the id
+/// must still travel the wire for the *daemon's* ring to be stitchable.
+void set_current_trace(std::uint64_t trace_id) noexcept;
+[[nodiscard]] std::uint64_t current_trace() noexcept;
+
+/// A fresh, nonzero, probabilistically-unique 64-bit trace id (pid, clock,
+/// and a per-process counter mixed). Works with tracing disabled — remote
+/// submissions always carry a real id so the daemon side stays stitchable.
+[[nodiscard]] std::uint64_t mint_trace_id() noexcept;
+
+/// As emit(), but stamping an explicit trace id instead of the ambient one.
+/// The daemon's poll loop interleaves many clients' jobs in one thread, so
+/// its kSrv* events name their trace per call rather than per scope.
+void emit_trace(std::uint64_t trace_id, EventKind kind, std::uint32_t race_id,
+                std::int16_t child_index, std::uint64_t a = 0,
+                std::uint64_t b = 0, std::uint64_t c = 0) noexcept;
+
 /// Testing / embedding API ------------------------------------------------
 
 /// Enables tracing with an in-memory ring only (no file export at exit).

@@ -171,13 +171,24 @@ Client Client::connect_tcp(const std::string& host, int port) {
 }
 
 std::uint64_t Client::submit(const JobSpec& spec) {
+  return submit(spec, 0, 0);
+}
+
+std::uint64_t Client::submit(const JobSpec& spec, std::uint64_t trace_id,
+                             std::uint64_t span_id) {
   std::uint64_t id;
   {
     std::lock_guard<std::mutex> lk(st_->mu);
     ALTX_REQUIRE(!st_->broken, "client: connection broken");
     id = st_->next_id++;
   }
-  st_->send_frame({FrameType::kSubmit, 0, id, encode_job(spec)});
+  Frame f;
+  f.type = FrameType::kSubmit;
+  f.job_id = id;
+  f.trace_id = trace_id;
+  f.span_id = span_id;
+  f.payload = encode_job(spec);
+  st_->send_frame(f);
   return id;
 }
 
@@ -195,7 +206,10 @@ JobOutcome Client::wait(std::uint64_t job_id,
 }
 
 void Client::cancel(std::uint64_t job_id) {
-  st_->send_frame({FrameType::kCancel, 0, job_id, {}});
+  Frame f;
+  f.type = FrameType::kCancel;
+  f.job_id = job_id;
+  st_->send_frame(f);
 }
 
 WireStats Client::stats(std::chrono::milliseconds timeout) {
@@ -203,7 +217,9 @@ WireStats Client::stats(std::chrono::milliseconds timeout) {
     std::lock_guard<std::mutex> lk(st_->mu);
     st_->stats_reply.reset();
   }
-  st_->send_frame({FrameType::kStats, 0, 0, {}});
+  Frame f;
+  f.type = FrameType::kStats;
+  st_->send_frame(f);
   return st_->wait_until(
       [&]() -> std::optional<WireStats> {
         if (!st_->stats_reply.has_value()) return std::nullopt;
@@ -220,7 +236,9 @@ void Client::ping(std::chrono::milliseconds timeout) {
     std::lock_guard<std::mutex> lk(st_->mu);
     before = st_->pongs;
   }
-  st_->send_frame({FrameType::kPing, 0, 0, {}});
+  Frame f;
+  f.type = FrameType::kPing;
+  st_->send_frame(f);
   (void)st_->wait_until(
       [&]() -> std::optional<bool> {
         if (st_->pongs > before) return true;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "posix/race.hpp"
 #include "server/protocol.hpp"
 
@@ -35,8 +36,14 @@ class Client {
   Client& operator=(Client&&) noexcept;
 
   /// Ships a job; returns the id wait() redeems. Never blocks on the
-  /// daemon — admission denials come back as a kDenied outcome.
+  /// daemon — admission denials come back as a kDenied outcome. The
+  /// three-argument form stamps a cross-process trace id (and the client's
+  /// parent span id) into the frame header so every ring record the daemon
+  /// side emits for this job correlates back to this call site;
+  /// server::race<T> mints these automatically.
   std::uint64_t submit(const JobSpec& spec);
+  std::uint64_t submit(const JobSpec& spec, std::uint64_t trace_id,
+                       std::uint64_t span_id);
 
   /// Blocks until `job_id`'s outcome (result, denial, or cancel ack)
   /// arrives. timeout < 0 waits forever; expiry throws SystemError
@@ -103,7 +110,20 @@ std::optional<posix::RaceResult<T>> race(Client& client,
   }
   for (const RemoteAlt& a : alts) spec.arms.push_back({a.handler, a.args});
 
-  const std::uint64_t id = client.submit(spec);
+  // Cross-process tracing: the correlation id is minted here, at the
+  // boundary where the block leaves this process, and rides the frame
+  // header — so the daemon, its workers, and their speculative children
+  // all stamp their ring records with it. The client-side kRaceBegin /
+  // kRaceDecided pair records the submit→result wall in *this* process's
+  // ring; altx-trace --stitch then tiles the daemon's queue and phase
+  // spans under the same trace id.
+  const std::uint64_t trace_id = obs::mint_trace_id();
+  const std::uint64_t span_id = obs::mint_trace_id();
+  const std::uint32_t cli_race = obs::next_race_id();
+  obs::emit_trace(trace_id, obs::EventKind::kRaceBegin, cli_race, 0,
+                  alts.size(), 1);
+
+  const std::uint64_t id = client.submit(spec, trace_id, span_id);
   // The daemon enforces the job timeout in the worker; pad the client-side
   // wait so queueing cannot turn a slow daemon into a spurious ETIMEDOUT.
   const JobOutcome out =
@@ -116,23 +136,27 @@ std::optional<posix::RaceResult<T>> race(Client& client,
     info->retry_after_ms = out.retry_after_ms;
     info->error = out.error;
   }
+  posix::WaitVerdict verdict;
+  switch (out.status) {
+    case JobStatus::kWon:
+      verdict = posix::WaitVerdict::kWinner;
+      break;
+    case JobStatus::kAllFailed:
+      verdict = posix::WaitVerdict::kAllFailed;
+      break;
+    case JobStatus::kTimeout:
+      verdict = posix::WaitVerdict::kTimeout;
+      break;
+    default:
+      verdict = posix::WaitVerdict::kUndecided;
+      break;
+  }
+  obs::emit_trace(trace_id, obs::EventKind::kRaceDecided, cli_race, 0,
+                  static_cast<std::uint64_t>(verdict), out.winner);
   if (options.report != nullptr) {
     posix::RaceReport& rep = *options.report;
     rep = {};
-    switch (out.status) {
-      case JobStatus::kWon:
-        rep.verdict = posix::WaitVerdict::kWinner;
-        break;
-      case JobStatus::kAllFailed:
-        rep.verdict = posix::WaitVerdict::kAllFailed;
-        break;
-      case JobStatus::kTimeout:
-        rep.verdict = posix::WaitVerdict::kTimeout;
-        break;
-      default:
-        rep.verdict = posix::WaitVerdict::kUndecided;
-        break;
-    }
+    rep.verdict = verdict;
   }
   if (out.status == JobStatus::kError) {
     throw SystemError("server::race: " + out.error, EIO);

@@ -66,6 +66,8 @@ Bytes encode_frame(const Frame& frame) {
   w.u8(static_cast<std::uint8_t>(frame.flags >> 8));
   w.u64(frame.job_id);
   w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.u64(frame.trace_id);
+  w.u64(frame.span_id);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
 }
@@ -111,11 +113,15 @@ std::optional<Frame> FrameDecoder::next() {
     throw ProtocolError("frame: payload " + std::to_string(payload_len) +
                         " bytes exceeds cap");
   }
+  const std::uint64_t trace_id = r.u64();
+  const std::uint64_t span_id = r.u64();
   if (avail < kFrameHeaderBytes + payload_len) return std::nullopt;
   Frame f;
   f.type = static_cast<FrameType>(type);
   f.flags = flags;
   f.job_id = job_id;
+  f.trace_id = trace_id;
+  f.span_id = span_id;
   const std::uint8_t* body = buf_.data() + consumed_ + kFrameHeaderBytes;
   f.payload.assign(body, body + payload_len);
   consumed_ += kFrameHeaderBytes + payload_len;

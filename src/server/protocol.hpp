@@ -8,7 +8,7 @@
 // block with posix::race<Bytes> inside a pre-warmed worker and streams the
 // outcome back.
 //
-// Frame layout (little-endian, 20-byte header + payload):
+// Frame layout (little-endian, 36-byte header + payload):
 //
 //   u32 magic       0x4a544c41 ("ALTJ")
 //   u8  version     kProtoVersion
@@ -16,6 +16,15 @@
 //   u16 flags       reserved (must round-trip)
 //   u64 job_id      client-chosen, unique per connection
 //   u32 payload_len bytes following the header (<= kMaxFramePayload)
+//   u64 trace_id    v2: cross-process trace id (obs::Record::trace_id);
+//                   minted at the client's race<T>() call, 0 = untraced
+//   u64 span_id     v2: the client-side parent span for this job, so a
+//                   future span-tree view can parent the daemon's spans
+//
+// Version history: v1 was the 20-byte header without the trace fields; v2
+// (this version) appends them. The first 20 bytes are layout-identical, so
+// a v2 decoder rejects a v1 peer deterministically at the version byte —
+// mixed-version deployments fail loudly, not by misparsing.
 //
 // Both ends parse with the incremental FrameDecoder below: feed() whatever
 // the socket produced, next() yields complete frames. The decoder enforces
@@ -37,8 +46,8 @@
 namespace altx::server {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4a544c41;  // "ALTJ" in LE
-inline constexpr std::uint8_t kProtoVersion = 1;
-inline constexpr std::size_t kFrameHeaderBytes = 20;
+inline constexpr std::uint8_t kProtoVersion = 2;  // v2: + trace_id, span_id
+inline constexpr std::size_t kFrameHeaderBytes = 36;
 inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
 
 /// Caps on the decoded job payload, enforced by decode_job: a frame that
@@ -71,6 +80,8 @@ struct Frame {
   FrameType type = FrameType::kPing;
   std::uint16_t flags = 0;
   std::uint64_t job_id = 0;
+  std::uint64_t trace_id = 0;  // cross-process correlation id (0 = untraced)
+  std::uint64_t span_id = 0;   // client-side parent span of this job
   Bytes payload;
 };
 

@@ -12,8 +12,11 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -94,10 +97,63 @@ struct Conn {
   }
 };
 
+Frame make_frame(FrameType type, std::uint64_t job_id, Bytes payload,
+                 std::uint64_t trace_id = 0, std::uint64_t span_id = 0) {
+  Frame f;
+  f.type = type;
+  f.job_id = job_id;
+  f.trace_id = trace_id;
+  f.span_id = span_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
 struct QueuedJob {
   std::uint64_t job_id = 0;
   JobSpec spec;
   std::uint64_t submit_ns = 0;
+  std::uint64_t trace_id = 0;  // client-minted correlation id (frame header)
+  std::uint64_t span_id = 0;
+};
+
+/// One HTTP/1.0 metrics-scrape connection: read whatever request arrives,
+/// answer one exposition document, flush, close. The daemon is not a web
+/// server — no keep-alive, no routing beyond "any GET gets the metrics".
+struct HttpConn {
+  posix::Fd fd;
+  std::string in;
+  std::string out;
+  std::size_t out_off = 0;
+  bool responded = false;
+  bool dead = false;
+
+  [[nodiscard]] bool wants_write() const { return out_off < out.size(); }
+
+  void flush() {
+    while (out_off < out.size()) {
+      const ssize_t n =
+          ::write(fd.get(), out.data() + out_off, out.size() - out_off);
+      if (n > 0) {
+        out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      dead = true;
+      return;
+    }
+    if (responded && out_off == out.size()) dead = true;  // done: close
+  }
+};
+
+/// Per-client lifetime job counters for the exposition endpoint. Kept in a
+/// map that outlives the connection — a scraper polling every few seconds
+/// must still see the totals of a client that finished in between.
+struct ClientCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t canceled = 0;
 };
 
 struct ClientState {
@@ -114,6 +170,8 @@ struct WorkerState {
   bool busy = false;
   std::uint64_t client_id = 0;
   std::uint64_t job_id = 0;
+  std::uint64_t trace_id = 0;  // of the running job, for teardown replies
+  std::uint64_t span_id = 0;
 };
 
 }  // namespace
@@ -123,8 +181,12 @@ struct Server::Impl {
 
   posix::Fd listen_unix;
   posix::Fd listen_tcp;
+  posix::Fd listen_metrics;
   int bound_tcp_port = 0;
+  int bound_metrics_port = 0;
   posix::Fd stop_fd;
+  std::vector<std::unique_ptr<HttpConn>> http_conns;
+  std::map<std::uint64_t, ClientCounters> client_counters;
   std::atomic<int> stop_fd_raw{-1};  // for the signal-safe request_stop
 
   std::unique_ptr<posix::SpeculationGovernor> owned_gov;
@@ -199,6 +261,178 @@ struct Server::Impl {
     set_nonblock(fd);
   }
 
+  void bind_metrics() {
+    if (cfg.metrics_addr.empty()) return;
+    // "PORT" or "HOST:PORT"; host defaults to loopback — the exposition
+    // carries operational detail and has no auth, so binding wide must be
+    // an explicit choice.
+    std::string host = "127.0.0.1";
+    std::string port_str = cfg.metrics_addr;
+    const auto colon = cfg.metrics_addr.rfind(':');
+    if (colon != std::string::npos) {
+      if (colon > 0) host = cfg.metrics_addr.substr(0, colon);
+      port_str = cfg.metrics_addr.substr(colon + 1);
+    }
+    const int port = std::atoi(port_str.c_str());
+    ALTX_REQUIRE(port >= 0 && port <= 65535 &&
+                     (!port_str.empty() && port_str != "0") == (port != 0),
+                 "altxd: bad metrics_addr port");
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("altxd: socket(metrics)");
+    listen_metrics = posix::Fd(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    if (host == "0.0.0.0") {
+      addr.sin_addr.s_addr = ::htonl(INADDR_ANY);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw SystemError("altxd: bad metrics_addr host " + host, EINVAL);
+    }
+    addr.sin_port = ::htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      throw_errno("altxd: bind(metrics " + cfg.metrics_addr + ")");
+    }
+    if (::listen(fd, 16) != 0) throw_errno("altxd: listen(metrics)");
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      throw_errno("altxd: getsockname(metrics)");
+    }
+    bound_metrics_port = ::ntohs(addr.sin_port);
+    set_nonblock(fd);
+  }
+
+  /// The exposition document: server counters/gauges (the same atomics
+  /// kStatsReply serializes, so the two surfaces can never disagree),
+  /// per-client labeled job counters, and the registry's histograms as
+  /// cumulative buckets.
+  std::string render_prometheus() const {
+    const WireStats s = make_stats();
+    std::string out;
+    char buf[192];
+    const auto counter = [&](const char* name, const char* help,
+                             std::uint64_t v) {
+      std::snprintf(buf, sizeof buf,
+                    "# HELP altx_%s %s\n# TYPE altx_%s counter\naltx_%s %llu\n",
+                    name, help, name, name,
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    };
+    const auto gauge = [&](const char* name, const char* help,
+                           std::uint64_t v) {
+      std::snprintf(buf, sizeof buf,
+                    "# HELP altx_%s %s\n# TYPE altx_%s gauge\naltx_%s %llu\n",
+                    name, help, name, name,
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    };
+    counter("jobs_accepted_total", "submits admitted to a queue", s.accepted);
+    counter("jobs_completed_total", "results streamed back", s.completed);
+    counter("jobs_denied_total", "RETRY-AFTER denials", s.denied);
+    counter("jobs_canceled_total", "cancels and disconnect teardowns",
+            s.canceled);
+    counter("worker_spawns_total", "workers forked from the zygote",
+            s.worker_spawns);
+    counter("worker_respawns_total", "replacements after forced teardown",
+            s.worker_respawns);
+    counter("gov_tokens_reclaimed_total", "governor reconcile total",
+            s.tokens_reclaimed);
+    gauge("queue_depth", "jobs queued across all clients", s.queued);
+    gauge("jobs_running", "jobs currently racing in workers", s.running);
+    gauge("jobs_inflight_hw", "submitted-not-replied high water",
+          s.inflight_hw);
+    gauge("clients_connected", "live client connections", s.clients);
+    gauge("zygote_pool_size", "workers in the pool",
+          static_cast<std::uint64_t>(s.workers_idle) + s.workers_busy);
+    gauge("workers_idle", "pool workers awaiting a job", s.workers_idle);
+    gauge("workers_busy", "pool workers racing a job", s.workers_busy);
+    out +=
+        "# HELP altx_client_jobs_total per-client lifetime job counts\n"
+        "# TYPE altx_client_jobs_total counter\n";
+    for (const auto& [id, cc] : client_counters) {
+      std::snprintf(buf, sizeof buf,
+                    "altx_client_jobs_total{client=\"%llu\","
+                    "outcome=\"submitted\"} %llu\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(cc.submitted));
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    "altx_client_jobs_total{client=\"%llu\","
+                    "outcome=\"completed\"} %llu\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(cc.completed));
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    "altx_client_jobs_total{client=\"%llu\","
+                    "outcome=\"denied\"} %llu\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(cc.denied));
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    "altx_client_jobs_total{client=\"%llu\","
+                    "outcome=\"canceled\"} %llu\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(cc.canceled));
+      out += buf;
+    }
+    out += obs::MetricsRegistry::global().to_prometheus();
+    return out;
+  }
+
+  void accept_metrics() {
+    for (;;) {
+      const int fd = ::accept4(listen_metrics.get(), nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (http_conns.size() >= 32) {  // scrapers, not traffic: a tiny cap
+        ::close(fd);
+        continue;
+      }
+      auto h = std::make_unique<HttpConn>();
+      h->fd = posix::Fd(fd);
+      http_conns.push_back(std::move(h));
+    }
+  }
+
+  void read_http(HttpConn& h) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(h.fd.get(), buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        h.dead = true;
+        return;
+      }
+      if (n == 0) {
+        if (!h.responded) h.dead = true;
+        return;
+      }
+      h.in.append(buf, static_cast<std::size_t>(n));
+      if (h.in.size() > (64u << 10)) {  // nobody's GET is this long
+        h.dead = true;
+        return;
+      }
+      if (n < static_cast<ssize_t>(sizeof buf)) break;
+    }
+    if (h.responded || h.in.find("\r\n\r\n") == std::string::npos) return;
+    const bool ok = h.in.rfind("GET ", 0) == 0;
+    const std::string body = ok ? render_prometheus() : std::string();
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "HTTP/1.0 %s\r\n"
+                  "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                  "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                  ok ? "200 OK" : "405 Method Not Allowed", body.size());
+    h.out = head;
+    h.out += body;
+    h.responded = true;
+    h.flush();
+  }
+
   void add_worker(bool respawn) {
     const std::uint64_t t0 = obs::now_ns();
     Zygote::WorkerHandle h = zygote->spawn_worker();
@@ -209,11 +443,11 @@ struct Server::Impl {
     const std::uint64_t spawn_ns = obs::now_ns() - t0;
     obs::emit(obs::EventKind::kSrvWorkerSpawn, 0, 0,
               static_cast<std::uint64_t>(w->pid), spawn_ns, respawn ? 1 : 0);
-    if (obs::enabled()) {
-      obs::MetricsRegistry::global()
-          .histogram("srv_worker_spawn_ns")
-          .record(spawn_ns);
-    }
+    // Unconditional: the metrics endpoint must read true even when the
+    // trace ring is dark (registry writes are cheap relaxed atomics).
+    obs::MetricsRegistry::global()
+        .histogram("srv_worker_spawn_ns")
+        .record(spawn_ns);
     if (respawn) {
       worker_respawns.fetch_add(1);
     }
@@ -336,19 +570,20 @@ struct Server::Impl {
     queued_g.fetch_sub(1);
     const std::uint64_t now = obs::now_ns();
     job.spec.queue_ns = now > job.submit_ns ? now - job.submit_ns : 0;
-    w.conn.queue({FrameType::kSubmit, 0, job.job_id, encode_job(job.spec)});
+    w.conn.queue(make_frame(FrameType::kSubmit, job.job_id,
+                            encode_job(job.spec), job.trace_id, job.span_id));
     w.busy = true;
     w.client_id = c.id;
     w.job_id = job.job_id;
+    w.trace_id = job.trace_id;
+    w.span_id = job.span_id;
     c.running += 1;
     running_g.fetch_add(1);
-    obs::emit(obs::EventKind::kSrvAssign, 0, 0, job.job_id,
-              static_cast<std::uint64_t>(w.pid), job.spec.queue_ns);
-    if (obs::enabled()) {
-      obs::MetricsRegistry::global()
-          .histogram("srv_queue_wait_ns")
-          .record(job.spec.queue_ns);
-    }
+    obs::emit_trace(job.trace_id, obs::EventKind::kSrvAssign, 0, 0, job.job_id,
+                    static_cast<std::uint64_t>(w.pid), job.spec.queue_ns);
+    obs::MetricsRegistry::global()
+        .histogram("srv_queue_wait_ns")
+        .record(job.spec.queue_ns);
   }
 
   void schedule() {
@@ -365,34 +600,39 @@ struct Server::Impl {
   // ---- client protocol -------------------------------------------------
 
   void reply_outcome(ClientState& c, std::uint64_t job_id,
-                     const JobOutcome& out) {
-    c.conn.queue({FrameType::kResult, 0, job_id, encode_outcome(out)});
+                     const JobOutcome& out, std::uint64_t trace_id = 0,
+                     std::uint64_t span_id = 0) {
+    c.conn.queue(make_frame(FrameType::kResult, job_id, encode_outcome(out),
+                            trace_id, span_id));
   }
 
   void handle_submit(ClientState& c, const Frame& f) {
     JobSpec spec = decode_job(f.payload);  // ProtocolError drops the client
     if (static_cast<int>(c.queue.size()) >= cfg.per_client_queue) {
       denied.fetch_add(1);
-      obs::emit(obs::EventKind::kSrvDeny, 0, 0, c.id, f.job_id,
-                cfg.retry_after_ms);
-      if (obs::enabled()) {
-        obs::MetricsRegistry::global().counter("srv_denials").add();
-      }
+      client_counters[c.id].denied += 1;
+      obs::emit_trace(f.trace_id, obs::EventKind::kSrvDeny, 0, 0, c.id,
+                      f.job_id, cfg.retry_after_ms);
+      obs::MetricsRegistry::global().counter("srv_denials").add();
       Bytes deny;
       ByteWriter bw(deny);
       bw.u32(cfg.retry_after_ms);
       bw.str("client queue full");
-      c.conn.queue({FrameType::kDeny, 0, f.job_id, std::move(deny)});
+      c.conn.queue(make_frame(FrameType::kDeny, f.job_id, std::move(deny),
+                              f.trace_id, f.span_id));
       return;
     }
     QueuedJob q;
     q.job_id = f.job_id;
     q.spec = std::move(spec);
     q.submit_ns = obs::now_ns();
-    obs::emit(obs::EventKind::kSrvSubmit, 0, 0, c.id, f.job_id,
-              q.spec.arms.size());
+    q.trace_id = f.trace_id;
+    q.span_id = f.span_id;
+    obs::emit_trace(f.trace_id, obs::EventKind::kSrvSubmit, 0, 0, c.id,
+                    f.job_id, q.spec.arms.size());
     c.queue.push_back(std::move(q));
     queued_g.fetch_add(1);
+    client_counters[c.id].submitted += 1;
     note_submitted();
   }
 
@@ -400,14 +640,17 @@ struct Server::Impl {
     // Queued: just drop it and answer.
     for (auto it = c.queue.begin(); it != c.queue.end(); ++it) {
       if (it->job_id == job_id) {
+        const std::uint64_t trace = it->trace_id;
+        const std::uint64_t span = it->span_id;
         c.queue.erase(it);
         queued_g.fetch_sub(1);
         canceled.fetch_add(1);
+        client_counters[c.id].canceled += 1;
         note_replied();
-        obs::emit(obs::EventKind::kSrvCancel, 0, 0, job_id, 0);
+        obs::emit_trace(trace, obs::EventKind::kSrvCancel, 0, 0, job_id, 0);
         JobOutcome out;
         out.status = JobStatus::kCanceled;
-        reply_outcome(c, job_id, out);
+        reply_outcome(c, job_id, out, trace, span);
         return;
       }
     }
@@ -415,15 +658,18 @@ struct Server::Impl {
     // tear the cohort down and replace the worker.
     if (WorkerState* w = find_running(c.id, job_id)) {
       const auto idx = worker_index(w);
+      const std::uint64_t trace = w->trace_id;
+      const std::uint64_t span = w->span_id;
       c.running -= 1;
       running_g.fetch_sub(1);
       canceled.fetch_add(1);
+      client_counters[c.id].canceled += 1;
       note_replied();
-      obs::emit(obs::EventKind::kSrvCancel, 0, 0, job_id, 1);
+      obs::emit_trace(trace, obs::EventKind::kSrvCancel, 0, 0, job_id, 1);
       if (idx.has_value()) teardown_worker(*idx, /*forced=*/true);
       JobOutcome out;
       out.status = JobStatus::kCanceled;
-      reply_outcome(c, job_id, out);
+      reply_outcome(c, job_id, out, trace, span);
       return;
     }
     // Unknown id (already completed, or never existed): idempotent no-op.
@@ -464,11 +710,11 @@ struct Server::Impl {
         handle_cancel(c, f.job_id);
         return true;
       case FrameType::kStats:
-        c.conn.queue(
-            {FrameType::kStatsReply, 0, f.job_id, encode_stats(make_stats())});
+        c.conn.queue(make_frame(FrameType::kStatsReply, f.job_id,
+                                encode_stats(make_stats())));
         return true;
       case FrameType::kPing:
-        c.conn.queue({FrameType::kPong, 0, f.job_id, {}});
+        c.conn.queue(make_frame(FrameType::kPong, f.job_id, {}));
         return true;
       default:
         return false;  // server-to-client types from a client: violation
@@ -540,14 +786,21 @@ struct Server::Impl {
     ClientState* c = find_client(w.client_id);
     w.busy = false;
     const std::uint64_t job_id = w.job_id;
+    const std::uint64_t client_id = w.client_id;
     w.job_id = 0;
     w.client_id = 0;
+    w.trace_id = 0;
+    w.span_id = 0;
     running_g.fetch_sub(1);
     completed.fetch_add(1);
+    client_counters[client_id].completed += 1;
     note_replied();
     if (c != nullptr) {
       c->running -= 1;
-      c->conn.queue({FrameType::kResult, 0, job_id, f.payload});
+      // Echo the worker's header ids so the client-side frame carries the
+      // same trace the records do.
+      c->conn.queue(make_frame(FrameType::kResult, job_id, f.payload,
+                               f.trace_id, f.span_id));
     }
     std::uint64_t exec_ns = 0;
     std::uint8_t status = 255;
@@ -555,15 +808,13 @@ struct Server::Impl {
       const JobOutcome out = decode_outcome(f.payload);
       exec_ns = out.exec_ns;
       status = static_cast<std::uint8_t>(out.status);
-      if (obs::enabled()) {
-        obs::MetricsRegistry::global()
-            .histogram("srv_exec_ns")
-            .record(out.exec_ns);
-      }
+      obs::MetricsRegistry::global().histogram("srv_exec_ns").record(
+          out.exec_ns);
     } catch (const ProtocolError&) {
       // Forwarded verbatim anyway; the client will see the same error.
     }
-    obs::emit(obs::EventKind::kSrvResult, 0, 0, job_id, status, exec_ns);
+    obs::emit_trace(f.trace_id, obs::EventKind::kSrvResult, 0, 0, job_id,
+                    status, exec_ns);
   }
 
   /// A busy worker's fd died (crash, kill, protocol garbage): the job it
@@ -581,7 +832,8 @@ struct Server::Impl {
           JobOutcome out;
           out.status = JobStatus::kError;
           out.error = "worker died while running the job";
-          reply_outcome(*c, w.job_id, out);
+          reply_outcome(*c, w.job_id, out, w.trace_id, w.span_id);
+          client_counters[w.client_id].completed += 1;
         }
       }
       teardown_worker(i, /*forced=*/true);
@@ -599,6 +851,7 @@ struct Server::Impl {
       canceled.fetch_add(1);
       note_replied();
     }
+    client_counters[id].canceled += dropped_queued;
     c.queue.clear();
     // Kill every cohort still racing for this client: the results have no
     // recipient, and speculative children must not outlive their reason.
@@ -607,6 +860,7 @@ struct Server::Impl {
       if (w.busy && w.client_id == id) {
         running_g.fetch_sub(1);
         canceled.fetch_add(1);
+        client_counters[id].canceled += 1;
         note_replied();
         ++reaped_running;
         teardown_worker(i, /*forced=*/true);
@@ -652,8 +906,9 @@ struct Server::Impl {
         JobOutcome out;
         out.status = JobStatus::kCanceled;
         out.error = "daemon shutting down";
-        reply_outcome(*c, q.job_id, out);
+        reply_outcome(*c, q.job_id, out, q.trace_id, q.span_id);
         canceled.fetch_add(1);
+        client_counters[id].canceled += 1;
         note_replied();
         ++reaped_jobs;
       }
@@ -670,11 +925,12 @@ struct Server::Impl {
           JobOutcome out;
           out.status = JobStatus::kCanceled;
           out.error = "daemon shutting down";
-          reply_outcome(*c, w.job_id, out);
+          reply_outcome(*c, w.job_id, out, w.trace_id, w.span_id);
           c->running -= 1;
         }
         running_g.fetch_sub(1);
         canceled.fetch_add(1);
+        client_counters[w.client_id].canceled += 1;
         note_replied();
         ++reaped_jobs;
       }
@@ -723,6 +979,8 @@ struct Server::Impl {
 
     listen_unix.reset();
     listen_tcp.reset();
+    listen_metrics.reset();
+    http_conns.clear();
     if (!cfg.socket_path.empty()) ::unlink(cfg.socket_path.c_str());
   }
 };
@@ -777,6 +1035,7 @@ void Server::start() {
 
   s.bind_unix();
   s.bind_tcp();
+  s.bind_metrics();
 
   for (int i = 0; i < s.cfg.workers; ++i) s.add_worker(/*respawn=*/false);
   s.started = true;
@@ -786,7 +1045,15 @@ void Server::run() {
   Impl& s = *impl_;
   ALTX_REQUIRE(s.started, "altxd: run() before start()");
 
-  enum class Tag : std::uint8_t { kStop, kUnix, kTcp, kClient, kWorker };
+  enum class Tag : std::uint8_t {
+    kStop,
+    kUnix,
+    kTcp,
+    kMetrics,
+    kClient,
+    kWorker,
+    kHttp
+  };
   struct Slot {
     Tag tag;
     std::uint64_t id;  // client id or worker index
@@ -807,6 +1074,16 @@ void Server::run() {
     if (s.listen_tcp.valid()) {
       pfds.push_back({s.listen_tcp.get(), POLLIN, 0});
       slots.push_back({Tag::kTcp, 0});
+    }
+    if (s.listen_metrics.valid()) {
+      pfds.push_back({s.listen_metrics.get(), POLLIN, 0});
+      slots.push_back({Tag::kMetrics, 0});
+    }
+    for (auto& h : s.http_conns) {
+      short ev = POLLIN;
+      if (h->wants_write()) ev |= POLLOUT;
+      pfds.push_back({h->fd.get(), ev, 0});
+      slots.push_back({Tag::kHttp, 0});
     }
     for (auto& [id, c] : s.clients) {
       short ev = POLLIN;
@@ -845,6 +1122,24 @@ void Server::run() {
         case Tag::kTcp:
           s.accept_from(s.listen_tcp.get(), /*tcp=*/true);
           break;
+        case Tag::kMetrics:
+          s.accept_metrics();
+          break;
+        case Tag::kHttp: {
+          // http_conns can shrink mid-pass; re-find by fd.
+          HttpConn* h = nullptr;
+          for (auto& cand : s.http_conns) {
+            if (cand->fd.get() == pfds[i].fd) {
+              h = cand.get();
+              break;
+            }
+          }
+          if (h == nullptr) break;
+          if ((re & (POLLERR | POLLNVAL)) != 0) h->dead = true;
+          if (!h->dead && (re & POLLOUT) != 0) h->flush();
+          if (!h->dead && (re & (POLLIN | POLLHUP)) != 0) s.read_http(*h);
+          break;
+        }
         case Tag::kClient: {
           ClientState* c = s.find_client(slots[i].id);
           if (c == nullptr) break;  // dropped earlier this pass
@@ -879,6 +1174,12 @@ void Server::run() {
     if (stop) break;
 
     s.sweep_dead_workers();
+    s.http_conns.erase(
+        std::remove_if(s.http_conns.begin(), s.http_conns.end(),
+                       [](const std::unique_ptr<HttpConn>& h) {
+                         return h->dead;
+                       }),
+        s.http_conns.end());
     std::vector<std::uint64_t> dead_clients;
     for (auto& [id, c] : s.clients) {
       if (c->conn.dead) dead_clients.push_back(id);
@@ -904,5 +1205,9 @@ posix::SpeculationGovernor* Server::governor() const noexcept {
 }
 
 int Server::tcp_port() const noexcept { return impl_->bound_tcp_port; }
+
+int Server::metrics_port() const noexcept {
+  return impl_->bound_metrics_port;
+}
 
 }  // namespace altx::server

@@ -65,6 +65,14 @@ struct ServerConfig {
   /// every worker. 0: workers resolve SpeculationGovernor::global().
   int gov_tokens = 0;
 
+  /// Prometheus/OpenMetrics exposition endpoint: "" = off, "PORT" or
+  /// "HOST:PORT" binds an HTTP listener there (port 0 = ephemeral — read it
+  /// back with Server::metrics_port()). GET / or /metrics returns the
+  /// daemon's counters, gauges, per-client job counters, and the latency
+  /// histograms as cumulative buckets; served from the poll loop, no extra
+  /// thread. Host defaults to 127.0.0.1.
+  std::string metrics_addr;
+
   /// SIGTERM → SIGKILL grace when destroying a worker cohort.
   std::chrono::milliseconds kill_grace{50};
 
@@ -102,6 +110,9 @@ class Server {
 
   /// The bound TCP port (0 when the TCP listener is off).
   [[nodiscard]] int tcp_port() const noexcept;
+
+  /// The bound metrics-endpoint port (0 when metrics_addr is empty).
+  [[nodiscard]] int metrics_port() const noexcept;
 
  private:
   struct Impl;

@@ -195,11 +195,21 @@ JobOutcome run_job(const JobSpec& spec, const ZygoteConfig& cfg,
     try {
       while (std::optional<Frame> f = dec.next()) {
         if (f->type == FrameType::kPing) {
-          const Bytes pong = encode_frame({FrameType::kPong, 0, f->job_id, {}});
+          Frame pong_frame;
+          pong_frame.type = FrameType::kPong;
+          pong_frame.job_id = f->job_id;
+          const Bytes pong = encode_frame(pong_frame);
           posix::write_all(job_fd, pong.data(), pong.size());
           continue;
         }
         if (f->type != FrameType::kSubmit) ::_exit(2);
+        // Adopt the client's trace id for the job's whole lifetime in this
+        // process: the race's own records, the after-the-fact srv_queue
+        // span, and — because the ambient id is inherited through fork —
+        // every record the speculative arms emit, including the last gasp
+        // of a loser that dies by SIGKILL. Cleared after the reply so a
+        // recycled worker cannot leak one job's id into the next.
+        obs::set_current_trace(f->trace_id);
         JobOutcome out;
         try {
           out = run_job(decode_job(f->payload), cfg, heap);
@@ -207,8 +217,14 @@ JobOutcome run_job(const JobSpec& spec, const ZygoteConfig& cfg,
           out.status = JobStatus::kError;
           out.error = e.what();
         }
-        const Bytes reply = encode_frame(
-            {FrameType::kResult, 0, f->job_id, encode_outcome(out)});
+        Frame reply_frame;
+        reply_frame.type = FrameType::kResult;
+        reply_frame.job_id = f->job_id;
+        reply_frame.trace_id = f->trace_id;
+        reply_frame.span_id = f->span_id;
+        reply_frame.payload = encode_outcome(out);
+        const Bytes reply = encode_frame(reply_frame);
+        obs::set_current_trace(0);
         posix::write_all(job_fd, reply.data(), reply.size());
       }
     } catch (const ProtocolError&) {

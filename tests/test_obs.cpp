@@ -142,6 +142,44 @@ TEST(Metrics, CounterAndHistogram) {
   EXPECT_EQ(reg.counter("x").value(), 0u);
 }
 
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("jobs").add(7);
+  Histogram& h = reg.histogram("wait_ns");
+  for (const std::uint64_t v : {1u, 2u, 4u, 100u}) h.record(v);
+
+  const std::string text = reg.to_prometheus("altx_");
+
+  // Counters get the _total suffix and a TYPE line.
+  EXPECT_NE(text.find("# TYPE altx_jobs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_jobs_total 7\n"), std::string::npos);
+
+  // Histogram buckets are cumulative with inclusive power-of-two upper
+  // bounds: bucket i holds [2^i, 2^(i+1)), so le = 2^(i+1)-1.
+  EXPECT_NE(text.find("# TYPE altx_wait_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_bucket{le=\"7\"} 3\n"), std::string::npos);
+  // Empty interior buckets still emit rows (cumulative count is flat)...
+  EXPECT_NE(text.find("altx_wait_ns_bucket{le=\"63\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_bucket{le=\"127\"} 4\n"), std::string::npos);
+  // ...but the empty tail past the last occupied bucket is elided.
+  EXPECT_EQ(text.find("le=\"255\""), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_sum 107\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_wait_ns_count 4\n"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEmptyHistogramHasNoBuckets) {
+  MetricsRegistry reg;
+  reg.histogram("idle");
+  const std::string text = reg.to_prometheus("altx_");
+  EXPECT_NE(text.find("# TYPE altx_idle histogram\n"), std::string::npos);
+  EXPECT_EQ(text.find("altx_idle_bucket{le=\"1\""), std::string::npos);
+  EXPECT_NE(text.find("altx_idle_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("altx_idle_count 0\n"), std::string::npos);
+}
+
 TEST(Metrics, EmptyHistogramIsDefined) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);

@@ -12,6 +12,9 @@
 #include <thread>
 
 #include "constrained.hpp"
+#include "obs/event.hpp"
+#include "obs/trace.hpp"
+#include "posix/alt_group.hpp"
 #include "posix/governor.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
@@ -24,6 +27,14 @@ using namespace altx;
 using namespace altx::server;
 using namespace std::chrono_literals;
 
+Frame mk(FrameType type, std::uint64_t job_id, Bytes payload = {}) {
+  Frame f;
+  f.type = type;
+  f.job_id = job_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
 // ---- frame + payload round trips ---------------------------------------
 
 TEST(ServerProtocol, FrameRoundTrip) {
@@ -31,6 +42,8 @@ TEST(ServerProtocol, FrameRoundTrip) {
   f.type = FrameType::kSubmit;
   f.flags = 0xbeef;
   f.job_id = 0x1122334455667788ULL;
+  f.trace_id = 0xfeedfacecafef00dULL;
+  f.span_id = 0x0123456789abcdefULL;
   f.payload = {1, 2, 3, 4, 5};
   const Bytes raw = encode_frame(f);
   ASSERT_EQ(raw.size(), kFrameHeaderBytes + 5);
@@ -42,9 +55,32 @@ TEST(ServerProtocol, FrameRoundTrip) {
   EXPECT_EQ(out->type, FrameType::kSubmit);
   EXPECT_EQ(out->flags, 0xbeef);
   EXPECT_EQ(out->job_id, f.job_id);
+  EXPECT_EQ(out->trace_id, 0xfeedfacecafef00dULL);
+  EXPECT_EQ(out->span_id, 0x0123456789abcdefULL);
   EXPECT_EQ(out->payload, f.payload);
   EXPECT_FALSE(dec.next().has_value());
   EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(ServerProtocol, UntracedFrameCarriesZeroIds) {
+  const Bytes raw = encode_frame(mk(FrameType::kPing, 7));
+  FrameDecoder dec;
+  dec.feed(raw.data(), raw.size());
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->trace_id, 0u);
+  EXPECT_EQ(out->span_id, 0u);
+}
+
+TEST(ServerProtocol, V1FramesAreRejectedAtTheVersionByte) {
+  // The v2 header grew from 20 to 36 bytes, but the first 20 bytes kept the
+  // v1 layout — so a v1 writer's frame deterministically fails here, at the
+  // version check, instead of being misparsed.
+  Bytes raw = encode_frame(mk(FrameType::kPing, 0));
+  raw[4] = 1;  // the v1 version byte
+  FrameDecoder dec;
+  dec.feed(raw.data(), raw.size());
+  EXPECT_THROW((void)dec.next(), ProtocolError);
 }
 
 TEST(ServerProtocol, JobSpecRoundTrip) {
@@ -125,8 +161,8 @@ TEST(ServerProtocol, DecoderAcceptsByteAtATime) {
 
 TEST(ServerProtocol, TruncatedFrameIsJustIncomplete) {
   // A prefix of a valid frame is not an error — the rest may still arrive.
-  const Bytes raw = encode_frame({FrameType::kSubmit, 0, 1, Bytes(64, 1)});
-  for (const std::size_t cut : {1ul, 19ul, 20ul, 40ul, raw.size() - 1}) {
+  const Bytes raw = encode_frame(mk(FrameType::kSubmit, 1, Bytes(64, 1)));
+  for (const std::size_t cut : {1ul, 19ul, 20ul, 35ul, 40ul, raw.size() - 1}) {
     FrameDecoder dec;
     dec.feed(raw.data(), cut);
     EXPECT_FALSE(dec.next().has_value()) << "cut at " << cut;
@@ -134,7 +170,7 @@ TEST(ServerProtocol, TruncatedFrameIsJustIncomplete) {
 }
 
 TEST(ServerProtocol, BadMagicThrows) {
-  Bytes raw = encode_frame({FrameType::kPing, 0, 0, {}});
+  Bytes raw = encode_frame(mk(FrameType::kPing, 0));
   raw[0] ^= 0xff;
   FrameDecoder dec;
   dec.feed(raw.data(), raw.size());
@@ -142,7 +178,7 @@ TEST(ServerProtocol, BadMagicThrows) {
 }
 
 TEST(ServerProtocol, BadVersionThrows) {
-  Bytes raw = encode_frame({FrameType::kPing, 0, 0, {}});
+  Bytes raw = encode_frame(mk(FrameType::kPing, 0));
   raw[4] = kProtoVersion + 1;
   FrameDecoder dec;
   dec.feed(raw.data(), raw.size());
@@ -150,7 +186,7 @@ TEST(ServerProtocol, BadVersionThrows) {
 }
 
 TEST(ServerProtocol, BadTypeThrows) {
-  Bytes raw = encode_frame({FrameType::kPing, 0, 0, {}});
+  Bytes raw = encode_frame(mk(FrameType::kPing, 0));
   raw[5] = 0;  // below the FrameType range
   FrameDecoder dec;
   dec.feed(raw.data(), raw.size());
@@ -164,7 +200,7 @@ TEST(ServerProtocol, BadTypeThrows) {
 TEST(ServerProtocol, OversizedPayloadRejectedFromHeaderAlone) {
   // The header claims 17 MiB; the decoder must throw on the header, before
   // any payload is buffered — a hostile client cannot make us allocate.
-  Bytes raw = encode_frame({FrameType::kSubmit, 0, 1, {}});
+  Bytes raw = encode_frame(mk(FrameType::kSubmit, 1));
   const std::uint32_t huge = (16u << 20) + 1;
   std::memcpy(raw.data() + 16, &huge, 4);
   FrameDecoder dec;
@@ -360,6 +396,103 @@ TEST_F(ServerHardening, MidJobDisconnectReapsCohortAndReleasesTokens) {
   const ServerStats st = server_->stats();
   EXPECT_EQ(st.canceled, 2u);
   EXPECT_GE(st.worker_respawns, 2u);
+}
+
+TEST_F(ServerHardening, TraceIdSurvivesSigkilledLoserAndWorkerTeardown) {
+  ALTX_SKIP_IF_CONSTRAINED(/*procs=*/32, /*address_mb=*/512);
+  obs::enable_for_test(1 << 14);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.kill_grace = 20ms;
+  start(cfg);
+
+  // Job A: a hanging arm from a client that vanishes mid-job. The daemon
+  // SIGKILLs the worker cohort on disconnect — every record the dying side
+  // already emitted must carry A's trace id.
+  const std::uint64_t trace_a = 0x1111222233334444ULL;
+  {
+    Client a = Client::connect_unix(sock_);
+    JobSpec s;
+    s.timeout_ms = 60'000;
+    s.arms.push_back({"hang", {}});
+    a.submit(s, trace_a, /*span_id=*/1);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (server_->stats().running < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+    ASSERT_EQ(server_->stats().running, 1u);
+  }  // ~Client: disconnect mid-job → cohort teardown, worker respawn
+
+  const auto drain = std::chrono::steady_clock::now() + 10s;
+  while ((server_->stats().clients != 0 || server_->stats().workers_idle < 1) &&
+         std::chrono::steady_clock::now() < drain) {
+    std::this_thread::sleep_for(5ms);
+  }
+
+  // Job B on the replacement worker: one eliminated (SIGKILLed) loser, and
+  // the fresh worker must stamp B's id — not a recycled trace_a, not zero.
+  const std::uint64_t trace_b = 0x5555666677778888ULL;
+  Client b = Client::connect_unix(sock_);
+  Bytes fast;
+  ByteWriter w(fast);
+  w.u32(10);
+  JobSpec s;
+  s.timeout_ms = 30'000;
+  s.arms.push_back({"hang", {}});       // the SIGKILLed loser
+  s.arms.push_back({"sleep_ms", fast});  // the winner
+  const std::uint64_t id = b.submit(s, trace_b, /*span_id=*/2);
+  const JobOutcome out = b.wait(id, 30'000ms);
+  ASSERT_EQ(out.status, JobStatus::kWon);
+  EXPECT_EQ(out.winner, 2u);
+
+  std::uint64_t gone_ns = 0;
+  const auto recs = obs::snapshot();
+  for (const obs::Record& r : recs) {
+    if (r.kind == obs::EventKind::kSrvClientGone) {
+      gone_ns = std::max(gone_ns, r.t_ns);
+    }
+  }
+  ASSERT_NE(gone_ns, 0u) << "no kSrvClientGone for the vanished client";
+
+  bool a_daemon = false, a_worker = false;
+  bool b_daemon = false, b_worker = false, b_eliminated = false;
+  for (const obs::Record& r : recs) {
+    if (r.trace_id == trace_a) {
+      if (r.kind == obs::EventKind::kSrvSubmit ||
+          r.kind == obs::EventKind::kSrvAssign) {
+        a_daemon = true;
+      }
+      if (r.kind == obs::EventKind::kRaceBegin) a_worker = true;
+      // No recycled ids: nothing after the teardown may carry A's trace.
+      EXPECT_LE(r.t_ns, gone_ns)
+          << to_string(r.kind) << " carries the dead client's trace id";
+    } else if (r.trace_id == trace_b) {
+      if (r.kind == obs::EventKind::kSrvSubmit) b_daemon = true;
+      if (r.kind == obs::EventKind::kRaceDecided && r.child_index == 0) {
+        b_worker = true;
+      }
+      if (r.kind == obs::EventKind::kChildFate &&
+          static_cast<posix::ChildFate>(r.a) ==
+              posix::ChildFate::kEliminated) {
+        b_eliminated = true;  // the SIGKILLed loser, attributed to B
+      }
+    }
+    // The replacement worker's race records must never be untraced.
+    if (r.kind == obs::EventKind::kRaceBegin && r.t_ns > gone_ns) {
+      EXPECT_EQ(r.trace_id, trace_b);
+    }
+  }
+  EXPECT_TRUE(a_daemon) << "job A's daemon records lost the trace id";
+  EXPECT_TRUE(a_worker) << "job A's worker records lost the trace id";
+  EXPECT_TRUE(b_daemon);
+  EXPECT_TRUE(b_worker);
+  EXPECT_TRUE(b_eliminated)
+      << "the eliminated loser's fate record lost job B's trace id";
+  server_->request_stop();
+  if (runner_.joinable()) runner_.join();
+  server_.reset();
+  obs::reset();
 }
 
 }  // namespace

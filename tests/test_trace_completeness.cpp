@@ -312,6 +312,51 @@ TEST_F(TraceCompleteness, ReplicatedRaceTracesEveryReplica) {
   EXPECT_EQ(c.forked.begin()->second.size(), 6u);  // 3 alts x 2 replicas
 }
 
+TEST_F(TraceCompleteness, TraceIdStampsEveryRecordIncludingKilledChildren) {
+  // The ambient cross-process trace id is inherited through fork, so even a
+  // child the injector SIGKILLs mid-flight leaves records carrying the id —
+  // its last gasp is still attributable after a stitch. The id is also on
+  // the parent's post-mortem records (kChildFate, kRaceDecided).
+  FaultProfile p;
+  p.crash_kill = 0.6;
+  p.hang = 0.2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    obs::reset();  // clears the ambient id too — re-arm after, not before
+    const std::uint64_t trace = obs::mint_trace_id();
+    ASSERT_NE(trace, 0u);
+    obs::set_current_trace(trace);
+    EXPECT_EQ(obs::current_trace(), trace);
+    FaultInjector inj(seed, p);
+    RaceOptions opts;
+    opts.timeout = 300ms;
+    opts.fault = &inj;
+    (void)race<int>(one_viable_alts(), opts);
+    obs::set_current_trace(0);
+    const auto recs = obs::snapshot();
+    ASSERT_FALSE(recs.empty());
+    bool child_record = false;
+    for (const Record& r : recs) {
+      EXPECT_EQ(r.trace_id, trace)
+          << to_string(r.kind) << " from child " << r.child_index
+          << " lost the trace id";
+      if (r.child_index != 0) child_record = true;
+    }
+    EXPECT_TRUE(child_record) << "no child-side records to check";
+    assert_complete(recs);
+  }
+}
+
+TEST_F(TraceCompleteness, UntracedRacesStampZero) {
+  // With no ambient id armed, records carry trace 0 — the exporters and the
+  // per-trace reducer treat that as "local, group by race_id".
+  RaceOptions opts;
+  opts.timeout = 5'000ms;
+  (void)race<int>(one_viable_alts(), opts);
+  const auto recs = obs::snapshot();
+  ASSERT_FALSE(recs.empty());
+  for (const Record& r : recs) EXPECT_EQ(r.trace_id, 0u);
+}
+
 /// Burn CPU (not wall): ITIMER_PROF only ticks while the arm is on-CPU.
 void spin_cpu_ms(long ms) {
   volatile std::uint64_t sink = 0;
@@ -362,6 +407,96 @@ TEST_F(TraceCompleteness, ProfilerSamplesSurviveElimination) {
         << "left no kProfSample in the ring";
   }
   assert_complete(recs);
+}
+
+// ---- cross-hop reduction over a synthetic stitched trace ----------------
+
+Record rec(std::uint64_t t_ns, std::uint32_t node, EventKind kind,
+           std::uint64_t trace, std::uint64_t a = 0, std::uint64_t b = 0) {
+  Record r;
+  r.t_ns = t_ns;
+  r.node_id = node;
+  r.kind = kind;
+  r.trace_id = trace;
+  r.a = a;
+  r.b = b;
+  return r;
+}
+
+TEST(CrossHopReduction, TilesClientWallWithDaemonPhasesAndRpc) {
+  // A stitched two-ring trace of one job: the client (node 0) brackets the
+  // wall, the daemon/worker (node 1) contributes admission stamps and
+  // phase spans. Timestamps share one monotonic clock, as on one host.
+  const std::uint64_t T = 0xabcdef01ULL;
+  const auto queue = static_cast<std::uint64_t>(obs::Phase::kSrvQueue);
+  const auto arm = static_cast<std::uint64_t>(obs::Phase::kArmRun);
+  const std::vector<Record> recs = {
+      rec(1'000, 0, EventKind::kRaceBegin, T),
+      rec(1'200, 1, EventKind::kSrvSubmit, T),  // 200 ns submit hop
+      rec(1'200, 1, EventKind::kPhaseBegin, T, queue),
+      rec(1'500, 1, EventKind::kPhaseEnd, T, queue, 300),
+      rec(1'500, 1, EventKind::kPhaseBegin, T, arm),
+      rec(2'300, 1, EventKind::kPhaseEnd, T, arm, 800),
+      rec(2'400, 1, EventKind::kSrvResult, T),  // 200 ns reply hop
+      rec(2'600, 0, EventKind::kRaceDecided, T),
+  };
+  const auto by_trace = obs::reduce_critical_path_by_trace(recs);
+  ASSERT_EQ(by_trace.size(), 1u);
+  const obs::PhaseBreakdown& b = by_trace.at(T);
+  EXPECT_TRUE(b.decided);
+  EXPECT_EQ(b.wall_ns, 1'600u);  // client begin → client decided
+  EXPECT_EQ(b.phase_ns[static_cast<int>(obs::Phase::kSrvQueue)], 300u);
+  EXPECT_EQ(b.phase_ns[static_cast<int>(obs::Phase::kArmRun)], 800u);
+  EXPECT_EQ(b.rpc_ns, 400u);  // both wire legs, named rather than residue
+  EXPECT_EQ(b.attributed_ns(), 1'500u);
+  EXPECT_DOUBLE_EQ(b.coverage(), 1'500.0 / 1'600.0);
+  EXPECT_EQ(b.dangling_begins, 0u);
+}
+
+TEST(CrossHopReduction, SpanSplitAcrossRingsIsNotDangling) {
+  // Satellite regression: a span whose begin landed in one ring and end in
+  // another (the worker died mid-handoff and the daemon closed it) is one
+  // cross-hop span, not a dangling begin plus an orphan end.
+  const std::uint64_t T = 0x1234ULL;
+  const auto queue = static_cast<std::uint64_t>(obs::Phase::kSrvQueue);
+  const std::vector<Record> recs = {
+      rec(100, 0, EventKind::kRaceBegin, T),
+      rec(150, 0, EventKind::kPhaseBegin, T, queue),  // begin: client ring
+      rec(400, 1, EventKind::kPhaseEnd, T, queue, 250),  // end: daemon ring
+      rec(500, 0, EventKind::kRaceDecided, T),
+  };
+  const auto by_trace = obs::reduce_critical_path_by_trace(recs);
+  ASSERT_EQ(by_trace.size(), 1u);
+  EXPECT_EQ(by_trace.at(T).dangling_begins, 0u);
+
+  // A begin with no end anywhere still counts.
+  const std::vector<Record> trunc = {
+      rec(100, 0, EventKind::kRaceBegin, T),
+      rec(150, 1, EventKind::kPhaseBegin, T, queue),
+      rec(500, 0, EventKind::kRaceDecided, T),
+  };
+  EXPECT_EQ(obs::reduce_critical_path_by_trace(trunc).at(T).dangling_begins,
+            1u);
+}
+
+TEST(CrossHopReduction, DaemonOnlyTraceHasNoRpcLeg) {
+  // Without the client's bracket the outermost interval is the worker's
+  // own race; the admission stamps lie outside it and must not inflate
+  // attribution.
+  const std::uint64_t T = 0x77ULL;
+  const auto arm = static_cast<std::uint64_t>(obs::Phase::kArmRun);
+  const std::vector<Record> recs = {
+      rec(900, 1, EventKind::kSrvSubmit, T),  // before the race interval
+      rec(1'000, 1, EventKind::kRaceBegin, T),
+      rec(1'800, 1, EventKind::kPhaseEnd, T, arm, 700),
+      rec(2'000, 1, EventKind::kRaceDecided, T),
+      rec(2'100, 1, EventKind::kSrvResult, T),  // after it
+  };
+  const auto by_trace = obs::reduce_critical_path_by_trace(recs);
+  const obs::PhaseBreakdown& b = by_trace.at(T);
+  EXPECT_EQ(b.wall_ns, 1'000u);
+  EXPECT_EQ(b.rpc_ns, 0u);
+  EXPECT_EQ(b.attributed_ns(), 700u);
 }
 
 }  // namespace

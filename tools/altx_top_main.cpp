@@ -10,6 +10,13 @@
 //   ALTX_TRACE_RING=/tmp/ring ./your_program &
 //   altx-top /tmp/ring             # refresh until interrupted
 //   altx-top --once /tmp/ring      # one frame (scripts, tests)
+//
+// Remote attach: --connect polls a running altxd's kStats counters over its
+// socket instead of mapping a ring — for daemons on hosts where the ring
+// file is not reachable (or was never created).
+//
+//   altx-top --connect /tmp/altx.sock
+//   altx-top --once --connect /tmp/altx.sock
 #include <signal.h>
 #include <time.h>
 #include <unistd.h>
@@ -28,6 +35,7 @@
 #include "obs/phase.hpp"
 #include "obs/ring.hpp"
 #include "posix/alt_group.hpp"
+#include "server/client.hpp"
 
 namespace {
 
@@ -303,21 +311,46 @@ void render(const altx::obs::TraceRingReader& reader, bool clear) {
   }
 }
 
+void render_remote(altx::server::Client& client, bool clear) {
+  const altx::server::WireStats s = client.stats();
+  if (clear) std::printf("\033[H\033[2J");
+  std::printf("altx-top (remote) — %u clients, %u queued, %u running, "
+              "%u/%u workers busy\n\n",
+              s.clients, s.queued, s.running, s.workers_busy,
+              s.workers_idle + s.workers_busy);
+  std::printf("  accepted   %-10llu completed %-10llu denied %llu\n",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.denied));
+  std::printf("  canceled   %-10llu inflight-hw %-8llu tokens-reclaimed "
+              "%llu\n",
+              static_cast<unsigned long long>(s.canceled),
+              static_cast<unsigned long long>(s.inflight_hw),
+              static_cast<unsigned long long>(s.tokens_reclaimed));
+  std::printf("  spawns     %-10llu respawns  %llu\n",
+              static_cast<unsigned long long>(s.worker_spawns),
+              static_cast<unsigned long long>(s.worker_respawns));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool once = false;
+  bool connect = false;
   int interval_ms = 500;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--once") {
       once = true;
+    } else if (arg == "--connect") {
+      connect = true;
     } else if (arg == "--interval" && i + 1 < argc) {
       interval_ms = std::max(50, std::atoi(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: altx-top [--once] [--interval MS] <ring-file>\n"
-                  "       (the traced process must run with "
+                  "       altx-top [--once] --connect <daemon-socket>\n"
+                  "       (ring mode: the traced process must run with "
                   "ALTX_TRACE_RING=<ring-file>)\n");
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -329,8 +362,25 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr, "usage: altx-top [--once] [--interval MS] "
-                         "<ring-file>\n");
+                         "[--connect] <ring-file|daemon-socket>\n");
     return 1;
+  }
+  if (connect) {
+    try {
+      altx::server::Client client =
+          altx::server::Client::connect_unix(path);
+      if (once) {
+        render_remote(client, /*clear=*/false);
+        return 0;
+      }
+      while (true) {
+        render_remote(client, /*clear=*/true);
+        ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "altx-top: %s\n", e.what());
+      return 1;
+    }
   }
   try {
     altx::obs::TraceRingReader reader(path);

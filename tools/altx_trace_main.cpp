@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -470,6 +471,47 @@ int run_critical_path(const std::string& path) {
                 static_cast<double>(child_totals[p]) / 1'000'000.0);
   }
   std::printf("\n");
+
+  // Cross-process rollup: when the input is a stitched client+daemon trace,
+  // group by trace id instead of race id — the client's submit→result
+  // interval is the wall, and the daemon's queue and phase spans tile it.
+  const auto by_trace = altx::obs::reduce_critical_path_by_trace(*loaded);
+  if (!by_trace.empty()) {
+    std::printf("\ncross-process traces (%zu)\n", by_trace.size());
+    std::printf("%-18s %10s %6s %-14s  %s\n", "trace", "wall ms", "cover",
+                "dominant", "phases (ms)");
+    std::uint64_t t_wall = 0;
+    std::uint64_t t_attr = 0;
+    int t_decided = 0;
+    for (const auto& [id, b] : by_trace) {
+      if (!b.decided) continue;
+      ++t_decided;
+      t_wall += b.wall_ns;
+      t_attr += b.attributed_ns();
+      std::printf("%016llx %10.3f %5.1f%% %-14s ",
+                  static_cast<unsigned long long>(id),
+                  static_cast<double>(b.wall_ns) / 1'000'000.0,
+                  b.coverage() * 100.0, to_string(b.dominant()));
+      for (int p = 1; p < kPhaseCount; ++p) {
+        if (b.phase_ns[p] == 0) continue;
+        std::printf(" %s=%.3f", to_string(static_cast<Phase>(p)),
+                    static_cast<double>(b.phase_ns[p]) / 1'000'000.0);
+      }
+      if (b.rpc_ns != 0) {
+        std::printf(" rpc=%.3f",
+                    static_cast<double>(b.rpc_ns) / 1'000'000.0);
+      }
+      std::printf("\n");
+    }
+    if (t_decided > 0) {
+      const double tc = t_wall == 0 ? 0.0
+                                    : static_cast<double>(t_attr) /
+                                          static_cast<double>(t_wall);
+      std::printf("aggregate: %d decided traces, %.1f%% of wall attributed "
+                  "across the hop\n",
+                  t_decided, tc * 100.0);
+    }
+  }
   return 0;
 }
 
@@ -608,6 +650,36 @@ int run_stitch(const std::vector<std::string>& paths, const std::string& out,
     warn_if_overflowed(p, *loaded);
     traces.push_back(std::move(*loaded));
   }
+  // Per-process rings all default to node 0, so two standalone traces
+  // (client + daemon) would collide on the (node, seq) tie-breaker and the
+  // cross-node census below would see a single node. Remap any input whose
+  // node ids collide with an earlier input into a fresh namespace;
+  // genuinely distinct node sets (a sim trace) pass through untouched.
+  {
+    std::set<std::uint32_t> used;
+    std::uint32_t next_free = 0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      std::set<std::uint32_t> mine;
+      for (const Record& r : traces[i]) mine.insert(r.node_id);
+      bool collide = false;
+      for (const std::uint32_t n : mine) collide = collide || used.count(n) > 0;
+      if (collide) {
+        std::map<std::uint32_t, std::uint32_t> remap;
+        for (const std::uint32_t n : mine) {
+          while (used.count(next_free) > 0) ++next_free;
+          remap[n] = next_free;
+          used.insert(next_free);
+        }
+        for (Record& r : traces[i]) r.node_id = remap[r.node_id];
+        std::fprintf(stderr,
+                     "altx-trace: %s: node ids collide with an earlier "
+                     "input; remapped onto %zu fresh node id(s)\n",
+                     paths[i].c_str(), remap.size());
+      } else {
+        used.insert(mine.begin(), mine.end());
+      }
+    }
+  }
   const std::vector<Record> merged = altx::obs::stitch_records(traces);
   std::ofstream file;
   if (!out.empty()) {
@@ -624,8 +696,21 @@ int run_stitch(const std::vector<std::string>& paths, const std::string& out,
     std::fprintf(stderr, "altx-trace: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "altx-trace: stitched %zu records from %zu traces\n",
-               merged.size(), traces.size());
+  // Cross-process census: a trace id that appears on more than one node is
+  // a job that actually crossed the socket hop with its identity intact —
+  // the number CI asserts on.
+  std::map<std::uint64_t, std::set<std::uint32_t>> trace_nodes;
+  for (const Record& r : merged) {
+    if (r.trace_id != 0) trace_nodes[r.trace_id].insert(r.node_id);
+  }
+  std::size_t cross_node = 0;
+  for (const auto& [id, nodes] : trace_nodes) {
+    if (nodes.size() > 1) ++cross_node;
+  }
+  std::fprintf(stderr,
+               "altx-trace: stitched %zu records from %zu traces; "
+               "%zu trace ids (%zu spanning multiple nodes)\n",
+               merged.size(), traces.size(), trace_nodes.size(), cross_node);
   return 0;
 }
 

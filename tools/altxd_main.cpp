@@ -4,6 +4,8 @@
 //         [--quota N] [--queue N] [--retry-after MS] [--gov-tokens N]
 //         [--heap-pages N] [--ring PATH [--ring-cap N]]
 //         [--trace-out PATH [--format jsonl|chrome]]
+//         [--metrics-addr HOST:PORT]
+//   altxd stats --socket /tmp/altx.sock    # one-shot counters (kStats)
 //
 // Clients connect with server::Client (src/server/client.hpp) or redirect
 // existing race<T>() call sites via RaceOptions::daemon_socket. With
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "obs/trace.hpp"
+#include "server/client.hpp"
 #include "server/registry.hpp"
 #include "server/server.hpp"
 
@@ -45,7 +48,11 @@ void usage(const char* argv0) {
                "  --ring PATH        file-backed trace ring for altx-top\n"
                "  --ring-cap N       ring capacity in records (default 65536)\n"
                "  --trace-out PATH   export the trace here at exit\n"
-               "  --format FMT       trace export format: jsonl|chrome (default jsonl)\n",
+               "  --format FMT       trace export format: jsonl|chrome (default jsonl)\n"
+               "  --metrics-addr A   Prometheus endpoint, \"PORT\" or \"HOST:PORT\"\n"
+               "                     (host defaults to 127.0.0.1; port 0 = ephemeral)\n"
+               "subcommands:\n"
+               "  stats --socket PATH   one-shot daemon counters over kStats\n",
                argv0);
 }
 
@@ -59,9 +66,71 @@ int to_int(const char* s, const char* what) {
   return static_cast<int>(v);
 }
 
+/// `altxd stats --socket PATH`: one kStats round trip, printed and done.
+/// The same counters the metrics endpoint exposes, for hosts without curl
+/// or when the daemon runs without --metrics-addr.
+int run_stats(int argc, char** argv) {
+  std::string socket_path;
+  std::string tcp_host;
+  int tcp_port = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (a == "--tcp" && i + 1 < argc) {
+      tcp_host = "127.0.0.1";
+      tcp_port = to_int(argv[++i], "--tcp");
+    } else {
+      std::fprintf(stderr, "altxd stats: unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (socket_path.empty() && tcp_port == 0) {
+    std::fprintf(stderr,
+                 "usage: altxd stats --socket PATH | --tcp PORT\n");
+    return 2;
+  }
+  try {
+    altx::server::Client client =
+        tcp_port != 0
+            ? altx::server::Client::connect_tcp(tcp_host, tcp_port)
+            : altx::server::Client::connect_unix(socket_path);
+    const altx::server::WireStats s = client.stats();
+    std::printf("accepted           %llu\n"
+                "completed          %llu\n"
+                "denied             %llu\n"
+                "canceled           %llu\n"
+                "worker_spawns      %llu\n"
+                "worker_respawns    %llu\n"
+                "tokens_reclaimed   %llu\n"
+                "inflight_hw        %llu\n"
+                "queued             %u\n"
+                "running            %u\n"
+                "clients            %u\n"
+                "workers_idle       %u\n"
+                "workers_busy       %u\n",
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.denied),
+                static_cast<unsigned long long>(s.canceled),
+                static_cast<unsigned long long>(s.worker_spawns),
+                static_cast<unsigned long long>(s.worker_respawns),
+                static_cast<unsigned long long>(s.tokens_reclaimed),
+                static_cast<unsigned long long>(s.inflight_hw), s.queued,
+                s.running, s.clients, s.workers_idle, s.workers_busy);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altxd stats: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return run_stats(argc, argv);
+  }
   altx::server::ServerConfig cfg;
   std::string ring_path;
   std::size_t ring_cap = 1 << 16;
@@ -103,6 +172,8 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (a == "--format") {
       trace_format = next();
+    } else if (a == "--metrics-addr") {
+      cfg.metrics_addr = next();
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
       return 0;
@@ -158,6 +229,10 @@ int main(int argc, char** argv) {
     if (!ring_path.empty()) {
       std::printf("altxd: trace ring at %s (attach with: altx-top %s)\n",
                   ring_path.c_str(), ring_path.c_str());
+    }
+    if (server.metrics_port() != 0) {
+      std::printf("altxd: metrics at http://127.0.0.1:%d/metrics\n",
+                  server.metrics_port());
     }
     std::fflush(stdout);
 
