@@ -55,7 +55,17 @@ struct RunOutcome {
 /// degrade blocks to serialized execution without ever changing the set of
 /// admissible outcomes, and the token cap must hold (overdrafts excepted) —
 /// checked as "governor-cap-exceeded".
+///
+/// `predicted` runs every block under a SpeculationPlanner fed a seed-derived
+/// *synthetic* history (per-block sites, per-arm warm/cold walls and success
+/// rates that need not resemble what the arms do): staging and predicted
+/// kills must preserve oracle membership, at-most-once-commit, and liveness
+/// no matter how wrong the injected history is. Skips stay disabled — a
+/// short-circuited guard is only admissible when the history is real — and a
+/// FAIL with predicted kills in it is inconclusive, not a verdict: the
+/// predictor may legitimately have killed the would-be winner.
 [[nodiscard]] RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed,
-                                   bool faulty, bool governed = false);
+                                   bool faulty, bool governed = false,
+                                   bool predicted = false);
 
 }  // namespace altx::check

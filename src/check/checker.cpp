@@ -23,7 +23,8 @@ CaseResult run_case(const CheckCase& c) {
   const RunOutcome run =
       c.backend == Backend::kSim
           ? run_sim(c.program, c.schedule_seed)
-          : run_posix(c.program, c.schedule_seed, c.faulty, c.governed);
+          : run_posix(c.program, c.schedule_seed, c.faulty, c.governed,
+                      c.predicted);
   res.interleaving = run.interleaving;
   if (!run.violation.empty()) {
     res.violation = run.violation;
@@ -48,7 +49,7 @@ std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t see
                                          bool sim_enabled, bool posix_enabled,
                                          bool faults, bool governor,
                                          const GenConfig& base,
-                                         TrialStats* stats) {
+                                         TrialStats* stats, bool predictor) {
   TrialStats local;
   TrialStats& st = stats != nullptr ? *stats : local;
   st = TrialStats{};
@@ -65,9 +66,14 @@ std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t see
     // Every third posix case runs fault-injected when faults are on; every
     // other one runs governor-perturbed when governor is on — the cadences
     // are coprime-ish, so the faulty × governed combination gets coverage.
+    // Prediction rides a third cadence (two rounds in three) that crosses
+    // both: predicted×faulty, predicted×governed, and each flag alone all
+    // occur within any six posix rounds.
     c.faulty = faults && c.backend == Backend::kPosix && (t / wheel.size()) % 3 == 0;
     c.governed =
         governor && c.backend == Backend::kPosix && (t / wheel.size()) % 2 == 0;
+    c.predicted =
+        predictor && c.backend == Backend::kPosix && (t / wheel.size()) % 3 != 1;
 
     const std::uint64_t gen_seed = mix64(seed ^ mix64(t + 1));
     c.schedule_seed = mix64(seed ^ mix64(t + 0x517cc1b727220a95ULL));
@@ -86,6 +92,7 @@ std::optional<Counterexample> run_trials(std::uint64_t trials, std::uint64_t see
     }
     if (c.faulty) ++st.faulty_trials;
     if (c.governed) ++st.governor_trials;
+    if (c.predicted) ++st.predicted_trials;
 
     const CaseResult r = run_case(c);
     interleavings.insert(r.interleaving);

@@ -24,7 +24,8 @@ struct CheckCase {
   CheckProgram program;
   Backend backend = Backend::kSim;
   bool faulty = false;
-  bool governed = false;  // posix: seeded SpeculationGovernor perturbation
+  bool governed = false;   // posix: seeded SpeculationGovernor perturbation
+  bool predicted = false;  // posix: seeded synthetic-history SpeculationPlanner
   std::uint64_t schedule_seed = 0;
 };
 
@@ -48,6 +49,7 @@ struct TrialStats {
   std::uint64_t posix_trials = 0;
   std::uint64_t faulty_trials = 0;
   std::uint64_t governor_trials = 0;
+  std::uint64_t predicted_trials = 0;
   std::uint64_t inconclusive = 0;
   std::uint64_t oracle_outcomes_total = 0;  // summed sizes of outcome sets
   std::uint64_t distinct_interleavings = 0;
@@ -63,11 +65,12 @@ struct Counterexample {
 
 /// Runs `trials` generated cases from `seed`, alternating across the enabled
 /// backends (faulty posix cases mixed in when `faults`, governor-perturbed
-/// posix cases when `governor`). Returns the first counterexample, or
-/// nullopt if everything passed.
+/// posix cases when `governor`, prediction-planned posix cases over
+/// seed-derived synthetic histories when `predictor`). Returns the first
+/// counterexample, or nullopt if everything passed.
 [[nodiscard]] std::optional<Counterexample> run_trials(
     std::uint64_t trials, std::uint64_t seed, bool sim_enabled,
     bool posix_enabled, bool faults, bool governor, const GenConfig& base,
-    TrialStats* stats);
+    TrialStats* stats, bool predictor = false);
 
 }  // namespace altx::check

@@ -290,6 +290,7 @@ std::string serialize(const ReproCase& c) {
   // Written only when set: older parsers reject unknown header keys, so an
   // ungoverned repro stays readable by them.
   if (c.governed) out << "governed 1\n";
+  if (c.predicted) out << "predicted 1\n";
   out << "gen_seed " << c.gen_seed << '\n';
   out << "schedule_seed " << c.schedule_seed << '\n';
   if (!c.invariant.empty()) out << "invariant " << c.invariant << '\n';
@@ -324,6 +325,9 @@ ReproCase parse_repro(const std::string& text) {
     } else if (l[0] == "governed") {
       need_args(r, l, 1);
       c.governed = parse_u64(r, l[1]) != 0;
+    } else if (l[0] == "predicted") {
+      need_args(r, l, 1);
+      c.predicted = parse_u64(r, l[1]) != 0;
     } else if (l[0] == "gen_seed") {
       need_args(r, l, 1);
       c.gen_seed = parse_u64(r, l[1]);

@@ -123,7 +123,8 @@ struct ReproCase {
   CheckProgram program;
   Backend backend = Backend::kSim;
   bool faulty = false;
-  bool governed = false;  // posix: run under a seeded SpeculationGovernor
+  bool governed = false;   // posix: run under a seeded SpeculationGovernor
+  bool predicted = false;  // posix: seeded synthetic-history planner
   std::uint64_t gen_seed = 0;
   std::uint64_t schedule_seed = 0;
   std::string invariant;

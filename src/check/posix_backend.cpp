@@ -10,9 +10,11 @@
 #include "check/backends.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/history.hpp"
 #include "posix/alt_heap.hpp"
 #include "posix/fault.hpp"
 #include "posix/governor.hpp"
+#include "posix/predictor.hpp"
 #include "posix/race.hpp"
 #include "posix/supervisor.hpp"
 
@@ -75,7 +77,44 @@ struct Ctx {
   altx::posix::FaultInjector* injector;  // top-level blocks only; may be null
   bool faulty;
   altx::posix::SpeculationGovernor* governor;  // governed trials; may be null
+  const altx::posix::SpeculationPlanner* planner = nullptr;  // predicted only
 };
+
+/// Stable per-block site id for the synthetic history, derived from the same
+/// path numbering run_block uses (top-level block i is path i+1; a block
+/// nested in alternative j of path p is p*13 + j + 1). Nonzero by
+/// construction so race<T> always consults the planner.
+std::uint64_t site_for(std::uint64_t path) {
+  return mix64(path ^ 0xa17c'0e19'beef'cafeULL) | 1;
+}
+
+/// Seed-derived synthetic history for every block of the program: some arms
+/// stay cold, warm arms get walls anywhere in 0.1–10 ms and coin-flip
+/// success rates. Deliberately unrelated to what the arms really do — the
+/// property under test is that plans built from *wrong* history are still
+/// safe, not that they are fast.
+void seed_history(altx::obs::HistoryStore& store, Rng& rng, const Block& b,
+                  std::uint64_t path) {
+  const std::uint64_t site = site_for(path);
+  for (std::size_t j = 0; j < b.alts.size(); ++j) {
+    if (rng.chance(0.35)) continue;  // cold arm: must always launch
+    const std::uint64_t wall = 100'000 + rng.below(80) * 125'000;
+    const int samples = 3 + static_cast<int>(rng.below(6));
+    const double p_success = rng.chance(0.5) ? 0.9 : 0.1;
+    for (int s = 0; s < samples; ++s) {
+      store.record(site, static_cast<std::uint32_t>(j) + 1,
+                   wall + static_cast<std::uint64_t>(s) * 10'000, wall / 2,
+                   rng.chance(p_success));
+    }
+  }
+  for (std::size_t j = 0; j < b.alts.size(); ++j) {
+    for (const CheckOp& op : b.alts[j].ops) {
+      if (const auto* nb = std::get_if<OpBlock>(&op)) {
+        seed_history(store, rng, *nb->block, path * 13 + j + 1);
+      }
+    }
+  }
+}
 
 [[nodiscard]] std::uint64_t* cell(const Ctx& c, std::uint32_t page, std::uint32_t word) {
   return c.heap->at<std::uint64_t>(page * c.heap->page_size() +
@@ -140,6 +179,10 @@ std::optional<std::uint64_t> run_block(const Ctx& c, const Block& b, int depth,
   opts.heap = c.heap;
   opts.timeout = std::chrono::milliseconds(10'000);
   opts.governor = c.governor;
+  if (c.planner != nullptr) {
+    opts.planner = c.planner;
+    opts.site_id = site_for(path);
+  }
   altx::posix::RaceReport report;
   opts.report = &report;
   // Top-level blocks consult the injector (a full fault plan in faulty mode,
@@ -168,9 +211,13 @@ std::optional<std::uint64_t> run_block(const Ctx& c, const Block& b, int depth,
       if (ar.race.committed > 1) c.score->report("at-most-once-commit");
     }
     if (r.has_value()) return ((r->winner - 1 + rot) % n) + 1;
+    // A FAIL whose final attempt carried predicted kills is no verdict: the
+    // planner may have shot the would-be winner (a safe thing to do — the
+    // trial is just a wash, like any other environmental kill).
     const bool definitive_fail =
         !log.attempts.empty() &&
-        log.attempts.back().outcome == altx::posix::AttemptOutcome::kAllFailed;
+        log.attempts.back().outcome == altx::posix::AttemptOutcome::kAllFailed &&
+        log.attempts.back().race.predicted_losers == 0;
     if (!definitive_fail) *inconclusive = true;
     return std::nullopt;
   }
@@ -200,10 +247,12 @@ std::optional<std::uint64_t> run_block(const Ctx& c, const Block& b, int depth,
   if (r.has_value()) return ((r->winner - 1 + rot) % n) + 1;
   if (degraded) return std::nullopt;  // every arm ran alone and said no
   if (report.verdict != altx::posix::WaitVerdict::kAllFailed ||
-      report.over_budget > 0) {
-    // Timeout, a stray crash without injection, or a watchdog kill (the
-    // wall budget is generous, but a stalled machine can still blow it):
-    // the environment, not the semantics, decided this trial.
+      report.over_budget > 0 || report.predicted_losers > 0) {
+    // Timeout, a stray crash without injection, a watchdog kill (the wall
+    // budget is generous, but a stalled machine can still blow it), or a
+    // predicted kill (the synthetic history may have condemned the one arm
+    // that would have won): the environment, not the semantics, decided
+    // this trial.
     *inconclusive = true;
   }
   return std::nullopt;
@@ -212,7 +261,7 @@ std::optional<std::uint64_t> run_block(const Ctx& c, const Block& b, int depth,
 }  // namespace
 
 RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool faulty,
-                     bool governed) {
+                     bool governed, bool predicted) {
   validate(p);
   ALTX_REQUIRE(!uses_sim_only_ops(p),
                "run_posix: program uses sim-only ops (extern/send)");
@@ -228,18 +277,46 @@ RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool fa
   // SIGTERM grace so the escalation ladder gets exercised too. Built before
   // any fork so every child shares the MAP_SHARED pool.
   std::unique_ptr<altx::posix::SpeculationGovernor> governor;
-  if (governed) {
+  if (governed || predicted) {
     altx::posix::GovernorConfig gc;
-    gc.tokens = 1 + static_cast<int>(schedule_seed % 3);
-    gc.admit_wait = std::chrono::milliseconds(20);
-    // Short single-token patience: a nested serialized arm whose ancestors
-    // hold every token must overdraft quickly, or the waits pile up inside
-    // the enclosing arm's wall budget.
-    gc.serial_admit_wait = std::chrono::milliseconds(100);
-    gc.arm_wall_budget = std::chrono::milliseconds(5'000);
-    gc.kill_grace = std::chrono::milliseconds((schedule_seed >> 2) % 2 == 0 ? 0 : 2);
+    if (governed) {
+      gc.tokens = 1 + static_cast<int>(schedule_seed % 3);
+      gc.admit_wait = std::chrono::milliseconds(20);
+      // Short single-token patience: a nested serialized arm whose ancestors
+      // hold every token must overdraft quickly, or the waits pile up inside
+      // the enclosing arm's wall budget.
+      gc.serial_admit_wait = std::chrono::milliseconds(100);
+      gc.arm_wall_budget = std::chrono::milliseconds(5'000);
+      gc.kill_grace = std::chrono::milliseconds((schedule_seed >> 2) % 2 == 0 ? 0 : 2);
+    }
+    // Predicted trials need the watchdog awake and EVERY arm registered,
+    // deadline or not, so its last-live-arm census is exact (ALTX_PRED=1
+    // arms the same flag in production).
+    gc.predict_watch = predicted;
     gc.poll_interval = std::chrono::milliseconds(2);
     governor = std::make_unique<altx::posix::SpeculationGovernor>(gc);
+  }
+
+  // Predicted trials: a planner over a synthetic history the seed invents.
+  // Skips stay off (a short-circuited guard is only oracle-admissible when
+  // the history is real); staging and early kills are fully on. The store
+  // lives in this frame — MAP_SHARED inside — so plans computed in nested
+  // (forked) blocks read the same table.
+  std::unique_ptr<altx::obs::HistoryStore> synth_store;
+  std::unique_ptr<altx::posix::SpeculationPlanner> planner;
+  if (predicted) {
+    synth_store = std::make_unique<altx::obs::HistoryStore>(256);
+    Rng hrng(schedule_seed ^ 0x9e3779b97f4a7c15ULL);
+    for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+      seed_history(*synth_store, hrng, p.blocks[i], i + 1);
+    }
+    altx::posix::PredictorConfig pc;
+    pc.enabled = true;
+    pc.skip_enabled = false;
+    pc.kill_q = 0.9;
+    pc.hedge_ratio = 1.5 + static_cast<double>(schedule_seed % 3);
+    planner =
+        std::make_unique<altx::posix::SpeculationPlanner>(pc, synth_store.get());
   }
 
   altx::posix::FaultProfile profile;
@@ -261,8 +338,8 @@ RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool fa
     injector = std::make_unique<altx::posix::FaultInjector>(schedule_seed, profile);
   }
 
-  Ctx ctx{&heap, &score, schedule_seed, injector.get(), faulty,
-          governor.get()};
+  Ctx ctx{&heap,  &score,         schedule_seed, injector.get(),
+          faulty, governor.get(), planner.get()};
 
   std::uint64_t fingerprint = 0;
   bool inconclusive = false;
@@ -292,11 +369,12 @@ RunOutcome run_posix(const CheckProgram& p, std::uint64_t schedule_seed, bool fa
     fingerprint = fingerprint * 1315423911ULL + *r;
   }
 
-  if (governor != nullptr) {
+  if (governed && governor != nullptr) {
     // The cap is a hard claim: concurrent speculative children never exceed
     // the token budget. The one sanctioned exception is the single-token
     // liveness overdraft, which the pool counts — a high-water mark above
-    // budget with zero overdrafts is a governor bug.
+    // budget with zero overdrafts is a governor bug. (Predicted-only trials
+    // run a watch-only governor with no token budget: nothing to cap.)
     const altx::posix::GovernorStats gs = governor->stats();
     if (gs.overdrafts == 0 && gs.max_in_flight > governor->config().tokens) {
       out.violation = "governor-cap-exceeded";

@@ -49,6 +49,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kSrvWorkerSpawn: return "srv_worker_spawn";
     case EventKind::kSrvWorkerExit: return "srv_worker_exit";
     case EventKind::kSrvShutdown: return "srv_shutdown";
+    case EventKind::kPredPlan: return "pred_plan";
+    case EventKind::kPredStage: return "pred_stage";
+    case EventKind::kPredKill: return "pred_kill";
     case EventKind::kDistSpawn: return "dist_spawn";
     case EventKind::kDistAbort: return "dist_abort";
     case EventKind::kDistResult: return "dist_result";

@@ -100,6 +100,16 @@ enum class EventKind : std::uint16_t {
   kSrvWorkerExit = 43,  // a: worker pid, b: 1 = forced (killed), 0 = clean
   kSrvShutdown = 44,    // a: in-flight jobs reaped, b: workers torn down
 
+  // Prediction-driven speculation budgeting (posix::SpeculationPlanner).
+  kPredPlan = 45,     // parent side, after spawn: a: arms launched now,
+                      //   b: arms hedged (staged), c: arms skipped
+  kPredStage = 46,    // child side: a staged arm woke after its deferral
+                      //   sleep; a: stage delay ns, b: the arm's own
+                      //   predicted wall ns (0 = no history)
+  kPredKill = 47,     // watchdog: arm overran its historical kill quantile;
+                      //   a: pid, b: predicted kill quantile ns,
+                      //   c: stage (0 = SIGTERM, 1 = SIGKILL)
+
   // Distributed block (dist::DistributedBlock; timestamps are sim time).
   kDistSpawn = 48,    // a: alternative index, b: checkpoint bytes
   kDistAbort = 49,    // a: alternative index (guard failed remotely)

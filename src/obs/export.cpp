@@ -39,6 +39,8 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kSrvResult,     EventKind::kSrvCancel,
     EventKind::kSrvClientGone, EventKind::kSrvWorkerSpawn,
     EventKind::kSrvWorkerExit, EventKind::kSrvShutdown,
+    EventKind::kPredPlan,      EventKind::kPredStage,
+    EventKind::kPredKill,
     EventKind::kDistSpawn,     EventKind::kDistAbort,
     EventKind::kDistResult,    EventKind::kDistKill,
     EventKind::kDistDecided,   EventKind::kVoteGrant,

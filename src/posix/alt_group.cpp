@@ -39,6 +39,7 @@ const char* to_string(ChildFate fate) {
     case ChildFate::kHung: return "hung";
     case ChildFate::kEliminated: return "eliminated";
     case ChildFate::kOverBudget: return "over_budget";
+    case ChildFate::kPredictedLoser: return "predicted_loser";
   }
   return "?";
 }
@@ -199,7 +200,12 @@ int AltGroup::alt_spawn(int n) {
                                        static_cast<std::int16_t>(i));
       return i;
     }
-    if (opts_.governor != nullptr) opts_.governor->watch(pid, race_id_, i);
+    if (opts_.governor != nullptr) {
+      const std::size_t j = static_cast<std::size_t>(i) - 1;
+      opts_.governor->watch(
+          pid, race_id_, i,
+          j < opts_.pred_kill_ns.size() ? opts_.pred_kill_ns[j] : 0);
+    }
     if (obs::enabled()) {
       const std::uint64_t fork_ns = obs::now_ns() - fork_t0;
       obs::emit(obs::EventKind::kFork, race_id_, static_cast<std::int16_t>(i),
@@ -528,10 +534,13 @@ void AltGroup::record_exit(std::size_t i, int status,
       // and pages as speculation waste.
       st.fate = ChildFate::kCommitted;
     } else if (gov_kill.has_value()) {
-      // The governor's watchdog killed it: over budget (wall / CPU) or shed
-      // under pressure. Distinct from kCrashed so the supervisor and the
-      // ledger can tell containment from failure.
-      st.fate = ChildFate::kOverBudget;
+      // The governor's watchdog killed it: over budget (wall / CPU), shed
+      // under pressure, or past its own historical kill quantile. Distinct
+      // from kCrashed so the supervisor and the ledger can tell containment
+      // from failure.
+      st.fate = *gov_kill == GovKillReason::kPredicted
+                    ? ChildFate::kPredictedLoser
+                    : ChildFate::kOverBudget;
     } else if (killed_[i]) {
       // We sent the kill. Before a verdict it was a deadline kill (the
       // child was hung past the TIMEOUT); after one, routine elimination.

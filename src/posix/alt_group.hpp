@@ -70,6 +70,9 @@ enum class ChildFate : std::uint8_t {
   kEliminated,  // healthy loser killed by the parent after a winner emerged
   kOverBudget,  // killed by the governor's watchdog: wall/CPU budget blown
                 // or shed under memory pressure — contained, not crashed
+  kPredictedLoser,  // killed by the watchdog's prediction rule: elapsed wall
+                    // overran the arm's own historical kill quantile
+                    // (ALTX_PRED_KILL_Q) while a sibling was still live
 };
 
 const char* to_string(ChildFate fate);
@@ -127,6 +130,12 @@ struct AltGroupOptions {
   /// default) resolves from ALTX_KILL_GRACE_MS; 0 keeps the historical
   /// straight-SIGKILL behavior.
   std::chrono::milliseconds kill_grace{-1};
+
+  /// Per-child predicted-kill deadlines (ns of elapsed wall), indexed by
+  /// child number - 1, handed to the governor's watchdog at registration.
+  /// 0 (or an empty vector) = this child has no history and is never
+  /// predicted-killed. Filled by race<T>() from the SpeculationPlanner.
+  std::vector<std::uint64_t> pred_kill_ns;
 };
 
 struct AltWinner {

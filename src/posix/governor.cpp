@@ -90,6 +90,7 @@ const char* to_string(GovKillReason reason) {
     case GovKillReason::kWall: return "wall";
     case GovKillReason::kCpu: return "cpu";
     case GovKillReason::kShed: return "shed";
+    case GovKillReason::kPredicted: return "predicted";
   }
   return "?";
 }
@@ -141,6 +142,7 @@ GovernorConfig GovernorConfig::from_env() {
   c.psi_kill_pct = env_double("ALTX_GOV_PSI_KILL", c.psi_kill_pct);
   c.mem_floor_pct = env_double("ALTX_GOV_MEM_FLOOR", c.mem_floor_pct);
   c.poll_interval = env_ms("ALTX_GOV_POLL_MS", c.poll_interval.count());
+  c.predict_watch = env_u64("ALTX_PRED", 0) != 0;
   return c;
 }
 
@@ -203,6 +205,7 @@ struct SpeculationGovernor::WatchEntry {
   int child_index = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t term_deadline_ns = 0;  // nonzero once SIGTERM was sent
+  std::uint64_t pred_kill_ns = 0;      // predictor deadline (0 = no history)
   bool killed = false;                 // SIGKILL sent; waiting for unwatch
   GovKillReason reason = GovKillReason::kWall;
 };
@@ -220,7 +223,8 @@ SpeculationGovernor::SpeculationGovernor(GovernorConfig cfg) : cfg_(cfg) {
 
   const bool needs_watchdog = cfg_.tokens > 0 ||
                               cfg_.arm_wall_budget.count() > 0 ||
-                              cfg_.arm_cpu_budget.count() > 0;
+                              cfg_.arm_cpu_budget.count() > 0 ||
+                              cfg_.predict_watch;
   if (!needs_watchdog) return;
 
   poll_pressure_now();
@@ -395,12 +399,14 @@ int SpeculationGovernor::reconcile_dead_holders() {
 }
 
 void SpeculationGovernor::watch(pid_t pid, std::uint32_t race_id,
-                                int child_index) {
+                                int child_index,
+                                std::uint64_t pred_kill_ns) {
   // Only the owner process has the thread that can act on a watch; a forked
   // copy registering would leak entries nobody scans.
   if (::getpid() != owner_pid_ || !watchdog_.joinable()) return;
   if (cfg_.arm_wall_budget.count() == 0 && cfg_.arm_cpu_budget.count() == 0 &&
-      cfg_.psi_kill_pct >= 100.0 && cfg_.tokens == 0) {
+      cfg_.psi_kill_pct >= 100.0 && cfg_.tokens == 0 && !cfg_.predict_watch &&
+      pred_kill_ns == 0) {
     return;
   }
   WatchEntry e;
@@ -408,6 +414,7 @@ void SpeculationGovernor::watch(pid_t pid, std::uint32_t race_id,
   e.pidfd = open_pidfd(pid);
   e.race_id = race_id;
   e.child_index = child_index;
+  e.pred_kill_ns = pred_kill_ns;
   e.start_ns = obs::now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -476,6 +483,7 @@ GovernorStats SpeculationGovernor::stats() const {
   s.kills_wall = kills_wall_.load(std::memory_order_relaxed);
   s.kills_cpu = kills_cpu_.load(std::memory_order_relaxed);
   s.kills_shed = kills_shed_.load(std::memory_order_relaxed);
+  s.kills_predicted = kills_predicted_.load(std::memory_order_relaxed);
   s.term_escalations = term_escalations_.load(std::memory_order_relaxed);
   s.pressure_shrinks = pressure_shrinks_.load(std::memory_order_relaxed);
   return s;
@@ -533,28 +541,34 @@ void SpeculationGovernor::escalate(WatchEntry& e, GovKillReason reason,
     case GovKillReason::kShed:
       kills_shed_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case GovKillReason::kPredicted:
+      kills_predicted_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   e.reason = reason;
+  // Predicted kills get their own event kind (the trace ties them back to
+  // the arm's history quantile); every other reason keeps kGovKill.
+  const bool predicted = reason == GovKillReason::kPredicted;
+  const obs::EventKind kind =
+      predicted ? obs::EventKind::kPredKill : obs::EventKind::kGovKill;
+  const std::uint64_t b =
+      predicted ? e.pred_kill_ns : static_cast<std::uint64_t>(reason);
   if (cfg_.kill_grace.count() > 0) {
     ::kill(e.pid, SIGTERM);
     e.term_deadline_ns =
         now_ns + static_cast<std::uint64_t>(cfg_.kill_grace.count()) * 1'000'000ULL;
-    obs::emit(obs::EventKind::kGovKill, e.race_id,
-              static_cast<std::int16_t>(e.child_index),
-              static_cast<std::uint64_t>(e.pid),
-              static_cast<std::uint64_t>(reason), /*stage=*/0);
+    obs::emit(kind, e.race_id, static_cast<std::int16_t>(e.child_index),
+              static_cast<std::uint64_t>(e.pid), b, /*stage=*/0);
   } else {
     ::kill(e.pid, SIGKILL);
     e.killed = true;
-    obs::emit(obs::EventKind::kGovKill, e.race_id,
-              static_cast<std::int16_t>(e.child_index),
-              static_cast<std::uint64_t>(e.pid),
-              static_cast<std::uint64_t>(reason), /*stage=*/1);
+    obs::emit(kind, e.race_id, static_cast<std::int16_t>(e.child_index),
+              static_cast<std::uint64_t>(e.pid), b, /*stage=*/1);
   }
   if (obs::enabled()) {
-    obs::MetricsRegistry::global()
-        .counter(std::string("gov_kills_") + to_string(reason))
-        .add();
+    auto& m = obs::MetricsRegistry::global();
+    m.counter(std::string("gov_kills_") + to_string(reason)).add();
+    if (predicted) m.counter("pred_kills").add();
   }
 }
 
@@ -634,6 +648,20 @@ void SpeculationGovernor::watchdog_loop() {
         }
       }
     }
+    // Live-arm census for the predictor's liveness rule, built only when an
+    // entry actually carries a predicted deadline. Counts registered arms
+    // that have not been threatened yet — an undercount versus the block's
+    // true live set is conservative (we refuse a kill, never over-kill).
+    std::unordered_map<std::uint32_t, int> pred_live;
+    bool any_pred = false;
+    for (const WatchEntry& e : watches_) {
+      if (e.pred_kill_ns > 0) any_pred = true;
+    }
+    if (any_pred) {
+      for (const WatchEntry& e : watches_) {
+        if (!e.killed && e.term_deadline_ns == 0) ++pred_live[e.race_id];
+      }
+    }
     for (WatchEntry& e : watches_) {
       if (e.killed) continue;
       if (e.term_deadline_ns != 0) {
@@ -641,15 +669,29 @@ void SpeculationGovernor::watchdog_loop() {
           ::kill(e.pid, SIGKILL);  // grace expired: escalate
           e.killed = true;
           term_escalations_.fetch_add(1, std::memory_order_relaxed);
-          obs::emit(obs::EventKind::kGovKill, e.race_id,
-                    static_cast<std::int16_t>(e.child_index),
+          const bool predicted = e.reason == GovKillReason::kPredicted;
+          obs::emit(predicted ? obs::EventKind::kPredKill
+                              : obs::EventKind::kGovKill,
+                    e.race_id, static_cast<std::int16_t>(e.child_index),
                     static_cast<std::uint64_t>(e.pid),
-                    static_cast<std::uint64_t>(e.reason), /*stage=*/1);
+                    predicted ? e.pred_kill_ns
+                              : static_cast<std::uint64_t>(e.reason),
+                    /*stage=*/1);
         }
         continue;
       }
       if (wall_ns > 0 && now - e.start_ns > wall_ns) {
         escalate(e, GovKillReason::kWall, now);
+        continue;
+      }
+      // Predicted early kill: this arm has overrun its own historical kill
+      // quantile. Arms with no history carry pred_kill_ns == 0 and are never
+      // considered; the last live arm of a race is always spared (liveness —
+      // a mispredicting model must degrade to sequential, never to wedged).
+      if (e.pred_kill_ns > 0 && now - e.start_ns > e.pred_kill_ns &&
+          pred_live[e.race_id] >= 2) {
+        --pred_live[e.race_id];
+        escalate(e, GovKillReason::kPredicted, now);
         continue;
       }
       if (cpu_ns > 0) {

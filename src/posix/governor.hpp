@@ -103,13 +103,19 @@ struct GovernorConfig {
   std::chrono::milliseconds poll_interval{5};       // watchdog cadence
   std::chrono::milliseconds pressure_interval{100}; // PSI sample cadence
 
+  /// Run the watchdog even without wall/CPU budgets so predicted-kill
+  /// deadlines (posix/predictor.hpp) have a thread to fire from. Set from
+  /// ALTX_PRED=1, so prediction works without any ALTX_GOV_* knob.
+  bool predict_watch = false;
+
   /// Reads the ALTX_GOV_* / ALTX_KILL_GRACE_MS / ALTX_PSI_PATH knobs.
   static GovernorConfig from_env();
 
   /// True when any duty (admission, watchdog, rlimits) is configured.
   [[nodiscard]] bool any_enabled() const {
     return tokens > 0 || arm_wall_budget.count() > 0 ||
-           arm_cpu_budget.count() > 0 || rlimit_cpu_s > 0 || rlimit_as_mb > 0;
+           arm_cpu_budget.count() > 0 || rlimit_cpu_s > 0 ||
+           rlimit_as_mb > 0 || predict_watch;
   }
 };
 
@@ -134,6 +140,8 @@ enum class GovKillReason : std::uint8_t {
   kWall = 0,  // wall-clock budget exceeded
   kCpu = 1,   // CPU budget exceeded
   kShed = 2,  // pressure shed (lowest-PI live arm)
+  kPredicted = 3,  // elapsed wall overran the arm's own historical kill
+                   // quantile (predictor's early-kill rule)
 };
 
 const char* to_string(GovKillReason reason);
@@ -160,6 +168,7 @@ struct GovernorStats {
   std::uint64_t kills_wall = 0;
   std::uint64_t kills_cpu = 0;
   std::uint64_t kills_shed = 0;
+  std::uint64_t kills_predicted = 0;
   std::uint64_t term_escalations = 0;  // SIGTERMs that needed the SIGKILL
   std::uint64_t degradations = 0;      // blocks run serialized
   std::uint64_t pressure_shrinks = 0;  // budget reductions applied
@@ -199,8 +208,12 @@ class SpeculationGovernor {
 
   /// Registers a freshly forked arm with the watchdog (no-op when neither
   /// budget is configured, or in a forked copy of the governor — the
-  /// watchdog thread lives only in the creating process).
-  void watch(pid_t pid, std::uint32_t race_id, int child_index);
+  /// watchdog thread lives only in the creating process). `pred_kill_ns`
+  /// is the predictor's early-kill deadline: elapsed wall past it escalates
+  /// the arm as a predicted loser, unless it is the race's last live arm.
+  /// 0 = no history, never predicted-killed.
+  void watch(pid_t pid, std::uint32_t race_id, int child_index,
+             std::uint64_t pred_kill_ns = 0);
 
   /// Unregisters an arm (idempotent; called at reap).
   void unwatch(pid_t pid);
@@ -255,6 +268,7 @@ class SpeculationGovernor {
   std::atomic<std::uint64_t> kills_wall_{0};
   std::atomic<std::uint64_t> kills_cpu_{0};
   std::atomic<std::uint64_t> kills_shed_{0};
+  std::atomic<std::uint64_t> kills_predicted_{0};
   std::atomic<std::uint64_t> term_escalations_{0};
   std::atomic<std::uint64_t> pressure_shrinks_{0};
 };

@@ -28,6 +28,14 @@ struct HedgeOptions {
   /// other and draw from the same admission pool. nullptr resolves to
   /// SpeculationGovernor::global().
   SpeculationGovernor* governor = nullptr;
+
+  /// History + prediction passthrough: with a site_id the underlying race
+  /// records each copy's wall/success, and with predict (or ALTX_PRED=1)
+  /// the planner's early-kill deadlines apply to the copies — a copy that
+  /// overruns its own historical kill quantile is reaped early, while the
+  /// stagger schedule itself stays the caller's.
+  std::uint64_t site_id = 0;
+  bool predict = false;
 };
 
 template <RaceSerializable T>
@@ -73,6 +81,8 @@ std::optional<HedgeResult<T>> hedged(const HedgedFn<T>& task,
   RaceOptions ro;
   ro.timeout = options.timeout;
   ro.governor = options.governor;
+  ro.site_id = options.site_id;
+  ro.predict = options.predict;
   const auto r = race<T>(alts, ro);
   if (!r.has_value()) return std::nullopt;
   HedgeResult<T> out;

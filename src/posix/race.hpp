@@ -16,6 +16,8 @@
 // counts as a failed guard.
 #pragma once
 
+#include <time.h>
+
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -26,7 +28,11 @@
 
 #include "common/bytes.hpp"
 #include "obs/history.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "posix/alt_group.hpp"
+#include "posix/governor.hpp"
+#include "posix/predictor.hpp"
 
 namespace altx::posix {
 
@@ -83,6 +89,12 @@ struct RaceReport {
   int hung = 0;
   int eliminated = 0;
   int over_budget = 0;  // killed by the governor's watchdog
+  int predicted_losers = 0;  // killed by the predictor's early-kill rule
+
+  /// What the plan decided (zero when prediction was off or the plan was
+  /// inactive): arms deferred behind the leader, arms skipped outright.
+  int pred_hedged = 0;
+  int pred_skipped = 0;
 
   /// What the speculation cost: every child's CPU from wait4 at reap time,
   /// the losers' discarded COW pages, and the total/winner overhead ratio.
@@ -137,6 +149,18 @@ struct RaceOptions {
   /// redirect lives in the client library, which keeps altx_posix free of a
   /// dependency on the server.
   std::string daemon_socket;
+
+  /// Prediction-driven speculation budgeting (posix/predictor.hpp). Off by
+  /// default; `predict = true` plans this race with the env-tuned
+  /// (ALTX_PRED_*) config over the current history store, and ALTX_PRED=1
+  /// turns planning on process-wide without touching call sites. Either
+  /// way a race only plans when site_id is set — the planner has nothing
+  /// to read otherwise — and a cold store yields the predict-off plan.
+  bool predict = false;
+
+  /// Overrides the planner (tests, the checker's synthetic histories).
+  /// Implies planning for this race; must outlive the call.
+  const SpeculationPlanner* planner = nullptr;
 };
 
 template <typename T>
@@ -158,26 +182,99 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
                                   const RaceOptions& options = {}) {
   ALTX_REQUIRE(!alts.empty(), "race: need at least one alternative");
   ALTX_REQUIRE(options.replicas >= 1, "race: need at least one replica");
+  const int n = static_cast<int>(alts.size());
+
+  // Prediction-driven planning. The plan is computed before the forks so
+  // its per-arm kill deadlines ride into the watchdog registration; an
+  // inactive plan (cold store, predict off, no site) changes nothing below.
+  std::optional<SpeculationPlanner> local_planner;
+  const SpeculationPlanner* planner = options.planner;
+  if (planner == nullptr) {
+    if (options.predict) {
+      PredictorConfig pc = PredictorConfig::from_env();
+      pc.enabled = true;
+      local_planner.emplace(pc, obs::history());
+      planner = &*local_planner;
+    } else if (SpeculationPlanner::env_enabled()) {
+      planner = SpeculationPlanner::global();
+    }
+  }
+  SpeculationPlan plan;
+  if (planner != nullptr && options.site_id != 0) {
+    SpeculationGovernor* gov = options.governor != nullptr
+                                   ? options.governor
+                                   : SpeculationGovernor::global();
+    plan = planner->plan(options.site_id, n, governor_under_pressure(gov));
+  }
+
   AltGroupOptions go;
   go.elimination = options.elimination;
   go.heap = options.heap;
   go.fault = options.fault;
   go.governor = options.governor;
   go.kill_grace = options.kill_grace;
+  if (plan.active) {
+    go.pred_kill_ns.resize(
+        static_cast<std::size_t>(n) *
+        static_cast<std::size_t>(options.replicas));
+    for (std::size_t j = 0; j < go.pred_kill_ns.size(); ++j) {
+      go.pred_kill_ns[j] =
+          plan.arms[j % static_cast<std::size_t>(n)].kill_after_ns;
+    }
+  }
   AltGroup group(go);
-  const int n = static_cast<int>(alts.size());
   const int who = group.alt_spawn(n * options.replicas);
   if (who > 0) {
     // Child: replicas of alternative a get indices a, a+n, a+2n, ... The
     // child runs the method, then synchronizes (or aborts); it must never
     // return into the caller's world.
     const std::size_t alt_index = static_cast<std::size_t>((who - 1) % n);
+    const ArmPlan* ap = plan.active ? &plan.arms[alt_index] : nullptr;
     try {
+      if (ap != nullptr && ap->decision == ArmDecision::kSkip) {
+        // The plan declined this arm under pressure: its guard is
+        // short-circuited to FAIL without the method ever running.
+        group.child_abort();
+      }
+      if (ap != nullptr && ap->decision == ArmDecision::kHedge &&
+          ap->stage_after_ns > 0) {
+        // Deferred arm (the hedged.hpp stagger discipline): sleep out the
+        // leader's predicted quantile. A leader that commits first
+        // eliminates this child while it is still asleep — nearly free; a
+        // leader that overruns finds its backup already warming up.
+        const std::uint64_t us = ap->stage_after_ns / 1000;
+        timespec ts{static_cast<time_t>(us / 1'000'000),
+                    static_cast<long>(us % 1'000'000 * 1000)};
+        ::nanosleep(&ts, nullptr);
+        obs::emit(obs::EventKind::kPredStage, group.race_id(),
+                  static_cast<std::int16_t>(who), ap->stage_after_ns,
+                  ap->predicted_wall_ns);
+      }
       const std::optional<T> out = alts[alt_index]();
       if (out.has_value()) group.child_commit(race_encode<T>(*out));
       group.child_abort();
     } catch (...) {
       group.child_abort();
+    }
+  }
+  // Parent side from here (the child paths above never return). One
+  // kPredPlan per planned race, active or not, so the trace can tell
+  // "predicted, cold store" from "prediction off".
+  if (planner != nullptr && options.site_id != 0) {
+    obs::emit(obs::EventKind::kPredPlan, group.race_id(), 0,
+              static_cast<std::uint64_t>(plan.launched),
+              static_cast<std::uint64_t>(plan.hedged),
+              static_cast<std::uint64_t>(plan.skipped));
+    if (obs::enabled()) {
+      auto& m = obs::MetricsRegistry::global();
+      m.counter("pred_plans").add();
+      if (plan.hedged > 0) {
+        m.counter("pred_hedged").add(static_cast<std::uint64_t>(plan.hedged));
+      }
+      if (plan.skipped > 0) {
+        m.counter("pred_skipped")
+            .add(static_cast<std::uint64_t>(plan.skipped));
+      }
     }
   }
   auto win = group.alt_wait(options.timeout);
@@ -190,6 +287,20 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
       for (std::size_t i = 0; i < sts.size(); ++i) {
         const ChildStatus& st = sts[i];
         if (st.fate == ChildFate::kRunning) continue;  // async, unreaped
+        if (plan.active) {
+          const ArmPlan& ap = plan.arms[i % static_cast<std::size_t>(n)];
+          // A skipped arm never ran its method, and a hedged arm that lost
+          // spent its wall mostly in the deferral sleep: folding either
+          // sample into the history would teach the store that a slow arm
+          // is fast — a self-fulfilling prophecy that unravels the plan.
+          // Hedged arms still record when they commit (a real observation,
+          // and the success the planner needs to see).
+          if (ap.decision == ArmDecision::kSkip) continue;
+          if (ap.decision == ArmDecision::kHedge &&
+              st.fate != ChildFate::kCommitted) {
+            continue;
+          }
+        }
         const std::uint32_t arm =
             options.history_arm != 0
                 ? options.history_arm
@@ -213,6 +324,9 @@ std::optional<RaceResult<T>> race(const std::vector<AlternativeFn<T>>& alts,
     rep.hung = group.count_fate(ChildFate::kHung);
     rep.eliminated = group.count_fate(ChildFate::kEliminated);
     rep.over_budget = group.count_fate(ChildFate::kOverBudget);
+    rep.predicted_losers = group.count_fate(ChildFate::kPredictedLoser);
+    rep.pred_hedged = plan.hedged;
+    rep.pred_skipped = plan.skipped;
     rep.spec = group.speculation_report();
   }
   if (!win.has_value()) return std::nullopt;

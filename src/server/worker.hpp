@@ -42,6 +42,13 @@ struct ZygoteConfig {
   /// Admission governor shared with the daemon (MAP_SHARED pool, inherited
   /// through the zygote fork). nullptr = races resolve global() as usual.
   posix::SpeculationGovernor* governor = nullptr;
+
+  /// Plan jobs server-side (posix/predictor.hpp): JobSpec carries the
+  /// client's site_id over the hop, so a daemon whose workers have a warm
+  /// history store can stage or early-kill arms the client knows nothing
+  /// about. Resolved from ALTX_PRED in the daemon process at startup; the
+  /// workers inherit the decision (and the store) through the zygote fork.
+  bool predict = false;
 };
 
 class Zygote {

@@ -150,6 +150,7 @@ TEST(CheckIr, SerializeParseRoundTripIsStable) {
     r.program = generate_program(seed);
     r.backend = seed % 2 == 0 ? Backend::kSim : Backend::kPosix;
     r.faulty = seed % 3 == 0;
+    r.predicted = seed % 2 != 0;  // the key rides through shrink/replay
     r.gen_seed = seed;
     r.schedule_seed = seed * 31;
     r.invariant = "oracle-membership";
@@ -158,6 +159,7 @@ TEST(CheckIr, SerializeParseRoundTripIsStable) {
     EXPECT_EQ(serialize(parsed), once) << "seed " << seed;
     EXPECT_EQ(parsed.backend, r.backend);
     EXPECT_EQ(parsed.faulty, r.faulty);
+    EXPECT_EQ(parsed.predicted, r.predicted);
     EXPECT_EQ(parsed.gen_seed, r.gen_seed);
     EXPECT_EQ(parsed.schedule_seed, r.schedule_seed);
     EXPECT_EQ(parsed.invariant, r.invariant);
@@ -277,6 +279,18 @@ TEST(CheckTrials, FaultyPosixBatchHoldsAllInvariants) {
   EXPECT_FALSE(cx.has_value())
       << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
   EXPECT_GT(stats.faulty_trials, 0u);
+}
+
+TEST(CheckTrials, PredictedPosixBatchHoldsAllInvariants) {
+  // Synthetic-history planning perturbs every other posix trial: staging
+  // delays and predicted kills must never break oracle membership,
+  // at-most-once-commit, or liveness, however wrong the injected history.
+  TrialStats stats;
+  const auto cx = run_trials(24, 5, false, true, false, false, GenConfig{},
+                             &stats, /*predictor=*/true);
+  EXPECT_FALSE(cx.has_value())
+      << cx->invariant << " at trial " << cx->trial << "\n" << cx->detail;
+  EXPECT_GT(stats.predicted_trials, 0u);
 }
 
 TEST(CheckTrials, SimCasesAreDeterministic) {

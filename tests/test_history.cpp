@@ -6,6 +6,8 @@
 // table drops samples instead of aborting races, and race<T>() with a
 // site_id actually attributes every reaped arm.
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -147,6 +149,117 @@ TEST(History, FullTableDropsSamplesInsteadOfAborting) {
     h.record(site_hash("full", 1), 1, 100, 0, true);
     EXPECT_EQ(arms[0]->total, before + 1);
   }
+}
+
+TEST(History, QuantilesAreMonotoneInQ) {
+  HistoryStore h(64);
+  const std::uint64_t site = site_hash("t", 6);
+  // Three shapes: uniform spread, heavy head with a long tail, and a
+  // two-point mixture. Whatever the sketch does inside its buckets, a
+  // higher quantile can never come out smaller.
+  for (int i = 1; i <= 200; ++i) {
+    h.record(site, 1, static_cast<std::uint64_t>(i) * 1'000, 0, true);
+  }
+  for (int i = 0; i < 190; ++i) h.record(site, 2, 2'000, 0, true);
+  for (int i = 0; i < 10; ++i) h.record(site, 2, 900'000, 0, true);
+  for (int i = 0; i < 50; ++i) h.record(site, 3, 1'000, 0, true);
+  for (int i = 0; i < 50; ++i) h.record(site, 3, 64'000, 0, true);
+  for (const std::uint32_t arm : {1u, 2u, 3u}) {
+    const ArmStats* s = h.find(site, arm);
+    ASSERT_NE(s, nullptr);
+    const std::uint64_t p50 = s->wall_quantile(0.5);
+    const std::uint64_t p90 = s->wall_quantile(0.9);
+    const std::uint64_t p99 = s->wall_quantile(0.99);
+    EXPECT_LE(p50, p90) << "arm " << arm;
+    EXPECT_LE(p90, p99) << "arm " << arm;
+    EXPECT_GE(p50, s->min_wall_ns) << "arm " << arm;
+    EXPECT_LE(p99, s->max_wall_ns) << "arm " << arm;
+  }
+}
+
+TEST(History, ConcurrentForkedWritersDontTearEntries) {
+  // The store is MAP_SHARED: race<T>() parents in different processes fold
+  // samples concurrently. Two forked writers hammer different arms with
+  // constant walls; if the (site, arm) update were torn across processes,
+  // the EWMA of a constant series could not stay at the constant, and
+  // min/max could not both equal it.
+  HistoryStore h(64);
+  const std::uint64_t site = site_hash("t", 7);
+  constexpr int kPerWriter = 2'000;
+  pid_t pids[2];
+  for (int w = 0; w < 2; ++w) {
+    pids[w] = ::fork();
+    ASSERT_GE(pids[w], 0);
+    if (pids[w] == 0) {
+      const std::uint32_t arm = static_cast<std::uint32_t>(w) + 1;
+      const std::uint64_t wall = (w + 1) * 10'000;
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.record(site, arm, wall, wall / 2, w == 0);
+      }
+      ::_exit(0);
+    }
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  for (int w = 0; w < 2; ++w) {
+    const std::uint32_t arm = static_cast<std::uint32_t>(w) + 1;
+    const std::uint64_t wall = (w + 1) * 10'000;
+    const ArmStats* s = h.find(site, arm);
+    ASSERT_NE(s, nullptr) << "arm " << arm;
+    EXPECT_EQ(s->total, static_cast<std::uint32_t>(kPerWriter));
+    EXPECT_EQ(s->successes, w == 0 ? static_cast<std::uint32_t>(kPerWriter) : 0u);
+    EXPECT_EQ(s->min_wall_ns, wall);
+    EXPECT_EQ(s->max_wall_ns, wall);
+    EXPECT_DOUBLE_EQ(s->ewma_wall_ns, static_cast<double>(wall));
+    EXPECT_EQ(s->wall_quantile(0.5), wall);
+  }
+}
+
+TEST(History, SnapshotFromASigkilledProcessLoadsOrIsAbsentNeverTorn) {
+  // tmp+rename discipline: a writer that is SIGKILLed right after save()
+  // leaves a complete snapshot; one killed before the save leaves nothing.
+  // Either way the reader gets a clean store, never a half-written table.
+  const std::string path = tmp_snapshot_path();
+  const std::uint64_t site = site_hash("t", 8);
+  std::remove(path.c_str());
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    HistoryStore h(64);
+    for (int i = 0; i < 25; ++i) h.record(site, 1, 4'000, 2'000, true);
+    h.save(path);
+    ::raise(SIGKILL);  // no destructors, no flush beyond the rename
+    ::_exit(1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  HistoryStore fresh(64);
+  ASSERT_TRUE(fresh.load(path));
+  const ArmStats* s = fresh.find(site, 1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->total, 25u);
+  EXPECT_EQ(fresh.quantile(site, 1, 0.99), 4'000u);
+  std::remove(path.c_str());
+
+  // Killed before any save: only the .tmp (at most) may exist; load of the
+  // real path fails cleanly and the store stays empty.
+  pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    HistoryStore h(64);
+    h.record(site, 1, 4'000, 2'000, true);
+    ::raise(SIGKILL);
+    ::_exit(1);
+  }
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  HistoryStore none(64);
+  EXPECT_FALSE(none.load(path));
+  EXPECT_EQ(none.size(), 0u);
 }
 
 TEST(History, RaceWithSiteIdRecordsEveryReapedArm) {

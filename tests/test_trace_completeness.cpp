@@ -15,10 +15,14 @@
 #include <set>
 #include <tuple>
 
+#include "constrained.hpp"
+#include "obs/history.hpp"
 #include "obs/phase.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "posix/fault.hpp"
+#include "posix/governor.hpp"
+#include "posix/predictor.hpp"
 #include "posix/race.hpp"
 #include "posix/supervisor.hpp"
 
@@ -103,6 +107,7 @@ void assert_agrees(const std::vector<Record>& recs, const RaceReport& rep) {
   EXPECT_EQ(trace_counts[ChildFate::kCrashed], rep.crashed);
   EXPECT_EQ(trace_counts[ChildFate::kHung], rep.hung);
   EXPECT_EQ(trace_counts[ChildFate::kEliminated], rep.eliminated);
+  EXPECT_EQ(trace_counts[ChildFate::kPredictedLoser], rep.predicted_losers);
   // And the recorded verdict is the group's verdict.
   for (const Record& r : recs) {
     if (r.kind == EventKind::kRaceDecided) {
@@ -175,6 +180,106 @@ TEST_F(TraceCompleteness, EveryFaultKindLeavesACompleteTrace) {
       EXPECT_EQ(sweep_zombies(), 0);
     }
   }
+}
+
+TEST_F(TraceCompleteness, PredictedKillsPairWithTerminalFatesUnderEveryFaultKind) {
+  // The predictor's additions to the story must stay complete under the same
+  // fault matrix: every predicted race tells its plan exactly once, every
+  // kPredKill names a child that was really forked and that still reached
+  // exactly one terminal fate, and every kPredictedLoser fate is explained
+  // by a kill event. Histories of 1 ms against arms that sleep 2–6 ms (or
+  // hang outright) make the early-kill path fire constantly.
+  ALTX_SKIP_IF_CONSTRAINED(8, 256);
+  constexpr std::uint64_t kSite = 0x7ace'0001;
+  constexpr std::uint64_t kMs = 1'000'000;
+  const struct { FaultKind kind; double rate; } plans[] = {
+      {FaultKind::kCrashSegv, 0.6}, {FaultKind::kCrashKill, 0.6},
+      {FaultKind::kHang, 0.6},      {FaultKind::kDelay, 0.6},
+      {FaultKind::kEarlyExit, 0.6}, {FaultKind::kDropCommit, 0.6},
+  };
+  bool saw_pred_kill = false;
+  for (const auto& plan : plans) {
+    FaultProfile p;
+    switch (plan.kind) {
+      case FaultKind::kCrashSegv: p.crash_segv = plan.rate; break;
+      case FaultKind::kCrashKill: p.crash_kill = plan.rate; break;
+      case FaultKind::kHang: p.hang = plan.rate; break;
+      case FaultKind::kDelay: p.delay = plan.rate; break;
+      case FaultKind::kEarlyExit: p.early_exit = plan.rate; break;
+      case FaultKind::kDropCommit: p.drop_commit = plan.rate; break;
+      case FaultKind::kCpuSpin: p.cpu_spin = plan.rate; break;
+      case FaultKind::kMemHog: p.mem_hog = plan.rate; break;
+      case FaultKind::kNone: break;
+    }
+    p.delay_for = 10ms;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      obs::reset();
+      obs::HistoryStore store(64);
+      for (std::uint32_t arm = 1; arm <= 3; ++arm) {
+        for (int s = 0; s < 10; ++s) {
+          store.record(kSite, arm, 1 * kMs, kMs / 2, true);
+        }
+      }
+      PredictorConfig pc;
+      pc.enabled = true;
+      SpeculationPlanner planner(pc, &store);
+      GovernorConfig gc;
+      gc.predict_watch = true;  // every arm registers: exact live census
+      gc.poll_interval = 2ms;
+      SpeculationGovernor gov(gc);
+      FaultInjector inj(seed, p);
+      RaceOptions opts;
+      opts.timeout = 300ms;
+      opts.fault = &inj;
+      opts.site_id = kSite;
+      opts.planner = &planner;
+      opts.governor = &gov;
+      RaceReport rep;
+      opts.report = &rep;
+      (void)race<int>(one_viable_alts(), opts);
+      const auto recs = obs::snapshot();
+      assert_complete(recs);
+      assert_agrees(recs, rep);
+
+      TraceCensus c(recs);
+      std::map<std::pair<std::uint32_t, int>, int> pred_kills;
+      std::map<std::uint32_t, int> pred_plans;
+      for (const Record& r : recs) {
+        if (r.kind == EventKind::kPredKill) {
+          ++pred_kills[{r.race_id, r.child_index}];
+        } else if (r.kind == EventKind::kPredPlan) {
+          ++pred_plans[r.race_id];
+        }
+      }
+      for (const auto& [race, children] : c.forked) {
+        EXPECT_EQ(pred_plans[race], 1)
+            << "race " << race << ": plan told " << pred_plans[race]
+            << " times";
+      }
+      for (const auto& [key, n] : pred_kills) {
+        saw_pred_kill = true;
+        ASSERT_TRUE(c.forked.contains(key.first) &&
+                    c.forked.at(key.first).contains(key.second))
+            << "kPredKill for a child never forked";
+        ASSERT_TRUE(c.fates.contains(key))
+            << "race " << key.first << " child " << key.second
+            << ": killed but no terminal fate";
+        EXPECT_EQ(c.fates.at(key).size(), 1u);
+      }
+      for (const auto& [key, fates] : c.fates) {
+        if (static_cast<ChildFate>(fates.front()) ==
+            ChildFate::kPredictedLoser) {
+          EXPECT_TRUE(pred_kills.contains(key))
+              << "race " << key.first << " child " << key.second
+              << ": predicted-loser fate without a kPredKill";
+        }
+      }
+      EXPECT_EQ(sweep_zombies(), 0);
+    }
+  }
+  // 30 seeded runs of 1 ms quantiles against 2–6 ms arms: the kill path must
+  // actually have fired, or the pairing assertions above were all vacuous.
+  EXPECT_TRUE(saw_pred_kill);
 }
 
 TEST_F(TraceCompleteness, SupervisedRetriesStayComplete) {

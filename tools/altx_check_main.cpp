@@ -26,7 +26,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: altx-check [--trials N] [--seed S] [--backend sim|posix|both]\n"
-    "                  [--faults] [--perturb-governor] [--out DIR]\n"
+    "                  [--faults] [--perturb-governor] [--perturb-predictor]\n"
+    "                  [--out DIR]\n"
     "                  [--max-blocks N] [--max-alts N] [--quiet]\n"
     "       altx-check --replay FILE.altcheck\n";
 
@@ -37,6 +38,7 @@ struct Args {
   bool posix = true;
   bool faults = false;
   bool governor = false;
+  bool predictor = false;
   bool quiet = false;
   std::string out_dir = ".";
   std::string replay;
@@ -74,6 +76,8 @@ Args parse_args(int argc, char** argv) {
       a.faults = true;
     } else if (arg == "--perturb-governor") {
       a.governor = true;
+    } else if (arg == "--perturb-predictor") {
+      a.predictor = true;
     } else if (arg == "--out") {
       a.out_dir = next();
     } else if (arg == "--max-blocks") {
@@ -109,11 +113,13 @@ int run_replay(const std::string& path) {
   c.backend = repro.backend;
   c.faulty = repro.faulty;
   c.governed = repro.governed;
+  c.predicted = repro.predicted;
   c.schedule_seed = repro.schedule_seed;
 
-  std::printf("replaying %s (backend %s%s%s, schedule_seed %llu, invariant %s)\n",
+  std::printf("replaying %s (backend %s%s%s%s, schedule_seed %llu, invariant %s)\n",
               path.c_str(), to_string(repro.backend), repro.faulty ? ", faulty" : "",
               repro.governed ? ", governed" : "",
+              repro.predicted ? ", predicted" : "",
               static_cast<unsigned long long>(repro.schedule_seed),
               repro.invariant.empty() ? "?" : repro.invariant.c_str());
   // A posix schedule is only seed-*guided*; give the race a few runs to
@@ -139,16 +145,18 @@ int main(int argc, char** argv) {
     if (!a.replay.empty()) return run_replay(a.replay);
 
     altx::check::TrialStats stats;
-    const auto cx = altx::check::run_trials(a.trials, a.seed, a.sim, a.posix,
-                                            a.faults, a.governor, a.gen, &stats);
+    const auto cx =
+        altx::check::run_trials(a.trials, a.seed, a.sim, a.posix, a.faults,
+                                a.governor, a.gen, &stats, a.predictor);
     if (!a.quiet) {
       std::printf("altx-check: %llu trials (sim %llu, posix %llu, faulty %llu, "
-                  "governed %llu), %llu inconclusive\n",
+                  "governed %llu, predicted %llu), %llu inconclusive\n",
                   static_cast<unsigned long long>(stats.trials),
                   static_cast<unsigned long long>(stats.sim_trials),
                   static_cast<unsigned long long>(stats.posix_trials),
                   static_cast<unsigned long long>(stats.faulty_trials),
                   static_cast<unsigned long long>(stats.governor_trials),
+                  static_cast<unsigned long long>(stats.predicted_trials),
                   static_cast<unsigned long long>(stats.inconclusive));
       std::printf("altx-check: %llu distinct interleavings, %llu oracle outcomes "
                   "checked\n",
@@ -171,6 +179,7 @@ int main(int argc, char** argv) {
     repro.backend = sr.reduced.backend;
     repro.faulty = sr.reduced.faulty;
     repro.governed = sr.reduced.governed;
+    repro.predicted = sr.reduced.predicted;
     repro.gen_seed = cx->gen_seed;
     repro.schedule_seed = sr.reduced.schedule_seed;
     repro.invariant = sr.invariant.empty() ? cx->invariant : sr.invariant;

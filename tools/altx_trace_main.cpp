@@ -146,6 +146,25 @@ std::string describe(const Record& r) {
       std::snprintf(buf, sizeof buf, "hedge copy %llu wakes",
                     static_cast<unsigned long long>(r.a));
       break;
+    case EventKind::kPredPlan:
+      std::snprintf(buf, sizeof buf,
+                    "plan: %llu launch now, %llu hedged, %llu skipped",
+                    static_cast<unsigned long long>(r.a),
+                    static_cast<unsigned long long>(r.b),
+                    static_cast<unsigned long long>(r.c));
+      break;
+    case EventKind::kPredStage:
+      std::snprintf(buf, sizeof buf,
+                    "staged arm wakes after %.1f ms deferral",
+                    static_cast<double>(r.a) / 1e6);
+      break;
+    case EventKind::kPredKill:
+      std::snprintf(buf, sizeof buf,
+                    "predicted loser: pid %llu past its p-kill %.1f ms (%s)",
+                    static_cast<unsigned long long>(r.a),
+                    static_cast<double>(r.b) / 1e6,
+                    r.c == 0 ? "SIGTERM" : "SIGKILL");
+      break;
     case EventKind::kAwaitBegin:
       std::snprintf(buf, sizeof buf, "await_all begins, %llu tasks",
                     static_cast<unsigned long long>(r.a));
@@ -337,38 +356,57 @@ int run_efficiency(const std::string& path) {
   const auto loaded = load_records(path);
   if (!loaded.has_value()) return 1;
   warn_if_overflowed(path, *loaded);
-  // Per-race census of arms the governor killed (fate kOverBudget).
+  // Per-race censuses: arms the governor killed over budget, arms the
+  // predictor killed past their own quantile, and arms the plan deferred
+  // (kPredPlan.b) — the deferred count is the savings story: a hedged arm
+  // that never woke cost nearly nothing.
   std::map<std::uint32_t, int> over_budget;
+  std::map<std::uint32_t, int> pred_killed;
+  std::map<std::uint32_t, int> deferred;
   for (const Record& r : *loaded) {
-    if (r.kind == EventKind::kChildFate &&
-        static_cast<altx::posix::ChildFate>(r.a) ==
-            altx::posix::ChildFate::kOverBudget) {
-      ++over_budget[r.race_id];
+    if (r.kind == EventKind::kChildFate) {
+      const auto fate = static_cast<altx::posix::ChildFate>(r.a);
+      if (fate == altx::posix::ChildFate::kOverBudget) ++over_budget[r.race_id];
+      if (fate == altx::posix::ChildFate::kPredictedLoser) {
+        ++pred_killed[r.race_id];
+      }
+    } else if (r.kind == EventKind::kPredPlan) {
+      deferred[r.race_id] += static_cast<int>(r.b + r.c);
     }
   }
-  std::printf("%-8s %15s %15s %17s %9s %8s\n", "race", "wasted CPU ms",
-              "winner CPU ms", "discarded pages", "ob kills", "ratio");
+  std::printf("%-8s %15s %15s %17s %9s %9s %9s %8s\n", "race", "wasted CPU ms",
+              "winner CPU ms", "discarded pages", "ob kills", "pk kills",
+              "deferred", "ratio");
   std::uint64_t total_wasted = 0;
   std::uint64_t total_winner = 0;
   std::uint64_t total_pages = 0;
   int total_ob = 0;
+  int total_pk = 0;
+  int total_deferred = 0;
   int blocks = 0;
+  auto census = [](const std::map<std::uint32_t, int>& m, std::uint32_t race) {
+    const auto it = m.find(race);
+    return it == m.end() ? 0 : it->second;
+  };
   for (const Record& r : *loaded) {
     if (r.kind != EventKind::kSpecReport) continue;
     ++blocks;
     total_wasted += r.a;
     total_pages += r.b;
     total_winner += r.c;
-    const auto ob_it = over_budget.find(r.race_id);
-    const int ob = ob_it == over_budget.end() ? 0 : ob_it->second;
+    const int ob = census(over_budget, r.race_id);
+    const int pk = census(pred_killed, r.race_id);
+    const int df = census(deferred, r.race_id);
     total_ob += ob;
+    total_pk += pk;
+    total_deferred += df;
     const double ratio =
         r.c == 0 ? 0.0
                  : static_cast<double>(r.a + r.c) / static_cast<double>(r.c);
-    std::printf("%-8u %15.3f %15.3f %17llu %9d %8.2f\n", r.race_id,
+    std::printf("%-8u %15.3f %15.3f %17llu %9d %9d %9d %8.2f\n", r.race_id,
                 static_cast<double>(r.a) / 1'000'000.0,
                 static_cast<double>(r.c) / 1'000'000.0,
-                static_cast<unsigned long long>(r.b), ob, ratio);
+                static_cast<unsigned long long>(r.b), ob, pk, df, ratio);
   }
   if (blocks == 0) {
     std::printf("no speculation reports in %s (single-child blocks, or the "
@@ -381,11 +419,11 @@ int run_efficiency(const std::string& path) {
           ? 0.0
           : static_cast<double>(total_wasted + total_winner) /
                 static_cast<double>(total_winner);
-  std::printf("%-8s %15.3f %15.3f %17llu %9d %8.2f   (%d blocks)\n", "total",
-              static_cast<double>(total_wasted) / 1'000'000.0,
+  std::printf("%-8s %15.3f %15.3f %17llu %9d %9d %9d %8.2f   (%d blocks)\n",
+              "total", static_cast<double>(total_wasted) / 1'000'000.0,
               static_cast<double>(total_winner) / 1'000'000.0,
-              static_cast<unsigned long long>(total_pages), total_ob,
-              total_ratio, blocks);
+              static_cast<unsigned long long>(total_pages), total_ob, total_pk,
+              total_deferred, total_ratio, blocks);
   return 0;
 }
 
